@@ -1,0 +1,300 @@
+// Benchmark harness regenerating every table and figure of the TeCoRe
+// demo paper's evaluation (see DESIGN.md §4 and EXPERIMENTS.md):
+//
+//	E1  Figures 1→7   running example (both solvers)
+//	E2  Figure 8      debugging statistics at 243K facts
+//	E3  Section 3     nRockIt vs nPSL runtime on FootballDB
+//	E4  Section 1/3   1:1 noisy setting, precision/recall
+//	E5  Section 1     derived-fact confidence threshold sweep
+//	E6  Section 4     Wikidata per-relation scalability
+//	E8  (ablation)    cutting-plane inference vs full grounding
+//
+// Macro benchmarks take seconds per iteration; run with -benchtime=1x
+// for a single timed pass:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+package tecore_test
+
+import (
+	"fmt"
+	"testing"
+
+	tecore "repro"
+	"repro/internal/mln"
+	"repro/internal/translate"
+)
+
+// --- E1: running example (Figures 1, 4, 6 → 7) ---
+
+func BenchmarkE1_RunningExample(b *testing.B) {
+	for _, solver := range []tecore.Solver{tecore.SolverMLN, tecore.SolverPSL} {
+		b.Run(solver.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := tecore.NewSession()
+				if err := s.LoadGraphText(figure1); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.LoadProgramText(figure4and6); err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Solve(tecore.SolveOptions{Solver: solver})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.RemovedFacts != 1 {
+					b.Fatalf("removed %d facts, want 1 (Napoli)", res.Stats.RemovedFacts)
+				}
+			}
+		})
+	}
+}
+
+// --- E2: Figure 8 — debugging statistics at the demo's scale ---
+// Paper: 19,734 conflicting facts in a utkg of 243,157 temporal facts
+// (≈8.1%). The Wikidata-profile generator's default noise rate is tuned
+// to that fraction; "conflicting facts" counts the members of conflict
+// clusters (both sides of each violated constraint grounding).
+
+func BenchmarkE2_DebuggingStats(b *testing.B) {
+	// Scale 0.0633 yields ≈243K facts with the profile's mean spells;
+	// the noise rate is calibrated to Figure 8's 8.1% conflicting facts.
+	ds := tecore.GenerateWikidata(tecore.WikidataConfig{Scale: 0.0633, NoiseRatio: 0.039, Seed: 1})
+	b.Logf("dataset: %d facts (paper: 243,157)", len(ds.Graph))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tecore.NewSession()
+		if err := s.LoadGraph(ds.Graph); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.LoadProgramText(tecore.WikidataProgram); err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Solve(tecore.SolveOptions{Solver: tecore.SolverPSL})
+		if err != nil {
+			b.Fatal(err)
+		}
+		conflicting := 0
+		for _, cl := range res.Clusters {
+			conflicting += len(cl)
+		}
+		b.ReportMetric(float64(len(ds.Graph)), "facts")
+		b.ReportMetric(float64(conflicting), "conflicting")
+		b.ReportMetric(float64(res.Stats.RemovedFacts), "removed")
+		b.ReportMetric(100*float64(conflicting)/float64(len(ds.Graph)), "conflict_%")
+	}
+}
+
+// --- E3: Section 3 — nRockIt vs nPSL on FootballDB ---
+// Paper: nRockIt 12,181 ms vs nPSL 6,129 ms (average of 10 runs) on the
+// FootballDB utkg. Absolute times differ on our substrate; the shape to
+// reproduce is PSL ≈ 2× faster with the same removal decisions.
+
+func BenchmarkE3_MLNvsPSL_FootballDB(b *testing.B) {
+	ds := tecore.GenerateFootball(tecore.FootballConfig{Players: 6500, NoiseRatio: 0.05, Seed: 1})
+	b.Logf("dataset: %d facts (paper: >13K playsFor + >6K birthDate)", len(ds.Graph))
+	for _, solver := range []tecore.Solver{tecore.SolverMLN, tecore.SolverPSL} {
+		b.Run(solver.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := tecore.NewSession()
+				if err := s.LoadGraph(ds.Graph); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.LoadProgramText(tecore.FootballProgram); err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Solve(tecore.SolveOptions{Solver: solver})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Stats.RemovedFacts), "removed")
+				b.ReportMetric(float64(res.Output.Runtime.Milliseconds()), "solver_ms")
+			}
+		})
+	}
+}
+
+// --- E4: the highly noisy setting (1:1 noise), precision/recall ---
+
+func BenchmarkE4_NoisyDebugging(b *testing.B) {
+	ds := tecore.GenerateFootball(tecore.FootballConfig{Players: 1500, NoiseRatio: 1.0, Seed: 2})
+	b.Logf("dataset: %d facts, %d injected noise", len(ds.Graph), ds.NoiseCount())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tecore.NewSession()
+		if err := s.LoadGraph(ds.Graph); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.LoadProgramText(tecore.FootballProgram); err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Solve(tecore.SolveOptions{Solver: tecore.SolverMLN})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tp, fp := 0, 0
+		for _, f := range res.Removed {
+			if ds.Noise[f.Quad.Fact()] {
+				tp++
+			} else {
+				fp++
+			}
+		}
+		b.ReportMetric(float64(tp)/float64(tp+fp), "precision")
+		b.ReportMetric(float64(tp)/float64(ds.NoiseCount()), "recall")
+		b.ReportMetric(float64(res.Stats.RemovedFacts), "removed")
+	}
+}
+
+// --- E5: derived-fact confidence threshold sweep ---
+
+func BenchmarkE5_ThresholdSweep(b *testing.B) {
+	ds := tecore.GenerateFootball(tecore.FootballConfig{Players: 300, Seed: 3})
+	rules := tecore.FootballProgram + `
+f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5
+f2: quad(x, playsFor, y, t) ^ duration(t) >= 4 -> quad(x, type, Veteran, t) w = 0.8
+`
+	for _, threshold := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		b.Run(fmt.Sprintf("threshold=%.1f", threshold), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := tecore.NewSession()
+				if err := s.LoadGraph(ds.Graph); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.LoadProgramText(rules); err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Solve(tecore.SolveOptions{Solver: tecore.SolverMLN, Threshold: threshold})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Stats.InferredFacts), "inferred")
+				b.ReportMetric(float64(res.Stats.ThresholdFiltered), "filtered")
+			}
+		})
+	}
+}
+
+// --- E6: Wikidata per-relation scalability (Section 4 cardinalities) ---
+// One sub-benchmark per relation at the paper's relative sizes (scaled);
+// runtime should be ordered by relation cardinality and near-linear for
+// the PSL backend.
+
+func BenchmarkE6_WikidataRelations(b *testing.B) {
+	ds := tecore.GenerateWikidata(tecore.WikidataConfig{Scale: 0.01, Seed: 4})
+	perRelation := map[string]tecore.Graph{}
+	for _, q := range ds.Graph {
+		p := q.Predicate.Value
+		perRelation[p] = append(perRelation[p], q)
+	}
+	constraints := map[string]string{
+		"playsFor":   "c: quad(x, playsFor, y, t) ^ quad(x, playsFor, z, t') ^ y != z -> disjoint(t, t') w = inf",
+		"spouse":     "c: quad(x, spouse, y, t) ^ quad(x, spouse, z, t') ^ y != z -> disjoint(t, t') w = inf",
+		"memberOf":   "c: quad(x, memberOf, y, t) ^ start(t) < 1900 -> false w = inf",
+		"educatedAt": "c: quad(x, educatedAt, y, t) ^ quad(x, educatedAt, z, t') ^ y != z -> disjoint(t, t') w = inf",
+		"occupation": "c: quad(x, occupation, y, t) ^ quad(x, occupation, z, t') ^ overlap(t, t') -> y = z w = inf",
+	}
+	for _, rel := range []string{"playsFor", "spouse", "memberOf", "educatedAt", "occupation"} {
+		g := perRelation[rel]
+		b.Run(fmt.Sprintf("%s_%d", rel, len(g)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := tecore.NewSession()
+				if err := s.LoadGraph(g); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.LoadProgramText(constraints[rel]); err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Solve(tecore.SolveOptions{Solver: tecore.SolverPSL})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(g)), "facts")
+				b.ReportMetric(float64(res.Stats.RemovedFacts), "removed")
+			}
+		})
+	}
+}
+
+// --- E8: cutting-plane inference ablation ---
+// RockIt's scalability device: ground only violated formulas lazily.
+// Compare ground-clause counts and runtime against full grounding on a
+// conflict-sparse dataset, where CPI grounds a fraction of the clauses.
+
+func BenchmarkE8_CuttingPlaneAblation(b *testing.B) {
+	ds := tecore.GenerateFootball(tecore.FootballConfig{Players: 2000, NoiseRatio: 0.02, Seed: 5})
+	for _, mode := range []string{"full", "cpi"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := tecore.NewSession()
+				if err := s.LoadGraph(ds.Graph); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.LoadProgramText(tecore.FootballProgram); err != nil {
+					b.Fatal(err)
+				}
+				opts := tecore.SolveOptions{Solver: tecore.SolverMLN, CuttingPlane: mode == "cpi"}
+				res, err := s.Solve(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Output.MLN.GroundClauses), "ground_clauses")
+				b.ReportMetric(float64(res.Output.MLN.Rounds), "rounds")
+			}
+		})
+	}
+}
+
+// Guard: the MLN options type stays exported for advanced tuning.
+var _ = translate.Options{MLN: mln.Options{}}
+
+// --- Extension: constraint-suggestion mining cost ---
+// Not a paper table; measures the Section-4 "automatic suggestion"
+// extension at FootballDB scale.
+
+func BenchmarkSuggestMiningFootball(b *testing.B) {
+	ds := tecore.GenerateFootball(tecore.FootballConfig{Players: 6500, NoiseRatio: 0.1, Seed: 6})
+	s := tecore.NewSession()
+	if err := s.LoadGraph(ds.Graph); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sugs, err := tecore.SuggestConstraints(s, tecore.SuggestOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(sugs)), "suggestions")
+	}
+}
+
+// --- E10 (ablation): greedy baseline vs MAP quality ---
+// Greedy repair keeps facts strongest-first; MAP optimises globally.
+// Compare removed confidence mass (lower is better) and wall clock on
+// the noisy football profile.
+
+func BenchmarkE10_GreedyVsMAP(b *testing.B) {
+	ds := tecore.GenerateFootball(tecore.FootballConfig{Players: 1500, NoiseRatio: 0.5, Seed: 8})
+	for _, solverName := range []string{"greedy", "mln"} {
+		solver, err := tecore.ParseSolver(solverName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(solverName, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := tecore.NewSession()
+				if err := s.LoadGraph(ds.Graph); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.LoadProgramText(tecore.FootballProgram); err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Solve(tecore.SolveOptions{Solver: solver})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Stats.RemovedWeight, "removed_weight")
+				b.ReportMetric(float64(res.Stats.RemovedFacts), "removed")
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+// Command tecore-gen generates the evaluation datasets of the TeCoRe
+// demo: a FootballDB-profile knowledge graph (player careers) or a
+// Wikidata-profile graph (the five temporal relations of the paper),
+// with optional labelled noise injection.
+//
+// Usage:
+//
+//	tecore-gen -profile football -players 6500 -noise 1.0 -o fb.tq
+//	tecore-gen -profile wikidata -scale 0.01 -o wd.tq [-labels noise.txt]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	tecore "repro"
+)
+
+func main() {
+	profile := flag.String("profile", "football", "dataset profile: football or wikidata")
+	players := flag.Int("players", 0, "football: number of players (default 6500)")
+	scale := flag.Float64("scale", 0, "wikidata: cardinality scale factor (default 0.01)")
+	noise := flag.Float64("noise", 0, "noise ratio: injected facts per clean fact")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output TQuads file (default stdout)")
+	labels := flag.String("labels", "", "optional file for gold noise labels (one statement per line)")
+	rules := flag.String("rules", "", "optional file for the profile's standard constraint set")
+	flag.Parse()
+
+	if err := run(*profile, *players, *scale, *noise, *seed, *out, *labels, *rules); err != nil {
+		fmt.Fprintf(os.Stderr, "tecore-gen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile string, players int, scale, noise float64, seed int64, out, labels, rules string) error {
+	var (
+		ds      *tecore.Dataset
+		program string
+	)
+	switch profile {
+	case "football":
+		ds = tecore.GenerateFootball(tecore.FootballConfig{Players: players, NoiseRatio: noise, Seed: seed})
+		program = tecore.FootballProgram
+	case "wikidata":
+		ds = tecore.GenerateWikidata(tecore.WikidataConfig{Scale: scale, NoiseRatio: noise, Seed: seed})
+		program = tecore.WikidataProgram
+	default:
+		return fmt.Errorf("unknown profile %q (want football or wikidata)", profile)
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tecore.WriteGraph(w, ds.Graph); err != nil {
+		return err
+	}
+
+	if labels != "" {
+		f, err := os.Create(labels)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		var keys []string
+		for k := range ds.Noise {
+			keys = append(keys, k.String())
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintln(bw, k)
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	if rules != "" {
+		if err := os.WriteFile(rules, []byte(program), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "generated %d facts (%d clean, %d noise) with profile %s\n",
+		len(ds.Graph), ds.CleanCount(), ds.NoiseCount(), ds.Profile)
+	return nil
+}

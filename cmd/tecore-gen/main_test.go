@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	tecore "repro"
+)
+
+func TestGenerateFootballFiles(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fb.tq")
+	labels := filepath.Join(dir, "noise.txt")
+	rules := filepath.Join(dir, "fb.tcr")
+	if err := run("football", 80, 0, 0.5, 3, out, labels, rules); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tecore.ParseGraphString(string(data))
+	if err != nil {
+		t.Fatalf("generated TQuads unparseable: %v", err)
+	}
+	if len(g) < 150 {
+		t.Errorf("generated %d facts", len(g))
+	}
+
+	lb, err := os.ReadFile(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(lb), "player/") {
+		t.Errorf("labels file = %q...", string(lb)[:min(80, len(lb))])
+	}
+
+	rl, err := os.ReadFile(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tecore.ParseRules(string(rl)); err != nil {
+		t.Errorf("emitted rules unparseable: %v", err)
+	}
+}
+
+func TestGenerateWikidata(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "wd.tq")
+	if err := run("wikidata", 0, 0.002, 0, 1, out, "", ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tecore.ParseGraphString(string(data))
+	if err != nil || len(g) == 0 {
+		t.Fatalf("wikidata output: %d facts, %v", len(g), err)
+	}
+}
+
+func TestGenerateUnknownProfile(t *testing.T) {
+	if err := run("mars", 0, 0, 0, 1, "", "", ""); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

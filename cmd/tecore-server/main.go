@@ -1,0 +1,28 @@
+// Command tecore-server runs the TeCoRe Web UI: dataset selection,
+// constraint editing with predicate auto-completion, MAP inference with
+// the MLN or PSL backend, and the result statistics browser.
+//
+// Usage:
+//
+//	tecore-server [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := server.New()
+	fmt.Fprintf(os.Stderr, "TeCoRe UI listening on %s\n", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "tecore-server: %v\n", err)
+		os.Exit(1)
+	}
+}

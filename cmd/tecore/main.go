@@ -1,0 +1,234 @@
+// Command tecore is the command-line interface to the TeCoRe system:
+// validate rule programs, inspect dataset statistics, and run temporal
+// conflict resolution over uncertain temporal knowledge graphs.
+//
+// Usage:
+//
+//	tecore stats    -data g.tq
+//	tecore validate -rules r.tcr [-solver mln|psl]
+//	tecore infer    -data g.tq -rules r.tcr [-solver mln|psl]
+//	                [-threshold 0.3] [-cpi] [-out consistent.tq]
+//	                [-removed removed.tq]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	tecore "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "validate":
+		err = runValidate(os.Args[2:])
+	case "infer":
+		err = runInfer(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "tecore: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tecore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tecore stats    -data <tquads file>
+  tecore validate -rules <rules file> [-solver mln|psl]
+  tecore infer    -data <tquads file> -rules <rules file>
+                  [-solver mln|psl] [-threshold t] [-cpi]
+                  [-out consistent.tq] [-removed removed.tq]`)
+}
+
+func loadGraph(path string) (tecore.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tecore.ParseGraph(f)
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	data := fs.String("data", "", "TQuads dataset file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("stats: -data is required")
+	}
+	g, err := loadGraph(*data)
+	if err != nil {
+		return err
+	}
+	s := tecore.NewSession()
+	if err := s.LoadGraph(g); err != nil {
+		return err
+	}
+	preds := s.Predicates()
+	fmt.Printf("facts: %d\npredicates: %d\n", s.Store().Len(), len(preds))
+	for _, p := range preds {
+		fmt.Printf("  %-24s %8d facts  %6d subjects  span %v  mean conf %.3f\n",
+			p.Predicate, p.Count, p.Subjects, p.Span, p.MeanConfidence)
+	}
+	return nil
+}
+
+func runValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	rules := fs.String("rules", "", "rules/constraints file")
+	solverName := fs.String("solver", "", "optional solver expressivity check (mln or psl)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rules == "" {
+		return fmt.Errorf("validate: -rules is required")
+	}
+	src, err := os.ReadFile(*rules)
+	if err != nil {
+		return err
+	}
+	prog, err := tecore.ParseRules(string(src))
+	if err != nil {
+		return err
+	}
+	if *solverName != "" {
+		solver, err := tecore.ParseSolver(*solverName)
+		if err != nil {
+			return err
+		}
+		s := tecore.NewSession()
+		for _, r := range prog.Rules {
+			if err := s.AddRule(r); err != nil {
+				return err
+			}
+		}
+		// Solve on an empty store exercises the translator's validation.
+		if _, err := s.Solve(tecore.SolveOptions{Solver: solver}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("ok: %d rules (%d inference, %d constraints)\n",
+		len(prog.Rules), len(prog.InferenceRules()), len(prog.Constraints()))
+	return nil
+}
+
+func runInfer(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	data := fs.String("data", "", "TQuads dataset file")
+	rules := fs.String("rules", "", "rules/constraints file")
+	solverName := fs.String("solver", "mln", "solver: mln (nRockIt) or psl (nPSL)")
+	threshold := fs.Float64("threshold", 0, "drop derived facts below this confidence")
+	cpi := fs.Bool("cpi", false, "cutting-plane inference (MLN)")
+	explain := fs.Bool("explain", false, "print each removed fact with the constraint grounding that removed it")
+	outPath := fs.String("out", "", "write the consistent expanded KG here")
+	removedPath := fs.String("removed", "", "write the removed (conflicting) facts here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" || *rules == "" {
+		return fmt.Errorf("infer: -data and -rules are required")
+	}
+	solver, err := tecore.ParseSolver(*solverName)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(*data)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(*rules)
+	if err != nil {
+		return err
+	}
+	s := tecore.NewSession()
+	if err := s.LoadGraph(g); err != nil {
+		return err
+	}
+	if err := s.LoadProgramText(string(src)); err != nil {
+		return err
+	}
+	res, err := s.Solve(tecore.SolveOptions{
+		Solver:       solver,
+		Threshold:    *threshold,
+		CuttingPlane: *cpi,
+	})
+	if err != nil {
+		return err
+	}
+
+	st := res.Stats
+	fmt.Printf("solver:            %s\n", st.Solver)
+	fmt.Printf("total facts:       %d\n", st.TotalFacts)
+	fmt.Printf("kept facts:        %d\n", st.KeptFacts)
+	fmt.Printf("conflicting facts: %d (removed, weight %.2f)\n", st.RemovedFacts, st.RemovedWeight)
+	fmt.Printf("inferred facts:    %d (threshold filtered %d)\n", st.InferredFacts, st.ThresholdFiltered)
+	fmt.Printf("conflict clusters: %d\n", st.ConflictClusters)
+	fmt.Printf("runtime:           %v\n", st.Runtime)
+	if len(st.RuleViolations) > 0 {
+		fmt.Println("residual violations:")
+		names := make([]string, 0, len(st.RuleViolations))
+		for n := range st.RuleViolations {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-20s %d\n", n, st.RuleViolations[n])
+		}
+	}
+
+	if *explain {
+		fmt.Println("removed facts:")
+		for _, f := range res.Removed {
+			fmt.Printf("  %s\n", f.Quad.Compact())
+			for _, ex := range f.Explanations {
+				fmt.Printf("    violates %s\n", ex)
+			}
+		}
+	}
+
+	if *outPath != "" {
+		if err := writeGraphFile(*outPath, res.ConsistentGraph()); err != nil {
+			return err
+		}
+	}
+	if *removedPath != "" {
+		var rg tecore.Graph
+		for _, f := range res.Removed {
+			rg = append(rg, f.Quad)
+		}
+		if err := writeGraphFile(*removedPath, rg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeGraphFile(path string, g tecore.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tecore.WriteGraph(f, g); err != nil {
+		return err
+	}
+	return f.Close()
+}

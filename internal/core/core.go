@@ -1,0 +1,222 @@
+// Package core orchestrates the TeCoRe pipeline: a Session holds an
+// uncertain temporal knowledge graph and a program of temporal inference
+// rules and constraints, and Solve runs the translator, a probabilistic
+// solver (MLN or PSL) and conflict resolution to produce the most
+// probable, expanded, conflict-free knowledge graph together with
+// debugging statistics.
+//
+// It also provides the constraint-builder behind the Web UI's
+// constraints editor: pick two predicates and an Allen relation, get the
+// corresponding hard constraint.
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/rdf"
+	"repro/internal/repair"
+	"repro/internal/rulelang"
+	"repro/internal/store"
+	"repro/internal/temporal"
+	"repro/internal/translate"
+)
+
+// Session accumulates data and program state for conflict resolution.
+type Session struct {
+	st   *store.Store
+	prog *logic.Program
+}
+
+// NewSession returns an empty session.
+func NewSession() *Session {
+	return &Session{st: store.New(), prog: &logic.Program{}}
+}
+
+// Store exposes the session's quad store.
+func (s *Session) Store() *store.Store { return s.st }
+
+// Program exposes the session's rules and constraints.
+func (s *Session) Program() *logic.Program { return s.prog }
+
+// LoadGraph adds the quads of g to the session.
+func (s *Session) LoadGraph(g rdf.Graph) error { return s.st.AddGraph(g) }
+
+// LoadGraphText parses TQuads text and adds the facts.
+func (s *Session) LoadGraphText(src string) error {
+	g, err := rdf.ParseGraphString(src)
+	if err != nil {
+		return err
+	}
+	return s.st.AddGraph(g)
+}
+
+// LoadGraphReader parses TQuads from r and adds the facts.
+func (s *Session) LoadGraphReader(r io.Reader) error {
+	g, err := rdf.ParseGraph(r)
+	if err != nil {
+		return err
+	}
+	return s.st.AddGraph(g)
+}
+
+// LoadProgramText parses rules/constraints in the surface syntax and
+// appends them to the session program.
+func (s *Session) LoadProgramText(src string) error {
+	prog, err := rulelang.Parse(src)
+	if err != nil {
+		return err
+	}
+	s.prog.Rules = append(s.prog.Rules, prog.Rules...)
+	return s.prog.Validate()
+}
+
+// AddRule appends a single rule after validating it.
+func (s *Session) AddRule(r *logic.Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	s.prog.Rules = append(s.prog.Rules, r)
+	return s.prog.Validate()
+}
+
+// Predicates returns the dataset's predicate statistics (the
+// auto-completion source of the constraints editor).
+func (s *Session) Predicates() []store.PredicateStat {
+	return s.st.Stats().Predicates
+}
+
+// MissingPredicates lists rule predicates with no facts in the data.
+func (s *Session) MissingPredicates() []string {
+	return translate.CheckPredicates(s.st, s.prog)
+}
+
+// SolveOptions tunes a Solve call.
+type SolveOptions struct {
+	// Solver picks the backend (default SolverMLN).
+	Solver translate.Solver
+	// Threshold drops derived facts below this propagated confidence.
+	Threshold float64
+	// CuttingPlane enables lazy grounding on the MLN backend.
+	CuttingPlane bool
+	// Advanced exposes full backend tuning.
+	Advanced translate.Options
+}
+
+// Resolution is the outcome of a Solve call.
+type Resolution struct {
+	*repair.Outcome
+	// Output carries the raw solver result.
+	Output *translate.Output
+}
+
+// Solve runs MAP inference and conflict resolution over the session.
+func (s *Session) Solve(opts SolveOptions) (*Resolution, error) {
+	topts := opts.Advanced
+	topts.MLN.CuttingPlane = topts.MLN.CuttingPlane || opts.CuttingPlane
+	out, err := translate.Run(s.st, s.prog, opts.Solver, topts)
+	if err != nil {
+		return nil, err
+	}
+	oc, err := repair.Resolve(out, s.prog, repair.Options{Threshold: opts.Threshold})
+	if err != nil {
+		return nil, err
+	}
+	return &Resolution{Outcome: oc, Output: out}, nil
+}
+
+// AllenConstraint builds the hard constraint the Web UI's editor
+// produces: for a subject shared between predicates pred1 and pred2, the
+// Allen predicate rel must hold between their validity intervals.
+// Supported rel names are the thirteen Allen relations plus "disjoint"
+// and "overlap"/"intersects". With distinctObjects set, the constraint
+// only fires when the two facts disagree on the object (the y != z guard
+// of the paper's c2).
+func AllenConstraint(name, pred1, pred2, rel string, distinctObjects bool) (*logic.Rule, error) {
+	if !validRuleName(name) {
+		return nil, fmt.Errorf("core: invalid rule name %q (letters, digits and underscores only)", name)
+	}
+	if !validPredicateName(pred1) || !validPredicateName(pred2) {
+		return nil, fmt.Errorf("core: invalid predicate name %q/%q", pred1, pred2)
+	}
+	var src strings.Builder
+	if name != "" {
+		fmt.Fprintf(&src, "%s: ", name)
+	}
+	fmt.Fprintf(&src, "quad(x, <%s>, y, t) ^ quad(x, <%s>, z, t')", pred1, pred2)
+	if distinctObjects {
+		src.WriteString(" ^ y != z")
+	}
+	fmt.Fprintf(&src, " -> %s(t, t') w = inf", rel)
+	r, err := rulelang.ParseRule(src.String())
+	if err != nil {
+		return nil, fmt.Errorf("core: building Allen constraint: %w", err)
+	}
+	return r, nil
+}
+
+// FunctionalConstraint builds the equality-generating constraint of the
+// paper's c3: a subject cannot have two different objects for pred at
+// intersecting times (a person cannot be born in two cities).
+func FunctionalConstraint(name, pred string) (*logic.Rule, error) {
+	if !validRuleName(name) {
+		return nil, fmt.Errorf("core: invalid rule name %q (letters, digits and underscores only)", name)
+	}
+	if !validPredicateName(pred) {
+		return nil, fmt.Errorf("core: invalid predicate name %q", pred)
+	}
+	var src strings.Builder
+	if name != "" {
+		fmt.Fprintf(&src, "%s: ", name)
+	}
+	fmt.Fprintf(&src, "quad(x, <%s>, y, t) ^ quad(x, <%s>, z, t') ^ overlap(t, t') -> y = z w = inf", pred, pred)
+	r, err := rulelang.ParseRule(src.String())
+	if err != nil {
+		return nil, fmt.Errorf("core: building functional constraint: %w", err)
+	}
+	return r, nil
+}
+
+func validPredicateName(p string) bool {
+	return p != "" && !strings.ContainsAny(p, "<> \t\n")
+}
+
+// validRuleName accepts the identifiers the rule grammar allows as rule
+// names ("" means anonymous).
+func validRuleName(name string) bool {
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CheckAllenSatisfiable runs path consistency over a set of pairwise
+// Allen restrictions before translation, rejecting user-authored
+// constraint sets that are unsatisfiable regardless of the data. Each
+// entry restricts the intervals of (i, j) to the given relation set.
+type AllenRestriction struct {
+	I, J int
+	Rels temporal.RelationSet
+}
+
+// CheckAllenSatisfiable reports whether the qualitative network over n
+// interval variables with the given restrictions is path-consistent.
+func CheckAllenSatisfiable(n int, restrictions []AllenRestriction) bool {
+	nw := temporal.NewNetwork(n)
+	for _, r := range restrictions {
+		if !nw.Constrain(r.I, r.J, r.Rels) {
+			return false
+		}
+	}
+	return nw.PathConsistent()
+}

@@ -1,0 +1,109 @@
+// Package ground implements the grounding engine of TeCoRe: it
+// instantiates temporal inference rules and constraints against the
+// evidence in a quad store, producing the ground weighted clauses that
+// the MLN and PSL solvers optimise over.
+//
+// Grounding is database-style: body atoms are joined against the store
+// (and against derived facts) using index lookups, ordered greedily by
+// boundness; numerical and Allen conditions are evaluated as early as
+// their variables are bound, pruning the join. Inference rules are
+// closed under forward chaining first, so rule cascades (playsFor ⇒
+// worksFor ⇒ livesIn) materialise all derivable head atoms before clause
+// emission. The engine also supports filtered grounding against a
+// current truth assignment, the primitive behind cutting-plane inference.
+package ground
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// AtomID identifies a ground atom (a potential temporal fact) in the
+// ground network. IDs are dense from 0.
+type AtomID int32
+
+// AtomTable interns ground atoms. Every atom corresponds to a temporal
+// statement (subject, predicate, object, interval); atoms backed by an
+// input fact are evidence atoms and carry its confidence.
+type AtomTable struct {
+	ids   map[rdf.FactKey]AtomID
+	infos []AtomInfo
+}
+
+// AtomInfo describes one ground atom.
+type AtomInfo struct {
+	// Key is the temporal statement this atom asserts.
+	Key rdf.FactKey
+	// Evidence reports whether the atom is backed by an input fact.
+	Evidence bool
+	// Conf is the confidence of the backing fact (0 for derived atoms).
+	Conf float64
+	// FactID is the backing fact in the main store (-1 for derived).
+	FactID store.FactID
+}
+
+// NewAtomTable returns an empty atom table.
+func NewAtomTable() *AtomTable {
+	return &AtomTable{ids: make(map[rdf.FactKey]AtomID)}
+}
+
+// Intern returns the id for the statement key, creating a non-evidence
+// atom when unseen.
+func (t *AtomTable) Intern(key rdf.FactKey) AtomID {
+	if id, ok := t.ids[key]; ok {
+		return id
+	}
+	id := AtomID(len(t.infos))
+	t.ids[key] = id
+	t.infos = append(t.infos, AtomInfo{Key: key, FactID: -1})
+	return id
+}
+
+// InternEvidence returns the id for the statement key, marking it as
+// evidence with the given confidence and backing fact.
+func (t *AtomTable) InternEvidence(key rdf.FactKey, conf float64, fid store.FactID) AtomID {
+	id := t.Intern(key)
+	info := &t.infos[id]
+	if !info.Evidence {
+		info.Evidence = true
+		info.Conf = conf
+		info.FactID = fid
+	} else if conf > info.Conf {
+		info.Conf = conf
+	}
+	return id
+}
+
+// Lookup returns the id of a statement without interning.
+func (t *AtomTable) Lookup(key rdf.FactKey) (AtomID, bool) {
+	id, ok := t.ids[key]
+	return id, ok
+}
+
+// Info returns the atom's description.
+func (t *AtomTable) Info(id AtomID) AtomInfo { return t.infos[id] }
+
+// Len returns the number of interned atoms.
+func (t *AtomTable) Len() int { return len(t.infos) }
+
+// EvidenceAtoms returns the ids of all evidence atoms.
+func (t *AtomTable) EvidenceAtoms() []AtomID {
+	var out []AtomID
+	for i := range t.infos {
+		if t.infos[i].Evidence {
+			out = append(out, AtomID(i))
+		}
+	}
+	return out
+}
+
+// DerivedAtoms returns the ids of all non-evidence (derived) atoms.
+func (t *AtomTable) DerivedAtoms() []AtomID {
+	var out []AtomID
+	for i := range t.infos {
+		if !t.infos[i].Evidence {
+			out = append(out, AtomID(i))
+		}
+	}
+	return out
+}

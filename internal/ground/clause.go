@@ -1,0 +1,150 @@
+package ground
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Lit is a literal: a ground atom or its negation.
+type Lit struct {
+	Atom AtomID
+	Neg  bool
+}
+
+// String renders the literal as "a12" or "!a12".
+func (l Lit) String() string {
+	if l.Neg {
+		return fmt.Sprintf("!a%d", l.Atom)
+	}
+	return fmt.Sprintf("a%d", l.Atom)
+}
+
+// Clause is a weighted ground disjunction of literals. Hard clauses
+// (infinite weight) must be satisfied; soft clauses contribute their
+// weight when satisfied.
+type Clause struct {
+	Lits   []Lit
+	Weight float64
+	// Rule is the name of the rule or constraint this clause was
+	// grounded from, for statistics and conflict explanations.
+	Rule string
+}
+
+// Hard reports whether the clause is deterministic.
+func (c *Clause) Hard() bool { return math.IsInf(c.Weight, 1) }
+
+// Satisfied reports whether the clause holds under the assignment.
+func (c *Clause) Satisfied(truth func(AtomID) bool) bool {
+	for _, l := range c.Lits {
+		if truth(l.Atom) != l.Neg {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the clause as "!a0 | !a4 [w=inf, rule=c2]".
+func (c *Clause) String() string {
+	var b strings.Builder
+	for i, l := range c.Lits {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(l.String())
+	}
+	if c.Hard() {
+		b.WriteString(" [w=inf")
+	} else {
+		fmt.Fprintf(&b, " [w=%g", c.Weight)
+	}
+	if c.Rule != "" {
+		b.WriteString(", rule=")
+		b.WriteString(c.Rule)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// normalize sorts literals, removes duplicates, and reports whether the
+// clause is a tautology (contains both a and !a) and therefore skippable.
+func (c *Clause) normalize() (tautology bool) {
+	sort.Slice(c.Lits, func(i, j int) bool {
+		if c.Lits[i].Atom != c.Lits[j].Atom {
+			return c.Lits[i].Atom < c.Lits[j].Atom
+		}
+		return !c.Lits[i].Neg && c.Lits[j].Neg
+	})
+	out := c.Lits[:0]
+	for i, l := range c.Lits {
+		if i > 0 && l == c.Lits[i-1] {
+			continue
+		}
+		if i > 0 && l.Atom == c.Lits[i-1].Atom {
+			return true
+		}
+		out = append(out, l)
+	}
+	c.Lits = out
+	return false
+}
+
+// key returns a canonical identity for deduplication (after normalize).
+func (c *Clause) key() string {
+	var b strings.Builder
+	for _, l := range c.Lits {
+		if l.Neg {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "%d,", l.Atom)
+	}
+	b.WriteByte('#')
+	b.WriteString(c.Rule)
+	return b.String()
+}
+
+// ClauseSet accumulates ground clauses with deduplication. Identical soft
+// groundings merge by summing weights (equivalent objective, matching how
+// RockIt aggregates feature counts); identical hard groundings collapse.
+type ClauseSet struct {
+	clauses []Clause
+	index   map[string]int
+}
+
+// NewClauseSet returns an empty clause set.
+func NewClauseSet() *ClauseSet {
+	return &ClauseSet{index: make(map[string]int)}
+}
+
+// Add normalizes and inserts a clause, merging duplicates. Tautologies
+// and empty soft clauses are dropped. Adding an empty hard clause —
+// an unconditionally violated constraint — is reported by returning
+// false so callers can surface the contradiction.
+func (cs *ClauseSet) Add(c Clause) bool {
+	if c.normalize() {
+		return true // tautology: trivially satisfied
+	}
+	if len(c.Lits) == 0 {
+		return !c.Hard()
+	}
+	k := c.key()
+	if at, ok := cs.index[k]; ok {
+		if !cs.clauses[at].Hard() && !c.Hard() {
+			cs.clauses[at].Weight += c.Weight
+		} else if c.Hard() {
+			cs.clauses[at].Weight = math.Inf(1)
+		}
+		return true
+	}
+	cs.index[k] = len(cs.clauses)
+	cs.clauses = append(cs.clauses, c)
+	return true
+}
+
+// Clauses returns the accumulated clauses. The slice must not be
+// modified.
+func (cs *ClauseSet) Clauses() []Clause { return cs.clauses }
+
+// Len returns the number of distinct clauses.
+func (cs *ClauseSet) Len() int { return len(cs.clauses) }

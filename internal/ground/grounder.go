@@ -1,0 +1,387 @@
+package ground
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Grounder instantiates rules against evidence. Construct one per
+// (store, program) pair: New interns every input fact as an evidence
+// atom, Close forward-chains the inference rules to materialise derivable
+// head atoms, and GroundProgram / GroundViolated emit clauses.
+type Grounder struct {
+	main    *store.Store
+	derived *store.Store
+	atoms   *AtomTable
+
+	// MaxRounds bounds forward-chaining iterations; rule cascades deeper
+	// than this report an error rather than looping (head time
+	// expressions can otherwise generate unboundedly many intervals).
+	MaxRounds int
+}
+
+// New prepares a grounder over the given evidence store.
+func New(main *store.Store) *Grounder {
+	g := &Grounder{
+		main:      main,
+		derived:   store.New(),
+		atoms:     NewAtomTable(),
+		MaxRounds: 12,
+	}
+	for i := 0; i < main.Len(); i++ {
+		id := store.FactID(i)
+		q := main.Fact(id)
+		g.atoms.InternEvidence(q.Fact(), q.Confidence, id)
+	}
+	return g
+}
+
+// Atoms exposes the atom table.
+func (g *Grounder) Atoms() *AtomTable { return g.atoms }
+
+// DerivedStore exposes the store of forward-chained facts.
+func (g *Grounder) DerivedStore() *store.Store { return g.derived }
+
+// Close forward-chains the program's inference rules until fixpoint,
+// interning every derivable head atom. It returns the number of derived
+// atoms added. Clauses are not emitted here; call GroundProgram after.
+func (g *Grounder) Close(prog *logic.Program) (int, error) {
+	rules := prog.InferenceRules()
+	if len(rules) == 0 {
+		return 0, nil
+	}
+	total := 0
+	for round := 0; ; round++ {
+		if round >= g.MaxRounds {
+			return total, fmt.Errorf("ground: forward chaining exceeded %d rounds; rule cascade may be unbounded", g.MaxRounds)
+		}
+		added := 0
+		for _, r := range rules {
+			var newKeys []rdf.FactKey
+			err := g.join(r, nil, func(binding *logic.Binding, bodyAtoms []AtomID) error {
+				key, ok := r.Head.Atom.Resolve(binding)
+				if !ok {
+					return nil // empty time expression: no derivation
+				}
+				if _, seen := g.atoms.Lookup(key); !seen {
+					newKeys = append(newKeys, key)
+				}
+				return nil
+			})
+			if err != nil {
+				return total, err
+			}
+			for _, key := range newKeys {
+				if _, seen := g.atoms.Lookup(key); seen {
+					continue
+				}
+				g.atoms.Intern(key)
+				if _, err := g.derived.Add(rdf.Quad{
+					Subject: key.S, Predicate: key.P, Object: key.O,
+					Interval: key.Interval, Confidence: 1,
+				}); err != nil {
+					return total, fmt.Errorf("ground: derived fact %v: %w", key, err)
+				}
+				added++
+			}
+		}
+		total += added
+		if added == 0 {
+			return total, nil
+		}
+	}
+}
+
+// GroundProgram grounds every rule and constraint, emitting the full
+// ground clause set (call Close first so rule cascades are complete).
+func (g *Grounder) GroundProgram(prog *logic.Program) (*ClauseSet, error) {
+	cs := NewClauseSet()
+	for _, r := range prog.Rules {
+		if err := g.groundRule(r, nil, cs, false); err != nil {
+			return nil, err
+		}
+	}
+	return cs, nil
+}
+
+// GroundViolated grounds only the clauses violated under the given truth
+// assignment: body atoms are matched against currently-true atoms and a
+// clause is emitted only when its head fails. This is the cutting-plane
+// primitive used by the MLN solver.
+func (g *Grounder) GroundViolated(prog *logic.Program, truth func(AtomID) bool) (*ClauseSet, error) {
+	cs := NewClauseSet()
+	for _, r := range prog.Rules {
+		if err := g.groundRule(r, truth, cs, true); err != nil {
+			return nil, err
+		}
+	}
+	return cs, nil
+}
+
+// groundRule joins the rule body and emits clauses. With onlyViolated,
+// satisfied groundings are skipped (and truth filters body matches).
+func (g *Grounder) groundRule(r *logic.Rule, truth func(AtomID) bool, cs *ClauseSet, onlyViolated bool) error {
+	return g.join(r, truth, func(binding *logic.Binding, bodyAtoms []AtomID) error {
+		c := Clause{Weight: r.Weight, Rule: r.Name}
+		for _, a := range bodyAtoms {
+			c.Lits = append(c.Lits, Lit{Atom: a, Neg: true})
+		}
+		switch r.Head.Kind {
+		case logic.HeadAtom:
+			key, ok := r.Head.Atom.Resolve(binding)
+			if !ok {
+				return nil // empty head time expression: no obligation
+			}
+			id, seen := g.atoms.Lookup(key)
+			if !seen {
+				// Close was not run (or truth-filtered matching found a
+				// grounding whose head was never materialised).
+				id = g.atoms.Intern(key)
+			}
+			if onlyViolated && truth != nil && truth(id) {
+				return nil
+			}
+			c.Lits = append(c.Lits, Lit{Atom: id})
+		case logic.HeadCond:
+			holds, err := r.Head.Cond.Eval(binding)
+			if err != nil {
+				return fmt.Errorf("ground: rule %s head: %w", r.Name, err)
+			}
+			if holds {
+				return nil // grounding satisfied; no clause
+			}
+		case logic.HeadFalse:
+			// Always a violation clause over the body.
+		}
+		if !cs.Add(c) {
+			return fmt.Errorf("ground: rule %s grounds to an unconditionally violated hard constraint", r.Name)
+		}
+		return nil
+	})
+}
+
+// join enumerates all bindings of the rule body, invoking emit with the
+// binding and the atom ids of the matched body facts. With truth set,
+// only currently-true atoms participate in matches.
+func (g *Grounder) join(r *logic.Rule, truth func(AtomID) bool, emit func(*logic.Binding, []AtomID) error) error {
+	order, err := planOrder(r)
+	if err != nil {
+		return err
+	}
+	// condAt[i] lists conditions evaluable once atoms order[0..i] are
+	// bound (all their variables covered, earliest position).
+	condAt, err := scheduleConds(r, order)
+	if err != nil {
+		return err
+	}
+	binding := logic.NewBinding()
+	bodyAtoms := make([]AtomID, len(order))
+	return g.joinStep(r, order, condAt, 0, binding, bodyAtoms, truth, emit)
+}
+
+func (g *Grounder) joinStep(r *logic.Rule, order []int, condAt [][]logic.Condition, depth int,
+	binding *logic.Binding, bodyAtoms []AtomID, truth func(AtomID) bool,
+	emit func(*logic.Binding, []AtomID) error) error {
+
+	if depth == len(order) {
+		return emit(binding, bodyAtoms)
+	}
+	atom := r.Body[order[depth]]
+	pat, timeBound, err := g.patternFor(atom, binding)
+	if err != nil {
+		return err
+	}
+
+	var innerErr error
+	visit := func(q rdf.Quad) bool {
+		id, ok := g.atoms.Lookup(q.Fact())
+		if !ok {
+			return true // fact added after setup; not part of the network
+		}
+		if truth != nil && !truth(id) {
+			return true
+		}
+		// Extend the binding, remembering which variables this step bound
+		// so backtracking can undo exactly those.
+		var boundObjs []string
+		var boundTime string
+		undo := func() {
+			for _, v := range boundObjs {
+				delete(binding.Objs, v)
+			}
+			if boundTime != "" {
+				delete(binding.Times, boundTime)
+			}
+		}
+		bindObj := func(t logic.Term, val rdf.Term) bool {
+			if !t.IsVar() {
+				return t.Const == val
+			}
+			if cur, ok := binding.Objs[t.Var]; ok {
+				return cur == val
+			}
+			binding.Objs[t.Var] = val
+			boundObjs = append(boundObjs, t.Var)
+			return true
+		}
+		okb := bindObj(atom.S, q.Subject) && bindObj(atom.P, q.Predicate) && bindObj(atom.O, q.Object)
+		if okb && !timeBound && atom.T.IsVar() {
+			if cur, bound := binding.Times[atom.T.Var]; bound {
+				okb = cur == q.Interval
+			} else {
+				binding.Times[atom.T.Var] = q.Interval
+				boundTime = atom.T.Var
+			}
+		}
+		if !okb {
+			undo()
+			return true
+		}
+		// Evaluate conditions that just became fully bound.
+		for _, cond := range condAt[depth] {
+			holds, err := cond.Eval(binding)
+			if err != nil {
+				innerErr = fmt.Errorf("ground: rule %s: %w", r.Name, err)
+				undo()
+				return false
+			}
+			if !holds {
+				undo()
+				return true
+			}
+		}
+		bodyAtoms[depth] = id
+		if err := g.joinStep(r, order, condAt, depth+1, binding, bodyAtoms, truth, emit); err != nil {
+			innerErr = err
+			undo()
+			return false
+		}
+		undo()
+		return true
+	}
+
+	g.main.Match(pat, func(_ store.FactID, q rdf.Quad) bool { return visit(q) })
+	if innerErr != nil {
+		return innerErr
+	}
+	if g.derived.Len() > 0 {
+		g.derived.Match(pat, func(_ store.FactID, q rdf.Quad) bool { return visit(q) })
+	}
+	return innerErr
+}
+
+// patternFor builds the most selective store pattern for a body atom
+// under the current binding. timeBound reports whether the temporal
+// dimension is already enforced by the pattern.
+func (g *Grounder) patternFor(atom logic.QuadAtom, binding *logic.Binding) (store.Pattern, bool, error) {
+	var pat store.Pattern
+	fill := func(t logic.Term, dst *rdf.Term) {
+		if !t.IsVar() {
+			*dst = t.Const
+		} else if v, ok := binding.Objs[t.Var]; ok {
+			*dst = v
+		}
+	}
+	fill(atom.S, &pat.S)
+	fill(atom.P, &pat.P)
+	fill(atom.O, &pat.O)
+	switch atom.T.Kind {
+	case logic.TimeVar:
+		if iv, ok := binding.Times[atom.T.Var]; ok {
+			pat.Time = store.TimeFilter{Kind: store.TimeEquals, Interval: iv}
+			return pat, true, nil
+		}
+		return pat, false, nil
+	case logic.TimeConst:
+		pat.Time = store.TimeFilter{Kind: store.TimeEquals, Interval: atom.T.Const}
+		return pat, true, nil
+	default:
+		return pat, false, fmt.Errorf("ground: body atom %s: time expressions are only allowed in rule heads", atom)
+	}
+}
+
+// planOrder chooses a join order for the body atoms: greedily pick the
+// atom with the most bound positions (constants or already-bound
+// variables), breaking ties by original position. This sends selective
+// atoms (shared subjects, constant predicates) through the store indexes
+// first.
+func planOrder(r *logic.Rule) ([]int, error) {
+	n := len(r.Body)
+	if n == 0 {
+		return nil, fmt.Errorf("ground: rule %s has an empty body", r.Name)
+	}
+	used := make([]bool, n)
+	bound := make(map[string]bool)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			score := boundScore(r.Body[i], bound)
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range r.Body[best].Vars(nil) {
+			bound[v] = true
+		}
+	}
+	return order, nil
+}
+
+func boundScore(a logic.QuadAtom, bound map[string]bool) int {
+	score := 0
+	terms := []logic.Term{a.S, a.P, a.O}
+	weights := []int{3, 2, 2} // bound subjects are the cheapest index path
+	for i, t := range terms {
+		if !t.IsVar() || bound[t.Var] {
+			score += weights[i]
+		}
+	}
+	if a.T.Kind == logic.TimeConst || a.T.Kind == logic.TimeVar && bound[a.T.Var] {
+		score++
+	}
+	return score
+}
+
+// scheduleConds assigns each condition to the earliest join depth at
+// which all its variables are bound.
+func scheduleConds(r *logic.Rule, order []int) ([][]logic.Condition, error) {
+	out := make([][]logic.Condition, len(order))
+	depthOf := func(vars []string) (int, bool) {
+		// Returns the first depth whose cumulative binding covers vars.
+		covered := make(map[string]bool)
+		for d, idx := range order {
+			for _, v := range r.Body[idx].Vars(nil) {
+				covered[v] = true
+			}
+			all := true
+			for _, v := range vars {
+				if !covered[v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				return d, true
+			}
+		}
+		return 0, false
+	}
+	for _, c := range r.Conds {
+		vars := c.CondVars(nil)
+		d, ok := depthOf(vars)
+		if !ok {
+			return nil, fmt.Errorf("ground: rule %s: condition %s has variables not bound by the body", r.Name, c)
+		}
+		out[d] = append(out[d], c)
+	}
+	return out, nil
+}

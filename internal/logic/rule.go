@@ -1,0 +1,238 @@
+package logic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HeadKind discriminates rule heads.
+type HeadKind uint8
+
+const (
+	// HeadAtom derives a new quad (inference rules f1–f3).
+	HeadAtom HeadKind = iota
+	// HeadCond requires a condition to hold (constraints c1–c3: the body
+	// matching forces before(t,t') or y = z).
+	HeadCond
+	// HeadFalse is falsum: the body must not match (denial constraints).
+	HeadFalse
+)
+
+// Head is the consequent of a rule.
+type Head struct {
+	Kind HeadKind
+	Atom QuadAtom  // valid when Kind == HeadAtom
+	Cond Condition // valid when Kind == HeadCond
+}
+
+// String renders the head.
+func (h Head) String() string {
+	switch h.Kind {
+	case HeadAtom:
+		return h.Atom.String()
+	case HeadCond:
+		return h.Cond.String()
+	default:
+		return "false"
+	}
+}
+
+// Rule is a weighted temporal formula Body ∧ Conds → Head. A Rule with an
+// atom head is an inference rule; with a condition or falsum head it is a
+// constraint. Weight = +Inf marks a hard (deterministic) formula.
+type Rule struct {
+	// Name identifies the rule in statistics and diagnostics (f1, c2, ...).
+	Name string
+	// Body is the conjunction of quad atoms to match against evidence.
+	Body []QuadAtom
+	// Conds are the numerical/Allen conditions conjoined with the body.
+	Conds []Condition
+	// Head is the consequent.
+	Head Head
+	// Weight is the formula weight; math.Inf(1) for hard formulas.
+	Weight float64
+}
+
+// Hard reports whether the rule is deterministic (infinite weight).
+func (r *Rule) Hard() bool { return math.IsInf(r.Weight, 1) }
+
+// IsConstraint reports whether the rule restricts models rather than
+// deriving facts (condition or falsum head).
+func (r *Rule) IsConstraint() bool { return r.Head.Kind != HeadAtom }
+
+// BodyVars returns the distinct variables bound by matching the body
+// atoms, in first-appearance order.
+func (r *Rule) BodyVars() []string {
+	var vs []string
+	for _, a := range r.Body {
+		vs = a.Vars(vs)
+	}
+	return dedupe(vs)
+}
+
+// Validate checks rule safety:
+//   - the body must contain at least one quad atom;
+//   - every variable in conditions and head must occur in the body
+//     (range restriction), so grounding the body grounds everything;
+//   - weights must not be NaN or -Inf; soft weights must be positive.
+func (r *Rule) Validate() error {
+	if len(r.Body) == 0 {
+		return fmt.Errorf("logic: rule %s: empty body", r.display())
+	}
+	bound := make(map[string]bool)
+	for _, v := range r.BodyVars() {
+		bound[v] = true
+	}
+	check := func(vs []string, where string) error {
+		for _, v := range vs {
+			if !bound[v] {
+				return fmt.Errorf("logic: rule %s: unsafe variable %q in %s (not bound by the body)", r.display(), v, where)
+			}
+		}
+		return nil
+	}
+	for i, c := range r.Conds {
+		if err := check(c.CondVars(nil), fmt.Sprintf("condition %d (%s)", i+1, c)); err != nil {
+			return err
+		}
+	}
+	switch r.Head.Kind {
+	case HeadAtom:
+		if err := check(r.Head.Atom.Vars(nil), "head"); err != nil {
+			return err
+		}
+	case HeadCond:
+		if r.Head.Cond == nil {
+			return fmt.Errorf("logic: rule %s: nil condition head", r.display())
+		}
+		if err := check(r.Head.Cond.CondVars(nil), "head"); err != nil {
+			return err
+		}
+	}
+	switch {
+	case math.IsNaN(r.Weight):
+		return fmt.Errorf("logic: rule %s: NaN weight", r.display())
+	case math.IsInf(r.Weight, -1):
+		return fmt.Errorf("logic: rule %s: -Inf weight", r.display())
+	case !r.Hard() && r.Weight <= 0:
+		return fmt.Errorf("logic: rule %s: non-positive soft weight %g", r.display(), r.Weight)
+	}
+	return nil
+}
+
+func (r *Rule) display() string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return "<anonymous>"
+}
+
+// String renders the rule in the surface syntax accepted by the rulelang
+// parser.
+func (r *Rule) String() string {
+	var b strings.Builder
+	for i, a := range r.Body {
+		if i > 0 {
+			b.WriteString(" ^ ")
+		}
+		b.WriteString(a.String())
+	}
+	for _, c := range r.Conds {
+		b.WriteString(" ^ ")
+		b.WriteString(c.String())
+	}
+	b.WriteString(" -> ")
+	b.WriteString(r.Head.String())
+	if r.Hard() {
+		b.WriteString(" w = inf")
+	} else {
+		b.WriteString(" w = ")
+		b.WriteString(strconv.FormatFloat(r.Weight, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// Program is a set of rules and constraints with stable order.
+type Program struct {
+	Rules []*Rule
+}
+
+// Validate validates every rule.
+func (p *Program) Validate() error {
+	names := make(map[string]bool)
+	for i, r := range p.Rules {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("rule %d: %w", i+1, err)
+		}
+		if r.Name != "" {
+			if names[r.Name] {
+				return fmt.Errorf("rule %d: duplicate rule name %q", i+1, r.Name)
+			}
+			names[r.Name] = true
+		}
+	}
+	return nil
+}
+
+// InferenceRules returns the rules deriving new facts.
+func (p *Program) InferenceRules() []*Rule {
+	var out []*Rule
+	for _, r := range p.Rules {
+		if !r.IsConstraint() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Constraints returns the rules restricting models.
+func (p *Program) Constraints() []*Rule {
+	var out []*Rule
+	for _, r := range p.Rules {
+		if r.IsConstraint() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PredicatesUsed returns the distinct constant predicate IRIs mentioned
+// in body or head atoms, sorted. The UI uses this to cross-check rules
+// against a dataset's predicates.
+func (p *Program) PredicatesUsed() []string {
+	set := make(map[string]bool)
+	add := func(a QuadAtom) {
+		if !a.P.IsVar() && a.P.Const.IsIRI() {
+			set[a.P.Const.Value] = true
+		}
+	}
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			add(a)
+		}
+		if r.Head.Kind == HeadAtom {
+			add(r.Head.Atom)
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func dedupe(vs []string) []string {
+	seen := make(map[string]bool, len(vs))
+	out := vs[:0]
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package maxsat
+
+import "math"
+
+// Exact engine: depth-first branch and bound over the variables with unit
+// propagation on hard clauses and incremental violated-cost accounting.
+// Intended for ground networks up to a few dozen variables — the running
+// example and the per-component subproblems the repair layer produces.
+
+type exactState struct {
+	p        *Problem
+	occ      [][]int32 // var -> clause indices
+	assign   []int8    // -1 unassigned, 0 false, 1 true
+	satCnt   []int32   // per clause: satisfied literal count
+	unasCnt  []int32   // per clause: unassigned literal count
+	cost     float64   // violated soft weight so far
+	best     []bool
+	bestCost float64
+	feasible bool
+	nodes    int
+	limit    int
+	order    []int32 // branching order (by occurrence count desc)
+	bias     []float64
+}
+
+// solveExact returns the optimal solution and true, or a partial result
+// and false when the node limit was exhausted.
+func solveExact(p *Problem, nodeLimit int) (*Solution, bool) {
+	st := &exactState{
+		p:        p,
+		occ:      make([][]int32, p.NumVars),
+		assign:   make([]int8, p.NumVars),
+		satCnt:   make([]int32, len(p.Clauses)),
+		unasCnt:  make([]int32, len(p.Clauses)),
+		bestCost: math.Inf(1),
+		limit:    nodeLimit,
+		bias:     make([]float64, p.NumVars),
+	}
+	for i := range st.assign {
+		st.assign[i] = -1
+	}
+	counts := make([]int32, p.NumVars)
+	for ci, c := range p.Clauses {
+		st.unasCnt[ci] = int32(len(c.Lits))
+		for _, l := range c.Lits {
+			// Deduplicate occurrence entries: a clause may mention the
+			// same variable in several literals but must be visited once
+			// per assignment.
+			if occ := st.occ[l.Var]; len(occ) == 0 || occ[len(occ)-1] != int32(ci) {
+				st.occ[l.Var] = append(st.occ[l.Var], int32(ci))
+			}
+			counts[l.Var]++
+			if !c.Hard() && len(c.Lits) == 1 {
+				if l.Neg {
+					st.bias[l.Var] -= c.Weight
+				} else {
+					st.bias[l.Var] += c.Weight
+				}
+			}
+		}
+	}
+	st.order = make([]int32, p.NumVars)
+	for i := range st.order {
+		st.order[i] = int32(i)
+	}
+	// Sort by occurrence count descending (simple insertion; n is small).
+	for i := 1; i < len(st.order); i++ {
+		for j := i; j > 0 && counts[st.order[j]] > counts[st.order[j-1]]; j-- {
+			st.order[j], st.order[j-1] = st.order[j-1], st.order[j]
+		}
+	}
+
+	complete := st.search()
+	if !st.feasible {
+		// No feasible assignment found: hard clauses unsatisfiable (if the
+		// search completed) or limit hit. Report the all-false assignment.
+		assign := make([]bool, p.NumVars)
+		hv, cost := Evaluate(p, assign)
+		return &Solution{Assignment: assign, Cost: cost, HardSatisfied: hv == 0, Nodes: st.nodes}, complete
+	}
+	hv, cost := Evaluate(p, st.best)
+	return &Solution{
+		Assignment:    st.best,
+		Cost:          cost,
+		HardSatisfied: hv == 0,
+		Optimal:       complete,
+		Nodes:         st.nodes,
+	}, complete
+}
+
+// assignVar sets v to val, updating clause counters. It returns the cost
+// delta and whether a hard clause became violated (conflict).
+func (st *exactState) assignVar(v int32, val int8) (delta float64, conflict bool) {
+	st.assign[v] = val
+	for _, ci := range st.occ[v] {
+		c := &st.p.Clauses[ci]
+		sd, ud := litDeltas(c, v, val)
+		st.satCnt[ci] += sd
+		st.unasCnt[ci] -= ud
+		if st.satCnt[ci] == 0 && st.unasCnt[ci] == 0 {
+			if c.Hard() {
+				conflict = true
+			} else {
+				delta += c.Weight
+			}
+		}
+	}
+	st.cost += delta
+	return delta, conflict
+}
+
+func (st *exactState) unassignVar(v int32, val int8, delta float64) {
+	for _, ci := range st.occ[v] {
+		c := &st.p.Clauses[ci]
+		sd, ud := litDeltas(c, v, val)
+		st.satCnt[ci] -= sd
+		st.unasCnt[ci] += ud
+	}
+	st.cost -= delta
+	st.assign[v] = -1
+}
+
+// litDeltas counts the literals of v in clause c that value val satisfies
+// (sat) and the total literals of v in c (unassigned consumed). A clause
+// may mention v several times, including in both phases.
+func litDeltas(c *Clause, v int32, val int8) (sat, unas int32) {
+	for _, l := range c.Lits {
+		if l.Var != v {
+			continue
+		}
+		unas++
+		if l.Neg == (val == 0) {
+			sat++
+		}
+	}
+	return sat, unas
+}
+
+// propagate applies unit propagation over hard clauses. It returns the
+// list of (var, delta) assignments made and whether a conflict arose.
+type propEntry struct {
+	v     int32
+	val   int8
+	delta float64
+}
+
+func (st *exactState) propagate() (trail []propEntry, conflict bool) {
+	for {
+		forced := int32(-1)
+		var forcedVal int8
+		for ci, c := range st.p.Clauses {
+			if !c.Hard() || st.satCnt[ci] > 0 || st.unasCnt[ci] != 1 {
+				continue
+			}
+			for _, l := range c.Lits {
+				if st.assign[l.Var] == -1 {
+					forced = l.Var
+					if l.Neg {
+						forcedVal = 0
+					} else {
+						forcedVal = 1
+					}
+					break
+				}
+			}
+			break
+		}
+		if forced < 0 {
+			return trail, false
+		}
+		delta, conf := st.assignVar(forced, forcedVal)
+		trail = append(trail, propEntry{forced, forcedVal, delta})
+		if conf {
+			return trail, true
+		}
+	}
+}
+
+func (st *exactState) undoTrail(trail []propEntry) {
+	for i := len(trail) - 1; i >= 0; i-- {
+		e := trail[i]
+		st.unassignVar(e.v, e.val, e.delta)
+	}
+}
+
+// search explores assignments; returns false when the node limit was hit.
+func (st *exactState) search() bool {
+	st.nodes++
+	if st.nodes > st.limit {
+		return false
+	}
+	if st.cost >= st.bestCost {
+		return true // prune: cannot improve
+	}
+	trail, conflict := st.propagate()
+	complete := true
+	if !conflict && st.cost < st.bestCost {
+		v := st.pickVar()
+		if v < 0 {
+			// All assigned and feasible.
+			st.bestCost = st.cost
+			st.best = make([]bool, st.p.NumVars)
+			for i, a := range st.assign {
+				st.best[i] = a == 1
+			}
+			st.feasible = true
+		} else {
+			vals := [2]int8{1, 0}
+			if st.bias[v] < 0 {
+				vals = [2]int8{0, 1}
+			}
+			for _, val := range vals {
+				delta, conf := st.assignVar(v, val)
+				if !conf {
+					if !st.search() {
+						complete = false
+					}
+				}
+				st.unassignVar(v, val, delta)
+				if !complete {
+					break
+				}
+			}
+		}
+	}
+	st.undoTrail(trail)
+	return complete
+}
+
+func (st *exactState) pickVar() int32 {
+	for _, v := range st.order {
+		if st.assign[v] == -1 {
+			return v
+		}
+	}
+	return -1
+}

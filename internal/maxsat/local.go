@@ -1,0 +1,273 @@
+package maxsat
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Local-search engine: greedy weight-biased initialisation followed by a
+// WalkSAT-style loop. While hard clauses are violated the walk repairs a
+// random violated hard clause; once feasible it descends on soft cost,
+// keeping the best feasible assignment seen. Restarts perturb the greedy
+// seed. The clause shapes produced by grounding TeCoRe programs — soft
+// unit evidence, hard binary disjointness, small mixed inference
+// clauses — respond very well to this scheme.
+
+type localState struct {
+	p      *Problem
+	rng    *rand.Rand
+	assign []bool
+	occ    [][]int32
+	numSat []int32 // per clause: count of satisfied literals
+
+	violHard    []int32 // indices of violated hard clauses (unordered set)
+	violHardPos []int32 // clause -> position in violHard, -1 if absent
+	cost        float64 // violated soft weight
+	violSoft    []int32
+	violSoftPos []int32
+}
+
+func solveLocal(p *Problem, opts Options) *Solution {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	st := &localState{
+		p:           p,
+		rng:         rng,
+		assign:      make([]bool, p.NumVars),
+		occ:         make([][]int32, p.NumVars),
+		numSat:      make([]int32, len(p.Clauses)),
+		violHardPos: make([]int32, len(p.Clauses)),
+		violSoftPos: make([]int32, len(p.Clauses)),
+	}
+	for ci, c := range p.Clauses {
+		for _, l := range c.Lits {
+			// One occurrence entry per clause even when a variable is
+			// mentioned in several literals.
+			if occ := st.occ[l.Var]; len(occ) == 0 || occ[len(occ)-1] != int32(ci) {
+				st.occ[l.Var] = append(st.occ[l.Var], int32(ci))
+			}
+		}
+	}
+
+	best := &Solution{Cost: math.Inf(1)}
+	totalFlips := 0
+	for restart := 0; restart < opts.Restarts; restart++ {
+		st.initGreedy(restart)
+		flipsBudget := opts.MaxFlips / opts.Restarts
+		flips := st.walk(flipsBudget, opts.Noise, best)
+		totalFlips += flips
+		if best.HardSatisfied && best.Cost == 0 {
+			break // perfect
+		}
+	}
+	if best.Assignment == nil {
+		// Never feasible: report the last assignment.
+		assign := make([]bool, p.NumVars)
+		copy(assign, st.assign)
+		hv, cost := Evaluate(p, assign)
+		return &Solution{Assignment: assign, Cost: cost, HardSatisfied: hv == 0, Flips: totalFlips}
+	}
+	best.Flips = totalFlips
+	return best
+}
+
+// initGreedy assigns variables by their soft unit bias (restart > 0 adds
+// random perturbation), then rebuilds clause state.
+func (st *localState) initGreedy(restart int) {
+	bias := make([]float64, st.p.NumVars)
+	for _, c := range st.p.Clauses {
+		if c.Hard() || len(c.Lits) != 1 {
+			continue
+		}
+		l := c.Lits[0]
+		if l.Neg {
+			bias[l.Var] -= c.Weight
+		} else {
+			bias[l.Var] += c.Weight
+		}
+	}
+	for v := range st.assign {
+		st.assign[v] = bias[v] > 0
+		if restart > 0 && st.rng.Float64() < 0.08*float64(restart) {
+			st.assign[v] = !st.assign[v]
+		}
+	}
+	st.rebuild()
+	// Repair pass: greedily satisfy violated hard clauses by flipping the
+	// literal whose unit bias loss is smallest.
+	for guard := 0; len(st.violHard) > 0 && guard < 4*len(st.p.Clauses); guard++ {
+		ci := st.violHard[0]
+		st.flip(st.bestVarInClause(ci, 0))
+	}
+}
+
+func (st *localState) rebuild() {
+	st.violHard = st.violHard[:0]
+	st.violSoft = st.violSoft[:0]
+	st.cost = 0
+	for ci := range st.p.Clauses {
+		st.violHardPos[ci] = -1
+		st.violSoftPos[ci] = -1
+	}
+	for ci, c := range st.p.Clauses {
+		n := int32(0)
+		for _, l := range c.Lits {
+			if st.assign[l.Var] != l.Neg {
+				n++
+			}
+		}
+		st.numSat[ci] = n
+		if n == 0 {
+			st.markViolated(int32(ci))
+		}
+	}
+}
+
+func (st *localState) markViolated(ci int32) {
+	c := &st.p.Clauses[ci]
+	if c.Hard() {
+		st.violHardPos[ci] = int32(len(st.violHard))
+		st.violHard = append(st.violHard, ci)
+	} else {
+		st.cost += c.Weight
+		st.violSoftPos[ci] = int32(len(st.violSoft))
+		st.violSoft = append(st.violSoft, ci)
+	}
+}
+
+func (st *localState) unmarkViolated(ci int32) {
+	c := &st.p.Clauses[ci]
+	if c.Hard() {
+		pos := st.violHardPos[ci]
+		last := st.violHard[len(st.violHard)-1]
+		st.violHard[pos] = last
+		st.violHardPos[last] = pos
+		st.violHard = st.violHard[:len(st.violHard)-1]
+		st.violHardPos[ci] = -1
+	} else {
+		st.cost -= c.Weight
+		pos := st.violSoftPos[ci]
+		last := st.violSoft[len(st.violSoft)-1]
+		st.violSoft[pos] = last
+		st.violSoftPos[last] = pos
+		st.violSoft = st.violSoft[:len(st.violSoft)-1]
+		st.violSoftPos[ci] = -1
+	}
+}
+
+// flip toggles variable v and updates clause state.
+func (st *localState) flip(v int32) {
+	newVal := !st.assign[v]
+	st.assign[v] = newVal
+	for _, ci := range st.occ[v] {
+		c := &st.p.Clauses[ci]
+		was := st.numSat[ci]
+		n := was
+		for _, l := range c.Lits {
+			if l.Var != v {
+				continue
+			}
+			if newVal != l.Neg {
+				n++ // literal became true
+			} else {
+				n-- // literal became false
+			}
+		}
+		st.numSat[ci] = n
+		if was > 0 && n == 0 {
+			st.markViolated(ci)
+		} else if was == 0 && n > 0 {
+			st.unmarkViolated(ci)
+		}
+	}
+}
+
+// flipDelta scores flipping v: change in violated hard count and soft
+// cost.
+func (st *localState) flipDelta(v int32) (hardDelta int, costDelta float64) {
+	val := st.assign[v]
+	for _, ci := range st.occ[v] {
+		c := &st.p.Clauses[ci]
+		pos, neg := int32(0), int32(0) // lits of v currently true / false
+		for _, l := range c.Lits {
+			if l.Var != v {
+				continue
+			}
+			if val != l.Neg {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		n := st.numSat[ci] - pos + neg
+		was := st.numSat[ci]
+		if was > 0 && n == 0 {
+			if c.Hard() {
+				hardDelta++
+			} else {
+				costDelta += c.Weight
+			}
+		} else if was == 0 && n > 0 {
+			if c.Hard() {
+				hardDelta--
+			} else {
+				costDelta -= c.Weight
+			}
+		}
+	}
+	return hardDelta, costDelta
+}
+
+// bestVarInClause picks the variable of clause ci whose flip is least
+// damaging (lexicographic on hard delta then soft delta), with noise
+// probability of a random pick.
+func (st *localState) bestVarInClause(ci int32, noise float64) int32 {
+	c := &st.p.Clauses[ci]
+	if noise > 0 && st.rng.Float64() < noise {
+		return c.Lits[st.rng.Intn(len(c.Lits))].Var
+	}
+	bestVar := c.Lits[0].Var
+	bestHard, bestCost := math.MaxInt32, math.Inf(1)
+	for _, l := range c.Lits {
+		hd, cd := st.flipDelta(l.Var)
+		if hd < bestHard || hd == bestHard && cd < bestCost {
+			bestVar, bestHard, bestCost = l.Var, hd, cd
+		}
+	}
+	return bestVar
+}
+
+// walk runs the WalkSAT loop, updating best in place.
+func (st *localState) walk(maxFlips int, noise float64, best *Solution) int {
+	flips := 0
+	for ; flips < maxFlips; flips++ {
+		if len(st.violHard) == 0 {
+			// Feasible: record if better.
+			if !best.HardSatisfied || st.cost < best.Cost {
+				best.HardSatisfied = true
+				best.Cost = st.cost
+				best.Assignment = append(best.Assignment[:0], st.assign...)
+			}
+			if len(st.violSoft) == 0 {
+				return flips // all clauses satisfied
+			}
+			ci := st.violSoft[st.rng.Intn(len(st.violSoft))]
+			v := st.bestVarInClause(ci, noise)
+			hd, cd := st.flipDelta(v)
+			if hd > 0 || cd >= 0 {
+				// Flip would break feasibility or not improve: mostly skip,
+				// occasionally take it to escape local optima.
+				if st.rng.Float64() > noise {
+					continue
+				}
+				if hd > 0 && st.rng.Float64() > 0.25 {
+					continue
+				}
+			}
+			st.flip(v)
+			continue
+		}
+		ci := st.violHard[st.rng.Intn(len(st.violHard))]
+		st.flip(st.bestVarInClause(ci, noise))
+	}
+	return flips
+}

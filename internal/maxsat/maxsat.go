@@ -1,0 +1,162 @@
+// Package maxsat implements a weighted partial MaxSAT solver: hard
+// clauses must be satisfied, and the total weight of violated soft
+// clauses is minimised.
+//
+// MAP inference in a Markov logic network is exactly weighted partial
+// MaxSAT over the ground network, so this package plays the role the
+// Gurobi ILP backend plays inside RockIt: the encodings differ, the
+// optimum is the same. Two engines are provided — an exact
+// branch-and-bound with unit propagation for small ground networks, and
+// a WalkSAT-style stochastic local search with greedy initialisation for
+// large ones — behind a single Solve entry point that picks by size.
+package maxsat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Lit is a literal over variable Var (0-based); Neg selects the negative
+// phase.
+type Lit struct {
+	Var int32
+	Neg bool
+}
+
+// Clause is a weighted disjunction. Weight = +Inf marks a hard clause.
+type Clause struct {
+	Lits   []Lit
+	Weight float64
+}
+
+// Hard reports whether the clause must be satisfied.
+func (c *Clause) Hard() bool { return math.IsInf(c.Weight, 1) }
+
+// Problem is a weighted partial MaxSAT instance.
+type Problem struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate reports structural problems: out-of-range variables, empty
+// clauses, NaN or negative weights.
+func (p *Problem) Validate() error {
+	for i, c := range p.Clauses {
+		if len(c.Lits) == 0 {
+			return fmt.Errorf("maxsat: clause %d is empty", i)
+		}
+		if math.IsNaN(c.Weight) || c.Weight < 0 {
+			return fmt.Errorf("maxsat: clause %d has invalid weight %g", i, c.Weight)
+		}
+		for _, l := range c.Lits {
+			if l.Var < 0 || int(l.Var) >= p.NumVars {
+				return fmt.Errorf("maxsat: clause %d references variable %d outside [0,%d)", i, l.Var, p.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// Solution is the result of solving a problem.
+type Solution struct {
+	// Assignment holds one truth value per variable.
+	Assignment []bool
+	// Cost is the total weight of violated soft clauses.
+	Cost float64
+	// HardSatisfied reports whether all hard clauses hold. When false no
+	// feasible assignment was found (the hard clauses may be
+	// unsatisfiable).
+	HardSatisfied bool
+	// Optimal reports whether the exact engine proved optimality.
+	Optimal bool
+	// Flips counts local-search moves (0 for the exact engine).
+	Flips int
+	// Nodes counts branch-and-bound nodes (0 for local search).
+	Nodes int
+}
+
+// Options tunes Solve.
+type Options struct {
+	// ExactVarLimit is the largest variable count handed to the exact
+	// engine (default 30).
+	ExactVarLimit int
+	// NodeLimit bounds branch-and-bound nodes before falling back to
+	// local search (default 1<<21).
+	NodeLimit int
+	// MaxFlips bounds local-search moves (default max(100000, 60*vars)).
+	MaxFlips int
+	// Noise is the random-walk probability in local search (default 0.12).
+	Noise float64
+	// Restarts is the number of local-search restarts (default 3).
+	Restarts int
+	// Seed seeds the local-search RNG (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults(nvars int) Options {
+	if o.ExactVarLimit == 0 {
+		o.ExactVarLimit = 30
+	}
+	if o.NodeLimit == 0 {
+		o.NodeLimit = 1 << 21
+	}
+	if o.MaxFlips == 0 {
+		o.MaxFlips = 100000
+		if m := 60 * nvars; m > o.MaxFlips {
+			o.MaxFlips = m
+		}
+	}
+	if o.Noise == 0 {
+		o.Noise = 0.12
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Evaluate returns the number of violated hard clauses and the violated
+// soft weight under the assignment.
+func Evaluate(p *Problem, assign []bool) (hardViolations int, cost float64) {
+	for _, c := range p.Clauses {
+		sat := false
+		for _, l := range c.Lits {
+			if assign[l.Var] != l.Neg {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		if c.Hard() {
+			hardViolations++
+		} else {
+			cost += c.Weight
+		}
+	}
+	return hardViolations, cost
+}
+
+// Solve picks an engine by instance size: exact branch-and-bound when the
+// variable count is within ExactVarLimit, stochastic local search
+// otherwise (or when the node limit is exhausted).
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(p.NumVars)
+	if p.NumVars == 0 {
+		return &Solution{HardSatisfied: true, Optimal: true}, nil
+	}
+	if p.NumVars <= opts.ExactVarLimit {
+		sol, complete := solveExact(p, opts.NodeLimit)
+		if complete {
+			return sol, nil
+		}
+	}
+	return solveLocal(p, opts), nil
+}

@@ -1,0 +1,377 @@
+// Package psl implements MAP inference for hinge-loss Markov random
+// fields — the nPSL side of TeCoRe: Probabilistic Soft Logic extended
+// with the numerical/temporal conditions evaluated at grounding time.
+//
+// Ground clauses from the grounding engine are relaxed with the
+// Łukasiewicz t-norm into hinge-loss potentials over variables in [0,1];
+// evidence atoms get quadratic priors pulling them toward their
+// confidence. MAP is the convex minimisation of the total loss, solved
+// with consensus ADMM using the standard closed-form proximal steps.
+// The soft optimum is discretised at a threshold and a greedy repair pass
+// restores any hard constraint the rounding broke — PSL "trades
+// expressiveness for scalability" by approximating the discrete MAP
+// state, exactly as the paper describes.
+package psl
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/ground"
+	"repro/internal/logic"
+)
+
+// Options tunes ADMM and the discretisation.
+type Options struct {
+	// Rho is the ADMM penalty parameter (default 1).
+	Rho float64
+	// MaxIter bounds ADMM iterations (default 2500).
+	MaxIter int
+	// Eps is the residual convergence tolerance (default 1e-4).
+	Eps float64
+	// EvidenceWeight scales the quadratic prior pulling evidence atoms
+	// toward their confidence (default 5).
+	EvidenceWeight float64
+	// KeepBias is added to every evidence atom's prior target so that
+	// asserted facts at the rounding boundary (confidence 0.5) survive
+	// unless genuinely pushed out — the same device the MLN backend uses
+	// (default 0.05).
+	KeepBias float64
+	// DerivedWeight scales the quadratic prior pulling derived atoms
+	// toward 0 (default 0.5).
+	DerivedWeight float64
+	// HardWeight substitutes for infinite clause weights in the convex
+	// relaxation (default 50).
+	HardWeight float64
+	// Squared selects squared hinges for soft rule potentials, PSL's
+	// default loss (hard potentials always use linear hinges).
+	Squared bool
+	// Threshold discretises the soft truth values (default 0.5).
+	Threshold float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rho == 0 {
+		o.Rho = 1
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 2500
+	}
+	if o.Eps == 0 {
+		o.Eps = 1e-4
+	}
+	if o.EvidenceWeight == 0 {
+		o.EvidenceWeight = 5
+	}
+	if o.KeepBias == 0 {
+		o.KeepBias = 0.05
+	}
+	if o.DerivedWeight == 0 {
+		o.DerivedWeight = 0.5
+	}
+	if o.HardWeight == 0 {
+		o.HardWeight = 50
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.5
+	}
+	return o
+}
+
+// Result is the inferred soft state and its discretisation.
+type Result struct {
+	// Values holds the converged soft truth value of every atom.
+	Values []float64
+	// Truth is the discretised, hard-repaired boolean state.
+	Truth []bool
+	// Iterations is the number of ADMM sweeps performed.
+	Iterations int
+	// Converged reports whether residuals fell below Eps before MaxIter.
+	Converged bool
+	// PrimalResidual and DualResidual are the final residual norms.
+	PrimalResidual float64
+	DualResidual   float64
+	// RepairFlips counts atoms flipped by the hard-constraint repair
+	// pass after discretisation.
+	RepairFlips int
+	// Potentials is the number of hinge potentials in the ground HL-MRF.
+	Potentials int
+	// Runtime is the wall-clock inference time.
+	Runtime time.Duration
+}
+
+// TrueAtom reports the discretised truth of an atom.
+func (r *Result) TrueAtom(id ground.AtomID) bool { return r.Truth[id] }
+
+// hinge is a potential w * max(0, cᵀz + d), squared when sq is set.
+type hinge struct {
+	vars []int32
+	coef []float64
+	d    float64
+	w    float64
+	sq   bool
+	hard bool
+	rule string
+}
+
+// MAP computes the HL-MRF MAP state for the program over the grounder's
+// evidence. The grounder must be freshly constructed; MAP forward-chains
+// inference rules itself.
+func MAP(g *ground.Grounder, prog *logic.Program, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	if _, err := g.Close(prog); err != nil {
+		return nil, fmt.Errorf("psl: %w", err)
+	}
+	cs, err := g.GroundProgram(prog)
+	if err != nil {
+		return nil, fmt.Errorf("psl: %w", err)
+	}
+
+	n := g.Atoms().Len()
+	// Quadratic priors: target value and weight per atom.
+	target := make([]float64, n)
+	priorW := make([]float64, n)
+	for i := 0; i < n; i++ {
+		info := g.Atoms().Info(ground.AtomID(i))
+		if info.Evidence {
+			target[i] = clamp01(info.Conf + opts.KeepBias)
+			priorW[i] = opts.EvidenceWeight
+		} else {
+			target[i] = 0
+			priorW[i] = opts.DerivedWeight
+		}
+	}
+
+	potentials := make([]hinge, 0, cs.Len())
+	for _, c := range cs.Clauses() {
+		potentials = append(potentials, clauseToHinge(c, opts))
+	}
+
+	res := runADMM(n, target, priorW, potentials, opts)
+	res.Potentials = len(potentials)
+	res.Truth = discretize(res.Values, opts.Threshold)
+	res.RepairFlips = repairHard(res.Truth, res.Values, potentials)
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// clauseToHinge relaxes a ground disjunction l1 ∨ ... ∨ lk with the
+// Łukasiewicz t-conorm: distance to satisfaction
+//
+//	max(0, 1 - Σ_pos x_i - Σ_neg (1 - x_j))
+//
+// which in linear form is max(0, cᵀx + d) with c_i = -1 for positive
+// literals, +1 for negated ones, and d = 1 - #negated.
+func clauseToHinge(c ground.Clause, opts Options) hinge {
+	h := hinge{
+		vars: make([]int32, len(c.Lits)),
+		coef: make([]float64, len(c.Lits)),
+		rule: c.Rule,
+	}
+	negs := 0
+	for i, l := range c.Lits {
+		h.vars[i] = int32(l.Atom)
+		if l.Neg {
+			h.coef[i] = 1
+			negs++
+		} else {
+			h.coef[i] = -1
+		}
+	}
+	h.d = 1 - float64(negs)
+	if c.Hard() {
+		h.w = opts.HardWeight
+		h.hard = true
+	} else {
+		h.w = c.Weight
+		h.sq = opts.Squared
+	}
+	return h
+}
+
+// runADMM performs consensus ADMM over the hinge potentials plus
+// per-atom quadratic priors (which act directly in the consensus update
+// since they are separable).
+func runADMM(n int, target, priorW []float64, potentials []hinge, opts Options) *Result {
+	x := make([]float64, n)
+	copy(x, target)
+
+	// Local copies and duals per potential.
+	z := make([][]float64, len(potentials))
+	u := make([][]float64, len(potentials))
+	deg := make([]float64, n)
+	for k, h := range potentials {
+		z[k] = make([]float64, len(h.vars))
+		u[k] = make([]float64, len(h.vars))
+		for i, v := range h.vars {
+			z[k][i] = x[v]
+			deg[v]++
+		}
+	}
+	rho := opts.Rho
+	xPrev := make([]float64, n)
+	sum := make([]float64, n)
+	res := &Result{}
+
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		// z-step: proximal update per potential.
+		for k := range potentials {
+			h := &potentials[k]
+			vloc := z[k] // reuse storage for v = x - u
+			for i, vi := range h.vars {
+				vloc[i] = x[vi] - u[k][i]
+			}
+			proxHinge(h, vloc, rho)
+		}
+
+		// x-step: average local copies + duals, fold in the quadratic
+		// prior, clamp to [0,1].
+		copy(xPrev, x)
+		for i := range sum {
+			sum[i] = 0
+		}
+		for k, h := range potentials {
+			for i, vi := range h.vars {
+				sum[vi] += z[k][i] + u[k][i]
+			}
+		}
+		for v := 0; v < n; v++ {
+			// argmin_x priorW (x-target)² + (ρ/2) Σ_k (x - (z+u))² =
+			// (2·priorW·target + ρ·Σ(z+u)) / (2·priorW + ρ·deg)
+			den := 2*priorW[v] + rho*deg[v]
+			if den == 0 {
+				continue
+			}
+			xv := (2*priorW[v]*target[v] + rho*sum[v]) / den
+			x[v] = clamp01(xv)
+		}
+
+		// u-step and residuals.
+		var primal, dual float64
+		for k, h := range potentials {
+			for i, vi := range h.vars {
+				diff := z[k][i] - x[vi]
+				u[k][i] += diff
+				primal += diff * diff
+			}
+		}
+		for v := 0; v < n; v++ {
+			d := x[v] - xPrev[v]
+			dual += d * d * deg[v]
+		}
+		res.Iterations = iter
+		res.PrimalResidual = math.Sqrt(primal)
+		res.DualResidual = rho * math.Sqrt(dual)
+		if res.PrimalResidual < opts.Eps && res.DualResidual < opts.Eps {
+			res.Converged = true
+			break
+		}
+	}
+	res.Values = x
+	return res
+}
+
+// proxHinge computes argmin_z w·hinge(cᵀz+d) + (ρ/2)||z-v||² in place.
+func proxHinge(h *hinge, v []float64, rho float64) {
+	cv := h.d
+	cc := 0.0
+	for i := range h.coef {
+		cv += h.coef[i] * v[i]
+		cc += h.coef[i] * h.coef[i]
+	}
+	if cv <= 0 {
+		return // hinge inactive at v: z = v
+	}
+	if h.sq {
+		// Squared hinge: z = v - (2w·cv / (ρ + 2w·cc)) c.
+		step := 2 * h.w * cv / (rho + 2*h.w*cc)
+		for i := range v {
+			v[i] -= step * h.coef[i]
+		}
+		return
+	}
+	// Linear hinge: either the full step keeps the hinge active side
+	// nonnegative, or project onto the hyperplane cᵀz + d = 0.
+	step := h.w / rho
+	if cv-step*cc >= 0 {
+		for i := range v {
+			v[i] -= step * h.coef[i]
+		}
+		return
+	}
+	proj := cv / cc
+	for i := range v {
+		v[i] -= proj * h.coef[i]
+	}
+}
+
+func discretize(values []float64, threshold float64) []bool {
+	out := make([]bool, len(values))
+	for i, v := range values {
+		out[i] = v >= threshold
+	}
+	return out
+}
+
+// repairHard restores violated hard potentials after rounding: while a
+// hard ground clause is violated, flip the literal whose soft value sits
+// closest to satisfying it (for a disjointness constraint this drops the
+// atom PSL was least sure about). Returns the number of flips.
+func repairHard(truth []bool, values []float64, potentials []hinge) int {
+	flips := 0
+	maxPasses := 4 * len(potentials)
+	for pass := 0; pass < maxPasses; pass++ {
+		fixed := false
+		for k := range potentials {
+			h := &potentials[k]
+			if !h.hard || hingeSatisfied(h, truth) {
+				continue
+			}
+			// Violated: every literal false. Flip the one closest to true.
+			bestI, bestGap := -1, math.Inf(1)
+			for i, vi := range h.vars {
+				var gap float64
+				if h.coef[i] < 0 {
+					gap = 1 - values[vi] // needs atom true
+				} else {
+					gap = values[vi] // needs atom false
+				}
+				if gap < bestGap {
+					bestI, bestGap = i, gap
+				}
+			}
+			vi := h.vars[bestI]
+			truth[vi] = h.coef[bestI] < 0
+			flips++
+			fixed = true
+		}
+		if !fixed {
+			return flips
+		}
+	}
+	return flips
+}
+
+// hingeSatisfied interprets the potential as its originating clause and
+// checks boolean satisfaction: a clause literal is satisfied when a
+// positive (coef -1) atom is true or a negated (coef +1) atom is false.
+func hingeSatisfied(h *hinge, truth []bool) bool {
+	for i, vi := range h.vars {
+		if (h.coef[i] < 0) == truth[vi] {
+			return true
+		}
+	}
+	return false
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,133 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PrefixMap maps namespace prefixes to IRI bases, supporting the compact
+// "prefix:local" notation common in RDF tooling. The zero value is
+// empty; NewPrefixMap preloads the ubiquitous W3C prefixes.
+type PrefixMap struct {
+	toBase map[string]string
+}
+
+// Well-known namespace bases.
+const (
+	NSRDF  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	NSRDFS = "http://www.w3.org/2000/01/rdf-schema#"
+	NSXSD  = "http://www.w3.org/2001/XMLSchema#"
+	NSOWL  = "http://www.w3.org/2002/07/owl#"
+)
+
+// NewPrefixMap returns a map preloaded with rdf, rdfs, xsd and owl.
+func NewPrefixMap() *PrefixMap {
+	pm := &PrefixMap{toBase: make(map[string]string)}
+	pm.Bind("rdf", NSRDF)
+	pm.Bind("rdfs", NSRDFS)
+	pm.Bind("xsd", NSXSD)
+	pm.Bind("owl", NSOWL)
+	return pm
+}
+
+// Bind associates a prefix with a base IRI, replacing any previous
+// binding.
+func (pm *PrefixMap) Bind(prefix, base string) {
+	if pm.toBase == nil {
+		pm.toBase = make(map[string]string)
+	}
+	pm.toBase[prefix] = base
+}
+
+// Base returns the base IRI bound to prefix.
+func (pm *PrefixMap) Base(prefix string) (string, bool) {
+	base, ok := pm.toBase[prefix]
+	return base, ok
+}
+
+// Expand resolves "prefix:local" into a full IRI. Inputs without a colon
+// or with an unbound prefix are returned unchanged, so Expand can be
+// applied uniformly to mixed input.
+func (pm *PrefixMap) Expand(curie string) string {
+	colon := strings.IndexByte(curie, ':')
+	if colon < 0 {
+		return curie
+	}
+	prefix, local := curie[:colon], curie[colon+1:]
+	base, ok := pm.toBase[prefix]
+	if !ok {
+		return curie
+	}
+	return base + local
+}
+
+// ExpandTerm expands IRI terms through the map, leaving other term kinds
+// untouched.
+func (pm *PrefixMap) ExpandTerm(t Term) Term {
+	if t.Kind == IRI {
+		t.Value = pm.Expand(t.Value)
+	}
+	return t
+}
+
+// Shorten rewrites a full IRI into "prefix:local" using the
+// longest-matching bound base; unmatched IRIs are returned unchanged.
+func (pm *PrefixMap) Shorten(iri string) string {
+	bestPrefix, bestBase := "", ""
+	for prefix, base := range pm.toBase {
+		if strings.HasPrefix(iri, base) && len(base) > len(bestBase) {
+			bestPrefix, bestBase = prefix, base
+		}
+	}
+	if bestBase == "" {
+		return iri
+	}
+	return bestPrefix + ":" + iri[len(bestBase):]
+}
+
+// Prefixes returns the bound prefixes in sorted order.
+func (pm *PrefixMap) Prefixes() []string {
+	out := make([]string, 0, len(pm.toBase))
+	for p := range pm.toBase {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExpandGraph expands every IRI in the graph through the map, returning
+// a new graph.
+func (pm *PrefixMap) ExpandGraph(g Graph) Graph {
+	out := make(Graph, len(g))
+	for i, q := range g {
+		q.Subject = pm.ExpandTerm(q.Subject)
+		q.Predicate = pm.ExpandTerm(q.Predicate)
+		q.Object = pm.ExpandTerm(q.Object)
+		out[i] = q
+	}
+	return out
+}
+
+// ParsePrefixDirectives reads "@prefix p: <base> ." lines (Turtle-style)
+// and binds them, returning the remaining lines. Unparseable directives
+// are an error.
+func (pm *PrefixMap) ParsePrefixDirectives(text string) (rest string, err error) {
+	var kept []string
+	for i, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "@prefix") {
+			kept = append(kept, line)
+			continue
+		}
+		fields := strings.Fields(strings.TrimSuffix(trimmed, "."))
+		if len(fields) != 3 || !strings.HasSuffix(fields[1], ":") ||
+			!strings.HasPrefix(fields[2], "<") || !strings.HasSuffix(fields[2], ">") {
+			return "", fmt.Errorf("rdf: line %d: malformed @prefix directive %q", i+1, trimmed)
+		}
+		prefix := strings.TrimSuffix(fields[1], ":")
+		base := strings.TrimSuffix(strings.TrimPrefix(fields[2], "<"), ">")
+		pm.Bind(prefix, base)
+	}
+	return strings.Join(kept, "\n"), nil
+}

@@ -1,0 +1,128 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/temporal"
+)
+
+func TestPrefixMapExpandShorten(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("dbo", "http://dbpedia.org/ontology/")
+	tests := []struct {
+		curie, iri string
+	}{
+		{"dbo:coach", "http://dbpedia.org/ontology/coach"},
+		{"xsd:integer", NSXSD + "integer"},
+		{"rdf:type", NSRDF + "type"},
+	}
+	for _, tc := range tests {
+		if got := pm.Expand(tc.curie); got != tc.iri {
+			t.Errorf("Expand(%q) = %q, want %q", tc.curie, got, tc.iri)
+		}
+		if got := pm.Shorten(tc.iri); got != tc.curie {
+			t.Errorf("Shorten(%q) = %q, want %q", tc.iri, got, tc.curie)
+		}
+	}
+	// Unbound prefixes and plain names pass through.
+	if got := pm.Expand("unbound:x"); got != "unbound:x" {
+		t.Errorf("Expand unbound = %q", got)
+	}
+	if got := pm.Expand("plain"); got != "plain" {
+		t.Errorf("Expand plain = %q", got)
+	}
+	if got := pm.Shorten("http://elsewhere.org/x"); got != "http://elsewhere.org/x" {
+		t.Errorf("Shorten unmatched = %q", got)
+	}
+}
+
+func TestPrefixMapLongestMatch(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("ex", "http://ex.org/")
+	pm.Bind("exv", "http://ex.org/vocab/")
+	if got := pm.Shorten("http://ex.org/vocab/coach"); got != "exv:coach" {
+		t.Errorf("Shorten = %q, want longest base", got)
+	}
+}
+
+func TestPrefixMapZeroValueBind(t *testing.T) {
+	var pm PrefixMap
+	pm.Bind("a", "http://a/")
+	if got := pm.Expand("a:x"); got != "http://a/x" {
+		t.Errorf("zero-value map Expand = %q", got)
+	}
+	if _, ok := pm.Base("b"); ok {
+		t.Error("unbound base reported")
+	}
+}
+
+func TestExpandTermAndGraph(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("ex", "http://ex.org/")
+	g := Graph{
+		NewQuad("ex:CR", "ex:coach", "ex:Chelsea", temporal.MustNew(2000, 2004), 0.9),
+		{Subject: NewIRI("ex:CR"), Predicate: NewIRI("ex:birthDate"), Object: Integer(1951),
+			Interval: temporal.MustNew(1951, 2017), Confidence: 1},
+	}
+	out := pm.ExpandGraph(g)
+	if out[0].Subject.Value != "http://ex.org/CR" || out[0].Predicate.Value != "http://ex.org/coach" {
+		t.Errorf("expanded quad = %v", out[0])
+	}
+	// Literals untouched.
+	if out[1].Object != Integer(1951) {
+		t.Errorf("literal changed: %v", out[1].Object)
+	}
+	// Original unchanged.
+	if g[0].Subject.Value != "ex:CR" {
+		t.Error("ExpandGraph mutated its input")
+	}
+}
+
+func TestPrefixes(t *testing.T) {
+	pm := NewPrefixMap()
+	ps := pm.Prefixes()
+	want := []string{"owl", "rdf", "rdfs", "xsd"}
+	if len(ps) != len(want) {
+		t.Fatalf("Prefixes = %v", ps)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Errorf("Prefixes[%d] = %q", i, ps[i])
+		}
+	}
+}
+
+func TestParsePrefixDirectives(t *testing.T) {
+	pm := NewPrefixMap()
+	text := `@prefix ex: <http://ex.org/> .
+ex:CR ex:coach ex:Chelsea [2000,2004] 0.9
+@prefix dbo: <http://dbpedia.org/ontology/> .
+`
+	rest, err := pm.ParsePrefixDirectives(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(rest, "@prefix") {
+		t.Errorf("directives left in rest: %q", rest)
+	}
+	if pm.Expand("dbo:team") != "http://dbpedia.org/ontology/team" {
+		t.Error("dbo binding missing")
+	}
+	// The remaining content is a parseable graph after expansion.
+	g, err := ParseGraphString(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pm.ExpandGraph(g)
+	if out[0].Subject.Value != "http://ex.org/CR" {
+		t.Errorf("expanded subject = %q", out[0].Subject.Value)
+	}
+	// Malformed directives error.
+	if _, err := pm.ParsePrefixDirectives("@prefix broken"); err == nil {
+		t.Error("malformed directive accepted")
+	}
+	if _, err := pm.ParsePrefixDirectives("@prefix x <nope> ."); err == nil {
+		t.Error("missing colon accepted")
+	}
+}

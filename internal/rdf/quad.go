@@ -1,0 +1,136 @@
+package rdf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/temporal"
+)
+
+// Quad is an uncertain temporal fact: an RDF triple annotated with a
+// validity interval over the discrete time domain and a confidence value
+// in (0, 1]. It corresponds to one line of Figure 1 of the paper, e.g.
+//
+//	(CR, coach, Chelsea, [2000,2004]) 0.9
+type Quad struct {
+	Subject   Term
+	Predicate Term
+	Object    Term
+	Interval  temporal.Interval
+	// Confidence states how likely the fact is to hold; 1.0 marks a
+	// certain fact. Values outside (0, 1] are rejected by Validate.
+	Confidence float64
+}
+
+// NewQuad assembles a quad from compact IRI names, the given interval and
+// confidence. It is a convenience for examples and tests.
+func NewQuad(s, p, o string, iv temporal.Interval, conf float64) Quad {
+	return Quad{
+		Subject:    NewIRI(s),
+		Predicate:  NewIRI(p),
+		Object:     NewIRI(o),
+		Interval:   iv,
+		Confidence: conf,
+	}
+}
+
+// Validate reports the first structural problem with the quad: invalid
+// interval, out-of-range confidence, literal subject/predicate, or zero
+// terms.
+func (q Quad) Validate() error {
+	switch {
+	case q.Subject.IsZero() || q.Predicate.IsZero() || q.Object.IsZero():
+		return fmt.Errorf("rdf: quad %v has a zero term", q)
+	case q.Subject.IsLiteral():
+		return fmt.Errorf("rdf: quad %v has a literal subject", q)
+	case !q.Predicate.IsIRI():
+		return fmt.Errorf("rdf: quad %v has a non-IRI predicate", q)
+	case !q.Interval.Valid():
+		return fmt.Errorf("rdf: quad %v has an invalid interval", q)
+	case !(q.Confidence > 0 && q.Confidence <= 1):
+		return fmt.Errorf("rdf: quad %v has confidence %g outside (0,1]", q, q.Confidence)
+	}
+	return nil
+}
+
+// Triple returns the quad without its temporal and confidence annotations.
+func (q Quad) Triple() (s, p, o Term) { return q.Subject, q.Predicate, q.Object }
+
+// Fact returns the atemporal identity of the quad — subject, predicate,
+// object and interval — ignoring confidence. Two quads with equal Fact
+// keys assert the same temporal statement.
+func (q Quad) Fact() FactKey {
+	return FactKey{S: q.Subject, P: q.Predicate, O: q.Object, Interval: q.Interval}
+}
+
+// FactKey identifies a temporal statement irrespective of confidence.
+// It is a comparable value usable as a map key.
+type FactKey struct {
+	S, P, O  Term
+	Interval temporal.Interval
+}
+
+// String renders the key in the paper's compact tuple notation.
+func (k FactKey) String() string {
+	return "(" + k.S.Compact() + ", " + k.P.Compact() + ", " + k.O.Compact() + ", " + k.Interval.String() + ")"
+}
+
+// Equal reports whether two quads are identical including confidence.
+func (q Quad) Equal(o Quad) bool { return q == o }
+
+// String renders the quad in TQuads syntax:
+//
+//	<s> <p> <o> [start,end] conf .
+func (q Quad) String() string {
+	var b strings.Builder
+	b.WriteString(q.Subject.String())
+	b.WriteByte(' ')
+	b.WriteString(q.Predicate.String())
+	b.WriteByte(' ')
+	b.WriteString(q.Object.String())
+	b.WriteByte(' ')
+	b.WriteString(q.Interval.String())
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(q.Confidence, 'g', -1, 64))
+	b.WriteString(" .")
+	return b.String()
+}
+
+// Compact renders the quad in the paper's informal notation:
+//
+//	(CR, coach, Chelsea, [2000,2004]) 0.9
+func (q Quad) Compact() string {
+	return fmt.Sprintf("(%s, %s, %s, %s) %g",
+		q.Subject.Compact(), q.Predicate.Compact(), q.Object.Compact(), q.Interval, q.Confidence)
+}
+
+// Graph is a set of quads — an uncertain temporal knowledge graph. The
+// slice order is insertion order; deduplication and indexing are the
+// store's job.
+type Graph []Quad
+
+// Validate validates every quad, returning the first error with its
+// position.
+func (g Graph) Validate() error {
+	for i, q := range g {
+		if err := q.Validate(); err != nil {
+			return fmt.Errorf("quad %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Predicates returns the distinct predicate IRIs in the graph in first-
+// appearance order. The Web UI uses this for constraint auto-completion.
+func (g Graph) Predicates() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, q := range g {
+		if p := q.Predicate.Value; !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+// Package repair interprets a MAP state as a conflict resolution of the
+// input knowledge graph: which facts form the most probable consistent
+// subset, which were removed as noise, which implicit facts inference
+// made explicit, and the debugging statistics the TeCoRe UI displays
+// (Figure 8 of the paper: total facts, conflicting facts, per-constraint
+// violation counts, conflict clusters). Derived facts get a propagated
+// confidence and can be filtered by a user threshold.
+package repair
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/ground"
+	"repro/internal/logic"
+	"repro/internal/rdf"
+	"repro/internal/translate"
+)
+
+// Options tunes conflict resolution.
+type Options struct {
+	// Threshold drops derived facts whose propagated confidence falls
+	// below it (0 keeps everything).
+	Threshold float64
+	// ConfidenceRounds bounds the derived-confidence propagation
+	// iterations (default 8).
+	ConfidenceRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ConfidenceRounds == 0 {
+		o.ConfidenceRounds = 8
+	}
+	return o
+}
+
+// Fact is a resolved fact with its provenance.
+type Fact struct {
+	Quad rdf.Quad
+	// Derived reports whether the fact was inferred rather than given.
+	Derived bool
+	// AtomID is the ground atom behind the fact.
+	AtomID ground.AtomID
+	// Explanations justify a removal: the constraint groundings that
+	// would be violated were the fact kept (empty for kept/inferred
+	// facts).
+	Explanations []Explanation
+}
+
+// Explanation names a constraint grounding responsible for a removal.
+type Explanation struct {
+	// Rule is the constraint's name.
+	Rule string
+	// Partners are the other statements of the violated grounding (all
+	// kept in the final state).
+	Partners []rdf.FactKey
+}
+
+// String renders the explanation: "c2 with (CR, coach, Chelsea, ...)".
+func (e Explanation) String() string {
+	s := e.Rule
+	for i, p := range e.Partners {
+		if i == 0 {
+			s += " with "
+		} else {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s
+}
+
+// Stats summarises the debugging run, mirroring the result statistics
+// display of the demo.
+type Stats struct {
+	// TotalFacts is the number of input facts.
+	TotalFacts int
+	// KeptFacts is the number of input facts in the consistent subset.
+	KeptFacts int
+	// RemovedFacts counts input facts dropped as conflicting noise.
+	RemovedFacts int
+	// RemovedWeight is the total confidence mass removed.
+	RemovedWeight float64
+	// InferredFacts counts derived facts surviving the threshold.
+	InferredFacts int
+	// ThresholdFiltered counts derived facts dropped by the threshold.
+	ThresholdFiltered int
+	// ConflictClusters is the number of connected groups of mutually
+	// conflicting facts.
+	ConflictClusters int
+	// RuleViolations counts residual violated groundings per rule (soft
+	// rules; hard constraints are satisfied by construction).
+	RuleViolations map[string]int
+	// Solver names the backend used.
+	Solver string
+	// Runtime is the solver's inference time.
+	Runtime time.Duration
+}
+
+// Outcome is the full result of temporal conflict resolution.
+type Outcome struct {
+	// Kept are the input facts in the most probable consistent subset.
+	Kept []Fact
+	// Removed are the input facts identified as conflicting noise.
+	Removed []Fact
+	// Inferred are derived facts (threshold applied), with propagated
+	// confidences in Quad.Confidence.
+	Inferred []Fact
+	// Clusters groups the statements involved in each conflict
+	// component (facts connected by violated-or-resolving constraint
+	// groundings).
+	Clusters [][]rdf.FactKey
+	// Stats is the summary.
+	Stats Stats
+}
+
+// ConsistentGraph returns kept plus inferred facts as a graph — the
+// expanded, conflict-free utkg of Figure 7.
+func (o *Outcome) ConsistentGraph() rdf.Graph {
+	g := make(rdf.Graph, 0, len(o.Kept)+len(o.Inferred))
+	for _, f := range o.Kept {
+		g = append(g, f.Quad)
+	}
+	for _, f := range o.Inferred {
+		g = append(g, f.Quad)
+	}
+	return g
+}
+
+// Resolve interprets the translator output as a conflict resolution.
+func Resolve(out *translate.Output, prog *logic.Program, opts Options) (*Outcome, error) {
+	opts = opts.withDefaults()
+	g := out.Grounder
+	atoms := g.Atoms()
+	oc := &Outcome{Stats: Stats{
+		Solver:  out.Solver.String(),
+		Runtime: out.Runtime,
+	}}
+
+	confidences, err := deriveConfidences(out, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < atoms.Len(); i++ {
+		id := ground.AtomID(i)
+		info := atoms.Info(id)
+		if info.Evidence {
+			oc.Stats.TotalFacts++
+			q := rdf.Quad{Subject: info.Key.S, Predicate: info.Key.P, Object: info.Key.O,
+				Interval: info.Key.Interval, Confidence: info.Conf}
+			if out.Truth[i] {
+				oc.Kept = append(oc.Kept, Fact{Quad: q, AtomID: id})
+				oc.Stats.KeptFacts++
+			} else {
+				oc.Removed = append(oc.Removed, Fact{Quad: q, AtomID: id})
+				oc.Stats.RemovedFacts++
+				oc.Stats.RemovedWeight += info.Conf
+			}
+			continue
+		}
+		if !out.Truth[i] {
+			continue
+		}
+		conf := confidences[i]
+		if conf < opts.Threshold {
+			oc.Stats.ThresholdFiltered++
+			continue
+		}
+		q := rdf.Quad{Subject: info.Key.S, Predicate: info.Key.P, Object: info.Key.O,
+			Interval: info.Key.Interval, Confidence: conf}
+		oc.Inferred = append(oc.Inferred, Fact{Quad: q, Derived: true, AtomID: id})
+		oc.Stats.InferredFacts++
+	}
+
+	clusters, explanations, err := conflictAnalysis(out, prog)
+	if err != nil {
+		return nil, err
+	}
+	oc.Clusters = clusters
+	oc.Stats.ConflictClusters = len(clusters)
+	for i := range oc.Removed {
+		oc.Removed[i].Explanations = explanations[oc.Removed[i].AtomID]
+	}
+
+	oc.Stats.RuleViolations, err = residualViolations(out, prog)
+	if err != nil {
+		return nil, err
+	}
+	sortFacts(oc.Kept)
+	sortFacts(oc.Removed)
+	sortFacts(oc.Inferred)
+	return oc, nil
+}
+
+func sortFacts(fs []Fact) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].AtomID < fs[j].AtomID })
+}
+
+// deriveConfidences assigns confidences to derived atoms. PSL's soft
+// values are used directly. For MLN the confidence propagates through
+// supporting rule groundings: a derivation is as credible as its weakest
+// premise, attenuated by the rule's weight (σ(w)); alternative
+// derivations take the maximum. Evidence atoms keep their input
+// confidence.
+func deriveConfidences(out *translate.Output, prog *logic.Program, opts Options) ([]float64, error) {
+	atoms := out.Grounder.Atoms()
+	conf := make([]float64, atoms.Len())
+	for i := 0; i < atoms.Len(); i++ {
+		info := atoms.Info(ground.AtomID(i))
+		if info.Evidence {
+			conf[i] = info.Conf
+		}
+	}
+	if out.SoftValues != nil {
+		for i := range conf {
+			if !atoms.Info(ground.AtomID(i)).Evidence {
+				conf[i] = out.SoftValues[i]
+			}
+		}
+		return conf, nil
+	}
+
+	// MLN: propagate along inference clauses (¬b1 ∨ ... ∨ ¬bn ∨ h).
+	cs, err := out.Grounder.GroundProgram(prog)
+	if err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
+	type support struct {
+		head ground.AtomID
+		body []ground.AtomID
+		att  float64 // σ(w)
+	}
+	var supports []support
+	for _, c := range cs.Clauses() {
+		var head ground.AtomID = -1
+		var body []ground.AtomID
+		for _, l := range c.Lits {
+			if l.Neg {
+				body = append(body, l.Atom)
+			} else if head == -1 {
+				head = l.Atom
+			} else {
+				head = -1 // multi-positive clause: not an implication shape
+				break
+			}
+		}
+		if head < 0 || atoms.Info(head).Evidence || !out.Truth[head] {
+			continue
+		}
+		att := 1.0
+		if !math.IsInf(c.Weight, 1) {
+			att = 1 / (1 + math.Exp(-c.Weight))
+		}
+		supports = append(supports, support{head: head, body: body, att: att})
+	}
+	for round := 0; round < opts.ConfidenceRounds; round++ {
+		changed := false
+		for _, s := range supports {
+			m := 1.0
+			for _, b := range s.body {
+				if !out.Truth[b] {
+					m = 0
+					break
+				}
+				if conf[b] < m {
+					m = conf[b]
+				}
+			}
+			v := m * s.att
+			if v > conf[s.head]+1e-12 {
+				conf[s.head] = v
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return conf, nil
+}
+
+// conflictAnalysis grounds the constraints against "everything asserted"
+// and derives both the conflict clusters (connected components over
+// groundings that caused removals) and per-removed-atom explanations:
+// the groundings whose other members all survived, so keeping the
+// removed fact would violate the constraint.
+func conflictAnalysis(out *translate.Output, prog *logic.Program) ([][]rdf.FactKey, map[ground.AtomID][]Explanation, error) {
+	g := out.Grounder
+	atoms := g.Atoms()
+	// Ground constraints against "everything asserted" (evidence and
+	// derived atoms all true) to recover the full conflict structure, not
+	// just residual violations.
+	allTrue := func(ground.AtomID) bool { return true }
+	constraints := &logic.Program{Rules: prog.Constraints()}
+	cs, err := g.GroundViolated(constraints, allTrue)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repair: %w", err)
+	}
+	parent := make(map[ground.AtomID]ground.AtomID)
+	var find func(a ground.AtomID) ground.AtomID
+	find = func(a ground.AtomID) ground.AtomID {
+		if parent[a] == a {
+			return a
+		}
+		parent[a] = find(parent[a])
+		return parent[a]
+	}
+	add := func(a ground.AtomID) {
+		if _, ok := parent[a]; !ok {
+			parent[a] = a
+		}
+	}
+	union := func(a, b ground.AtomID) {
+		add(a)
+		add(b)
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	explanations := make(map[ground.AtomID][]Explanation)
+	for _, c := range cs.Clauses() {
+		var removed []ground.AtomID
+		for _, l := range c.Lits {
+			if !out.Truth[l.Atom] {
+				removed = append(removed, l.Atom)
+			}
+		}
+		if len(removed) == 0 {
+			continue
+		}
+		for i := 1; i < len(c.Lits); i++ {
+			union(c.Lits[0].Atom, c.Lits[i].Atom)
+		}
+		// An explanation applies when exactly one member was removed:
+		// restoring it would violate this grounding against kept facts.
+		if len(removed) == 1 {
+			ex := Explanation{Rule: c.Rule}
+			for _, l := range c.Lits {
+				if l.Atom != removed[0] {
+					ex.Partners = append(ex.Partners, atoms.Info(l.Atom).Key)
+				}
+			}
+			explanations[removed[0]] = append(explanations[removed[0]], ex)
+		}
+	}
+	groups := make(map[ground.AtomID][]rdf.FactKey)
+	var roots []ground.AtomID
+	for a := range parent {
+		r := find(a)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], atoms.Info(a).Key)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	out2 := make([][]rdf.FactKey, 0, len(roots))
+	for _, r := range roots {
+		keys := groups[r]
+		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		out2 = append(out2, keys)
+	}
+	return out2, explanations, nil
+}
+
+// residualViolations counts rule groundings still violated in the final
+// state.
+func residualViolations(out *translate.Output, prog *logic.Program) (map[string]int, error) {
+	truth := func(a ground.AtomID) bool { return out.Truth[a] }
+	cs, err := out.Grounder.GroundViolated(prog, truth)
+	if err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
+	counts := make(map[string]int)
+	for _, c := range cs.Clauses() {
+		counts[c.Rule]++
+	}
+	return counts, nil
+}

@@ -1,0 +1,184 @@
+package repair
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/rulelang"
+	"repro/internal/store"
+	"repro/internal/translate"
+)
+
+const figure1 = `
+CR coach Chelsea [2000,2004] 0.9
+CR coach Leicester [2015,2017] 0.7
+CR playsFor Palermo [1984,1986] 0.5
+CR birthDate 1951 [1951,2017] 1.0
+CR coach Napoli [2001,2003] 0.6
+`
+
+const figure4and6 = `
+f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5
+c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf
+`
+
+func loadStore(t testing.TB, text string) *store.Store {
+	t.Helper()
+	g, err := rdf.ParseGraphString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	if err := st.AddGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func solve(t testing.TB, data, rules string, solver translate.Solver, opts Options) *Outcome {
+	t.Helper()
+	st := loadStore(t, data)
+	prog := rulelang.MustParse(rules)
+	out, err := translate.Run(st, prog, solver, translate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := Resolve(out, prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oc
+}
+
+// TestFigure7 reproduces the paper's result exactly: fact (5) removed,
+// facts (1)-(4) kept, worksFor derived from playsFor.
+func TestFigure7(t *testing.T) {
+	for _, solver := range []translate.Solver{translate.SolverMLN, translate.SolverPSL} {
+		oc := solve(t, figure1, figure4and6, solver, Options{})
+		if oc.Stats.TotalFacts != 5 || oc.Stats.KeptFacts != 4 || oc.Stats.RemovedFacts != 1 {
+			t.Fatalf("%v: stats = %+v", solver, oc.Stats)
+		}
+		if len(oc.Removed) != 1 || oc.Removed[0].Quad.Object.Value != "Napoli" {
+			t.Errorf("%v: removed = %v", solver, oc.Removed)
+		}
+		if oc.Stats.InferredFacts != 1 || oc.Inferred[0].Quad.Predicate.Value != "worksFor" {
+			t.Errorf("%v: inferred = %v", solver, oc.Inferred)
+		}
+		if !oc.Inferred[0].Derived {
+			t.Error("inferred fact should be marked derived")
+		}
+		g := oc.ConsistentGraph()
+		if len(g) != 5 { // 4 kept + 1 inferred
+			t.Errorf("%v: consistent graph has %d facts", solver, len(g))
+		}
+		for _, q := range g {
+			if q.Object.Value == "Napoli" {
+				t.Errorf("%v: Napoli in consistent graph", solver)
+			}
+		}
+	}
+}
+
+func TestConflictClusters(t *testing.T) {
+	oc := solve(t, figure1, figure4and6, translate.SolverMLN, Options{})
+	if oc.Stats.ConflictClusters != 1 {
+		t.Fatalf("clusters = %d, want 1", oc.Stats.ConflictClusters)
+	}
+	cl := oc.Clusters[0]
+	if len(cl) != 2 {
+		t.Fatalf("cluster size = %d, want 2 (Chelsea & Napoli)", len(cl))
+	}
+	joined := cl[0].String() + cl[1].String()
+	if !strings.Contains(joined, "Chelsea") || !strings.Contains(joined, "Napoli") {
+		t.Errorf("cluster = %v", cl)
+	}
+}
+
+func TestDerivedConfidencePropagationMLN(t *testing.T) {
+	oc := solve(t, figure1, figure4and6, translate.SolverMLN, Options{})
+	// worksFor inherits min body conf (0.5) × σ(2.5) ≈ 0.46.
+	got := oc.Inferred[0].Quad.Confidence
+	if got < 0.4 || got > 0.5 {
+		t.Errorf("derived confidence = %g, want ≈ 0.46", got)
+	}
+}
+
+func TestDerivedConfidencePSLUsesSoftValue(t *testing.T) {
+	oc := solve(t, figure1, figure4and6, translate.SolverPSL, Options{})
+	if len(oc.Inferred) != 1 {
+		t.Fatalf("inferred = %v", oc.Inferred)
+	}
+	got := oc.Inferred[0].Quad.Confidence
+	if got <= 0 || got > 1 {
+		t.Errorf("PSL derived confidence = %g", got)
+	}
+}
+
+func TestThresholdFiltersDerived(t *testing.T) {
+	oc := solve(t, figure1, figure4and6, translate.SolverMLN, Options{Threshold: 0.9})
+	if oc.Stats.InferredFacts != 0 || oc.Stats.ThresholdFiltered != 1 {
+		t.Errorf("threshold 0.9: stats = %+v", oc.Stats)
+	}
+	oc = solve(t, figure1, figure4and6, translate.SolverMLN, Options{Threshold: 0.1})
+	if oc.Stats.InferredFacts != 1 || oc.Stats.ThresholdFiltered != 0 {
+		t.Errorf("threshold 0.1: stats = %+v", oc.Stats)
+	}
+}
+
+func TestRemovedWeight(t *testing.T) {
+	oc := solve(t, figure1, figure4and6, translate.SolverMLN, Options{})
+	if oc.Stats.RemovedWeight != 0.6 {
+		t.Errorf("RemovedWeight = %g, want 0.6 (Napoli)", oc.Stats.RemovedWeight)
+	}
+}
+
+func TestNoConstraintsNothingRemoved(t *testing.T) {
+	oc := solve(t, figure1, "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5",
+		translate.SolverMLN, Options{})
+	if oc.Stats.RemovedFacts != 0 || oc.Stats.ConflictClusters != 0 {
+		t.Errorf("stats = %+v", oc.Stats)
+	}
+}
+
+func TestResidualViolationsEmptyForHard(t *testing.T) {
+	oc := solve(t, figure1, figure4and6, translate.SolverMLN, Options{})
+	if n := oc.Stats.RuleViolations["c2"]; n != 0 {
+		t.Errorf("hard constraint still violated %d times", n)
+	}
+}
+
+func TestFactsSorted(t *testing.T) {
+	oc := solve(t, figure1, figure4and6, translate.SolverMLN, Options{})
+	for i := 1; i < len(oc.Kept); i++ {
+		if oc.Kept[i-1].AtomID >= oc.Kept[i].AtomID {
+			t.Fatal("kept facts not sorted by atom id")
+		}
+	}
+}
+
+func TestExplanationsOnRemovedFacts(t *testing.T) {
+	oc := solve(t, figure1, figure4and6, translate.SolverMLN, Options{})
+	if len(oc.Removed) != 1 {
+		t.Fatalf("removed = %v", oc.Removed)
+	}
+	ex := oc.Removed[0].Explanations
+	if len(ex) == 0 {
+		t.Fatal("removed fact has no explanation")
+	}
+	if ex[0].Rule != "c2" {
+		t.Errorf("explanation rule = %q", ex[0].Rule)
+	}
+	if len(ex[0].Partners) != 1 || !strings.Contains(ex[0].Partners[0].String(), "Chelsea") {
+		t.Errorf("explanation partners = %v", ex[0].Partners)
+	}
+	if !strings.Contains(ex[0].String(), "c2 with (CR, coach, Chelsea") {
+		t.Errorf("explanation string = %q", ex[0].String())
+	}
+	// Kept facts carry no explanations.
+	for _, f := range oc.Kept {
+		if len(f.Explanations) != 0 {
+			t.Errorf("kept fact %v has explanations", f.Quad)
+		}
+	}
+}

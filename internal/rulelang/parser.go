@@ -1,0 +1,480 @@
+package rulelang
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/temporal"
+)
+
+// Parse parses a whole rule/constraint document (one rule per line or
+// dot-terminated) into a validated logic.Program.
+func Parse(src string) (*logic.Program, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &logic.Program{}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokNewline {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("rulelang: %w", err)
+	}
+	return prog, nil
+}
+
+// ParseRule parses a single rule.
+func ParseRule(src string) (*logic.Rule, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Rules) != 1 {
+		return nil, fmt.Errorf("rulelang: expected exactly one rule, found %d", len(prog.Rules))
+	}
+	return prog.Rules[0], nil
+}
+
+// IsVariableName reports whether a bare identifier is treated as a
+// variable: a single lowercase letter followed by optional digits and
+// primes (x, y2, t, t”).
+func IsVariableName(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	i := 1
+	for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+	}
+	for ; i < len(s) && s[i] == '\''; i++ {
+	}
+	return i == len(s)
+}
+
+// Surface names of built-in predicates: Allen relations plus the loose
+// disjoint/overlap predicates of the paper's constraint figures.
+func allenRelSet(name string) (temporal.RelationSet, bool) {
+	switch name {
+	case "disjoint":
+		return temporal.DisjointSet, true
+	case "overlap", "intersects", "intersect":
+		return temporal.IntersectsSet, true
+	}
+	if r, err := temporal.ParseRelation(name); err == nil {
+		return temporal.NewRelationSet(r), true
+	}
+	return 0, false
+}
+
+func isTimeFunc(name string) bool {
+	switch name {
+	case "start", "end", "duration":
+		return true
+	}
+	return false
+}
+
+// --- neutral parse tree (resolved into logic types per rule) ---
+
+type pExpr interface{}
+
+type pVar struct{ name string }
+type pNum struct{ v float64 }
+type pInterval struct{ iv temporal.Interval }
+type pIRI struct{ iri string }
+type pString struct{ s string }
+type pCall struct {
+	name string
+	args []pExpr
+}
+type pBin struct {
+	op   logic.NumBinOp
+	l, r pExpr
+}
+
+type pCond struct {
+	// Either a call condition (Allen predicate) or an infix comparison.
+	call *pCall
+	op   logic.CmpOp
+	l, r pExpr
+}
+
+type pAtom struct {
+	s, p, o, t pExpr
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("rulelang: %d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errorf("expected %s, found %s %q", k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// rule parses: [name ':'] conjuncts '->' head ['w' '=' weight] (newline|EOF)
+func (p *parser) rule() (*logic.Rule, error) {
+	rb := &ruleBuilder{timeVars: map[string]bool{}, objVars: map[string]bool{}}
+
+	// Optional rule name: IDENT ':' lookahead.
+	if p.tok.kind == tokIdent {
+		save := *p.lx
+		saveTok := p.tok
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokColon {
+			rb.name = name
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else {
+			*p.lx = save
+			p.tok = saveTok
+		}
+	}
+
+	// Body conjuncts.
+	for {
+		atom, cond, err := p.conjunct()
+		if err != nil {
+			return nil, err
+		}
+		if atom != nil {
+			rb.bodyAtoms = append(rb.bodyAtoms, *atom)
+		} else {
+			rb.bodyConds = append(rb.bodyConds, *cond)
+		}
+		if p.tok.kind == tokAnd {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return nil, err
+	}
+
+	// Head: atom, condition, or falsum.
+	if p.tok.kind == tokIdent && (p.tok.text == "false" || p.tok.text == "bottom") {
+		rb.headFalse = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		atom, cond, err := p.conjunct()
+		if err != nil {
+			return nil, err
+		}
+		if atom != nil {
+			rb.headAtom = atom
+		} else {
+			rb.headCond = cond
+		}
+	}
+
+	// Optional weight clause.
+	weight := math.Inf(1)
+	if p.tok.kind == tokIdent && (p.tok.text == "w" || p.tok.text == "weight") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokCmp || p.tok.text != "=" {
+			return nil, p.errorf("expected '=' after 'w'")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.tok.kind == tokNumber:
+			v, err := strconv.ParseFloat(p.tok.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad weight %q", p.tok.text)
+			}
+			weight = v
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == tokIdent && (strings.EqualFold(p.tok.text, "inf") || strings.EqualFold(p.tok.text, "infinity") || p.tok.text == "hard"):
+			weight = math.Inf(1)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("expected weight value, found %q", p.tok.text)
+		}
+	}
+
+	// Rule terminator.
+	switch p.tok.kind {
+	case tokNewline:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	case tokEOF:
+	default:
+		return nil, p.errorf("unexpected %s %q after rule", p.tok.kind, p.tok.text)
+	}
+
+	return rb.build(weight)
+}
+
+// conjunct parses one body/head element: a quad atom, a built-in call
+// condition, or an infix comparison.
+func (p *parser) conjunct() (*pAtom, *pCond, error) {
+	// A conjunct starting with IDENT '(' is an atom or call; otherwise it
+	// is an infix comparison over expressions.
+	if p.tok.kind == tokIdent {
+		save := *p.lx
+		saveTok := p.tok
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, nil, err
+		}
+		// Time functions and interval combinators start an expression
+		// (start(t) - start(t') < 20), not an atom.
+		if p.tok.kind == tokLParen && !isTimeFunc(name) && name != "intersect" && name != "span" {
+			if err := p.advance(); err != nil {
+				return nil, nil, err
+			}
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, nil, err
+			}
+			return p.classifyCall(name, args, saveTok)
+		}
+		// Not an atom call: rewind and fall through to expression parsing.
+		*p.lx = save
+		p.tok = saveTok
+	}
+	return p.infixCond()
+}
+
+func (p *parser) callArgs() ([]pExpr, error) {
+	var args []pExpr
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// classifyCall turns name(args...) into a quad atom, an Allen condition,
+// or an error. The sugar p(x, y, t) expands to quad(x, p, y, t).
+func (p *parser) classifyCall(name string, args []pExpr, at token) (*pAtom, *pCond, error) {
+	if _, ok := allenRelSet(name); ok {
+		if len(args) != 2 {
+			return nil, nil, fmt.Errorf("rulelang: %d:%d: %s expects 2 arguments, got %d", at.line, at.col, name, len(args))
+		}
+		return nil, &pCond{call: &pCall{name: name, args: args}}, nil
+	}
+	switch name {
+	case "quad":
+		if len(args) != 4 {
+			return nil, nil, fmt.Errorf("rulelang: %d:%d: quad expects 4 arguments, got %d", at.line, at.col, len(args))
+		}
+		return &pAtom{s: args[0], p: args[1], o: args[2], t: args[3]}, nil, nil
+	case "start", "end", "duration":
+		return nil, nil, fmt.Errorf("rulelang: %d:%d: %s(...) can only appear inside a comparison", at.line, at.col, name)
+	default:
+		if len(args) != 3 {
+			return nil, nil, fmt.Errorf("rulelang: %d:%d: %s expects 3 arguments (subject, object, time), got %d", at.line, at.col, name, len(args))
+		}
+		return &pAtom{s: args[0], p: pIRI{iri: name}, o: args[1], t: args[2]}, nil, nil
+	}
+}
+
+// infixCond parses expr CMP expr.
+func (p *parser) infixCond() (*pAtom, *pCond, error) {
+	l, err := p.expr()
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.tok.kind != tokCmp {
+		return nil, nil, p.errorf("expected comparison operator, found %s %q", p.tok.kind, p.tok.text)
+	}
+	op, err := parseCmp(p.tok.text)
+	if err != nil {
+		return nil, nil, p.errorf("%v", err)
+	}
+	if err := p.advance(); err != nil {
+		return nil, nil, err
+	}
+	r, err := p.expr()
+	if err != nil {
+		return nil, nil, err
+	}
+	return nil, &pCond{op: op, l: l, r: r}, nil
+}
+
+func parseCmp(s string) (logic.CmpOp, error) {
+	switch s {
+	case "=":
+		return logic.EQ, nil
+	case "!=":
+		return logic.NE, nil
+	case "<":
+		return logic.LT, nil
+	case "<=":
+		return logic.LE, nil
+	case ">":
+		return logic.GT, nil
+	case ">=":
+		return logic.GE, nil
+	}
+	return 0, fmt.Errorf("unknown comparison %q", s)
+}
+
+// expr parses an additive expression over primaries.
+func (p *parser) expr() (pExpr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+		op := logic.NumAdd
+		if p.tok.kind == tokMinus {
+			op = logic.NumSub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		l = pBin{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) primary() (pExpr, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return pNum{v: v}, nil
+	case tokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		n, ok := inner.(pNum)
+		if !ok {
+			return nil, p.errorf("unary minus requires a numeric literal")
+		}
+		return pNum{v: -n.v}, nil
+	case tokInterval:
+		iv, err := temporal.Parse(p.tok.text)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return pInterval{iv: iv}, nil
+	case tokIRI:
+		iri := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return pIRI{iri: iri}, nil
+	case tokString:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return pString{s: s}, nil
+	case tokVar:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return pVar{name: name}, nil
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokLParen {
+			if !isTimeFunc(name) && name != "intersect" && name != "span" {
+				return nil, p.errorf("unknown function %q in expression", name)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			wantArgs := 1
+			if name == "intersect" || name == "span" {
+				wantArgs = 2
+			}
+			if len(args) != wantArgs {
+				return nil, p.errorf("%s expects %d argument(s), got %d", name, wantArgs, len(args))
+			}
+			return pCall{name: name, args: args}, nil
+		}
+		if IsVariableName(name) {
+			return pVar{name: name}, nil
+		}
+		return pIRI{iri: name}, nil
+	default:
+		return nil, p.errorf("unexpected %s %q in expression", p.tok.kind, p.tok.text)
+	}
+}

@@ -1,0 +1,358 @@
+package rulelang
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/logic"
+	"repro/internal/rdf"
+	"repro/internal/temporal"
+)
+
+// ruleBuilder accumulates the parsed pieces of one rule and resolves them
+// into a typed logic.Rule. Resolution classifies every variable as an
+// object variable or a time variable from the positions it occupies in
+// quad atoms; conditions are then typed accordingly (y != z becomes a
+// term comparison, before(t, t') an Allen condition, start(t) - z < 20 an
+// arithmetic condition).
+type ruleBuilder struct {
+	name      string
+	bodyAtoms []pAtom
+	bodyConds []pCond
+	headAtom  *pAtom
+	headCond  *pCond
+	headFalse bool
+
+	timeVars map[string]bool
+	objVars  map[string]bool
+}
+
+func (rb *ruleBuilder) build(weight float64) (*logic.Rule, error) {
+	// Pass 1: classify variables by atom position.
+	classify := func(a pAtom) error {
+		for _, e := range []pExpr{a.s, a.p, a.o} {
+			if v, ok := e.(pVar); ok {
+				if rb.timeVars[v.name] {
+					return fmt.Errorf("rulelang: rule %s: variable %q used in both object and time positions", rb.display(), v.name)
+				}
+				rb.objVars[v.name] = true
+			}
+		}
+		return rb.markTimeVars(a.t)
+	}
+	for _, a := range rb.bodyAtoms {
+		if err := classify(a); err != nil {
+			return nil, err
+		}
+	}
+	if rb.headAtom != nil {
+		if err := classify(*rb.headAtom); err != nil {
+			return nil, err
+		}
+	}
+
+	r := &logic.Rule{Name: rb.name, Weight: weight}
+	for _, a := range rb.bodyAtoms {
+		qa, err := rb.atom(a)
+		if err != nil {
+			return nil, err
+		}
+		r.Body = append(r.Body, qa)
+	}
+	for _, c := range rb.bodyConds {
+		lc, err := rb.cond(c)
+		if err != nil {
+			return nil, err
+		}
+		r.Conds = append(r.Conds, lc)
+	}
+	switch {
+	case rb.headFalse:
+		r.Head = logic.Head{Kind: logic.HeadFalse}
+	case rb.headAtom != nil:
+		qa, err := rb.atom(*rb.headAtom)
+		if err != nil {
+			return nil, err
+		}
+		r.Head = logic.Head{Kind: logic.HeadAtom, Atom: qa}
+	case rb.headCond != nil:
+		lc, err := rb.cond(*rb.headCond)
+		if err != nil {
+			return nil, err
+		}
+		r.Head = logic.Head{Kind: logic.HeadCond, Cond: lc}
+	default:
+		return nil, fmt.Errorf("rulelang: rule %s: missing head", rb.display())
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (rb *ruleBuilder) display() string {
+	if rb.name != "" {
+		return rb.name
+	}
+	return "<anonymous>"
+}
+
+// markTimeVars registers every variable inside a time-position expression
+// as a time variable.
+func (rb *ruleBuilder) markTimeVars(e pExpr) error {
+	switch v := e.(type) {
+	case pVar:
+		if rb.objVars[v.name] {
+			return fmt.Errorf("rulelang: rule %s: variable %q used in both object and time positions", rb.display(), v.name)
+		}
+		rb.timeVars[v.name] = true
+		return nil
+	case pInterval:
+		return nil
+	case pCall:
+		if v.name != "intersect" && v.name != "span" {
+			return fmt.Errorf("rulelang: rule %s: %q is not a time expression", rb.display(), v.name)
+		}
+		for _, a := range v.args {
+			if err := rb.markTimeVars(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("rulelang: rule %s: invalid time-position expression %T", rb.display(), e)
+	}
+}
+
+// atom resolves a parsed atom into a typed quad atom.
+func (rb *ruleBuilder) atom(a pAtom) (logic.QuadAtom, error) {
+	s, err := rb.objTerm(a.s, "subject")
+	if err != nil {
+		return logic.QuadAtom{}, err
+	}
+	p, err := rb.objTerm(a.p, "predicate")
+	if err != nil {
+		return logic.QuadAtom{}, err
+	}
+	o, err := rb.objTerm(a.o, "object")
+	if err != nil {
+		return logic.QuadAtom{}, err
+	}
+	t, err := rb.timeTerm(a.t)
+	if err != nil {
+		return logic.QuadAtom{}, err
+	}
+	return logic.QuadAtom{S: s, P: p, O: o, T: t}, nil
+}
+
+func (rb *ruleBuilder) objTerm(e pExpr, pos string) (logic.Term, error) {
+	switch v := e.(type) {
+	case pVar:
+		return logic.V(v.name), nil
+	case pIRI:
+		return logic.CIRI(v.iri), nil
+	case pString:
+		return logic.C(rdf.NewLiteral(v.s)), nil
+	case pNum:
+		n := int64(v.v)
+		if float64(n) != v.v {
+			return logic.Term{}, fmt.Errorf("rulelang: rule %s: non-integer constant %g in %s position", rb.display(), v.v, pos)
+		}
+		return logic.C(rdf.Integer(n)), nil
+	default:
+		return logic.Term{}, fmt.Errorf("rulelang: rule %s: invalid %s term %T", rb.display(), pos, e)
+	}
+}
+
+func (rb *ruleBuilder) timeTerm(e pExpr) (logic.TimeTerm, error) {
+	switch v := e.(type) {
+	case pVar:
+		return logic.TV(v.name), nil
+	case pInterval:
+		return logic.TC(v.iv), nil
+	case pCall:
+		if v.name != "intersect" && v.name != "span" || len(v.args) != 2 {
+			return logic.TimeTerm{}, fmt.Errorf("rulelang: rule %s: invalid time expression %s", rb.display(), v.name)
+		}
+		l, err := rb.timeTerm(v.args[0])
+		if err != nil {
+			return logic.TimeTerm{}, err
+		}
+		r, err := rb.timeTerm(v.args[1])
+		if err != nil {
+			return logic.TimeTerm{}, err
+		}
+		if v.name == "intersect" {
+			return logic.TIntersect(l, r), nil
+		}
+		return logic.TSpan(l, r), nil
+	default:
+		return logic.TimeTerm{}, fmt.Errorf("rulelang: rule %s: invalid time term %T", rb.display(), e)
+	}
+}
+
+// exprClass classifies one side of an infix comparison.
+type exprClass uint8
+
+const (
+	classObj exprClass = iota
+	classTime
+	classNum
+)
+
+func (rb *ruleBuilder) classOf(e pExpr) exprClass {
+	switch v := e.(type) {
+	case pVar:
+		if rb.timeVars[v.name] {
+			return classTime
+		}
+		return classObj
+	case pInterval:
+		return classTime
+	case pNum:
+		return classNum
+	case pBin:
+		return classNum
+	case pCall:
+		if v.name == "intersect" || v.name == "span" {
+			return classTime
+		}
+		return classNum // start/end/duration
+	default:
+		return classObj
+	}
+}
+
+// cond resolves a parsed condition.
+func (rb *ruleBuilder) cond(c pCond) (logic.Condition, error) {
+	if c.call != nil {
+		rels, ok := allenRelSet(c.call.name)
+		if !ok {
+			return nil, fmt.Errorf("rulelang: rule %s: unknown temporal predicate %q", rb.display(), c.call.name)
+		}
+		l, err := rb.timeTerm(c.call.args[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := rb.timeTerm(c.call.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return logic.AllenCond{Name: c.call.name, Rels: rels, L: l, R: r}, nil
+	}
+
+	lc, rc := rb.classOf(c.l), rb.classOf(c.r)
+	switch {
+	case lc == classTime && rc == classTime:
+		// t = t' / t != t' become Allen equality conditions.
+		l, err := rb.timeTerm(c.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rb.timeTerm(c.r)
+		if err != nil {
+			return nil, err
+		}
+		switch c.op {
+		case logic.EQ:
+			return logic.AllenCond{Name: "equals", Rels: temporal.NewRelationSet(temporal.Equals), L: l, R: r}, nil
+		case logic.NE:
+			return logic.AllenCond{Name: "notEquals", Rels: temporal.FullSet &^ temporal.NewRelationSet(temporal.Equals), L: l, R: r}, nil
+		default:
+			return nil, fmt.Errorf("rulelang: rule %s: ordered comparison of intervals; use Allen relations instead", rb.display())
+		}
+	case lc == classObj && rc == classObj:
+		l, err := rb.objTerm(c.l, "comparison")
+		if err != nil {
+			return nil, err
+		}
+		r, err := rb.objTerm(c.r, "comparison")
+		if err != nil {
+			return nil, err
+		}
+		return logic.CompareCond{Op: c.op, L: l, R: r}, nil
+	default:
+		// Mixed or numeric: arithmetic comparison.
+		l, err := rb.numExpr(c.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rb.numExpr(c.r)
+		if err != nil {
+			return nil, err
+		}
+		return logic.ArithCond{Op: c.op, L: l, R: r}, nil
+	}
+}
+
+func (rb *ruleBuilder) numExpr(e pExpr) (logic.NumExpr, error) {
+	switch v := e.(type) {
+	case pNum:
+		n := int64(v.v)
+		if float64(n) != v.v {
+			return nil, fmt.Errorf("rulelang: rule %s: non-integer %g in arithmetic", rb.display(), v.v)
+		}
+		return logic.NumConst(n), nil
+	case pBin:
+		l, err := rb.numExpr(v.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rb.numExpr(v.r)
+		if err != nil {
+			return nil, err
+		}
+		return logic.NumBin{Op: v.op, L: l, R: r}, nil
+	case pVar:
+		if rb.timeVars[v.name] {
+			// Bare time variable in numeric context denotes its start.
+			return logic.TimeNum{Acc: logic.AccStart, T: logic.TV(v.name)}, nil
+		}
+		return logic.ObjNum{T: logic.V(v.name)}, nil
+	case pInterval:
+		return logic.TimeNum{Acc: logic.AccStart, T: logic.TC(v.iv)}, nil
+	case pCall:
+		switch v.name {
+		case "start", "end", "duration":
+			t, err := rb.timeTerm(v.args[0])
+			if err != nil {
+				return nil, err
+			}
+			acc := map[string]logic.TimeAccessor{
+				"start": logic.AccStart, "end": logic.AccEnd, "duration": logic.AccDuration,
+			}[v.name]
+			return logic.TimeNum{Acc: acc, T: t}, nil
+		default:
+			return nil, fmt.Errorf("rulelang: rule %s: %q is not numeric", rb.display(), v.name)
+		}
+	case pIRI:
+		return logic.ObjNum{T: logic.CIRI(v.iri)}, nil
+	default:
+		return nil, fmt.Errorf("rulelang: rule %s: invalid numeric expression %T", rb.display(), e)
+	}
+}
+
+// Format renders a program back to parseable surface syntax, one rule per
+// line. Weights print as "w = inf" for hard rules.
+func Format(p *logic.Program) string {
+	out := ""
+	for _, r := range p.Rules {
+		if r.Name != "" {
+			out += r.Name + ": "
+		}
+		out += r.String() + "\n"
+	}
+	return out
+}
+
+// MustParse parses src and panics on error; for tests and examples.
+func MustParse(src string) *logic.Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// HardWeight is the weight of hard (deterministic) formulas.
+var HardWeight = math.Inf(1)

@@ -1,0 +1,140 @@
+package rulelang
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/temporal"
+)
+
+// Property: any rule assembled from the logic AST prints to surface
+// syntax that parses back to a rule with the identical printed form
+// (print∘parse∘print = print). Random rules cover quad atoms with
+// variable/constant mixes, Allen and comparison and arithmetic
+// conditions, the three head kinds, and hard/soft weights.
+
+func randTerm(rng *rand.Rand, vars []string) logic.Term {
+	if rng.Intn(2) == 0 {
+		return logic.V(vars[rng.Intn(len(vars))])
+	}
+	consts := []string{"CR", "Chelsea", "Napoli", "team42", "cityX"}
+	return logic.CIRI(consts[rng.Intn(len(consts))])
+}
+
+func randTimeVar(rng *rand.Rand) string {
+	return []string{"t", "t'", "t''", "t2"}[rng.Intn(4)]
+}
+
+func randAtom(rng *rand.Rand, objVars []string, timeVars *[]string) logic.QuadAtom {
+	tv := randTimeVar(rng)
+	*timeVars = append(*timeVars, tv)
+	preds := []string{"coach", "playsFor", "worksFor", "bornIn", "memberOf"}
+	return logic.QuadAtom{
+		S: randTerm(rng, objVars),
+		P: logic.CIRI(preds[rng.Intn(len(preds))]),
+		O: randTerm(rng, objVars),
+		T: logic.TV(tv),
+	}
+}
+
+func randCond(rng *rand.Rand, objVars, timeVars []string) logic.Condition {
+	switch rng.Intn(3) {
+	case 0:
+		rels := []temporal.Relation{temporal.Before, temporal.Overlaps, temporal.During, temporal.Meets}
+		r := rels[rng.Intn(len(rels))]
+		return logic.AllenCond{
+			Name: r.String(), Rels: temporal.NewRelationSet(r),
+			L: logic.TV(timeVars[rng.Intn(len(timeVars))]),
+			R: logic.TV(timeVars[rng.Intn(len(timeVars))]),
+		}
+	case 1:
+		ops := []logic.CmpOp{logic.EQ, logic.NE}
+		return logic.CompareCond{
+			Op: ops[rng.Intn(2)],
+			L:  logic.V(objVars[rng.Intn(len(objVars))]),
+			R:  logic.V(objVars[rng.Intn(len(objVars))]),
+		}
+	default:
+		ops := []logic.CmpOp{logic.LT, logic.LE, logic.GT, logic.GE}
+		return logic.ArithCond{
+			Op: ops[rng.Intn(4)],
+			L: logic.NumBin{Op: logic.NumSub,
+				L: logic.TimeNum{Acc: logic.AccStart, T: logic.TV(timeVars[rng.Intn(len(timeVars))])},
+				R: logic.TimeNum{Acc: logic.AccEnd, T: logic.TV(timeVars[rng.Intn(len(timeVars))])}},
+			R: logic.NumConst(int64(rng.Intn(40) - 20)),
+		}
+	}
+}
+
+func randRule(rng *rand.Rand, idx int) *logic.Rule {
+	objVars := []string{"x", "y", "z"}
+	var timeVars []string
+	r := &logic.Rule{Name: "r" + string(rune('a'+idx%26)) + string(rune('a'+(idx/26)%26))}
+	nBody := 1 + rng.Intn(3)
+	for i := 0; i < nBody; i++ {
+		r.Body = append(r.Body, randAtom(rng, objVars, &timeVars))
+	}
+	// Ensure every object variable is bound by forcing variables into
+	// the first atom.
+	r.Body[0].S = logic.V("x")
+	r.Body[0].O = logic.V("y")
+	if nBody > 1 {
+		r.Body[1].O = logic.V("z")
+	} else {
+		objVars = []string{"x", "y"}
+	}
+	nConds := rng.Intn(3)
+	for i := 0; i < nConds; i++ {
+		r.Conds = append(r.Conds, randCond(rng, objVars, timeVars))
+	}
+	switch rng.Intn(3) {
+	case 0:
+		r.Head = logic.Head{Kind: logic.HeadAtom, Atom: logic.QuadAtom{
+			S: logic.V("x"), P: logic.CIRI("derived"), O: logic.V("y"),
+			T: logic.TV(timeVars[0]),
+		}}
+	case 1:
+		r.Head = logic.Head{Kind: logic.HeadCond, Cond: randCond(rng, objVars, timeVars)}
+	default:
+		r.Head = logic.Head{Kind: logic.HeadFalse}
+	}
+	if rng.Intn(2) == 0 {
+		r.Weight = HardWeight
+	} else {
+		r.Weight = float64(1+rng.Intn(40)) / 8
+	}
+	return r
+}
+
+func TestRandomRuleRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	accepted := 0
+	for trial := 0; trial < 500; trial++ {
+		r := randRule(rng, trial)
+		if r.Validate() != nil {
+			continue // unsafe random combination; skip
+		}
+		accepted++
+		prog := &logic.Program{Rules: []*logic.Rule{r}}
+		text := Format(prog)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse of %q failed: %v", trial, text, err)
+		}
+		if len(back.Rules) != 1 {
+			t.Fatalf("trial %d: got %d rules", trial, len(back.Rules))
+		}
+		b := back.Rules[0]
+		if b.String() != r.String() {
+			t.Fatalf("trial %d: print-parse-print changed:\n  in:  %s\n  out: %s", trial, r, b)
+		}
+		if b.Hard() != r.Hard() || len(b.Body) != len(r.Body) || len(b.Conds) != len(r.Conds) ||
+			b.Head.Kind != r.Head.Kind {
+			t.Fatalf("trial %d: structure changed:\n  in:  %s\n  out: %s", trial, r, b)
+		}
+	}
+	if accepted < 300 {
+		t.Fatalf("only %d/500 random rules validated; generator too restrictive", accepted)
+	}
+}

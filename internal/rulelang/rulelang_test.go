@@ -1,0 +1,359 @@
+package rulelang
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/temporal"
+)
+
+// The paper's inference rules (Figure 4) in our surface syntax.
+const paperRules = `
+f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5
+f2: quad(x, worksFor, y, t) ^ quad(y, locatedIn, z, t') ^ overlaps(t, t') -> quad(x, livesIn, z, intersect(t, t')) w = 1.6
+f3: quad(x, playsFor, y, t) ^ quad(x, birthDate, z, t') ^ start(t) - start(t') < 20 -> quad(x, type, TeenPlayer, t) w = 2.9
+`
+
+// The paper's constraints (Figure 6).
+const paperConstraints = `
+c1: quad(x, birthDate, y, t) ^ quad(x, deathDate, z, t') -> before(t, t') w = inf
+c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf
+c3: quad(x, bornIn, y, t) ^ quad(x, bornIn, z, t') ^ overlap(t, t') -> y = z w = inf
+`
+
+func TestParsePaperRules(t *testing.T) {
+	prog, err := Parse(paperRules)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Rules) != 3 {
+		t.Fatalf("got %d rules", len(prog.Rules))
+	}
+	f1 := prog.Rules[0]
+	if f1.Name != "f1" || f1.Weight != 2.5 || f1.IsConstraint() {
+		t.Errorf("f1 = %+v", f1)
+	}
+	if len(f1.Body) != 1 || f1.Body[0].P.Const.Value != "playsFor" {
+		t.Errorf("f1 body = %v", f1.Body)
+	}
+	if f1.Head.Atom.P.Const.Value != "worksFor" {
+		t.Errorf("f1 head = %v", f1.Head)
+	}
+
+	f2 := prog.Rules[1]
+	if len(f2.Body) != 2 || len(f2.Conds) != 1 {
+		t.Fatalf("f2 shape: body=%d conds=%d", len(f2.Body), len(f2.Conds))
+	}
+	ac, ok := f2.Conds[0].(logic.AllenCond)
+	if !ok || !ac.Rels.Has(temporal.Overlaps) || ac.Rels.Len() != 1 {
+		t.Errorf("f2 condition = %#v", f2.Conds[0])
+	}
+	if f2.Head.Atom.T.Kind != logic.TimeIntersect {
+		t.Errorf("f2 head time = %v", f2.Head.Atom.T)
+	}
+
+	f3 := prog.Rules[2]
+	if len(f3.Conds) != 1 {
+		t.Fatalf("f3 conds = %d", len(f3.Conds))
+	}
+	arc, ok := f3.Conds[0].(logic.ArithCond)
+	if !ok || arc.Op != logic.LT {
+		t.Errorf("f3 condition = %#v", f3.Conds[0])
+	}
+}
+
+func TestParsePaperConstraints(t *testing.T) {
+	prog, err := Parse(paperConstraints)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Rules) != 3 {
+		t.Fatalf("got %d rules", len(prog.Rules))
+	}
+	for _, r := range prog.Rules {
+		if !r.Hard() || !r.IsConstraint() {
+			t.Errorf("%s should be a hard constraint", r.Name)
+		}
+	}
+	c1 := prog.Rules[0]
+	hc, ok := c1.Head.Cond.(logic.AllenCond)
+	if !ok || !hc.Rels.Has(temporal.Before) || hc.Rels.Len() != 1 {
+		t.Errorf("c1 head = %#v", c1.Head.Cond)
+	}
+	c2 := prog.Rules[1]
+	if len(c2.Conds) != 1 {
+		t.Fatalf("c2 conds = %d", len(c2.Conds))
+	}
+	cc, ok := c2.Conds[0].(logic.CompareCond)
+	if !ok || cc.Op != logic.NE {
+		t.Errorf("c2 condition = %#v", c2.Conds[0])
+	}
+	hd, ok := c2.Head.Cond.(logic.AllenCond)
+	if !ok || hd.Rels != temporal.DisjointSet {
+		t.Errorf("c2 head = %#v", c2.Head.Cond)
+	}
+	c3 := prog.Rules[2]
+	bc, ok := c3.Conds[0].(logic.AllenCond)
+	if !ok || bc.Rels != temporal.IntersectsSet {
+		t.Errorf("c3 overlap condition = %#v", c3.Conds[0])
+	}
+	he, ok := c3.Head.Cond.(logic.CompareCond)
+	if !ok || he.Op != logic.EQ {
+		t.Errorf("c3 head = %#v", c3.Head.Cond)
+	}
+}
+
+func TestSugarPredicateAtom(t *testing.T) {
+	r, err := ParseRule("playsFor(x, y, t) -> worksFor(x, y, t) w = 2.5")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if r.Body[0].P.Const.Value != "playsFor" || r.Head.Atom.P.Const.Value != "worksFor" {
+		t.Errorf("sugar expansion wrong: %v", r)
+	}
+}
+
+func TestUnicodeSyntax(t *testing.T) {
+	r, err := ParseRule("quad(x, coach, y, t) ∧ quad(x, coach, z, t') ∧ y ≠ z → disjoint(t, t') w = inf")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if !r.Hard() || len(r.Body) != 2 || len(r.Conds) != 1 {
+		t.Errorf("unicode rule = %v", r)
+	}
+}
+
+func TestDefaultWeightIsHard(t *testing.T) {
+	r, err := ParseRule("quad(x, bornIn, y, t) ^ quad(x, bornIn, z, t') ^ y != z -> false")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if !r.Hard() || r.Head.Kind != logic.HeadFalse {
+		t.Errorf("rule = %v", r)
+	}
+}
+
+func TestExplicitVariables(t *testing.T) {
+	r, err := ParseRule("quad(?person, coach, ?club, ?when) -> quad(?person, worksFor, ?club, ?when) w = 1")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if r.Body[0].S.Var != "person" || r.Body[0].T.Var != "when" {
+		t.Errorf("explicit variables wrong: %v", r.Body[0])
+	}
+}
+
+func TestIRIRefTerms(t *testing.T) {
+	r, err := ParseRule("quad(x, <http://example.org/coach>, y, t) -> false w = inf")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if r.Body[0].P.Const.Value != "http://example.org/coach" {
+		t.Errorf("IRI predicate = %v", r.Body[0].P)
+	}
+}
+
+func TestIntervalConstant(t *testing.T) {
+	r, err := ParseRule("quad(x, playsFor, y, [1984,1986]) -> quad(x, type, Retro, [1984,1986]) w = 1")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if r.Body[0].T.Kind != logic.TimeConst || r.Body[0].T.Const != temporal.MustNew(1984, 1986) {
+		t.Errorf("interval constant = %v", r.Body[0].T)
+	}
+}
+
+func TestStringLiteralTerm(t *testing.T) {
+	r, err := ParseRule(`quad(x, name, "Claudio Raineri", t) -> false`)
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if !r.Body[0].O.Const.IsLiteral() || r.Body[0].O.Const.Value != "Claudio Raineri" {
+		t.Errorf("string literal = %v", r.Body[0].O)
+	}
+}
+
+func TestNumericObjectConstant(t *testing.T) {
+	r, err := ParseRule("quad(x, birthDate, 1951, t) -> false")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if r.Body[0].O.Const.Value != "1951" {
+		t.Errorf("numeric object = %v", r.Body[0].O)
+	}
+}
+
+func TestTimeEqualityBecomesAllen(t *testing.T) {
+	r, err := ParseRule("quad(x, p, y, t) ^ quad(x, q, z, t') ^ t = t' -> false")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	ac, ok := r.Conds[0].(logic.AllenCond)
+	if !ok || !ac.Rels.Has(temporal.Equals) || ac.Rels.Len() != 1 {
+		t.Errorf("t = t' resolved to %#v", r.Conds[0])
+	}
+	r2, err := ParseRule("quad(x, p, y, t) ^ quad(x, q, z, t') ^ t != t' -> false")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	ac2 := r2.Conds[0].(logic.AllenCond)
+	if ac2.Rels.Has(temporal.Equals) || ac2.Rels.Len() != temporal.NumRelations-1 {
+		t.Errorf("t != t' resolved to %v", ac2.Rels)
+	}
+}
+
+func TestArithWithEndAndDuration(t *testing.T) {
+	r, err := ParseRule("quad(x, coach, y, t) ^ end(t) - start(t) >= 10 ^ duration(t) > 10 -> quad(x, type, Veteran, t) w = 1.5")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if len(r.Conds) != 2 {
+		t.Fatalf("conds = %d", len(r.Conds))
+	}
+}
+
+func TestObjectVarNumericComparison(t *testing.T) {
+	// z is an object variable compared to a number: ObjNum path.
+	r, err := ParseRule("quad(x, birthDate, z, t) ^ z < 1950 -> quad(x, type, Veteran, t) w = 1")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	arc, ok := r.Conds[0].(logic.ArithCond)
+	if !ok || arc.Op != logic.LT {
+		t.Errorf("condition = %#v", r.Conds[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"missing arrow":      "quad(x, p, y, t) w = 1",
+		"empty":              "-> false",
+		"bad quad arity":     "quad(x, y, t) -> false",
+		"bad allen arity":    "quad(x, p, y, t) ^ before(t) -> false",
+		"unknown func":       "quad(x, p, y, t) ^ frob(t) > 3 -> false",
+		"unsafe head var":    "quad(x, p, y, t) -> quad(x, q, w1, t) w = 1",
+		"unsafe cond var":    "quad(x, p, y, t) ^ y != q9 -> false",
+		"mixed var use":      "quad(x, p, t, t) -> false",
+		"bad weight":         "quad(x, p, y, t) -> false w = banana",
+		"missing paren":      "quad(x, p, y, t -> false",
+		"interval ordered":   "quad(x, p, y, t) ^ quad(x, q, z, t') ^ t < t' -> false",
+		"unterminated str":   `quad(x, p, "oops, t) -> false`,
+		"negative weight":    "quad(x, p, y, t) -> quad(x, q, y, t) w = -1",
+		"duplicate names":    "a: quad(x, p, y, t) -> false\na: quad(x, p, y, t) -> false",
+		"double arrow":       "quad(x, p, y, t) -> false -> false",
+		"time func in atom":  "quad(x, p, y, start(t)) -> false",
+		"garbage after rule": "quad(x, p, y, t) -> false w = 1 xyz",
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: %q should not parse", name, src)
+		}
+	}
+}
+
+func TestIsVariableName(t *testing.T) {
+	yes := []string{"x", "y", "t", "t'", "t''", "x1", "y22", "z9'"}
+	no := []string{"", "X", "CR", "playsFor", "xy", "1x", "x'a", "t'1"}
+	for _, s := range yes {
+		if !IsVariableName(s) {
+			t.Errorf("IsVariableName(%q) = false, want true", s)
+		}
+	}
+	for _, s := range no {
+		if IsVariableName(s) {
+			t.Errorf("IsVariableName(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	prog := MustParse(paperRules + paperConstraints)
+	text := Format(prog)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", text, err)
+	}
+	if len(back.Rules) != len(prog.Rules) {
+		t.Fatalf("rule count changed: %d vs %d", len(back.Rules), len(prog.Rules))
+	}
+	for i := range prog.Rules {
+		a, b := prog.Rules[i], back.Rules[i]
+		if a.Name != b.Name || len(a.Body) != len(b.Body) || len(a.Conds) != len(b.Conds) ||
+			a.Head.Kind != b.Head.Kind || a.Hard() != b.Hard() ||
+			(!a.Hard() && math.Abs(a.Weight-b.Weight) > 1e-12) {
+			t.Errorf("rule %d changed:\n  %v\n  %v", i, a, b)
+		}
+		if a.String() != b.String() {
+			t.Errorf("rule %d string changed:\n  %v\n  %v", i, a, b)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := `# leading comment
+// another comment
+
+f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5  # trailing comment
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Rules) != 1 || prog.Rules[0].Name != "f1" {
+		t.Errorf("rules = %v", prog.Rules)
+	}
+}
+
+func TestMultiLineRuleWithDots(t *testing.T) {
+	// Dot-terminated rules may share a line.
+	src := "quad(x, p, y, t) -> false . quad(x, q, y, t) -> false ."
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Errorf("got %d rules, want 2", len(prog.Rules))
+	}
+}
+
+func TestAllenNamesAccepted(t *testing.T) {
+	names := []string{"before", "after", "meets", "metBy", "overlaps", "overlappedBy",
+		"starts", "startedBy", "during", "contains", "finishes", "finishedBy", "equals",
+		"disjoint", "intersects", "overlap"}
+	for _, n := range names {
+		src := "quad(x, p, y, t) ^ quad(x, q, z, t') -> " + n + "(t, t') w = inf"
+		if _, err := Parse(src); err != nil {
+			t.Errorf("relation %s rejected: %v", n, err)
+		}
+	}
+}
+
+func TestWeightVariants(t *testing.T) {
+	for _, w := range []string{"w = inf", "w = Infinity", "w = hard", "weight = inf", ""} {
+		src := "quad(x, p, y, t) -> false " + w
+		r, err := ParseRule(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if !r.Hard() {
+			t.Errorf("%q should be hard", src)
+		}
+	}
+	r, err := ParseRule("quad(x, p, y, t) -> false w = 0.75")
+	if err != nil || r.Weight != 0.75 {
+		t.Errorf("fractional weight: %v %v", r, err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	prog := MustParse("c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf")
+	s := Format(prog)
+	for _, want := range []string{"c2:", "y != z", "disjoint(t, t')", "w = inf"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format missing %q in %q", want, s)
+		}
+	}
+}

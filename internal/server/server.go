@@ -1,0 +1,454 @@
+// Package server implements the TeCoRe Web UI: dataset selection and
+// upload, rule and constraint editing (with predicate auto-completion
+// and an Allen-relation constraint builder), MAP inference with either
+// solver, and the result statistics browser of Figure 8. All endpoints
+// are stdlib net/http; JSON APIs back the interactive pieces so the demo
+// can also be driven programmatically.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/kgen"
+	"repro/internal/logic"
+	"repro/internal/rdf"
+	"repro/internal/repair"
+	"repro/internal/rulelang"
+	"repro/internal/store"
+	"repro/internal/suggest"
+	"repro/internal/translate"
+)
+
+// Server holds the demo state: named datasets and their default
+// programs. It is safe for concurrent use.
+type Server struct {
+	mu       sync.RWMutex
+	datasets map[string]*dataset
+	mux      *http.ServeMux
+	// MaxFactsInResponse caps the fact lists returned by /api/solve.
+	MaxFactsInResponse int
+}
+
+type dataset struct {
+	name    string
+	graph   rdf.Graph
+	stats   store.Stats
+	program string // default rules/constraints text
+}
+
+// New returns a server preloaded with the paper's running example and
+// small generated FootballDB/Wikidata samples.
+func New() *Server {
+	s := &Server{
+		datasets:           make(map[string]*dataset),
+		MaxFactsInResponse: 200,
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	s.seed()
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /dataset/{name}", s.handleDataset)
+	s.mux.HandleFunc("GET /api/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /api/datasets", s.handleUpload)
+	s.mux.HandleFunc("GET /api/predicates", s.handlePredicates)
+	s.mux.HandleFunc("POST /api/constraint", s.handleConstraint)
+	s.mux.HandleFunc("POST /api/validate", s.handleValidate)
+	s.mux.HandleFunc("POST /api/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /api/suggest", s.handleSuggest)
+}
+
+// SuggestedConstraint is one mined constraint in /api/suggest.
+type SuggestedConstraint struct {
+	Kind       string  `json:"kind"`
+	Rule       string  `json:"rule"`
+	Support    int     `json:"support"`
+	Violations int     `json:"violations"`
+	Confidence float64 `json:"confidence"`
+}
+
+// handleSuggest mines candidate constraints from a dataset — the
+// "automatic suggestion of constraints" goal of the demo (Section 4).
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(r.URL.Query().Get("dataset"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown dataset")
+		return
+	}
+	st := store.New()
+	if err := st.AddGraph(d.graph); err != nil {
+		httpError(w, http.StatusInternalServerError, "loading dataset: %v", err)
+		return
+	}
+	sugs, err := suggest.Mine(st, suggest.Options{})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "mining: %v", err)
+		return
+	}
+	out := make([]SuggestedConstraint, 0, len(sugs))
+	for _, sg := range sugs {
+		out = append(out, SuggestedConstraint{
+			Kind:       string(sg.Kind),
+			Rule:       sg.Text(),
+			Support:    sg.Support,
+			Violations: sg.Violations,
+			Confidence: sg.Confidence,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// seed loads the demo datasets.
+func (s *Server) seed() {
+	running, err := rdf.ParseGraphString(`
+CR coach Chelsea [2000,2004] 0.9
+CR coach Leicester [2015,2017] 0.7
+CR playsFor Palermo [1984,1986] 0.5
+CR birthDate 1951 [1951,2017] 1.0
+CR coach Napoli [2001,2003] 0.6
+`)
+	if err != nil {
+		panic(fmt.Sprintf("server: seeding running example: %v", err))
+	}
+	s.addDataset("running-example", running, `
+f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5
+c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf
+`)
+	fb := kgen.Football(kgen.FootballConfig{Players: 400, NoiseRatio: 0.3, Seed: 1})
+	s.addDataset("footballdb-sample", fb.Graph, kgen.FootballProgram)
+	wd := kgen.Wikidata(kgen.WikidataConfig{Scale: 0.001, Seed: 1})
+	s.addDataset("wikidata-sample", wd.Graph, kgen.WikidataProgram)
+}
+
+func (s *Server) addDataset(name string, g rdf.Graph, program string) error {
+	st := store.New()
+	if err := st.AddGraph(g); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[name] = &dataset{name: name, graph: g, stats: st.Stats(), program: strings.TrimSpace(program)}
+	return nil
+}
+
+func (s *Server) dataset(name string) (*dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[name]
+	return d, ok
+}
+
+func (s *Server) datasetNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do than drop the connection.
+		return
+	}
+}
+
+// --- JSON API ---
+
+// DatasetInfo describes a dataset in /api/datasets.
+type DatasetInfo struct {
+	Name       string                `json:"name"`
+	Facts      int                   `json:"facts"`
+	Predicates []store.PredicateStat `json:"predicates"`
+	Program    string                `json:"program"`
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	var out []DatasetInfo
+	for _, name := range s.datasetNames() {
+		d, _ := s.dataset(name)
+		out = append(out, DatasetInfo{
+			Name: d.name, Facts: d.stats.Facts, Predicates: d.stats.Predicates, Program: d.program,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// UploadRequest creates a dataset from TQuads text or a generator.
+type UploadRequest struct {
+	Name string `json:"name"`
+	// TQuads is the dataset content; mutually exclusive with Generate.
+	TQuads string `json:"tquads,omitempty"`
+	// Generate selects a generator: "football" or "wikidata".
+	Generate string  `json:"generate,omitempty"`
+	Players  int     `json:"players,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
+	Noise    float64 `json:"noise,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, "dataset name required")
+		return
+	}
+	var (
+		g       rdf.Graph
+		program string
+		err     error
+	)
+	switch req.Generate {
+	case "":
+		g, err = rdf.ParseGraphString(req.TQuads)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "parsing tquads: %v", err)
+			return
+		}
+	case "football":
+		ds := kgen.Football(kgen.FootballConfig{Players: req.Players, NoiseRatio: req.Noise, Seed: req.Seed})
+		g, program = ds.Graph, kgen.FootballProgram
+	case "wikidata":
+		ds := kgen.Wikidata(kgen.WikidataConfig{Scale: req.Scale, NoiseRatio: req.Noise, Seed: req.Seed})
+		g, program = ds.Graph, kgen.WikidataProgram
+	default:
+		httpError(w, http.StatusBadRequest, "unknown generator %q", req.Generate)
+		return
+	}
+	if err := s.addDataset(req.Name, g, program); err != nil {
+		httpError(w, http.StatusBadRequest, "loading dataset: %v", err)
+		return
+	}
+	d, _ := s.dataset(req.Name)
+	writeJSON(w, DatasetInfo{Name: d.name, Facts: d.stats.Facts, Predicates: d.stats.Predicates, Program: d.program})
+}
+
+// handlePredicates is the auto-completion endpoint of the constraints
+// editor (Figure 5): predicates of a dataset filtered by prefix.
+func (s *Server) handlePredicates(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(r.URL.Query().Get("dataset"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown dataset")
+		return
+	}
+	prefix := strings.ToLower(r.URL.Query().Get("q"))
+	var out []string
+	for _, ps := range d.stats.Predicates {
+		if prefix == "" || strings.HasPrefix(strings.ToLower(ps.Predicate), prefix) {
+			out = append(out, ps.Predicate)
+		}
+	}
+	writeJSON(w, out)
+}
+
+// ConstraintRequest drives the Allen constraint builder.
+type ConstraintRequest struct {
+	Name            string `json:"name"`
+	Pred1           string `json:"pred1"`
+	Pred2           string `json:"pred2"`
+	Relation        string `json:"relation"`
+	DistinctObjects bool   `json:"distinctObjects"`
+	// Functional builds the one-object-at-a-time constraint instead.
+	Functional bool `json:"functional"`
+}
+
+func (s *Server) handleConstraint(w http.ResponseWriter, r *http.Request) {
+	var req ConstraintRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	var (
+		rule *logic.Rule
+		err  error
+	)
+	if req.Functional {
+		rule, err = core.FunctionalConstraint(req.Name, req.Pred1)
+	} else {
+		rule, err = core.AllenConstraint(req.Name, req.Pred1, req.Pred2, req.Relation, req.DistinctObjects)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	text := rule.String()
+	if rule.Name != "" {
+		text = rule.Name + ": " + text
+	}
+	writeJSON(w, map[string]string{"rule": text})
+}
+
+// ValidateRequest checks program text without solving.
+type ValidateRequest struct {
+	Rules   string `json:"rules"`
+	Solver  string `json:"solver"`
+	Dataset string `json:"dataset"`
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	var req ValidateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	prog, err := rulelang.Parse(req.Rules)
+	if err != nil {
+		writeJSON(w, map[string]any{"ok": false, "error": err.Error()})
+		return
+	}
+	resp := map[string]any{"ok": true, "rules": len(prog.Rules)}
+	if req.Solver != "" {
+		solver, err := translate.ParseSolver(req.Solver)
+		if err != nil {
+			writeJSON(w, map[string]any{"ok": false, "error": err.Error()})
+			return
+		}
+		if err := translate.ValidateFor(solver, prog); err != nil {
+			writeJSON(w, map[string]any{"ok": false, "error": err.Error()})
+			return
+		}
+	}
+	if d, ok := s.dataset(req.Dataset); ok {
+		st := store.New()
+		if err := st.AddGraph(d.graph); err == nil {
+			resp["missingPredicates"] = translate.CheckPredicates(st, prog)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// SolveRequest runs conflict resolution on a dataset.
+type SolveRequest struct {
+	Dataset string `json:"dataset"`
+	// Rules overrides the dataset's default program when non-empty.
+	Rules        string  `json:"rules,omitempty"`
+	Solver       string  `json:"solver"`
+	Threshold    float64 `json:"threshold,omitempty"`
+	CuttingPlane bool    `json:"cuttingPlane,omitempty"`
+}
+
+// SolveResponse mirrors the statistics display of Figure 8 plus
+// browsable consistent and conflicting statements.
+type SolveResponse struct {
+	Stats    repair.Stats `json:"stats"`
+	Kept     []string     `json:"kept"`
+	Removed  []string     `json:"removed"`
+	Inferred []string     `json:"inferred"`
+	Clusters [][]string   `json:"clusters"`
+	// Truncated reports whether fact lists were capped.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	d, ok := s.dataset(req.Dataset)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	solver, err := translate.ParseSolver(req.Solver)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rules := req.Rules
+	if strings.TrimSpace(rules) == "" {
+		rules = d.program
+	}
+	sess := core.NewSession()
+	if err := sess.LoadGraph(d.graph); err != nil {
+		httpError(w, http.StatusInternalServerError, "loading dataset: %v", err)
+		return
+	}
+	if err := sess.LoadProgramText(rules); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing rules: %v", err)
+		return
+	}
+	res, err := sess.Solve(core.SolveOptions{
+		Solver:       solver,
+		Threshold:    req.Threshold,
+		CuttingPlane: req.CuttingPlane,
+	})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "solving: %v", err)
+		return
+	}
+	resp := SolveResponse{Stats: res.Stats}
+	cap := s.MaxFactsInResponse
+	resp.Kept, resp.Truncated = factStrings(res.Kept, cap, resp.Truncated)
+	resp.Removed, resp.Truncated = removedStrings(res.Removed, cap, resp.Truncated)
+	resp.Inferred, resp.Truncated = factStrings(res.Inferred, cap, resp.Truncated)
+	for i, cl := range res.Clusters {
+		if i >= cap {
+			resp.Truncated = true
+			break
+		}
+		var keys []string
+		for _, k := range cl {
+			keys = append(keys, k.String())
+		}
+		resp.Clusters = append(resp.Clusters, keys)
+	}
+	writeJSON(w, resp)
+}
+
+func factStrings(fs []repair.Fact, max int, truncated bool) ([]string, bool) {
+	var out []string
+	for i, f := range fs {
+		if i >= max {
+			return out, true
+		}
+		out = append(out, f.Quad.Compact())
+	}
+	return out, truncated
+}
+
+// removedStrings annotates removed facts with their first explanation,
+// e.g. "(CR, coach, Napoli, [2001,2003]) 0.6 — violates c2 with (...)".
+func removedStrings(fs []repair.Fact, max int, truncated bool) ([]string, bool) {
+	var out []string
+	for i, f := range fs {
+		if i >= max {
+			return out, true
+		}
+		line := f.Quad.Compact()
+		if len(f.Explanations) > 0 {
+			line += " — violates " + f.Explanations[0].String()
+		}
+		out = append(out, line)
+	}
+	return out, truncated
+}
+
+// ListenAndServe runs the UI on addr.
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s.Handler())
+}

@@ -1,0 +1,72 @@
+// Package store implements the storage substrate of TeCoRe: an in-memory,
+// dictionary-encoded temporal quad store with hash indexes on term
+// positions, a block-skip interval index for temporal range scans,
+// pattern-matching iterators used by the grounding engine, dataset
+// statistics, and a binary snapshot format for persistence.
+//
+// In the original system this role is played by a relational backend
+// (MySQL or H2) that the solvers query for evidence; the store offers the
+// same access paths — lookups by any combination of bound subject,
+// predicate and object plus a temporal filter — with index-backed
+// complexity.
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// TermID is the dictionary code of an RDF term. IDs are dense and start
+// at 1; 0 is reserved as "no term" (pattern wildcard).
+type TermID uint32
+
+// NoTerm is the TermID wildcard.
+const NoTerm TermID = 0
+
+// Dict is a bidirectional dictionary between RDF terms and dense integer
+// codes. Encoding terms once lets the store, the grounder and the solvers
+// work on word-sized values.
+type Dict struct {
+	toID map[rdf.Term]TermID
+	toT  []rdf.Term // index 0 unused
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{
+		toID: make(map[rdf.Term]TermID),
+		toT:  make([]rdf.Term, 1),
+	}
+}
+
+// Encode interns the term and returns its code, assigning a fresh one on
+// first sight.
+func (d *Dict) Encode(t rdf.Term) TermID {
+	if id, ok := d.toID[t]; ok {
+		return id
+	}
+	id := TermID(len(d.toT))
+	d.toID[t] = id
+	d.toT = append(d.toT, t)
+	return id
+}
+
+// Lookup returns the code of the term without interning it; ok is false
+// when the term has never been seen.
+func (d *Dict) Lookup(t rdf.Term) (TermID, bool) {
+	id, ok := d.toID[t]
+	return id, ok
+}
+
+// Decode returns the term for a code. It panics on an unknown code, which
+// always indicates a bug in the caller.
+func (d *Dict) Decode(id TermID) rdf.Term {
+	if id == NoTerm || int(id) >= len(d.toT) {
+		panic(fmt.Sprintf("store: decode of unknown term id %d", id))
+	}
+	return d.toT[id]
+}
+
+// Len returns the number of distinct terms interned.
+func (d *Dict) Len() int { return len(d.toT) - 1 }

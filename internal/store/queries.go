@@ -1,0 +1,82 @@
+package store
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+	"repro/internal/temporal"
+)
+
+// Temporal query helpers: the classic temporal-database access paths
+// layered over the pattern matcher — point-in-time snapshots, coalesced
+// per-statement histories, and subject timelines. The Web UI and
+// examples use these to browse a utkg along its time axis.
+
+// AsOf returns the facts whose validity interval covers chronon t,
+// optionally restricted by subject/predicate/object bindings in pat
+// (pat.Time is ignored).
+func (st *Store) AsOf(t temporal.Chronon, pat Pattern) []FactID {
+	pat.Time = TimeFilter{Kind: TimeIntersects, Interval: temporal.Point(t)}
+	return st.MatchIDs(pat)
+}
+
+// SnapshotAt materialises the knowledge graph state valid at chronon t.
+func (st *Store) SnapshotAt(t temporal.Chronon) rdf.Graph {
+	ids := st.AsOf(t, Pattern{})
+	g := make(rdf.Graph, 0, len(ids))
+	for _, id := range ids {
+		g = append(g, st.Fact(id))
+	}
+	return g
+}
+
+// History returns the coalesced temporal element over which the
+// statement (s, p, o) holds, merging adjacent and overlapping intervals
+// across duplicate extractions. Zero terms act as wildcards, giving the
+// combined history of every matching statement.
+func (st *Store) History(s, p, o rdf.Term) temporal.Element {
+	var ivs []temporal.Interval
+	st.Match(Pattern{S: s, P: p, O: o}, func(_ FactID, q rdf.Quad) bool {
+		ivs = append(ivs, q.Interval)
+		return true
+	})
+	return temporal.NewElement(ivs...)
+}
+
+// TimelineEntry is one fact on a subject's timeline.
+type TimelineEntry struct {
+	Quad rdf.Quad
+	ID   FactID
+}
+
+// Timeline returns every fact about subject s ordered by interval start
+// (ties by end, then fact id) — the career view the demo's browser
+// shows.
+func (st *Store) Timeline(s rdf.Term) []TimelineEntry {
+	var out []TimelineEntry
+	st.Match(Pattern{S: s}, func(id FactID, q rdf.Quad) bool {
+		out = append(out, TimelineEntry{Quad: q, ID: id})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Quad.Interval, out[j].Quad.Interval
+		if c := a.Compare(b); c != 0 {
+			return c < 0
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Span returns the smallest interval covering every fact in the store;
+// ok is false for an empty store.
+func (st *Store) Span() (temporal.Interval, bool) {
+	if st.Len() == 0 {
+		return temporal.Interval{}, false
+	}
+	span := st.facts[0].iv
+	for _, f := range st.facts[1:] {
+		span = span.Span(f.iv)
+	}
+	return span, true
+}

@@ -1,0 +1,80 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/temporal"
+)
+
+func TestAsOfAndSnapshot(t *testing.T) {
+	st := newFigure1Store(t)
+	// In 2002 CR coaches Chelsea and Napoli and the birthDate fact holds.
+	ids := st.AsOf(2002, Pattern{})
+	if len(ids) != 3 {
+		t.Fatalf("AsOf(2002) = %d facts, want 3", len(ids))
+	}
+	snap := st.SnapshotAt(2016)
+	if len(snap) != 2 { // Leicester + birthDate
+		t.Fatalf("SnapshotAt(2016) = %d facts: %v", len(snap), snap)
+	}
+	// Restricted AsOf.
+	coach := st.AsOf(2002, Pattern{P: rdf.NewIRI("coach")})
+	if len(coach) != 2 {
+		t.Errorf("AsOf coach 2002 = %d", len(coach))
+	}
+	if got := st.AsOf(1900, Pattern{}); len(got) != 0 {
+		t.Errorf("AsOf(1900) = %d", len(got))
+	}
+}
+
+func TestHistoryCoalesces(t *testing.T) {
+	st := New()
+	// Two extraction runs produced abutting and overlapping spells.
+	st.Add(rdf.NewQuad("p", "worksFor", "acme", temporal.MustNew(2000, 2003), 0.8))
+	st.Add(rdf.NewQuad("p", "worksFor", "acme", temporal.MustNew(2004, 2006), 0.7))
+	st.Add(rdf.NewQuad("p", "worksFor", "acme", temporal.MustNew(2005, 2008), 0.6))
+	st.Add(rdf.NewQuad("p", "worksFor", "globex", temporal.MustNew(2012, 2014), 0.9))
+	h := st.History(rdf.NewIRI("p"), rdf.NewIRI("worksFor"), rdf.NewIRI("acme"))
+	if len(h.Intervals()) != 1 || h.Intervals()[0] != temporal.MustNew(2000, 2008) {
+		t.Errorf("acme history = %v", h)
+	}
+	// Wildcard object: both employers.
+	all := st.History(rdf.NewIRI("p"), rdf.NewIRI("worksFor"), rdf.Term{})
+	if len(all.Intervals()) != 2 {
+		t.Errorf("combined history = %v", all)
+	}
+	if all.Duration() != 9+3 {
+		t.Errorf("combined duration = %d", all.Duration())
+	}
+}
+
+func TestTimelineOrdered(t *testing.T) {
+	st := newFigure1Store(t)
+	tl := st.Timeline(rdf.NewIRI("CR"))
+	if len(tl) != 5 {
+		t.Fatalf("timeline = %d entries", len(tl))
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i-1].Quad.Interval.Compare(tl[i].Quad.Interval) > 0 {
+			t.Fatalf("timeline out of order at %d", i)
+		}
+	}
+	if tl[0].Quad.Predicate.Value != "birthDate" {
+		t.Errorf("first entry = %v", tl[0].Quad)
+	}
+	if got := st.Timeline(rdf.NewIRI("nobody")); len(got) != 0 {
+		t.Errorf("unknown subject timeline = %d", len(got))
+	}
+}
+
+func TestSpan(t *testing.T) {
+	st := newFigure1Store(t)
+	span, ok := st.Span()
+	if !ok || span != temporal.MustNew(1951, 2017) {
+		t.Errorf("Span = %v, %v", span, ok)
+	}
+	if _, ok := New().Span(); ok {
+		t.Error("empty store should have no span")
+	}
+}

@@ -1,0 +1,192 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/rdf"
+	"repro/internal/temporal"
+)
+
+// Binary snapshot format. The store persists as:
+//
+//	magic "TQS1" | uvarint termCount | terms... | uvarint factCount | facts...
+//
+// Each term is kind(1B) + 3 length-prefixed strings (value, datatype,
+// lang). Each fact is 3 term-id uvarints + 2 zig-zag varint chronons +
+// 8-byte confidence. The format is independent of map iteration order and
+// round-trips exactly.
+
+var snapshotMagic = [4]byte{'T', 'Q', 'S', '1'}
+
+// Save writes a binary snapshot of the store.
+func (st *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	writeVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+
+	if err := writeUvarint(uint64(st.dict.Len())); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	for id := TermID(1); int(id) <= st.dict.Len(); id++ {
+		t := st.dict.Decode(id)
+		if err := bw.WriteByte(byte(t.Kind)); err != nil {
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+		for _, s := range []string{t.Value, t.Datatype, t.Lang} {
+			if err := writeString(s); err != nil {
+				return fmt.Errorf("store: snapshot: %w", err)
+			}
+		}
+	}
+	if err := writeUvarint(uint64(len(st.facts))); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	for _, f := range st.facts {
+		if err := writeUvarint(uint64(f.s)); err != nil {
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+		if err := writeUvarint(uint64(f.p)); err != nil {
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+		if err := writeUvarint(uint64(f.o)); err != nil {
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+		if err := writeVarint(f.iv.Start); err != nil {
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+		if err := writeVarint(f.iv.End); err != nil {
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+		var cb [8]byte
+		binary.LittleEndian.PutUint64(cb[:], math.Float64bits(f.conf))
+		if _, err := bw.Write(cb[:]); err != nil {
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a binary snapshot into a fresh store.
+func Load(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("store: snapshot: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("store: snapshot: bad magic %q", magic[:])
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<30 {
+			return "", fmt.Errorf("string length %d too large", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	st := New()
+	termCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot: %w", err)
+	}
+	for i := uint64(0); i < termCount; i++ {
+		kindB, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot: term %d: %w", i, err)
+		}
+		var t rdf.Term
+		t.Kind = rdf.TermKind(kindB)
+		if t.Value, err = readString(); err != nil {
+			return nil, fmt.Errorf("store: snapshot: term %d: %w", i, err)
+		}
+		if t.Datatype, err = readString(); err != nil {
+			return nil, fmt.Errorf("store: snapshot: term %d: %w", i, err)
+		}
+		if t.Lang, err = readString(); err != nil {
+			return nil, fmt.Errorf("store: snapshot: term %d: %w", i, err)
+		}
+		st.dict.Encode(t)
+	}
+	factCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot: %w", err)
+	}
+	for i := uint64(0); i < factCount; i++ {
+		readID := func() (TermID, error) {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return 0, err
+			}
+			if v == 0 || v > uint64(st.dict.Len()) {
+				return 0, fmt.Errorf("term id %d out of range", v)
+			}
+			return TermID(v), nil
+		}
+		s, err := readID()
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot: fact %d: %w", i, err)
+		}
+		p, err := readID()
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot: fact %d: %w", i, err)
+		}
+		o, err := readID()
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot: fact %d: %w", i, err)
+		}
+		start, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot: fact %d: %w", i, err)
+		}
+		end, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot: fact %d: %w", i, err)
+		}
+		var cb [8]byte
+		if _, err := io.ReadFull(br, cb[:]); err != nil {
+			return nil, fmt.Errorf("store: snapshot: fact %d: %w", i, err)
+		}
+		conf := math.Float64frombits(binary.LittleEndian.Uint64(cb[:]))
+		q := rdf.Quad{
+			Subject:    st.dict.Decode(s),
+			Predicate:  st.dict.Decode(p),
+			Object:     st.dict.Decode(o),
+			Interval:   temporal.Interval{Start: start, End: end},
+			Confidence: conf,
+		}
+		if _, err := st.Add(q); err != nil {
+			return nil, fmt.Errorf("store: snapshot: fact %d: %w", i, err)
+		}
+	}
+	return st, nil
+}

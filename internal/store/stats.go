@@ -1,0 +1,77 @@
+package store
+
+import (
+	"sort"
+
+	"repro/internal/temporal"
+)
+
+// PredicateStat summarises the facts of one predicate, as displayed by
+// the Web UI's dataset page and the statistics view of Figure 8.
+type PredicateStat struct {
+	// Predicate is the predicate IRI.
+	Predicate string
+	// Count is the number of facts.
+	Count int
+	// Span is the smallest interval covering all validity intervals.
+	Span temporal.Interval
+	// MeanConfidence is the average confidence of the facts.
+	MeanConfidence float64
+	// Subjects is the number of distinct subjects.
+	Subjects int
+}
+
+// Stats summarises a whole store.
+type Stats struct {
+	// Facts is the total number of distinct facts.
+	Facts int
+	// Terms is the number of distinct dictionary terms.
+	Terms int
+	// Predicates lists per-predicate statistics sorted by descending count.
+	Predicates []PredicateStat
+	// Span covers all validity intervals in the store.
+	Span temporal.Interval
+	// MeanConfidence is the global average confidence.
+	MeanConfidence float64
+}
+
+// Stats computes summary statistics over the store.
+func (st *Store) Stats() Stats {
+	out := Stats{Facts: st.Len(), Terms: st.dict.Len()}
+	if st.Len() == 0 {
+		return out
+	}
+	var confSum float64
+	span := st.facts[0].iv
+	for _, f := range st.facts {
+		confSum += f.conf
+		span = span.Span(f.iv)
+	}
+	out.Span = span
+	out.MeanConfidence = confSum / float64(st.Len())
+
+	for _, p := range st.PredicateIDs() {
+		ids := st.byP[p]
+		ps := PredicateStat{Predicate: st.dict.Decode(p).Value, Count: len(ids)}
+		subjects := make(map[TermID]struct{})
+		var cs float64
+		pspan := st.facts[ids[0]].iv
+		for _, id := range ids {
+			f := st.facts[id]
+			cs += f.conf
+			pspan = pspan.Span(f.iv)
+			subjects[f.s] = struct{}{}
+		}
+		ps.Span = pspan
+		ps.MeanConfidence = cs / float64(len(ids))
+		ps.Subjects = len(subjects)
+		out.Predicates = append(out.Predicates, ps)
+	}
+	sort.Slice(out.Predicates, func(i, j int) bool {
+		if out.Predicates[i].Count != out.Predicates[j].Count {
+			return out.Predicates[i].Count > out.Predicates[j].Count
+		}
+		return out.Predicates[i].Predicate < out.Predicates[j].Predicate
+	})
+	return out
+}

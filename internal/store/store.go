@@ -1,0 +1,322 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+	"repro/internal/temporal"
+)
+
+// FactID identifies a fact within a Store. IDs are dense, start at 0 and
+// are stable for the lifetime of the store (facts are never physically
+// deleted; conflict resolution works on copies of the assignment, not by
+// mutating evidence).
+type FactID int32
+
+// fact is the dictionary-encoded representation of a quad.
+type fact struct {
+	s, p, o TermID
+	iv      temporal.Interval
+	conf    float64
+}
+
+// Store is an indexed, dictionary-encoded collection of uncertain
+// temporal facts. It is not safe for concurrent mutation; concurrent
+// readers are safe once loading is complete.
+type Store struct {
+	dict  *Dict
+	facts []fact
+
+	// Hash indexes from bound positions to fact ids. Pair keys pack two
+	// TermIDs into a uint64.
+	byS  map[TermID][]FactID
+	byP  map[TermID][]FactID
+	byO  map[TermID][]FactID
+	bySP map[uint64][]FactID
+	byPO map[uint64][]FactID
+
+	// byFact detects duplicate temporal statements (same s,p,o,interval).
+	byFact map[factKey]FactID
+
+	// tidx caches per-predicate interval indexes; invalidated on Add.
+	tidx map[TermID]*intervalIndex
+}
+
+type factKey struct {
+	s, p, o TermID
+	iv      temporal.Interval
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		dict:   NewDict(),
+		byS:    make(map[TermID][]FactID),
+		byP:    make(map[TermID][]FactID),
+		byO:    make(map[TermID][]FactID),
+		bySP:   make(map[uint64][]FactID),
+		byPO:   make(map[uint64][]FactID),
+		byFact: make(map[factKey]FactID),
+		tidx:   make(map[TermID]*intervalIndex),
+	}
+}
+
+func pair(a, b TermID) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// Add inserts a quad and returns its fact id. Re-adding an existing
+// temporal statement (same subject, predicate, object and interval) keeps
+// the higher confidence and returns the original id — the standard
+// deduplication rule when merging extraction runs.
+func (st *Store) Add(q rdf.Quad) (FactID, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	f := fact{
+		s:    st.dict.Encode(q.Subject),
+		p:    st.dict.Encode(q.Predicate),
+		o:    st.dict.Encode(q.Object),
+		iv:   q.Interval,
+		conf: q.Confidence,
+	}
+	key := factKey{s: f.s, p: f.p, o: f.o, iv: f.iv}
+	if id, ok := st.byFact[key]; ok {
+		if q.Confidence > st.facts[id].conf {
+			st.facts[id].conf = q.Confidence
+		}
+		return id, nil
+	}
+	id := FactID(len(st.facts))
+	st.facts = append(st.facts, f)
+	st.byFact[key] = id
+	st.byS[f.s] = append(st.byS[f.s], id)
+	st.byP[f.p] = append(st.byP[f.p], id)
+	st.byO[f.o] = append(st.byO[f.o], id)
+	st.bySP[pair(f.s, f.p)] = append(st.bySP[pair(f.s, f.p)], id)
+	st.byPO[pair(f.p, f.o)] = append(st.byPO[pair(f.p, f.o)], id)
+	delete(st.tidx, f.p) // invalidate the temporal index for this predicate
+	return id, nil
+}
+
+// AddGraph inserts every quad of the graph, reporting the first error.
+func (st *Store) AddGraph(g rdf.Graph) error {
+	for i, q := range g {
+		if _, err := st.Add(q); err != nil {
+			return fmt.Errorf("store: quad %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of distinct facts.
+func (st *Store) Len() int { return len(st.facts) }
+
+// Dict exposes the term dictionary (read-only use by the grounder).
+func (st *Store) Dict() *Dict { return st.dict }
+
+// Fact decodes the quad with the given id.
+func (st *Store) Fact(id FactID) rdf.Quad {
+	f := st.facts[id]
+	return rdf.Quad{
+		Subject:    st.dict.Decode(f.s),
+		Predicate:  st.dict.Decode(f.p),
+		Object:     st.dict.Decode(f.o),
+		Interval:   f.iv,
+		Confidence: f.conf,
+	}
+}
+
+// Confidence returns the confidence of a fact without decoding terms.
+func (st *Store) Confidence(id FactID) float64 { return st.facts[id].conf }
+
+// Interval returns the validity interval of a fact without decoding.
+func (st *Store) Interval(id FactID) temporal.Interval { return st.facts[id].iv }
+
+// EncodedTriple returns the dictionary codes of a fact's terms.
+func (st *Store) EncodedTriple(id FactID) (s, p, o TermID) {
+	f := st.facts[id]
+	return f.s, f.p, f.o
+}
+
+// Contains reports whether the exact temporal statement is present.
+func (st *Store) Contains(q rdf.Quad) bool {
+	s, ok1 := st.dict.Lookup(q.Subject)
+	p, ok2 := st.dict.Lookup(q.Predicate)
+	o, ok3 := st.dict.Lookup(q.Object)
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	_, ok := st.byFact[factKey{s: s, p: p, o: o, iv: q.Interval}]
+	return ok
+}
+
+// Graph materialises the whole store as a Graph in fact-id order.
+func (st *Store) Graph() rdf.Graph {
+	g := make(rdf.Graph, st.Len())
+	for i := range st.facts {
+		g[i] = st.Fact(FactID(i))
+	}
+	return g
+}
+
+// TimeFilter restricts pattern matches temporally. The zero value matches
+// every interval.
+type TimeFilter struct {
+	// Kind selects the temporal predicate; TimeAny matches everything.
+	Kind TimeFilterKind
+	// Interval is the query interval for kinds other than TimeAny.
+	Interval temporal.Interval
+}
+
+// TimeFilterKind enumerates the supported temporal predicates.
+type TimeFilterKind uint8
+
+const (
+	// TimeAny matches every fact.
+	TimeAny TimeFilterKind = iota
+	// TimeIntersects matches facts whose interval shares a chronon with
+	// the query interval.
+	TimeIntersects
+	// TimeDuring matches facts whose interval lies within the query
+	// interval.
+	TimeDuring
+	// TimeEquals matches facts whose interval equals the query interval.
+	TimeEquals
+)
+
+func (tf TimeFilter) admits(iv temporal.Interval) bool {
+	switch tf.Kind {
+	case TimeAny:
+		return true
+	case TimeIntersects:
+		return iv.Intersects(tf.Interval)
+	case TimeDuring:
+		return tf.Interval.ContainsInterval(iv)
+	case TimeEquals:
+		return iv == tf.Interval
+	default:
+		return false
+	}
+}
+
+// Pattern is a quad pattern: any combination of bound subject, predicate
+// and object (zero Term = wildcard) plus a temporal filter.
+type Pattern struct {
+	S, P, O rdf.Term
+	Time    TimeFilter
+}
+
+// Match invokes fn for each fact matching the pattern, in fact-id order
+// for a given index, until fn returns false. The quad passed to fn is
+// decoded on demand.
+func (st *Store) Match(pat Pattern, fn func(FactID, rdf.Quad) bool) {
+	ids, filter := st.candidates(pat)
+	for _, id := range ids {
+		f := st.facts[id]
+		if filter != nil && !filter(f) {
+			continue
+		}
+		if !pat.Time.admits(f.iv) {
+			continue
+		}
+		if !fn(id, st.Fact(id)) {
+			return
+		}
+	}
+}
+
+// MatchIDs returns the ids of all facts matching the pattern.
+func (st *Store) MatchIDs(pat Pattern) []FactID {
+	var out []FactID
+	ids, filter := st.candidates(pat)
+	for _, id := range ids {
+		f := st.facts[id]
+		if filter != nil && !filter(f) {
+			continue
+		}
+		if !pat.Time.admits(f.iv) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Count returns the number of facts matching the pattern.
+func (st *Store) Count(pat Pattern) int { return len(st.MatchIDs(pat)) }
+
+// candidates picks the most selective index for the bound positions and
+// returns the candidate id list plus a residual filter for positions the
+// chosen index does not cover.
+func (st *Store) candidates(pat Pattern) ([]FactID, func(fact) bool) {
+	var (
+		sID, pID, oID TermID
+		sOK, pOK, oOK = true, true, true
+	)
+	if !pat.S.IsZero() {
+		if sID, sOK = st.dict.Lookup(pat.S); !sOK {
+			return nil, nil
+		}
+	} else {
+		sID = NoTerm
+	}
+	if !pat.P.IsZero() {
+		if pID, pOK = st.dict.Lookup(pat.P); !pOK {
+			return nil, nil
+		}
+	} else {
+		pID = NoTerm
+	}
+	if !pat.O.IsZero() {
+		if oID, oOK = st.dict.Lookup(pat.O); !oOK {
+			return nil, nil
+		}
+	} else {
+		oID = NoTerm
+	}
+
+	switch {
+	case sID != NoTerm && pID != NoTerm && oID != NoTerm:
+		return st.bySP[pair(sID, pID)], func(f fact) bool { return f.o == oID }
+	case sID != NoTerm && pID != NoTerm:
+		return st.bySP[pair(sID, pID)], nil
+	case pID != NoTerm && oID != NoTerm:
+		return st.byPO[pair(pID, oID)], nil
+	case sID != NoTerm && oID != NoTerm:
+		return st.byS[sID], func(f fact) bool { return f.o == oID }
+	case sID != NoTerm:
+		return st.byS[sID], nil
+	case oID != NoTerm:
+		return st.byO[oID], nil
+	case pID != NoTerm:
+		// Predicate-only scans are the grounder's hot path; use the
+		// interval index when the pattern is temporal.
+		if pat.Time.Kind == TimeIntersects {
+			return st.intervalIndexFor(pID).overlapping(pat.Time.Interval), nil
+		}
+		return st.byP[pID], nil
+	default:
+		all := make([]FactID, len(st.facts))
+		for i := range all {
+			all[i] = FactID(i)
+		}
+		return all, nil
+	}
+}
+
+// PredicateIDs returns the distinct predicate codes in the store.
+func (st *Store) PredicateIDs() []TermID {
+	out := make([]TermID, 0, len(st.byP))
+	for p := range st.byP {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PredicateFacts returns the ids of all facts with the given predicate
+// code. The returned slice must not be modified.
+func (st *Store) PredicateFacts(p TermID) []FactID { return st.byP[p] }
+
+// SubjectFacts returns the ids of all facts with the given subject code.
+func (st *Store) SubjectFacts(s TermID) []FactID { return st.byS[s] }

@@ -1,0 +1,90 @@
+package store
+
+import (
+	"sort"
+
+	"repro/internal/temporal"
+)
+
+// intervalIndex accelerates "facts of predicate p whose interval
+// intersects [a,b]" queries, the dominant temporal access path during
+// grounding. Facts are kept sorted by interval start; blocks of 64
+// entries carry the maximum end seen in the block so whole blocks that
+// end before the query starts are skipped. This gives the pruning power
+// of an interval tree with the locality of a flat array.
+type intervalIndex struct {
+	ids    []FactID           // sorted by interval start (ties by id)
+	starts []temporal.Chronon // parallel to ids
+	ends   []temporal.Chronon // parallel to ids
+	blkMax []temporal.Chronon // per 64-entry block: max end
+}
+
+const tidxBlock = 64
+
+// intervalIndexFor returns (building lazily) the interval index for
+// predicate p.
+func (st *Store) intervalIndexFor(p TermID) *intervalIndex {
+	if idx, ok := st.tidx[p]; ok {
+		return idx
+	}
+	src := st.byP[p]
+	idx := &intervalIndex{
+		ids:    make([]FactID, len(src)),
+		starts: make([]temporal.Chronon, len(src)),
+		ends:   make([]temporal.Chronon, len(src)),
+	}
+	copy(idx.ids, src)
+	sort.Slice(idx.ids, func(i, j int) bool {
+		a, b := st.facts[idx.ids[i]], st.facts[idx.ids[j]]
+		if a.iv.Start != b.iv.Start {
+			return a.iv.Start < b.iv.Start
+		}
+		return idx.ids[i] < idx.ids[j]
+	})
+	for i, id := range idx.ids {
+		iv := st.facts[id].iv
+		idx.starts[i] = iv.Start
+		idx.ends[i] = iv.End
+	}
+	nBlocks := (len(src) + tidxBlock - 1) / tidxBlock
+	idx.blkMax = make([]temporal.Chronon, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		lo, hi := b*tidxBlock, min((b+1)*tidxBlock, len(src))
+		mx := idx.ends[lo]
+		for i := lo + 1; i < hi; i++ {
+			if idx.ends[i] > mx {
+				mx = idx.ends[i]
+			}
+		}
+		idx.blkMax[b] = mx
+	}
+	st.tidx[p] = idx
+	return idx
+}
+
+// overlapping returns the ids of indexed facts whose interval intersects
+// q, in start order.
+func (idx *intervalIndex) overlapping(q temporal.Interval) []FactID {
+	// Facts with Start > q.End cannot intersect; binary search the cutoff.
+	hi := sort.Search(len(idx.starts), func(i int) bool { return idx.starts[i] > q.End })
+	var out []FactID
+	for b := 0; b*tidxBlock < hi; b++ {
+		if idx.blkMax[b] < q.Start {
+			continue // whole block ends before the query starts
+		}
+		lo, end := b*tidxBlock, min((b+1)*tidxBlock, hi)
+		for i := lo; i < end; i++ {
+			if idx.ends[i] >= q.Start {
+				out = append(out, idx.ids[i])
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,164 @@
+package suggest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kgen"
+	"repro/internal/rdf"
+	"repro/internal/rulelang"
+	"repro/internal/store"
+	"repro/internal/temporal"
+)
+
+func footballStore(t testing.TB, players int, noise float64) *store.Store {
+	t.Helper()
+	ds := kgen.Football(kgen.FootballConfig{Players: players, NoiseRatio: noise, Seed: 6})
+	st := store.New()
+	if err := st.AddGraph(ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func findSuggestion(sugs []Suggestion, kind Kind, pred1, pred2 string) *Suggestion {
+	for i := range sugs {
+		s := &sugs[i]
+		if s.Kind == kind && s.Predicate1 == pred1 && s.Predicate2 == pred2 {
+			return s
+		}
+	}
+	return nil
+}
+
+func TestMineFootballCleanData(t *testing.T) {
+	st := footballStore(t, 400, 0)
+	sugs, err := Mine(st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions mined")
+	}
+	// Disjointness of playsFor spells is near-perfect in clean data.
+	dj := findSuggestion(sugs, KindDisjoint, "playsFor", "playsFor")
+	if dj == nil {
+		t.Fatal("playsFor disjointness not suggested")
+	}
+	if dj.Confidence < 0.97 {
+		t.Errorf("playsFor disjoint confidence = %.3f", dj.Confidence)
+	}
+	if dj.Support < 100 {
+		t.Errorf("playsFor disjoint support = %d", dj.Support)
+	}
+	// birthDate contains playsFor dominates the Allen distribution.
+	al := findSuggestion(sugs, KindAllen, "birthDate", "playsFor")
+	if al == nil {
+		t.Fatal("birthDate/playsFor Allen constraint not suggested")
+	}
+	if al.Relation != temporal.Contains {
+		t.Errorf("dominant relation = %v, want contains", al.Relation)
+	}
+}
+
+func TestSuggestionsParseAndValidate(t *testing.T) {
+	st := footballStore(t, 300, 0)
+	sugs, err := Mine(st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sugs {
+		if err := s.Rule.Validate(); err != nil {
+			t.Errorf("suggestion %s invalid: %v", s.Text(), err)
+		}
+		if _, err := rulelang.Parse(s.Text()); err != nil {
+			t.Errorf("suggestion %s unparseable: %v", s.Text(), err)
+		}
+		if !s.Rule.Hard() || !s.Rule.IsConstraint() {
+			t.Errorf("suggestion %s should be a hard constraint", s.Text())
+		}
+		if s.Confidence < 0.9 || s.Confidence > 1 {
+			t.Errorf("suggestion %s confidence %.3f outside [0.9,1]", s.Text(), s.Confidence)
+		}
+	}
+}
+
+func TestNoiseLowersConfidence(t *testing.T) {
+	clean := footballStore(t, 400, 0)
+	noisy := footballStore(t, 400, 1.0)
+	cs, err := Mine(clean, Options{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := Mine(noisy, Options{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := findSuggestion(cs, KindDisjoint, "playsFor", "playsFor")
+	nd := findSuggestion(ns, KindDisjoint, "playsFor", "playsFor")
+	if cd == nil || nd == nil {
+		t.Fatal("disjointness suggestion missing")
+	}
+	if nd.Confidence >= cd.Confidence {
+		t.Errorf("noise should lower confidence: clean %.3f, noisy %.3f", cd.Confidence, nd.Confidence)
+	}
+	if nd.Violations == 0 {
+		t.Error("noisy data should produce violations")
+	}
+}
+
+func TestMinSupportFiltersSmallPatterns(t *testing.T) {
+	st := footballStore(t, 5, 0)
+	sugs, err := Mine(st, Options{MinSupport: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) != 0 {
+		t.Errorf("high support floor should suppress all suggestions, got %d", len(sugs))
+	}
+}
+
+func TestSortedByConfidence(t *testing.T) {
+	st := footballStore(t, 300, 0.2)
+	sugs, err := Mine(st, Options{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sugs); i++ {
+		if sugs[i-1].Confidence < sugs[i].Confidence {
+			t.Fatal("suggestions not sorted by confidence")
+		}
+	}
+}
+
+func TestSanitizeNamesFromIRIs(t *testing.T) {
+	st := store.New()
+	g, err := rulelangFreeGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := Mine(st, Options{MinSupport: 5, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sugs {
+		if strings.ContainsAny(s.Rule.Name, "/:.") {
+			t.Errorf("unsanitised rule name %q", s.Rule.Name)
+		}
+	}
+}
+
+// rulelangFreeGraph builds a tiny graph whose predicates are full IRIs
+// with slashes, to exercise name sanitisation.
+func rulelangFreeGraph() (rdf.Graph, error) {
+	text := ""
+	for i := 0; i < 12; i++ {
+		subj := string(rune('a' + i))
+		text += "<http://ex.org/people/" + subj + "> <http://ex.org/vocab/spouse> <p1> [2000,2005] 0.9\n"
+		text += "<http://ex.org/people/" + subj + "> <http://ex.org/vocab/spouse> <p2> [2010,2015] 0.9\n"
+	}
+	return rdf.ParseGraphString(text)
+}

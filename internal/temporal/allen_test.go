@@ -1,0 +1,178 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelationBetweenBasicCases(t *testing.T) {
+	tests := []struct {
+		name string
+		i, j Interval
+		want Relation
+	}{
+		{"before", MustNew(1, 2), MustNew(5, 8), Before},
+		{"meets", MustNew(1, 2), MustNew(3, 8), Meets},
+		{"overlaps", MustNew(1, 5), MustNew(3, 8), Overlaps},
+		{"starts", MustNew(1, 3), MustNew(1, 8), Starts},
+		{"during", MustNew(3, 5), MustNew(1, 8), During},
+		{"finishes", MustNew(5, 8), MustNew(1, 8), Finishes},
+		{"equals", MustNew(1, 8), MustNew(1, 8), Equals},
+		{"finishedBy", MustNew(1, 8), MustNew(5, 8), FinishedBy},
+		{"contains", MustNew(1, 8), MustNew(3, 5), Contains},
+		{"startedBy", MustNew(1, 8), MustNew(1, 3), StartedBy},
+		{"overlappedBy", MustNew(3, 8), MustNew(1, 5), OverlappedBy},
+		{"metBy", MustNew(3, 8), MustNew(1, 2), MetBy},
+		{"after", MustNew(5, 8), MustNew(1, 2), After},
+	}
+	for _, tc := range tests {
+		if got := RelationBetween(tc.i, tc.j); got != tc.want {
+			t.Errorf("%s: RelationBetween(%v, %v) = %v, want %v", tc.name, tc.i, tc.j, got, tc.want)
+		}
+		if !tc.want.Holds(tc.i, tc.j) {
+			t.Errorf("%s: Holds should be true", tc.name)
+		}
+	}
+}
+
+// TestJEPD checks that the thirteen relations are jointly exhaustive and
+// pairwise disjoint: RelationBetween always returns exactly one relation,
+// and that relation actually holds while the other twelve do not.
+func TestJEPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 20000; n++ {
+		i, j := randIv(rng, 12), randIv(rng, 12)
+		got := RelationBetween(i, j)
+		count := 0
+		for r := Relation(0); r < NumRelations; r++ {
+			if r.Holds(i, j) {
+				count++
+				if r != got {
+					t.Fatalf("relation %v also holds for (%v,%v) besides %v", r, i, j, got)
+				}
+			}
+		}
+		if count != 1 {
+			t.Fatalf("JEPD violated for (%v,%v): %d relations hold", i, j, count)
+		}
+	}
+}
+
+// TestInverseProperty checks r(i,j) ⇔ r⁻¹(j,i) on random intervals.
+func TestInverseProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 int8) bool {
+		i := normIv(int64(a1), int64(a2))
+		j := normIv(int64(b1), int64(b2))
+		return RelationBetween(i, j).Inverse() == RelationBetween(j, i)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseIsInvolution(t *testing.T) {
+	for r := Relation(0); r < NumRelations; r++ {
+		if r.Inverse().Inverse() != r {
+			t.Errorf("Inverse is not an involution for %v", r)
+		}
+	}
+	if Equals.Inverse() != Equals {
+		t.Error("Equals should be self-inverse")
+	}
+}
+
+func TestParseRelation(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Relation
+	}{
+		{"before", Before}, {"BEFORE", Before}, {"b", Before}, {"<", Before},
+		{"meets", Meets}, {"m", Meets},
+		{"overlaps", Overlaps}, {"o", Overlaps},
+		{"starts", Starts}, {"during", During}, {"finishes", Finishes},
+		{"equals", Equals}, {"equal", Equals}, {"eq", Equals},
+		{"finishedBy", FinishedBy}, {"finished_by", FinishedBy}, {"finished-by", FinishedBy}, {"fi", FinishedBy},
+		{"contains", Contains}, {"di", Contains},
+		{"startedBy", StartedBy}, {"si", StartedBy},
+		{"overlappedBy", OverlappedBy}, {"oi", OverlappedBy},
+		{"metBy", MetBy}, {"mi", MetBy},
+		{"after", After}, {"a", After}, {"bi", After},
+	}
+	for _, tc := range tests {
+		got, err := ParseRelation(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseRelation(%q) = %v,%v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseRelation("sideways"); err == nil {
+		t.Error("ParseRelation should reject unknown names")
+	}
+}
+
+func TestRelationStringRoundTrip(t *testing.T) {
+	for r := Relation(0); r < NumRelations; r++ {
+		back, err := ParseRelation(r.String())
+		if err != nil || back != r {
+			t.Errorf("round trip failed for %v: %v %v", r, back, err)
+		}
+	}
+}
+
+func TestRelationSetOps(t *testing.T) {
+	s := NewRelationSet(Before, After)
+	if !s.Has(Before) || !s.Has(After) || s.Has(Meets) {
+		t.Error("membership wrong")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	s2 := s.Add(Meets)
+	if !s2.Has(Meets) || s.Has(Meets) {
+		t.Error("Add should be persistent")
+	}
+	if got := s.Union(NewRelationSet(Equals)).Len(); got != 3 {
+		t.Errorf("union len = %d", got)
+	}
+	if got := s.Intersect(NewRelationSet(Before, Meets)); got != NewRelationSet(Before) {
+		t.Errorf("intersect = %v", got)
+	}
+	if FullSet.Len() != NumRelations {
+		t.Errorf("FullSet has %d members", FullSet.Len())
+	}
+}
+
+func TestRelationSetInverse(t *testing.T) {
+	s := NewRelationSet(Before, Overlaps, Equals)
+	want := NewRelationSet(After, OverlappedBy, Equals)
+	if got := s.Inverse(); got != want {
+		t.Errorf("Inverse = %v, want %v", got, want)
+	}
+	if FullSet.Inverse() != FullSet {
+		t.Error("FullSet should be closed under inverse")
+	}
+}
+
+func TestDisjointSetMatchesPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 5000; n++ {
+		i, j := randIv(rng, 10), randIv(rng, 10)
+		r := RelationBetween(i, j)
+		if DisjointSet.Has(r) != i.Disjoint(j) {
+			t.Fatalf("DisjointSet disagrees with Disjoint for (%v,%v): rel=%v", i, j, r)
+		}
+		if IntersectsSet.Has(r) != i.Intersects(j) {
+			t.Fatalf("IntersectsSet disagrees with Intersects for (%v,%v)", i, j)
+		}
+	}
+}
+
+func TestRelationSetString(t *testing.T) {
+	s := NewRelationSet(Before, Meets)
+	if got := s.String(); got != "{before, meets}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := RelationSet(0).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}

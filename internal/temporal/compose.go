@@ -1,0 +1,150 @@
+package temporal
+
+import "sync"
+
+// The Allen composition table maps a pair of basic relations (r1, r2) to
+// the set of basic relations r3 such that r1(i, j) and r2(j, k) admit
+// r3(i, k) for some intervals i, j, k.
+//
+// Rather than transcribing the 13x13 table from the literature (a
+// notorious source of typos), we derive it by exhaustive enumeration over
+// a small discrete universe. Over a universe of n chronons every entry of
+// the table is witnessed once n is large enough; n = 14 is already
+// sufficient (each relation needs at most four distinct endpoints per
+// interval pair, and compositions need at most six distinct values plus
+// slack for gaps), and the derivation is validated against algebraic
+// identities in the tests.
+
+const composeUniverse = 14
+
+var (
+	composeOnce  sync.Once
+	composeTable [NumRelations][NumRelations]RelationSet
+)
+
+func buildComposeTable() {
+	var intervals []Interval
+	for s := Chronon(0); s < composeUniverse; s++ {
+		for e := s; e < composeUniverse; e++ {
+			intervals = append(intervals, Interval{Start: s, End: e})
+		}
+	}
+	// Group interval pairs by their relation once, then join through the
+	// shared middle interval.
+	byRel := make(map[Interval][NumRelations][]Interval) // j -> r -> all i with r(i,j)
+	for _, j := range intervals {
+		var buckets [NumRelations][]Interval
+		for _, i := range intervals {
+			r := RelationBetween(i, j)
+			buckets[r] = append(buckets[r], i)
+		}
+		byRel[j] = buckets
+	}
+	for _, j := range intervals {
+		iBuckets := byRel[j]
+		for _, k := range intervals {
+			r2 := RelationBetween(j, k)
+			for r1 := Relation(0); r1 < NumRelations; r1++ {
+				for _, i := range iBuckets[r1] {
+					composeTable[r1][r2] = composeTable[r1][r2].Add(RelationBetween(i, k))
+				}
+			}
+		}
+	}
+}
+
+// Compose returns the composition r1 ∘ r2: the set of relations that can
+// hold between i and k given r1(i, j) and r2(j, k).
+func Compose(r1, r2 Relation) RelationSet {
+	composeOnce.Do(buildComposeTable)
+	return composeTable[r1][r2]
+}
+
+// ComposeSets lifts Compose to sets: the union of Compose(a, b) over all
+// a in s1, b in s2. This is the path-consistency propagation step used by
+// qualitative temporal reasoning.
+func ComposeSets(s1, s2 RelationSet) RelationSet {
+	composeOnce.Do(buildComposeTable)
+	var out RelationSet
+	for _, a := range s1.Relations() {
+		for _, b := range s2.Relations() {
+			out = out.Union(composeTable[a][b])
+		}
+	}
+	return out
+}
+
+// Network is a qualitative constraint network over interval variables:
+// node identifiers 0..n-1 with an edge label (a RelationSet) for every
+// ordered pair. It supports path-consistency checking, which TeCoRe uses
+// to reject unsatisfiable user-authored Allen constraint sets before
+// translating them for a solver.
+type Network struct {
+	n      int
+	labels []RelationSet // n*n, row-major; labels[i*n+j]
+}
+
+// NewNetwork creates a network over n interval variables with all edges
+// unconstrained (the full relation set).
+func NewNetwork(n int) *Network {
+	labels := make([]RelationSet, n*n)
+	for i := range labels {
+		labels[i] = FullSet
+	}
+	for i := 0; i < n; i++ {
+		labels[i*n+i] = NewRelationSet(Equals)
+	}
+	return &Network{n: n, labels: labels}
+}
+
+// Size returns the number of interval variables.
+func (nw *Network) Size() int { return nw.n }
+
+// Constrain intersects the edge i→j with set s (and j→i with its
+// inverse). It reports whether the edge remains satisfiable.
+func (nw *Network) Constrain(i, j int, s RelationSet) bool {
+	nw.labels[i*nw.n+j] = nw.labels[i*nw.n+j].Intersect(s)
+	nw.labels[j*nw.n+i] = nw.labels[j*nw.n+i].Intersect(s.Inverse())
+	return nw.labels[i*nw.n+j] != 0
+}
+
+// Label returns the current label of edge i→j.
+func (nw *Network) Label(i, j int) RelationSet { return nw.labels[i*nw.n+j] }
+
+// PathConsistent runs the PC-1 style closure: repeatedly tighten
+// labels[i][j] with Compose(labels[i][k], labels[k][j]) until fixpoint.
+// It returns false when some edge becomes empty, i.e. the network is
+// certainly unsatisfiable. (Path consistency is complete for pointisable
+// relations and a sound pre-filter in general.)
+func (nw *Network) PathConsistent() bool {
+	n := nw.n
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				lij := nw.labels[i*n+j]
+				for k := 0; k < n; k++ {
+					if k == i || k == j {
+						continue
+					}
+					comp := ComposeSets(nw.labels[i*n+k], nw.labels[k*n+j])
+					tightened := lij.Intersect(comp)
+					if tightened != lij {
+						lij = tightened
+						changed = true
+					}
+					if lij == 0 {
+						nw.labels[i*n+j] = 0
+						return false
+					}
+				}
+				nw.labels[i*n+j] = lij
+			}
+		}
+	}
+	return true
+}

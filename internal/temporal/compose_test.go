@@ -1,0 +1,173 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestComposeSoundness: for random triples (i, j, k), the relation
+// between i and k must be contained in Compose(rel(i,j), rel(j,k)).
+func TestComposeSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 0; n < 50000; n++ {
+		i, j, k := randIv(rng, 30), randIv(rng, 30), randIv(rng, 30)
+		r1 := RelationBetween(i, j)
+		r2 := RelationBetween(j, k)
+		if !Compose(r1, r2).Has(RelationBetween(i, k)) {
+			t.Fatalf("composition unsound: %v ∘ %v missing %v (i=%v j=%v k=%v)",
+				r1, r2, RelationBetween(i, k), i, j, k)
+		}
+	}
+}
+
+// TestComposeKnownEntries spot-checks entries of the Allen composition
+// table against the published table.
+func TestComposeKnownEntries(t *testing.T) {
+	tests := []struct {
+		r1, r2 Relation
+		want   RelationSet
+	}{
+		// before ∘ before = {before}
+		{Before, Before, NewRelationSet(Before)},
+		// after ∘ after = {after}
+		{After, After, NewRelationSet(After)},
+		// meets ∘ meets = {before}
+		{Meets, Meets, NewRelationSet(Before)},
+		// equals is an identity on both sides.
+		{Equals, During, NewRelationSet(During)},
+		{Overlaps, Equals, NewRelationSet(Overlaps)},
+		// during ∘ during = {during}
+		{During, During, NewRelationSet(During)},
+		// contains ∘ contains = {contains}
+		{Contains, Contains, NewRelationSet(Contains)},
+		// starts ∘ starts = {starts}
+		{Starts, Starts, NewRelationSet(Starts)},
+		// finishes ∘ finishes = {finishes}
+		{Finishes, Finishes, NewRelationSet(Finishes)},
+		// before ∘ after = full set
+		{Before, After, FullSet},
+		// during ∘ before = {before}
+		{During, Before, NewRelationSet(Before)},
+		// overlaps ∘ before = {before}
+		{Overlaps, Before, NewRelationSet(Before)},
+		// meets ∘ during = {overlaps, starts, during}
+		{Meets, During, NewRelationSet(Overlaps, Starts, During)},
+		// overlaps ∘ during = {overlaps, starts, during}
+		{Overlaps, During, NewRelationSet(Overlaps, Starts, During)},
+		// before ∘ during = {before, meets, overlaps, starts, during}
+		{Before, During, NewRelationSet(Before, Meets, Overlaps, Starts, During)},
+	}
+	for _, tc := range tests {
+		if got := Compose(tc.r1, tc.r2); got != tc.want {
+			t.Errorf("Compose(%v, %v) = %v, want %v", tc.r1, tc.r2, got, tc.want)
+		}
+	}
+}
+
+// TestComposeConverseIdentity checks (r1 ∘ r2)⁻¹ = r2⁻¹ ∘ r1⁻¹.
+func TestComposeConverseIdentity(t *testing.T) {
+	for r1 := Relation(0); r1 < NumRelations; r1++ {
+		for r2 := Relation(0); r2 < NumRelations; r2++ {
+			lhs := Compose(r1, r2).Inverse()
+			rhs := Compose(r2.Inverse(), r1.Inverse())
+			if lhs != rhs {
+				t.Errorf("converse identity fails for (%v, %v): %v vs %v", r1, r2, lhs, rhs)
+			}
+		}
+	}
+}
+
+// TestComposeIdentityElement checks that Equals is a two-sided identity.
+func TestComposeIdentityElement(t *testing.T) {
+	for r := Relation(0); r < NumRelations; r++ {
+		if got := Compose(Equals, r); got != NewRelationSet(r) {
+			t.Errorf("Equals ∘ %v = %v", r, got)
+		}
+		if got := Compose(r, Equals); got != NewRelationSet(r) {
+			t.Errorf("%v ∘ Equals = %v", r, got)
+		}
+	}
+}
+
+func TestComposeNonEmpty(t *testing.T) {
+	for r1 := Relation(0); r1 < NumRelations; r1++ {
+		for r2 := Relation(0); r2 < NumRelations; r2++ {
+			if Compose(r1, r2) == 0 {
+				t.Errorf("Compose(%v, %v) is empty", r1, r2)
+			}
+		}
+	}
+}
+
+func TestComposeSets(t *testing.T) {
+	got := ComposeSets(NewRelationSet(Before, Meets), NewRelationSet(Before))
+	if got != NewRelationSet(Before) {
+		t.Errorf("ComposeSets = %v, want {before}", got)
+	}
+	if ComposeSets(0, FullSet) != 0 {
+		t.Error("composition with the empty set should be empty")
+	}
+}
+
+func TestNetworkPathConsistency(t *testing.T) {
+	// x before y, y before z forces x before z.
+	nw := NewNetwork(3)
+	nw.Constrain(0, 1, NewRelationSet(Before))
+	nw.Constrain(1, 2, NewRelationSet(Before))
+	if !nw.PathConsistent() {
+		t.Fatal("chain of befores should be consistent")
+	}
+	if got := nw.Label(0, 2); got != NewRelationSet(Before) {
+		t.Errorf("label(0,2) = %v, want {before}", got)
+	}
+	if got := nw.Label(2, 0); got != NewRelationSet(After) {
+		t.Errorf("label(2,0) = %v, want {after}", got)
+	}
+}
+
+func TestNetworkInconsistency(t *testing.T) {
+	// x before y, y before z, z before x: a cycle — unsatisfiable.
+	nw := NewNetwork(3)
+	nw.Constrain(0, 1, NewRelationSet(Before))
+	nw.Constrain(1, 2, NewRelationSet(Before))
+	nw.Constrain(2, 0, NewRelationSet(Before))
+	if nw.PathConsistent() {
+		t.Fatal("before-cycle should be inconsistent")
+	}
+}
+
+func TestNetworkConstrainEmpty(t *testing.T) {
+	nw := NewNetwork(2)
+	if !nw.Constrain(0, 1, NewRelationSet(Before)) {
+		t.Fatal("first constraint should be satisfiable")
+	}
+	if nw.Constrain(0, 1, NewRelationSet(After)) {
+		t.Fatal("contradictory constraint should empty the edge")
+	}
+}
+
+func TestNetworkSize(t *testing.T) {
+	if got := NewNetwork(5).Size(); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+}
+
+func BenchmarkRelationBetween(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ivs := make([]Interval, 1024)
+	for i := range ivs {
+		ivs[i] = randIv(rng, 1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RelationBetween(ivs[i%1024], ivs[(i+7)%1024])
+	}
+}
+
+func BenchmarkCompose(b *testing.B) {
+	Compose(Before, Before) // force table build outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Compose(Relation(i%13), Relation((i/13)%13))
+	}
+}

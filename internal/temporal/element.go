@@ -1,0 +1,164 @@
+package temporal
+
+import (
+	"sort"
+	"strings"
+)
+
+// Element is a temporal element in the temporal-database sense: a finite
+// union of intervals kept in canonical form (sorted, pairwise disjoint,
+// non-adjacent — i.e. maximally coalesced). The zero value is the empty
+// element.
+type Element struct {
+	ivs []Interval
+}
+
+// NewElement builds a canonical temporal element from the given
+// intervals, coalescing overlapping and adjacent ones.
+func NewElement(ivs ...Interval) Element {
+	var e Element
+	for _, iv := range ivs {
+		e = e.Add(iv)
+	}
+	return e
+}
+
+// Add returns the element extended with interval iv, re-coalescing as
+// needed. The receiver is not modified.
+func (e Element) Add(iv Interval) Element {
+	if !iv.Valid() {
+		return e
+	}
+	out := make([]Interval, 0, len(e.ivs)+1)
+	inserted := false
+	for _, cur := range e.ivs {
+		switch {
+		case cur.End+1 < iv.Start:
+			// cur entirely before iv with a gap.
+			out = append(out, cur)
+		case iv.End+1 < cur.Start:
+			// cur entirely after iv with a gap.
+			if !inserted {
+				out = append(out, iv)
+				inserted = true
+			}
+			out = append(out, cur)
+		default:
+			// Overlapping or adjacent: merge into iv and keep scanning.
+			iv = iv.Span(cur)
+		}
+	}
+	if !inserted {
+		out = append(out, iv)
+	}
+	return Element{ivs: out}
+}
+
+// Intervals returns the canonical intervals of the element in ascending
+// order. The returned slice must not be modified.
+func (e Element) Intervals() []Interval { return e.ivs }
+
+// IsEmpty reports whether the element covers no chronon.
+func (e Element) IsEmpty() bool { return len(e.ivs) == 0 }
+
+// Duration returns the total number of chronons covered.
+func (e Element) Duration() int64 {
+	var d int64
+	for _, iv := range e.ivs {
+		d += iv.Duration()
+	}
+	return d
+}
+
+// Contains reports whether chronon t is covered by the element.
+func (e Element) Contains(t Chronon) bool {
+	// Binary search for the first interval with End >= t.
+	i := sort.Search(len(e.ivs), func(i int) bool { return e.ivs[i].End >= t })
+	return i < len(e.ivs) && e.ivs[i].Start <= t
+}
+
+// Union returns the set union of two elements.
+func (e Element) Union(other Element) Element {
+	out := e
+	for _, iv := range other.ivs {
+		out = out.Add(iv)
+	}
+	return out
+}
+
+// Intersect returns the set intersection of two elements.
+func (e Element) Intersect(other Element) Element {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(e.ivs) && j < len(other.ivs) {
+		if iv, ok := e.ivs[i].Intersect(other.ivs[j]); ok {
+			out = append(out, iv)
+		}
+		if e.ivs[i].End < other.ivs[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Element{ivs: out}
+}
+
+// Subtract returns the chronons of e not covered by other.
+func (e Element) Subtract(other Element) Element {
+	var out []Interval
+	for _, iv := range e.ivs {
+		rest := []Interval{iv}
+		for _, cut := range other.ivs {
+			var next []Interval
+			for _, r := range rest {
+				if !r.Intersects(cut) {
+					next = append(next, r)
+					continue
+				}
+				if r.Start < cut.Start {
+					next = append(next, Interval{Start: r.Start, End: cut.Start - 1})
+				}
+				if r.End > cut.End {
+					next = append(next, Interval{Start: cut.End + 1, End: r.End})
+				}
+			}
+			rest = next
+		}
+		out = append(out, rest...)
+	}
+	return NewElement(out...)
+}
+
+// Equal reports whether two elements cover exactly the same chronons.
+func (e Element) Equal(other Element) bool {
+	if len(e.ivs) != len(other.ivs) {
+		return false
+	}
+	for i := range e.ivs {
+		if e.ivs[i] != other.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the element as "{[a,b], [c,d]}".
+func (e Element) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, iv := range e.ivs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(iv.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Coalesce merges a slice of intervals into its canonical disjoint form.
+// This is the classic temporal-database coalescing operation, used when
+// combining duplicate facts whose validity intervals abut or overlap.
+func Coalesce(ivs []Interval) []Interval {
+	return NewElement(ivs...).Intervals()
+}

@@ -1,0 +1,160 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestElementAddCoalesces(t *testing.T) {
+	e := NewElement(MustNew(1, 3), MustNew(4, 6)) // adjacent: coalesce
+	if got := len(e.Intervals()); got != 1 {
+		t.Fatalf("adjacent intervals should coalesce, got %d intervals", got)
+	}
+	if e.Intervals()[0] != MustNew(1, 6) {
+		t.Errorf("coalesced = %v", e.Intervals()[0])
+	}
+
+	e = NewElement(MustNew(1, 3), MustNew(5, 8), MustNew(2, 6))
+	if got := len(e.Intervals()); got != 1 {
+		t.Fatalf("bridging interval should merge all, got %d", got)
+	}
+	if e.Duration() != 8 {
+		t.Errorf("Duration = %d, want 8", e.Duration())
+	}
+}
+
+func TestElementDisjointPieces(t *testing.T) {
+	e := NewElement(MustNew(10, 12), MustNew(1, 3), MustNew(20, 20))
+	ivs := e.Intervals()
+	if len(ivs) != 3 {
+		t.Fatalf("got %d intervals, want 3", len(ivs))
+	}
+	// Sorted ascending.
+	if ivs[0] != MustNew(1, 3) || ivs[1] != MustNew(10, 12) || ivs[2] != Point(20) {
+		t.Errorf("intervals = %v", ivs)
+	}
+}
+
+func TestElementContains(t *testing.T) {
+	e := NewElement(MustNew(1, 3), MustNew(10, 12))
+	for _, tc := range []struct {
+		t    Chronon
+		want bool
+	}{{0, false}, {1, true}, {3, true}, {4, false}, {10, true}, {12, true}, {13, false}} {
+		if got := e.Contains(tc.t); got != tc.want {
+			t.Errorf("Contains(%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	if (Element{}).Contains(5) {
+		t.Error("empty element contains nothing")
+	}
+}
+
+func TestElementUnionIntersect(t *testing.T) {
+	a := NewElement(MustNew(1, 5), MustNew(10, 15))
+	b := NewElement(MustNew(4, 11))
+	u := a.Union(b)
+	if len(u.Intervals()) != 1 || u.Intervals()[0] != MustNew(1, 15) {
+		t.Errorf("Union = %v", u)
+	}
+	x := a.Intersect(b)
+	want := NewElement(MustNew(4, 5), MustNew(10, 11))
+	if !x.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", x, want)
+	}
+}
+
+func TestElementSubtract(t *testing.T) {
+	a := NewElement(MustNew(1, 10))
+	b := NewElement(MustNew(3, 5), MustNew(8, 20))
+	got := a.Subtract(b)
+	want := NewElement(MustNew(1, 2), MustNew(6, 7))
+	if !got.Equal(want) {
+		t.Errorf("Subtract = %v, want %v", got, want)
+	}
+	if !a.Subtract(a).IsEmpty() {
+		t.Error("a - a should be empty")
+	}
+}
+
+func TestElementEmpty(t *testing.T) {
+	var e Element
+	if !e.IsEmpty() || e.Duration() != 0 {
+		t.Error("zero element should be empty")
+	}
+	if got := e.String(); got != "{}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestElementString(t *testing.T) {
+	e := NewElement(MustNew(1, 2), MustNew(9, 9))
+	if got := e.String(); got != "{[1,2], [9,9]}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	got := Coalesce([]Interval{MustNew(5, 6), MustNew(1, 2), MustNew(2, 4)})
+	if len(got) != 1 || got[0] != MustNew(1, 6) {
+		t.Errorf("Coalesce = %v", got)
+	}
+	if got := Coalesce(nil); len(got) != 0 {
+		t.Errorf("Coalesce(nil) = %v", got)
+	}
+}
+
+// TestElementCanonicalProperty: elements built from random intervals are
+// sorted, pairwise disjoint and non-adjacent, and membership matches the
+// naive union of the inputs.
+func TestElementCanonicalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 0; n < 2000; n++ {
+		var ivs []Interval
+		for i := 0; i < rng.Intn(8); i++ {
+			ivs = append(ivs, randIv(rng, 25))
+		}
+		e := NewElement(ivs...)
+		canon := e.Intervals()
+		for i := 1; i < len(canon); i++ {
+			if canon[i-1].End+1 >= canon[i].Start {
+				t.Fatalf("not canonical: %v", canon)
+			}
+		}
+		for p := Chronon(0); p < 26; p++ {
+			naive := false
+			for _, iv := range ivs {
+				if iv.Contains(p) {
+					naive = true
+					break
+				}
+			}
+			if e.Contains(p) != naive {
+				t.Fatalf("membership mismatch at %d for inputs %v: element %v", p, ivs, e)
+			}
+		}
+	}
+}
+
+// TestElementAlgebraProperty: (a ∪ b) ∩ a = a and (a \ b) ∪ (a ∩ b) = a.
+func TestElementAlgebraProperty(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		rng := rand.New(rand.NewSource(int64(len(seeds)) + 99))
+		mk := func() Element {
+			var e Element
+			for i := 0; i < rng.Intn(5); i++ {
+				e = e.Add(randIv(rng, 30))
+			}
+			return e
+		}
+		a, b := mk(), mk()
+		if !a.Union(b).Intersect(a).Equal(a) {
+			return false
+		}
+		return a.Subtract(b).Union(a.Intersect(b)).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

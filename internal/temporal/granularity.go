@@ -1,0 +1,127 @@
+package temporal
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Granularity names the unit of a chronon. The paper's time domain is "a
+// linearly ordered finite sequence of time points, for instance, days,
+// minutes, or milliseconds"; the algebra is unit-agnostic, and
+// Granularity supplies the conversions between wall-clock instants and
+// chronons when the application anchors the domain in calendar time.
+type Granularity uint8
+
+// Supported granularities.
+const (
+	// Years counts calendar years directly (chronon 2004 = year 2004),
+	// the convention of all examples in the paper.
+	Years Granularity = iota
+	// Months counts months since January of year 0.
+	Months
+	// Days counts days since the Unix epoch.
+	Days
+	// Hours counts hours since the Unix epoch.
+	Hours
+	// Minutes counts minutes since the Unix epoch.
+	Minutes
+	// Seconds counts seconds since the Unix epoch.
+	Seconds
+	// Milliseconds counts milliseconds since the Unix epoch.
+	Milliseconds
+)
+
+var granularityNames = [...]string{
+	"years", "months", "days", "hours", "minutes", "seconds", "milliseconds",
+}
+
+// String returns the lower-case plural name ("years", "days", ...).
+func (g Granularity) String() string {
+	if int(g) < len(granularityNames) {
+		return granularityNames[g]
+	}
+	return fmt.Sprintf("Granularity(%d)", uint8(g))
+}
+
+// ParseGranularity resolves a granularity name; singular and plural
+// forms are accepted, case-insensitively.
+func ParseGranularity(name string) (Granularity, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	key = strings.TrimSuffix(key, "s")
+	switch key {
+	case "year":
+		return Years, nil
+	case "month":
+		return Months, nil
+	case "day":
+		return Days, nil
+	case "hour":
+		return Hours, nil
+	case "minute":
+		return Minutes, nil
+	case "second":
+		return Seconds, nil
+	case "millisecond", "milli":
+		return Milliseconds, nil
+	}
+	return 0, fmt.Errorf("temporal: unknown granularity %q", name)
+}
+
+// ToChronon converts a wall-clock instant to its chronon at granularity
+// g (UTC calendar for Years and Months).
+func (g Granularity) ToChronon(t time.Time) Chronon {
+	t = t.UTC()
+	switch g {
+	case Years:
+		return Chronon(t.Year())
+	case Months:
+		return Chronon(t.Year())*12 + Chronon(t.Month()-1)
+	case Days:
+		return Chronon(t.Unix() / 86400)
+	case Hours:
+		return Chronon(t.Unix() / 3600)
+	case Minutes:
+		return Chronon(t.Unix() / 60)
+	case Seconds:
+		return Chronon(t.Unix())
+	case Milliseconds:
+		return Chronon(t.UnixMilli())
+	default:
+		return Chronon(t.Unix())
+	}
+}
+
+// ToTime converts a chronon back to the starting instant of its unit
+// (UTC).
+func (g Granularity) ToTime(c Chronon) time.Time {
+	switch g {
+	case Years:
+		return time.Date(int(c), time.January, 1, 0, 0, 0, 0, time.UTC)
+	case Months:
+		year, month := c/12, c%12
+		if month < 0 {
+			month += 12
+			year--
+		}
+		return time.Date(int(year), time.Month(month+1), 1, 0, 0, 0, 0, time.UTC)
+	case Days:
+		return time.Unix(int64(c)*86400, 0).UTC()
+	case Hours:
+		return time.Unix(int64(c)*3600, 0).UTC()
+	case Minutes:
+		return time.Unix(int64(c)*60, 0).UTC()
+	case Seconds:
+		return time.Unix(int64(c), 0).UTC()
+	case Milliseconds:
+		return time.UnixMilli(int64(c)).UTC()
+	default:
+		return time.Unix(int64(c), 0).UTC()
+	}
+}
+
+// IntervalBetween returns the interval of chronons covering [from, to]
+// at granularity g. It reports an error when to precedes from's chronon.
+func (g Granularity) IntervalBetween(from, to time.Time) (Interval, error) {
+	return New(g.ToChronon(from), g.ToChronon(to))
+}

@@ -1,0 +1,103 @@
+package temporal
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGranularityNames(t *testing.T) {
+	all := []Granularity{Years, Months, Days, Hours, Minutes, Seconds, Milliseconds}
+	for _, g := range all {
+		back, err := ParseGranularity(g.String())
+		if err != nil || back != g {
+			t.Errorf("round trip %v: %v %v", g, back, err)
+		}
+	}
+	if _, err := ParseGranularity("fortnights"); err == nil {
+		t.Error("unknown granularity accepted")
+	}
+	// Singular and case variants.
+	for in, want := range map[string]Granularity{
+		"Year": Years, "DAY": Days, "minute": Minutes, "Milliseconds": Milliseconds,
+	} {
+		got, err := ParseGranularity(in)
+		if err != nil || got != want {
+			t.Errorf("ParseGranularity(%q) = %v, %v", in, got, err)
+		}
+	}
+}
+
+func TestYearsConvention(t *testing.T) {
+	// The paper's convention: chronon 2004 is the year 2004.
+	at := time.Date(2004, time.July, 14, 10, 0, 0, 0, time.UTC)
+	if got := Years.ToChronon(at); got != 2004 {
+		t.Errorf("ToChronon = %d", got)
+	}
+	if got := Years.ToTime(2004); got.Year() != 2004 || got.Month() != time.January {
+		t.Errorf("ToTime = %v", got)
+	}
+}
+
+func TestMonthsRoundTrip(t *testing.T) {
+	at := time.Date(1984, time.March, 1, 0, 0, 0, 0, time.UTC)
+	c := Months.ToChronon(at)
+	if back := Months.ToTime(c); !back.Equal(at) {
+		t.Errorf("months: %v -> %d -> %v", at, c, back)
+	}
+	// Adjacent months differ by one chronon.
+	next := Months.ToChronon(time.Date(1984, time.April, 20, 5, 0, 0, 0, time.UTC))
+	if next != c+1 {
+		t.Errorf("april chronon = %d, want %d", next, c+1)
+	}
+}
+
+func TestEpochGranularities(t *testing.T) {
+	at := time.Date(2017, time.August, 28, 13, 45, 30, 500e6, time.UTC)
+	tests := []struct {
+		g    Granularity
+		unit time.Duration
+	}{
+		{Days, 24 * time.Hour},
+		{Hours, time.Hour},
+		{Minutes, time.Minute},
+		{Seconds, time.Second},
+		{Milliseconds, time.Millisecond},
+	}
+	for _, tc := range tests {
+		c := tc.g.ToChronon(at)
+		back := tc.g.ToTime(c)
+		if at.Sub(back) < 0 || at.Sub(back) >= tc.unit {
+			t.Errorf("%v: %v -> %d -> %v (offset %v)", tc.g, at, c, back, at.Sub(back))
+		}
+	}
+}
+
+func TestToTimeToChrononIdentityProperty(t *testing.T) {
+	f := func(raw int32, which uint8) bool {
+		g := Granularity(which % 7)
+		c := Chronon(raw)
+		if g == Years {
+			c = Chronon(raw%5000) + 1 // sane calendar years
+			if c < 1 {
+				c = 1
+			}
+		}
+		return g.ToChronon(g.ToTime(c)) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalBetween(t *testing.T) {
+	from := time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2004, time.December, 31, 0, 0, 0, 0, time.UTC)
+	iv, err := Years.IntervalBetween(from, to)
+	if err != nil || iv != MustNew(2000, 2004) {
+		t.Errorf("IntervalBetween = %v, %v", iv, err)
+	}
+	if _, err := Years.IntervalBetween(to, from); err == nil {
+		t.Error("reversed instants accepted")
+	}
+}

@@ -1,0 +1,189 @@
+// Package temporal implements the discrete time domain used by uncertain
+// temporal knowledge graphs (utkgs): closed integer intervals over a
+// linearly ordered, finite sequence of chronons, Allen's interval algebra
+// (the thirteen basic relations, their converses and the composition
+// table), and temporal elements (finite unions of intervals).
+//
+// The package follows the data model of the TeCoRe paper (VLDB 2017):
+// every temporal fact is annotated with a validity interval [start, end]
+// whose endpoints are chronons (years, days, milliseconds — the
+// granularity is chosen by the application and is opaque to the algebra).
+package temporal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Chronon is a single point of the discrete time domain. The unit (year,
+// day, millisecond, ...) is application-defined; the algebra only relies
+// on the linear order.
+type Chronon = int64
+
+// Interval is a closed, non-empty interval [Start, End] over the discrete
+// time domain. Start must be <= End; use New to validate.
+type Interval struct {
+	Start Chronon
+	End   Chronon
+}
+
+// New returns the interval [start, end]. It reports an error if
+// start > end (the empty interval is not representable; temporal facts
+// always hold for at least one chronon).
+func New(start, end Chronon) (Interval, error) {
+	if start > end {
+		return Interval{}, fmt.Errorf("temporal: invalid interval [%d,%d]: start after end", start, end)
+	}
+	return Interval{Start: start, End: end}, nil
+}
+
+// MustNew is like New but panics on invalid input. Intended for literals
+// in tests and examples.
+func MustNew(start, end Chronon) Interval {
+	iv, err := New(start, end)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}
+
+// Point returns the degenerate interval [t, t].
+func Point(t Chronon) Interval { return Interval{Start: t, End: t} }
+
+// Valid reports whether the interval is well formed (Start <= End).
+func (iv Interval) Valid() bool { return iv.Start <= iv.End }
+
+// Duration returns the number of chronons covered by the interval.
+// A point interval has duration 1.
+func (iv Interval) Duration() int64 { return iv.End - iv.Start + 1 }
+
+// Contains reports whether chronon t lies within the interval.
+func (iv Interval) Contains(t Chronon) bool { return iv.Start <= t && t <= iv.End }
+
+// ContainsInterval reports whether other lies entirely within iv
+// (not necessarily strictly).
+func (iv Interval) ContainsInterval(other Interval) bool {
+	return iv.Start <= other.Start && other.End <= iv.End
+}
+
+// Intersects reports whether the two intervals share at least one chronon.
+func (iv Interval) Intersects(other Interval) bool {
+	return iv.Start <= other.End && other.Start <= iv.End
+}
+
+// Intersect returns the common sub-interval of iv and other. ok is false
+// when the intervals are disjoint.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	s := max64(iv.Start, other.Start)
+	e := min64(iv.End, other.End)
+	if s > e {
+		return Interval{}, false
+	}
+	return Interval{Start: s, End: e}, true
+}
+
+// Span returns the smallest interval covering both iv and other,
+// including any gap between them.
+func (iv Interval) Span(other Interval) Interval {
+	return Interval{Start: min64(iv.Start, other.Start), End: max64(iv.End, other.End)}
+}
+
+// Union returns the set union of iv and other as a single interval. ok is
+// false when the intervals neither intersect nor are adjacent, in which
+// case their union is not an interval.
+func (iv Interval) Union(other Interval) (Interval, bool) {
+	if !iv.Intersects(other) && !iv.Adjacent(other) {
+		return Interval{}, false
+	}
+	return iv.Span(other), true
+}
+
+// Adjacent reports whether the intervals are disjoint but with no gap
+// between them (one meets the other in the discrete sense).
+func (iv Interval) Adjacent(other Interval) bool {
+	return iv.End+1 == other.Start || other.End+1 == iv.Start
+}
+
+// Disjoint reports whether the intervals share no chronon. Note that
+// adjacent intervals are disjoint in the discrete domain.
+func (iv Interval) Disjoint(other Interval) bool { return !iv.Intersects(other) }
+
+// Before reports whether iv ends strictly before other starts, allowing
+// a gap or adjacency. This is the weak precedence predicate used by
+// constraints such as "a person must be born before she dies"; for the
+// strict Allen relation use RelationBetween.
+func (iv Interval) Before(other Interval) bool { return iv.End < other.Start }
+
+// Shift translates the interval by delta chronons.
+func (iv Interval) Shift(delta int64) Interval {
+	return Interval{Start: iv.Start + delta, End: iv.End + delta}
+}
+
+// Clamp restricts the interval to the bounds [lo, hi]. ok is false when
+// the interval lies entirely outside the bounds.
+func (iv Interval) Clamp(lo, hi Chronon) (Interval, bool) {
+	return iv.Intersect(Interval{Start: lo, End: hi})
+}
+
+// Equal reports whether the two intervals have identical endpoints.
+func (iv Interval) Equal(other Interval) bool { return iv == other }
+
+// Compare orders intervals lexicographically by (Start, End). It returns
+// -1, 0 or +1.
+func (iv Interval) Compare(other Interval) int {
+	switch {
+	case iv.Start < other.Start:
+		return -1
+	case iv.Start > other.Start:
+		return 1
+	case iv.End < other.End:
+		return -1
+	case iv.End > other.End:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the interval in the paper's notation, e.g. "[2000,2004]".
+func (iv Interval) String() string {
+	return "[" + strconv.FormatInt(iv.Start, 10) + "," + strconv.FormatInt(iv.End, 10) + "]"
+}
+
+// Parse parses the textual form "[start,end]" (whitespace tolerated)
+// produced by String.
+func Parse(s string) (Interval, error) {
+	t := strings.TrimSpace(s)
+	if len(t) < 2 || t[0] != '[' || t[len(t)-1] != ']' {
+		return Interval{}, fmt.Errorf("temporal: malformed interval %q: want [start,end]", s)
+	}
+	body := t[1 : len(t)-1]
+	comma := strings.IndexByte(body, ',')
+	if comma < 0 {
+		return Interval{}, fmt.Errorf("temporal: malformed interval %q: missing comma", s)
+	}
+	start, err := strconv.ParseInt(strings.TrimSpace(body[:comma]), 10, 64)
+	if err != nil {
+		return Interval{}, fmt.Errorf("temporal: malformed interval %q: %v", s, err)
+	}
+	end, err := strconv.ParseInt(strings.TrimSpace(body[comma+1:]), 10, 64)
+	if err != nil {
+		return Interval{}, fmt.Errorf("temporal: malformed interval %q: %v", s, err)
+	}
+	return New(start, end)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,233 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNew(t *testing.T) {
+	iv, err := New(2000, 2004)
+	if err != nil {
+		t.Fatalf("New(2000, 2004) failed: %v", err)
+	}
+	if iv.Start != 2000 || iv.End != 2004 {
+		t.Errorf("got %v, want [2000,2004]", iv)
+	}
+	if _, err := New(5, 3); err == nil {
+		t.Error("New(5, 3) should fail")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(2, 1) should panic")
+		}
+	}()
+	MustNew(2, 1)
+}
+
+func TestPoint(t *testing.T) {
+	p := Point(1951)
+	if p.Start != 1951 || p.End != 1951 {
+		t.Errorf("Point(1951) = %v", p)
+	}
+	if p.Duration() != 1 {
+		t.Errorf("point duration = %d, want 1", p.Duration())
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if d := MustNew(2000, 2004).Duration(); d != 5 {
+		t.Errorf("Duration = %d, want 5", d)
+	}
+}
+
+func TestContains(t *testing.T) {
+	iv := MustNew(2000, 2004)
+	for _, tc := range []struct {
+		t    Chronon
+		want bool
+	}{
+		{1999, false}, {2000, true}, {2002, true}, {2004, true}, {2005, false},
+	} {
+		if got := iv.Contains(tc.t); got != tc.want {
+			t.Errorf("Contains(%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	outer := MustNew(2000, 2010)
+	for _, tc := range []struct {
+		in   Interval
+		want bool
+	}{
+		{MustNew(2000, 2010), true},
+		{MustNew(2001, 2009), true},
+		{MustNew(1999, 2005), false},
+		{MustNew(2005, 2011), false},
+	} {
+		if got := outer.ContainsInterval(tc.in); got != tc.want {
+			t.Errorf("ContainsInterval(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	tests := []struct {
+		a, b   Interval
+		want   Interval
+		wantOK bool
+	}{
+		{MustNew(2000, 2004), MustNew(2001, 2003), MustNew(2001, 2003), true},
+		{MustNew(2000, 2004), MustNew(2003, 2008), MustNew(2003, 2004), true},
+		{MustNew(2000, 2004), MustNew(2005, 2008), Interval{}, false},
+		{MustNew(2000, 2004), MustNew(2004, 2008), Point(2004), true},
+	}
+	for _, tc := range tests {
+		got, ok := tc.a.Intersect(tc.b)
+		if ok != tc.wantOK || (ok && got != tc.want) {
+			t.Errorf("%v ∩ %v = %v,%v; want %v,%v", tc.a, tc.b, got, ok, tc.want, tc.wantOK)
+		}
+	}
+}
+
+func TestSpanUnionAdjacent(t *testing.T) {
+	a, b := MustNew(2000, 2002), MustNew(2003, 2005)
+	if !a.Adjacent(b) || !b.Adjacent(a) {
+		t.Error("expected adjacency between [2000,2002] and [2003,2005]")
+	}
+	u, ok := a.Union(b)
+	if !ok || u != MustNew(2000, 2005) {
+		t.Errorf("Union = %v,%v; want [2000,2005],true", u, ok)
+	}
+	c := MustNew(2007, 2009)
+	if _, ok := a.Union(c); ok {
+		t.Error("union of gapped intervals should fail")
+	}
+	if sp := a.Span(c); sp != MustNew(2000, 2009) {
+		t.Errorf("Span = %v, want [2000,2009]", sp)
+	}
+}
+
+func TestBeforeDisjoint(t *testing.T) {
+	a, b := MustNew(1951, 1951), MustNew(2000, 2004)
+	if !a.Before(b) {
+		t.Error("1951 should be before [2000,2004]")
+	}
+	if b.Before(a) {
+		t.Error("[2000,2004] is not before 1951")
+	}
+	if !a.Disjoint(b) {
+		t.Error("expected disjoint")
+	}
+	if a.Disjoint(MustNew(1950, 1960)) {
+		t.Error("overlapping intervals are not disjoint")
+	}
+}
+
+func TestShiftClamp(t *testing.T) {
+	iv := MustNew(2000, 2004).Shift(10)
+	if iv != MustNew(2010, 2014) {
+		t.Errorf("Shift = %v", iv)
+	}
+	cl, ok := iv.Clamp(2012, 2020)
+	if !ok || cl != MustNew(2012, 2014) {
+		t.Errorf("Clamp = %v,%v", cl, ok)
+	}
+	if _, ok := iv.Clamp(2020, 2030); ok {
+		t.Error("clamp outside bounds should fail")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b Interval
+		want int
+	}{
+		{MustNew(1, 2), MustNew(1, 2), 0},
+		{MustNew(1, 2), MustNew(1, 3), -1},
+		{MustNew(2, 2), MustNew(1, 9), 1},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestParseString(t *testing.T) {
+	for _, s := range []string{"[2000,2004]", "[ 1951 , 2017 ]", "[-5,3]"} {
+		iv, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		back, err := Parse(iv.String())
+		if err != nil || back != iv {
+			t.Errorf("round trip of %q failed: %v %v", s, back, err)
+		}
+	}
+	for _, s := range []string{"", "2000,2004", "[2000]", "[a,b]", "[5,3]"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseStringRoundTripProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		iv := MustNew(lo, hi)
+		back, err := Parse(iv.String())
+		return err == nil && back == iv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectCommutativeProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		i := normIv(int64(a1), int64(a2))
+		j := normIv(int64(b1), int64(b2))
+		x, okx := i.Intersect(j)
+		y, oky := j.Intersect(i)
+		return okx == oky && x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// normIv builds a valid interval from two arbitrary endpoints.
+func normIv(a, b int64) Interval {
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{Start: a, End: b}
+}
+
+func TestIntersectionIsContained(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		i := normIv(int64(a1), int64(a2))
+		j := normIv(int64(b1), int64(b2))
+		x, ok := i.Intersect(j)
+		if !ok {
+			return i.Disjoint(j)
+		}
+		return i.ContainsInterval(x) && j.ContainsInterval(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randIv(rng *rand.Rand, span int64) Interval {
+	s := rng.Int63n(span)
+	return Interval{Start: s, End: s + rng.Int63n(span-s+1)}
+}

@@ -1,0 +1,180 @@
+// Package translate is the TeCoRe Translator: it takes an uncertain
+// temporal knowledge graph, inference rules and constraints, verifies
+// that the program adheres to the expressivity of the chosen solver, and
+// runs MAP inference on the corresponding probabilistic-FOL backend
+// (the MLN engine standing in for nRockIt, or the HL-MRF engine standing
+// in for the nPSL solver). Additional ProbFOL backends can be integrated
+// by implementing the same dispatch.
+package translate
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/ground"
+	"repro/internal/logic"
+	"repro/internal/mln"
+	"repro/internal/psl"
+	"repro/internal/store"
+)
+
+// Solver selects the probabilistic-FOL backend.
+type Solver uint8
+
+const (
+	// SolverMLN is Markov logic with numerical constraints (nRockIt):
+	// exact boolean MAP, the more expressive but less scalable engine.
+	SolverMLN Solver = iota
+	// SolverPSL is probabilistic soft logic with the numerical extension
+	// (nPSL): convex soft MAP plus rounding, the scalable engine.
+	SolverPSL
+	// SolverGreedy is the non-probabilistic greedy repair baseline: keep
+	// facts strongest-first, skip constraint violators. Used for quality
+	// comparisons against the MAP backends.
+	SolverGreedy
+)
+
+// String returns "mln" or "psl".
+func (s Solver) String() string {
+	switch s {
+	case SolverMLN:
+		return "mln"
+	case SolverPSL:
+		return "psl"
+	case SolverGreedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("solver(%d)", uint8(s))
+	}
+}
+
+// ParseSolver resolves a solver name ("mln"/"nrockit", "psl"/"npsl").
+func ParseSolver(name string) (Solver, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "mln", "nrockit", "rockit":
+		return SolverMLN, nil
+	case "psl", "npsl":
+		return SolverPSL, nil
+	case "greedy", "baseline":
+		return SolverGreedy, nil
+	}
+	return 0, fmt.Errorf("translate: unknown solver %q (want mln, psl or greedy)", name)
+}
+
+// ValidateFor verifies the program against the solver's expressivity.
+//
+// The MLN backend accepts the full language. The PSL backend — following
+// the paper's "PSL trades expressiveness for scalability" — requires
+// inference rules (atom heads) to carry finite weights: a hard boolean
+// implication has no exact hinge-loss counterpart, only constraints
+// (condition or falsum heads, which ground to denial clauses) may be
+// hard.
+func ValidateFor(solver Solver, prog *logic.Program) error {
+	if err := prog.Validate(); err != nil {
+		return fmt.Errorf("translate: %w", err)
+	}
+	if solver != SolverPSL {
+		return nil
+	}
+	for _, r := range prog.Rules {
+		if r.Head.Kind == logic.HeadAtom && r.Hard() {
+			return fmt.Errorf("translate: rule %s: hard inference rules are outside PSL expressivity; give it a finite weight or use the MLN solver", displayName(r))
+		}
+	}
+	return nil
+}
+
+func displayName(r *logic.Rule) string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return r.String()
+}
+
+// CheckPredicates cross-checks the constant predicates mentioned by the
+// program against those present in the data, returning the rule
+// predicates with no matching facts. The Web UI surfaces these as likely
+// typos.
+func CheckPredicates(st *store.Store, prog *logic.Program) []string {
+	present := make(map[string]bool)
+	for _, ps := range st.Stats().Predicates {
+		present[ps.Predicate] = true
+	}
+	var missing []string
+	for _, p := range prog.PredicatesUsed() {
+		if !present[p] {
+			missing = append(missing, p)
+		}
+	}
+	return missing
+}
+
+// Options bundles per-backend tuning.
+type Options struct {
+	MLN mln.Options
+	PSL psl.Options
+}
+
+// Output is the unified MAP result of either backend.
+type Output struct {
+	// Solver is the backend that produced the result.
+	Solver Solver
+	// Grounder exposes the atom table the truth vector indexes.
+	Grounder *ground.Grounder
+	// Truth is the boolean MAP state per atom id.
+	Truth []bool
+	// SoftValues holds PSL's soft truth values (nil for MLN).
+	SoftValues []float64
+	// MLN carries backend detail when Solver == SolverMLN.
+	MLN *mln.Result
+	// PSL carries backend detail when Solver == SolverPSL.
+	PSL *psl.Result
+	// Greedy carries backend detail when Solver == SolverGreedy.
+	Greedy *baseline.Result
+	// Runtime is the end-to-end inference time including grounding.
+	Runtime time.Duration
+}
+
+// Run validates the program for the solver and computes the MAP state
+// over the store's evidence.
+func Run(st *store.Store, prog *logic.Program, solver Solver, opts Options) (*Output, error) {
+	if err := ValidateFor(solver, prog); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	g := ground.New(st)
+	out := &Output{Solver: solver, Grounder: g}
+	switch solver {
+	case SolverMLN:
+		res, err := mln.MAP(g, prog, opts.MLN)
+		if err != nil {
+			return nil, err
+		}
+		if !res.HardSatisfied {
+			return nil, fmt.Errorf("translate: MLN solver found no assignment satisfying the hard constraints")
+		}
+		out.MLN = res
+		out.Truth = res.Truth
+	case SolverPSL:
+		res, err := psl.MAP(g, prog, opts.PSL)
+		if err != nil {
+			return nil, err
+		}
+		out.PSL = res
+		out.Truth = res.Truth
+		out.SoftValues = res.Values
+	case SolverGreedy:
+		res, err := baseline.Solve(g, prog)
+		if err != nil {
+			return nil, err
+		}
+		out.Greedy = res
+		out.Truth = res.Truth
+	default:
+		return nil, fmt.Errorf("translate: unknown solver %v", solver)
+	}
+	out.Runtime = time.Since(start)
+	return out, nil
+}

@@ -1,0 +1,183 @@
+// Package tecore is the public API of this reproduction of TeCoRe
+// (Temporal Conflict Resolution in Knowledge Graphs, VLDB 2017): a system
+// for temporal inference and conflict resolution in uncertain temporal
+// knowledge graphs (utkgs).
+//
+// A utkg is a set of temporal facts — RDF triples with a validity
+// interval and a confidence value:
+//
+//	(CR, coach, Chelsea, [2000,2004]) 0.9
+//
+// TeCoRe combines such data with temporal inference rules and
+// constraints written in a Datalog-style language with Allen's interval
+// relations and arithmetic conditions:
+//
+//	f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5
+//	c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z
+//	      -> disjoint(t, t') w = inf
+//
+// and computes — via MAP inference on a Markov-logic backend (nRockIt
+// stand-in) or a probabilistic-soft-logic backend (nPSL stand-in) — the
+// most probable, expanded, conflict-free knowledge graph, along with
+// debugging statistics.
+//
+// Quickstart:
+//
+//	s := tecore.NewSession()
+//	_ = s.LoadGraphText(data)         // TQuads text
+//	_ = s.LoadProgramText(rules)      // rules + constraints
+//	res, err := s.Solve(tecore.SolveOptions{Solver: tecore.SolverMLN})
+//	// res.Kept, res.Removed, res.Inferred, res.Stats
+package tecore
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/kgen"
+	"repro/internal/logic"
+	"repro/internal/rdf"
+	"repro/internal/repair"
+	"repro/internal/rulelang"
+	"repro/internal/suggest"
+	"repro/internal/temporal"
+	"repro/internal/translate"
+)
+
+// Session accumulates a knowledge graph and a program of rules and
+// constraints; Solve runs conflict resolution. See core.Session.
+type Session = core.Session
+
+// NewSession returns an empty session.
+func NewSession() *Session { return core.NewSession() }
+
+// SolveOptions tunes a Solve call: backend, derived-fact threshold,
+// cutting-plane inference.
+type SolveOptions = core.SolveOptions
+
+// Resolution is the outcome of conflict resolution: kept, removed and
+// inferred facts plus statistics and the raw solver output.
+type Resolution = core.Resolution
+
+// Solver selects the probabilistic backend.
+type Solver = translate.Solver
+
+// Available solvers: MLN (nRockIt stand-in, exact boolean MAP) and PSL
+// (nPSL stand-in, scalable convex approximation).
+const (
+	SolverMLN = translate.SolverMLN
+	SolverPSL = translate.SolverPSL
+)
+
+// ParseSolver resolves a solver name ("mln"/"nrockit", "psl"/"npsl").
+func ParseSolver(name string) (Solver, error) { return translate.ParseSolver(name) }
+
+// Quad is an uncertain temporal fact.
+type Quad = rdf.Quad
+
+// Graph is a set of quads (a utkg).
+type Graph = rdf.Graph
+
+// Term is an RDF term (IRI, literal or blank node).
+type Term = rdf.Term
+
+// NewIRI builds an IRI term.
+func NewIRI(iri string) Term { return rdf.NewIRI(iri) }
+
+// NewQuad assembles a quad from compact IRI names.
+func NewQuad(s, p, o string, iv Interval, conf float64) Quad {
+	return rdf.NewQuad(s, p, o, iv, conf)
+}
+
+// Interval is a closed interval over the discrete time domain.
+type Interval = temporal.Interval
+
+// NewInterval returns the validated interval [start, end].
+func NewInterval(start, end int64) (Interval, error) { return temporal.New(start, end) }
+
+// MustInterval is NewInterval for literals in examples and tests.
+func MustInterval(start, end int64) Interval { return temporal.MustNew(start, end) }
+
+// ParseGraph reads a TQuads document.
+func ParseGraph(r io.Reader) (Graph, error) { return rdf.ParseGraph(r) }
+
+// ParseGraphString reads a TQuads document from a string.
+func ParseGraphString(s string) (Graph, error) { return rdf.ParseGraphString(s) }
+
+// WriteGraph serialises a graph as TQuads text.
+func WriteGraph(w io.Writer, g Graph) error { return rdf.WriteGraph(w, g) }
+
+// Program is a set of rules and constraints.
+type Program = logic.Program
+
+// Rule is a weighted temporal formula.
+type Rule = logic.Rule
+
+// ParseRules parses rules/constraints in the surface syntax.
+func ParseRules(src string) (*Program, error) { return rulelang.Parse(src) }
+
+// FormatRules renders a program back to parseable text.
+func FormatRules(p *Program) string { return rulelang.Format(p) }
+
+// AllenConstraint builds the constraint the Web UI's editor produces:
+// the Allen predicate rel must hold between the intervals of pred1 and
+// pred2 facts sharing a subject. With distinctObjects, the constraint
+// only fires when the objects differ (the paper's y != z guard).
+func AllenConstraint(name, pred1, pred2, rel string, distinctObjects bool) (*Rule, error) {
+	return core.AllenConstraint(name, pred1, pred2, rel, distinctObjects)
+}
+
+// FunctionalConstraint builds the equality-generating constraint of the
+// paper's c3: one object per subject at intersecting times.
+func FunctionalConstraint(name, pred string) (*Rule, error) {
+	return core.FunctionalConstraint(name, pred)
+}
+
+// Outcome is the conflict-resolution result embedded in Resolution.
+type Outcome = repair.Outcome
+
+// Stats summarises a debugging run (Figure 8 of the paper).
+type Stats = repair.Stats
+
+// Fact is a resolved fact with provenance.
+type Fact = repair.Fact
+
+// Dataset is a generated evaluation dataset with gold noise labels.
+type Dataset = kgen.Dataset
+
+// FootballConfig parameterises the FootballDB-profile generator.
+type FootballConfig = kgen.FootballConfig
+
+// WikidataConfig parameterises the Wikidata-profile generator.
+type WikidataConfig = kgen.WikidataConfig
+
+// GenerateFootball builds a FootballDB-profile dataset (>13K playsFor,
+// >6K birthDate facts at default scale) with optional labelled noise.
+func GenerateFootball(cfg FootballConfig) *Dataset { return kgen.Football(cfg) }
+
+// GenerateWikidata builds a Wikidata-profile dataset with the paper's
+// per-relation cardinalities scaled by cfg.Scale.
+func GenerateWikidata(cfg WikidataConfig) *Dataset { return kgen.Wikidata(cfg) }
+
+// FootballProgram is the standard constraint set for the football
+// profile (no two teams at once, single birth date, born before plays).
+const FootballProgram = kgen.FootballProgram
+
+// WikidataProgram is the standard constraint set for the Wikidata
+// profile.
+const WikidataProgram = kgen.WikidataProgram
+
+// ConstraintSuggestion is a mined candidate constraint with its support
+// statistics.
+type ConstraintSuggestion = suggest.Suggestion
+
+// SuggestOptions tunes the constraint miner.
+type SuggestOptions = suggest.Options
+
+// SuggestConstraints mines candidate temporal constraints from the
+// session's data — the "automatic derivation or suggestion of
+// constraints" the paper proposes as a demonstration goal. Suggestions
+// come sorted by confidence; review them before adding via AddRule.
+func SuggestConstraints(s *Session, opts SuggestOptions) ([]ConstraintSuggestion, error) {
+	return suggest.Mine(s.Store(), opts)
+}

@@ -1,0 +1,212 @@
+package tecore_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	tecore "repro"
+)
+
+const figure1 = `
+CR coach Chelsea [2000,2004] 0.9
+CR coach Leicester [2015,2017] 0.7
+CR playsFor Palermo [1984,1986] 0.5
+CR birthDate 1951 [1951,2017] 1.0
+CR coach Napoli [2001,2003] 0.6
+`
+
+const figure4and6 = `
+f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5
+c1: quad(x, birthDate, y, t) ^ quad(x, deathDate, z, t') -> before(t, t') w = inf
+c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf
+c3: quad(x, bornIn, y, t) ^ quad(x, bornIn, z, t') ^ overlap(t, t') -> y = z w = inf
+`
+
+// TestQuickstart is the package-documentation flow end to end.
+func TestQuickstart(t *testing.T) {
+	s := tecore.NewSession()
+	if err := s.LoadGraphText(figure1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadProgramText(figure4and6); err != nil {
+		t.Fatal(err)
+	}
+	for _, solver := range []tecore.Solver{tecore.SolverMLN, tecore.SolverPSL} {
+		res, err := s.Solve(tecore.SolveOptions{Solver: solver})
+		if err != nil {
+			t.Fatalf("%v: %v", solver, err)
+		}
+		if res.Stats.RemovedFacts != 1 || res.Removed[0].Quad.Object.Value != "Napoli" {
+			t.Errorf("%v: removed %v", solver, res.Removed)
+		}
+		if res.Stats.KeptFacts != 4 {
+			t.Errorf("%v: kept %d", solver, res.Stats.KeptFacts)
+		}
+	}
+}
+
+func TestGraphRoundTripThroughFacade(t *testing.T) {
+	g, err := tecore.ParseGraphString(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tecore.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tecore.ParseGraph(&buf)
+	if err != nil || len(back) != len(g) {
+		t.Fatalf("round trip: %v (%d facts)", err, len(back))
+	}
+}
+
+func TestRulesFacade(t *testing.T) {
+	prog, err := tecore.ParseRules(figure4and6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 4 {
+		t.Fatalf("rules = %d", len(prog.Rules))
+	}
+	text := tecore.FormatRules(prog)
+	if !strings.Contains(text, "disjoint(t, t')") {
+		t.Errorf("FormatRules output missing constraint: %q", text)
+	}
+	back, err := tecore.ParseRules(text)
+	if err != nil || len(back.Rules) != 4 {
+		t.Fatalf("re-parse: %v", err)
+	}
+}
+
+func TestConstraintBuilders(t *testing.T) {
+	s := tecore.NewSession()
+	if err := s.LoadGraphText(figure1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := tecore.AllenConstraint("c2", "coach", "coach", "disjoint", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRule(c); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(tecore.SolveOptions{Solver: tecore.SolverMLN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RemovedFacts != 1 {
+		t.Errorf("removed = %d", res.Stats.RemovedFacts)
+	}
+	if _, err := tecore.FunctionalConstraint("c3", "bornIn"); err != nil {
+		t.Errorf("FunctionalConstraint: %v", err)
+	}
+}
+
+func TestGeneratorsThroughFacade(t *testing.T) {
+	fb := tecore.GenerateFootball(tecore.FootballConfig{Players: 100, Seed: 1})
+	if len(fb.Graph) < 200 {
+		t.Errorf("football graph too small: %d", len(fb.Graph))
+	}
+	wd := tecore.GenerateWikidata(tecore.WikidataConfig{Scale: 0.002, Seed: 1})
+	if len(wd.Graph) == 0 {
+		t.Error("wikidata graph empty")
+	}
+	if _, err := tecore.ParseRules(tecore.FootballProgram); err != nil {
+		t.Errorf("FootballProgram: %v", err)
+	}
+	if _, err := tecore.ParseRules(tecore.WikidataProgram); err != nil {
+		t.Errorf("WikidataProgram: %v", err)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := tecore.MustInterval(2000, 2004)
+	if iv.Duration() != 5 {
+		t.Errorf("duration = %d", iv.Duration())
+	}
+	if _, err := tecore.NewInterval(5, 3); err == nil {
+		t.Error("invalid interval accepted")
+	}
+	q := tecore.NewQuad("CR", "coach", "Chelsea", iv, 0.9)
+	if q.Validate() != nil {
+		t.Error("facade quad invalid")
+	}
+}
+
+func TestParseSolverFacade(t *testing.T) {
+	s, err := tecore.ParseSolver("psl")
+	if err != nil || s != tecore.SolverPSL {
+		t.Errorf("ParseSolver = %v, %v", s, err)
+	}
+}
+
+// TestNoisyFootballRecovery is the E4 shape: at the paper's 1:1 noise
+// ratio the resolver removes mostly-noise facts (precision) and catches
+// a large share of the injected noise (recall).
+func TestNoisyFootballRecovery(t *testing.T) {
+	ds := tecore.GenerateFootball(tecore.FootballConfig{Players: 120, NoiseRatio: 1.0, Seed: 11})
+	s := tecore.NewSession()
+	if err := s.LoadGraph(ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadProgramText(tecore.FootballProgram); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(tecore.SolveOptions{Solver: tecore.SolverMLN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, fp := 0, 0
+	for _, f := range res.Removed {
+		if ds.Noise[f.Quad.Fact()] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	if tp+fp == 0 {
+		t.Fatal("nothing removed from a 1:1 noisy dataset")
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(ds.NoiseCount())
+	if precision < 0.6 {
+		t.Errorf("precision = %.2f (tp=%d fp=%d)", precision, tp, fp)
+	}
+	if recall < 0.5 {
+		t.Errorf("recall = %.2f (tp=%d noise=%d)", recall, tp, ds.NoiseCount())
+	}
+	t.Logf("noise recovery: precision=%.3f recall=%.3f removed=%d", precision, recall, tp+fp)
+}
+
+// TestGreedyBaselineNeverBeatsMAP: on conflict datasets the MAP solver
+// must remove at most the confidence mass the greedy baseline removes.
+func TestGreedyBaselineNeverBeatsMAP(t *testing.T) {
+	ds := tecore.GenerateFootball(tecore.FootballConfig{Players: 150, NoiseRatio: 0.6, Seed: 14})
+	weights := map[string]float64{}
+	for _, solverName := range []string{"greedy", "mln"} {
+		solver, err := tecore.ParseSolver(solverName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tecore.NewSession()
+		if err := s.LoadGraph(ds.Graph); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.LoadProgramText(tecore.FootballProgram); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Solve(tecore.SolveOptions{Solver: solver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		weights[solverName] = res.Stats.RemovedWeight
+		if res.Stats.RemovedFacts == 0 {
+			t.Fatalf("%s removed nothing from a noisy dataset", solverName)
+		}
+	}
+	if weights["mln"] > weights["greedy"]+1e-6 {
+		t.Errorf("MAP removed more weight (%.3f) than greedy (%.3f)", weights["mln"], weights["greedy"])
+	}
+	t.Logf("removed weight: greedy=%.2f mln=%.2f", weights["greedy"], weights["mln"])
+}
