@@ -244,6 +244,49 @@ func BenchmarkE8_CuttingPlaneAblation(b *testing.B) {
 	}
 }
 
+// --- Parallel scaling: the E6 workload across worker pool sizes ---
+// The solve pipeline (grounding, restarts, ADMM sweeps) fans out across
+// a bounded worker pool with byte-identical results; this benchmark
+// measures the wall-clock effect on the largest E6 relation for both
+// backends. parallel=1 is the sequential path, parallel=0 all cores.
+
+func BenchmarkParallelismScaling(b *testing.B) {
+	ds := tecore.GenerateWikidata(tecore.WikidataConfig{Scale: 0.01, Seed: 4})
+	var largest tecore.Graph
+	perRelation := map[string]tecore.Graph{}
+	for _, q := range ds.Graph {
+		p := q.Predicate.Value
+		perRelation[p] = append(perRelation[p], q)
+		if len(perRelation[p]) > len(largest) {
+			largest = perRelation[p]
+		}
+	}
+	rel := largest[0].Predicate.Value
+	program := fmt.Sprintf(
+		"c: quad(x, <%s>, y, t) ^ quad(x, <%s>, z, t') ^ y != z -> disjoint(t, t') w = inf", rel, rel)
+	b.Logf("relation %s: %d facts", rel, len(largest))
+	for _, solver := range []tecore.Solver{tecore.SolverPSL, tecore.SolverMLN} {
+		for _, parallel := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/parallel=%d", solver, parallel), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s := tecore.NewSession()
+					if err := s.LoadGraph(largest); err != nil {
+						b.Fatal(err)
+					}
+					if err := s.LoadProgramText(program); err != nil {
+						b.Fatal(err)
+					}
+					res, err := s.Solve(tecore.SolveOptions{Solver: solver, Parallelism: parallel})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Stats.RemovedFacts), "removed")
+				}
+			})
+		}
+	}
+}
+
 // Guard: the MLN options type stays exported for advanced tuning.
 var _ = translate.Options{MLN: mln.Options{}}
 

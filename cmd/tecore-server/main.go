@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tecore-server [-addr :8080]
+//	tecore-server [-addr :8080] [-parallel N]
 package main
 
 import (
@@ -17,9 +17,11 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	parallel := flag.Int("parallel", 0, "worker pool size per solve (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	srv := server.New()
+	srv.Parallelism = *parallel
 	fmt.Fprintf(os.Stderr, "TeCoRe UI listening on %s\n", *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintf(os.Stderr, "tecore-server: %v\n", err)

@@ -7,8 +7,8 @@
 //	tecore stats    -data g.tq
 //	tecore validate -rules r.tcr [-solver mln|psl]
 //	tecore infer    -data g.tq -rules r.tcr [-solver mln|psl]
-//	                [-threshold 0.3] [-cpi] [-out consistent.tq]
-//	                [-removed removed.tq]
+//	                [-threshold 0.3] [-cpi] [-parallel N]
+//	                [-out consistent.tq] [-removed removed.tq]
 package main
 
 import (
@@ -52,7 +52,7 @@ func usage() {
   tecore stats    -data <tquads file>
   tecore validate -rules <rules file> [-solver mln|psl]
   tecore infer    -data <tquads file> -rules <rules file>
-                  [-solver mln|psl] [-threshold t] [-cpi]
+                  [-solver mln|psl] [-threshold t] [-cpi] [-parallel N]
                   [-out consistent.tq] [-removed removed.tq]`)
 }
 
@@ -137,6 +137,7 @@ func runInfer(args []string) error {
 	solverName := fs.String("solver", "mln", "solver: mln (nRockIt) or psl (nPSL)")
 	threshold := fs.Float64("threshold", 0, "drop derived facts below this confidence")
 	cpi := fs.Bool("cpi", false, "cutting-plane inference (MLN)")
+	parallel := fs.Int("parallel", 0, "worker pool size for the solve pipeline (0 = all cores, 1 = sequential)")
 	explain := fs.Bool("explain", false, "print each removed fact with the constraint grounding that removed it")
 	outPath := fs.String("out", "", "write the consistent expanded KG here")
 	removedPath := fs.String("removed", "", "write the removed (conflicting) facts here")
@@ -169,6 +170,7 @@ func runInfer(args []string) error {
 		Solver:       solver,
 		Threshold:    *threshold,
 		CuttingPlane: *cpi,
+		Parallelism:  *parallel,
 	})
 	if err != nil {
 		return err

@@ -101,6 +101,10 @@ type SolveOptions struct {
 	Threshold float64
 	// CuttingPlane enables lazy grounding on the MLN backend.
 	CuttingPlane bool
+	// Parallelism bounds the solve pipeline's worker pools (grounding,
+	// local-search restarts, ADMM sweeps): 0 uses GOMAXPROCS, 1 forces
+	// the sequential path. Results are identical at every setting.
+	Parallelism int
 	// Advanced exposes full backend tuning.
 	Advanced translate.Options
 }
@@ -116,6 +120,9 @@ type Resolution struct {
 func (s *Session) Solve(opts SolveOptions) (*Resolution, error) {
 	topts := opts.Advanced
 	topts.MLN.CuttingPlane = topts.MLN.CuttingPlane || opts.CuttingPlane
+	if topts.Parallelism == 0 {
+		topts.Parallelism = opts.Parallelism
+	}
 	out, err := translate.Run(s.st, s.prog, opts.Solver, topts)
 	if err != nil {
 		return nil, err

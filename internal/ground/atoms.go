@@ -11,6 +11,27 @@
 // worksFor ⇒ livesIn) materialise all derivable head atoms before clause
 // emission. The engine also supports filtered grounding against a
 // current truth assignment, the primitive behind cutting-plane inference.
+//
+// # Concurrency model
+//
+// Close, GroundProgram and GroundViolated fan their work out across a
+// bounded pool of Parallelism workers (one task per rule; a rule's
+// depth-0 join bindings are additionally split into chunks when the
+// program has fewer rules than workers). Every parallel stage follows a
+// strict two-phase discipline:
+//
+//   - Enumerate (parallel): workers join rule bodies against read-only
+//     store views, resolving atoms with AtomTable.Lookup only, and
+//     record groundings into private, task-indexed shards. Heads that
+//     are not yet interned are carried as pending fact keys.
+//   - Merge (sequential): shards are drained in task order — rule
+//     order, then chunk order, then join-enumeration order — interning
+//     pending heads and emitting clauses exactly as the sequential code
+//     would have.
+//
+// Because atom interning and clause emission happen only in the ordered
+// merge phase, atom ids, clause contents and clause order are
+// byte-identical for every Parallelism setting, including 1.
 package ground
 
 import (
@@ -25,6 +46,15 @@ type AtomID int32
 // AtomTable interns ground atoms. Every atom corresponds to a temporal
 // statement (subject, predicate, object, interval); atoms backed by an
 // input fact are evidence atoms and carry its confidence.
+//
+// Concurrency follows the enumerate-then-intern two-phase protocol: the
+// read-side methods (Lookup, Info, Len) are safe for any number of
+// concurrent readers, while Intern and InternEvidence may only run at
+// sequential points — the grounder's merge phases — with no reader in
+// flight. Lookup is the hottest call in grounding (once per visited
+// quad), so the table carries no lock; the phase discipline, checked by
+// the race-detector suites, is what makes the sharing sound, and the
+// deterministic merge order is what keeps id assignment reproducible.
 type AtomTable struct {
 	ids   map[rdf.FactKey]AtomID
 	infos []AtomInfo
@@ -48,7 +78,8 @@ func NewAtomTable() *AtomTable {
 }
 
 // Intern returns the id for the statement key, creating a non-evidence
-// atom when unseen.
+// atom when unseen. Callers must hold no concurrent readers (see the
+// type comment).
 func (t *AtomTable) Intern(key rdf.FactKey) AtomID {
 	if id, ok := t.ids[key]; ok {
 		return id
@@ -60,7 +91,8 @@ func (t *AtomTable) Intern(key rdf.FactKey) AtomID {
 }
 
 // InternEvidence returns the id for the statement key, marking it as
-// evidence with the given confidence and backing fact.
+// evidence with the given confidence and backing fact. Write-side: see
+// the type comment.
 func (t *AtomTable) InternEvidence(key rdf.FactKey, conf float64, fid store.FactID) AtomID {
 	id := t.Intern(key)
 	info := &t.infos[id]
@@ -74,16 +106,17 @@ func (t *AtomTable) InternEvidence(key rdf.FactKey, conf float64, fid store.Fact
 	return id
 }
 
-// Lookup returns the id of a statement without interning.
+// Lookup returns the id of a statement without interning. Safe for
+// concurrent readers.
 func (t *AtomTable) Lookup(key rdf.FactKey) (AtomID, bool) {
 	id, ok := t.ids[key]
 	return id, ok
 }
 
-// Info returns the atom's description.
+// Info returns the atom's description. Safe for concurrent readers.
 func (t *AtomTable) Info(id AtomID) AtomInfo { return t.infos[id] }
 
-// Len returns the number of interned atoms.
+// Len returns the number of interned atoms. Safe for concurrent readers.
 func (t *AtomTable) Len() int { return len(t.infos) }
 
 // EvidenceAtoms returns the ids of all evidence atoms.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/logic"
+	"repro/internal/par"
 	"repro/internal/rdf"
 	"repro/internal/store"
 )
@@ -12,24 +13,42 @@ import (
 // (store, program) pair: New interns every input fact as an evidence
 // atom, Close forward-chains the inference rules to materialise derivable
 // head atoms, and GroundProgram / GroundViolated emit clauses.
+//
+// Grounding runs on a bounded worker pool (see the package comment for
+// the two-phase enumerate/merge discipline that keeps output identical
+// at every worker count).
 type Grounder struct {
-	main    *store.Store
-	derived *store.Store
-	atoms   *AtomTable
+	main     *store.Store
+	mainView store.View
+	derived  *store.Store
+	// derivedView is refreshed at the start of every parallel phase (a
+	// sequential point), after which the derived store is not mutated
+	// until the next merge phase.
+	derivedView store.View
+
+	atoms *AtomTable
 
 	// MaxRounds bounds forward-chaining iterations; rule cascades deeper
 	// than this report an error rather than looping (head time
 	// expressions can otherwise generate unboundedly many intervals).
+	// Rounds are Jacobi-style — each materialises one cascade depth —
+	// so the bound is the deepest rule chain supported.
 	MaxRounds int
+
+	// Parallelism bounds the grounding worker pool: 0 means GOMAXPROCS,
+	// 1 forces sequential execution. Output is byte-identical at every
+	// setting.
+	Parallelism int
 }
 
 // New prepares a grounder over the given evidence store.
 func New(main *store.Store) *Grounder {
 	g := &Grounder{
 		main:      main,
+		mainView:  main.ReadView(),
 		derived:   store.New(),
 		atoms:     NewAtomTable(),
-		MaxRounds: 12,
+		MaxRounds: 32,
 	}
 	for i := 0; i < main.Len(); i++ {
 		id := store.FactID(i)
@@ -45,36 +64,142 @@ func (g *Grounder) Atoms() *AtomTable { return g.atoms }
 // DerivedStore exposes the store of forward-chained facts.
 func (g *Grounder) DerivedStore() *store.Store { return g.derived }
 
+// joinTask is one unit of parallel grounding work: a rule with its
+// precomputed join order and condition schedule, restricted to a
+// contiguous chunk of the depth-0 candidate facts. Splitting at depth 0
+// lets a program with fewer rules than workers still saturate the pool;
+// because chunks are contiguous and merged in order, chunk boundaries
+// never affect output. Candidates are carried as compact fact ids —
+// main-store ids first, then derived — and decoded by the worker, so a
+// chunk costs 8 bytes per candidate rather than a materialised quad.
+type joinTask struct {
+	rule       *logic.Rule
+	order      []int
+	condAt     [][]logic.Condition
+	mainIDs    []store.FactID
+	derivedIDs []store.FactID
+}
+
+// joinTasks plans the task list for one parallel phase over the given
+// rules. It also refreshes the derived-store view — callers must not
+// mutate either store until the phase's merge completes.
+func (g *Grounder) joinTasks(rules []*logic.Rule, workers int) ([]joinTask, error) {
+	g.derivedView = g.derived.ReadView()
+	chunksPer := 1
+	if workers > 1 && len(rules) < workers {
+		// Oversplit to roughly two tasks per worker so one heavy rule
+		// cannot strand the pool.
+		chunksPer = (2*workers + len(rules) - 1) / len(rules)
+	}
+	tasks := make([]joinTask, 0, len(rules)*chunksPer)
+	empty := logic.NewBinding()
+	for _, r := range rules {
+		order, err := planOrder(r)
+		if err != nil {
+			return nil, err
+		}
+		condAt, err := scheduleConds(r, order)
+		if err != nil {
+			return nil, err
+		}
+		pat, _, err := g.patternFor(r.Body[order[0]], empty)
+		if err != nil {
+			return nil, err
+		}
+		// Materialise the depth-0 candidate ids: main-store matches
+		// first, then derived, mirroring the per-depth visit order of
+		// the join.
+		mainIDs := g.mainView.MatchIDs(pat)
+		var derivedIDs []store.FactID
+		if g.derivedView.Len() > 0 {
+			derivedIDs = g.derivedView.MatchIDs(pat)
+		}
+		total := len(mainIDs) + len(derivedIDs)
+		chunks := chunksPer
+		if chunks > total {
+			chunks = total
+		}
+		if chunks <= 1 {
+			tasks = append(tasks, joinTask{rule: r, order: order, condAt: condAt,
+				mainIDs: mainIDs, derivedIDs: derivedIDs})
+			continue
+		}
+		for c := 0; c < chunks; c++ {
+			lo := c * total / chunks
+			hi := (c + 1) * total / chunks
+			t := joinTask{rule: r, order: order, condAt: condAt}
+			// Cut the [lo, hi) window out of the main++derived
+			// concatenation.
+			if lo < len(mainIDs) {
+				mhi := hi
+				if mhi > len(mainIDs) {
+					mhi = len(mainIDs)
+				}
+				t.mainIDs = mainIDs[lo:mhi]
+			}
+			if hi > len(mainIDs) {
+				dlo := lo - len(mainIDs)
+				if dlo < 0 {
+					dlo = 0
+				}
+				t.derivedIDs = derivedIDs[dlo : hi-len(mainIDs)]
+			}
+			tasks = append(tasks, t)
+		}
+	}
+	return tasks, nil
+}
+
 // Close forward-chains the program's inference rules until fixpoint,
 // interning every derivable head atom. It returns the number of derived
 // atoms added. Clauses are not emitted here; call GroundProgram after.
+//
+// Each round evaluates every rule against the store state at the start
+// of the round (Jacobi-style), so rules can run concurrently; a head
+// derived in round k becomes matchable in round k+1. The fixpoint is the
+// same as chaining rules one at a time, and the round-start snapshot
+// makes the intern order — and therefore every atom id — independent of
+// the worker count.
 func (g *Grounder) Close(prog *logic.Program) (int, error) {
 	rules := prog.InferenceRules()
 	if len(rules) == 0 {
 		return 0, nil
 	}
+	workers := par.Workers(g.Parallelism)
 	total := 0
 	for round := 0; ; round++ {
 		if round >= g.MaxRounds {
 			return total, fmt.Errorf("ground: forward chaining exceeded %d rounds; rule cascade may be unbounded", g.MaxRounds)
 		}
-		added := 0
-		for _, r := range rules {
-			var newKeys []rdf.FactKey
-			err := g.join(r, nil, func(binding *logic.Binding, bodyAtoms []AtomID) error {
-				key, ok := r.Head.Atom.Resolve(binding)
+		tasks, err := g.joinTasks(rules, workers)
+		if err != nil {
+			return total, err
+		}
+		// Enumerate phase: collect candidate head keys per task. Workers
+		// only read — Lookup filters keys already interned before this
+		// round; the merge re-checks for keys produced by several tasks.
+		newKeys := make([][]rdf.FactKey, len(tasks))
+		errs := make([]error, len(tasks))
+		par.Do(len(tasks), workers, func(i int) {
+			t := &tasks[i]
+			errs[i] = g.runJoin(t, nil, func(binding *logic.Binding, _ []AtomID) error {
+				key, ok := t.rule.Head.Atom.Resolve(binding)
 				if !ok {
 					return nil // empty time expression: no derivation
 				}
 				if _, seen := g.atoms.Lookup(key); !seen {
-					newKeys = append(newKeys, key)
+					newKeys[i] = append(newKeys[i], key)
 				}
 				return nil
 			})
-			if err != nil {
-				return total, err
+		})
+		// Merge phase: intern fresh heads in task order.
+		added := 0
+		for i := range tasks {
+			if errs[i] != nil {
+				return total, errs[i]
 			}
-			for _, key := range newKeys {
+			for _, key := range newKeys[i] {
 				if _, seen := g.atoms.Lookup(key); seen {
 					continue
 				}
@@ -98,13 +223,7 @@ func (g *Grounder) Close(prog *logic.Program) (int, error) {
 // GroundProgram grounds every rule and constraint, emitting the full
 // ground clause set (call Close first so rule cascades are complete).
 func (g *Grounder) GroundProgram(prog *logic.Program) (*ClauseSet, error) {
-	cs := NewClauseSet()
-	for _, r := range prog.Rules {
-		if err := g.groundRule(r, nil, cs, false); err != nil {
-			return nil, err
-		}
-	}
-	return cs, nil
+	return g.ground(prog.Rules, nil, false)
 }
 
 // GroundViolated grounds only the clauses violated under the given truth
@@ -112,77 +231,204 @@ func (g *Grounder) GroundProgram(prog *logic.Program) (*ClauseSet, error) {
 // clause is emitted only when its head fails. This is the cutting-plane
 // primitive used by the MLN solver.
 func (g *Grounder) GroundViolated(prog *logic.Program, truth func(AtomID) bool) (*ClauseSet, error) {
+	return g.ground(prog.Rules, truth, true)
+}
+
+// Head resolution states of a pending clause.
+const (
+	headNone     uint8 = iota // condition or falsum head: body literals only
+	headResolved              // head atom already interned; id is in lits
+	headPending               // head atom needs interning at merge time
+)
+
+// pendingClause is one grounding enumerated during the parallel phase:
+// body literals are fully resolved, a head atom that is not yet interned
+// is carried as its fact key so the sequential merge can intern it in
+// deterministic order.
+type pendingClause struct {
+	lits     []Lit
+	headKind uint8
+	headKey  rdf.FactKey
+}
+
+// ground joins every rule across the worker pool, emitting clause shards
+// that the merge phase combines in rule order. With onlyViolated,
+// satisfied groundings are skipped (and truth filters body matches).
+func (g *Grounder) ground(rules []*logic.Rule, truth func(AtomID) bool, onlyViolated bool) (*ClauseSet, error) {
+	workers := par.Workers(g.Parallelism)
+	tasks, err := g.joinTasks(rules, workers)
+	if err != nil {
+		return nil, err
+	}
+	// Enumerate phase: private shard per task, Lookup-only atom access.
+	shards := make([][]pendingClause, len(tasks))
+	errs := make([]error, len(tasks))
+	par.Do(len(tasks), workers, func(i int) {
+		t := &tasks[i]
+		errs[i] = g.runJoin(t, truth, func(binding *logic.Binding, bodyAtoms []AtomID) error {
+			pc := pendingClause{lits: make([]Lit, 0, len(bodyAtoms)+1)}
+			for _, a := range bodyAtoms {
+				pc.lits = append(pc.lits, Lit{Atom: a, Neg: true})
+			}
+			switch t.rule.Head.Kind {
+			case logic.HeadAtom:
+				key, ok := t.rule.Head.Atom.Resolve(binding)
+				if !ok {
+					return nil // empty head time expression: no obligation
+				}
+				if id, seen := g.atoms.Lookup(key); seen {
+					if onlyViolated && truth != nil && truth(id) {
+						return nil
+					}
+					pc.headKind = headResolved
+					pc.lits = append(pc.lits, Lit{Atom: id})
+				} else {
+					// Close was not run (or truth-filtered matching found
+					// a grounding whose head was never materialised);
+					// intern deterministically at merge time.
+					pc.headKind = headPending
+					pc.headKey = key
+				}
+			case logic.HeadCond:
+				holds, err := t.rule.Head.Cond.Eval(binding)
+				if err != nil {
+					return fmt.Errorf("ground: rule %s head: %w", t.rule.Name, err)
+				}
+				if holds {
+					return nil // grounding satisfied; no clause
+				}
+			case logic.HeadFalse:
+				// Always a violation clause over the body.
+			}
+			shards[i] = append(shards[i], pc)
+			return nil
+		})
+	})
+	// Merge phase: drain shards in task order, interning pending heads
+	// and deduplicating into the clause set exactly as sequential
+	// grounding would.
 	cs := NewClauseSet()
-	for _, r := range prog.Rules {
-		if err := g.groundRule(r, truth, cs, true); err != nil {
-			return nil, err
+	for i := range tasks {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		r := tasks[i].rule
+		for _, pc := range shards[i] {
+			c := Clause{Lits: pc.lits, Weight: r.Weight, Rule: r.Name}
+			if pc.headKind == headPending {
+				id := g.atoms.Intern(pc.headKey)
+				if onlyViolated && truth != nil && truth(id) {
+					continue
+				}
+				c.Lits = append(c.Lits, Lit{Atom: id})
+			}
+			if !cs.Add(c) {
+				return nil, fmt.Errorf("ground: rule %s grounds to an unconditionally violated hard constraint", r.Name)
+			}
 		}
 	}
 	return cs, nil
 }
 
-// groundRule joins the rule body and emits clauses. With onlyViolated,
-// satisfied groundings are skipped (and truth filters body matches).
-func (g *Grounder) groundRule(r *logic.Rule, truth func(AtomID) bool, cs *ClauseSet, onlyViolated bool) error {
-	return g.join(r, truth, func(binding *logic.Binding, bodyAtoms []AtomID) error {
-		c := Clause{Weight: r.Weight, Rule: r.Name}
-		for _, a := range bodyAtoms {
-			c.Lits = append(c.Lits, Lit{Atom: a, Neg: true})
-		}
-		switch r.Head.Kind {
-		case logic.HeadAtom:
-			key, ok := r.Head.Atom.Resolve(binding)
-			if !ok {
-				return nil // empty head time expression: no obligation
-			}
-			id, seen := g.atoms.Lookup(key)
-			if !seen {
-				// Close was not run (or truth-filtered matching found a
-				// grounding whose head was never materialised).
-				id = g.atoms.Intern(key)
-			}
-			if onlyViolated && truth != nil && truth(id) {
-				return nil
-			}
-			c.Lits = append(c.Lits, Lit{Atom: id})
-		case logic.HeadCond:
-			holds, err := r.Head.Cond.Eval(binding)
-			if err != nil {
-				return fmt.Errorf("ground: rule %s head: %w", r.Name, err)
-			}
-			if holds {
-				return nil // grounding satisfied; no clause
-			}
-		case logic.HeadFalse:
-			// Always a violation clause over the body.
-		}
-		if !cs.Add(c) {
-			return fmt.Errorf("ground: rule %s grounds to an unconditionally violated hard constraint", r.Name)
-		}
-		return nil
-	})
-}
-
-// join enumerates all bindings of the rule body, invoking emit with the
-// binding and the atom ids of the matched body facts. With truth set,
-// only currently-true atoms participate in matches.
-func (g *Grounder) join(r *logic.Rule, truth func(AtomID) bool, emit func(*logic.Binding, []AtomID) error) error {
-	order, err := planOrder(r)
-	if err != nil {
-		return err
-	}
-	// condAt[i] lists conditions evaluable once atoms order[0..i] are
-	// bound (all their variables covered, earliest position).
-	condAt, err := scheduleConds(r, order)
-	if err != nil {
-		return err
-	}
+// runJoin enumerates all bindings of the task's rule body over its
+// depth-0 chunk, invoking emit with the binding and the atom ids of the
+// matched body facts. With truth set, only currently-true atoms
+// participate in matches. Safe to run concurrently with other tasks: it
+// reads the store views and the atom table only.
+func (g *Grounder) runJoin(t *joinTask, truth func(AtomID) bool, emit func(*logic.Binding, []AtomID) error) error {
 	binding := logic.NewBinding()
-	bodyAtoms := make([]AtomID, len(order))
-	return g.joinStep(r, order, condAt, 0, binding, bodyAtoms, truth, emit)
+	bodyAtoms := make([]AtomID, len(t.order))
+	atom := t.rule.Body[t.order[0]]
+	_, timeBound, err := g.patternFor(atom, binding)
+	if err != nil {
+		return err
+	}
+	for _, id := range t.mainIDs {
+		q := g.mainView.Fact(id)
+		if err := g.bindQuad(t.rule, t.order, t.condAt, 0, atom, timeBound, &q,
+			binding, bodyAtoms, truth, emit); err != nil {
+			return err
+		}
+	}
+	for _, id := range t.derivedIDs {
+		q := g.derivedView.Fact(id)
+		if err := g.bindQuad(t.rule, t.order, t.condAt, 0, atom, timeBound, &q,
+			binding, bodyAtoms, truth, emit); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func (g *Grounder) joinStep(r *logic.Rule, order []int, condAt [][]logic.Condition, depth int,
+// bindQuad extends the binding with quad q matched at depth, evaluates
+// the conditions that just became fully bound, recurses to the next join
+// level, and undoes exactly the variables this step bound.
+func (g *Grounder) bindQuad(r *logic.Rule, order []int, condAt [][]logic.Condition, depth int,
+	atom logic.QuadAtom, timeBound bool, q *rdf.Quad,
+	binding *logic.Binding, bodyAtoms []AtomID, truth func(AtomID) bool,
+	emit func(*logic.Binding, []AtomID) error) error {
+
+	id, ok := g.atoms.Lookup(q.Fact())
+	if !ok {
+		return nil // fact added after setup; not part of the network
+	}
+	if truth != nil && !truth(id) {
+		return nil
+	}
+	var boundObjs []string
+	var boundTime string
+	undo := func() {
+		for _, v := range boundObjs {
+			delete(binding.Objs, v)
+		}
+		if boundTime != "" {
+			delete(binding.Times, boundTime)
+		}
+	}
+	bindObj := func(t logic.Term, val rdf.Term) bool {
+		if !t.IsVar() {
+			return t.Const == val
+		}
+		if cur, ok := binding.Objs[t.Var]; ok {
+			return cur == val
+		}
+		binding.Objs[t.Var] = val
+		boundObjs = append(boundObjs, t.Var)
+		return true
+	}
+	okb := bindObj(atom.S, q.Subject) && bindObj(atom.P, q.Predicate) && bindObj(atom.O, q.Object)
+	if okb && !timeBound && atom.T.IsVar() {
+		if cur, bound := binding.Times[atom.T.Var]; bound {
+			okb = cur == q.Interval
+		} else {
+			binding.Times[atom.T.Var] = q.Interval
+			boundTime = atom.T.Var
+		}
+	}
+	if !okb {
+		undo()
+		return nil
+	}
+	for _, cond := range condAt[depth] {
+		holds, err := cond.Eval(binding)
+		if err != nil {
+			undo()
+			return fmt.Errorf("ground: rule %s: %w", r.Name, err)
+		}
+		if !holds {
+			undo()
+			return nil
+		}
+	}
+	bodyAtoms[depth] = id
+	err := g.descend(r, order, condAt, depth+1, binding, bodyAtoms, truth, emit)
+	undo()
+	return err
+}
+
+// descend enumerates store matches for the body atom at depth (emitting
+// when every atom is bound), binding each matched quad in turn.
+func (g *Grounder) descend(r *logic.Rule, order []int, condAt [][]logic.Condition, depth int,
 	binding *logic.Binding, bodyAtoms []AtomID, truth func(AtomID) bool,
 	emit func(*logic.Binding, []AtomID) error) error {
 
@@ -194,81 +440,21 @@ func (g *Grounder) joinStep(r *logic.Rule, order []int, condAt [][]logic.Conditi
 	if err != nil {
 		return err
 	}
-
 	var innerErr error
-	visit := func(q rdf.Quad) bool {
-		id, ok := g.atoms.Lookup(q.Fact())
-		if !ok {
-			return true // fact added after setup; not part of the network
-		}
-		if truth != nil && !truth(id) {
-			return true
-		}
-		// Extend the binding, remembering which variables this step bound
-		// so backtracking can undo exactly those.
-		var boundObjs []string
-		var boundTime string
-		undo := func() {
-			for _, v := range boundObjs {
-				delete(binding.Objs, v)
-			}
-			if boundTime != "" {
-				delete(binding.Times, boundTime)
-			}
-		}
-		bindObj := func(t logic.Term, val rdf.Term) bool {
-			if !t.IsVar() {
-				return t.Const == val
-			}
-			if cur, ok := binding.Objs[t.Var]; ok {
-				return cur == val
-			}
-			binding.Objs[t.Var] = val
-			boundObjs = append(boundObjs, t.Var)
-			return true
-		}
-		okb := bindObj(atom.S, q.Subject) && bindObj(atom.P, q.Predicate) && bindObj(atom.O, q.Object)
-		if okb && !timeBound && atom.T.IsVar() {
-			if cur, bound := binding.Times[atom.T.Var]; bound {
-				okb = cur == q.Interval
-			} else {
-				binding.Times[atom.T.Var] = q.Interval
-				boundTime = atom.T.Var
-			}
-		}
-		if !okb {
-			undo()
-			return true
-		}
-		// Evaluate conditions that just became fully bound.
-		for _, cond := range condAt[depth] {
-			holds, err := cond.Eval(binding)
-			if err != nil {
-				innerErr = fmt.Errorf("ground: rule %s: %w", r.Name, err)
-				undo()
-				return false
-			}
-			if !holds {
-				undo()
-				return true
-			}
-		}
-		bodyAtoms[depth] = id
-		if err := g.joinStep(r, order, condAt, depth+1, binding, bodyAtoms, truth, emit); err != nil {
+	visit := func(_ store.FactID, q rdf.Quad) bool {
+		if err := g.bindQuad(r, order, condAt, depth, atom, timeBound, &q,
+			binding, bodyAtoms, truth, emit); err != nil {
 			innerErr = err
-			undo()
 			return false
 		}
-		undo()
 		return true
 	}
-
-	g.main.Match(pat, func(_ store.FactID, q rdf.Quad) bool { return visit(q) })
+	g.mainView.Match(pat, visit)
 	if innerErr != nil {
 		return innerErr
 	}
-	if g.derived.Len() > 0 {
-		g.derived.Match(pat, func(_ store.FactID, q rdf.Quad) bool { return visit(q) })
+	if g.derivedView.Len() > 0 {
+		g.derivedView.Match(pat, visit)
 	}
 	return innerErr
 }

@@ -3,22 +3,32 @@ package maxsat
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/par"
 )
 
 // Local-search engine: greedy weight-biased initialisation followed by a
 // WalkSAT-style loop. While hard clauses are violated the walk repairs a
 // random violated hard clause; once feasible it descends on soft cost,
-// keeping the best feasible assignment seen. Restarts perturb the greedy
-// seed. The clause shapes produced by grounding TeCoRe programs — soft
-// unit evidence, hard binary disjointness, small mixed inference
-// clauses — respond very well to this scheme.
+// keeping the best feasible assignment seen. The clause shapes produced
+// by grounding TeCoRe programs — soft unit evidence, hard binary
+// disjointness, small mixed inference clauses — respond very well to
+// this scheme.
+//
+// Restarts are independent: each gets its own RNG (seeded from the base
+// seed and the restart index), its own working state, and a share of the
+// flip budget, so they run concurrently on the worker pool. The winner
+// is selected deterministically by (hard feasibility, soft cost, restart
+// index) — the same answer at every Parallelism setting. The occurrence
+// lists are built once and shared read-only across restarts.
 
 type localState struct {
 	p      *Problem
 	rng    *rand.Rand
 	assign []bool
-	occ    [][]int32
-	numSat []int32 // per clause: count of satisfied literals
+	occ    [][]int32 // shared, read-only across restarts
+	numSat []int32   // per clause: count of satisfied literals
 
 	violHard    []int32 // indices of violated hard clauses (unordered set)
 	violHardPos []int32 // clause -> position in violHard, -1 if absent
@@ -27,47 +37,102 @@ type localState struct {
 	violSoftPos []int32
 }
 
-func solveLocal(p *Problem, opts Options) *Solution {
-	rng := rand.New(rand.NewSource(opts.Seed))
-	st := &localState{
+// buildOcc computes the clause occurrence lists, one entry per clause
+// even when a variable is mentioned in several literals.
+func buildOcc(p *Problem) [][]int32 {
+	occ := make([][]int32, p.NumVars)
+	for ci, c := range p.Clauses {
+		for _, l := range c.Lits {
+			if cur := occ[l.Var]; len(cur) == 0 || cur[len(cur)-1] != int32(ci) {
+				occ[l.Var] = append(occ[l.Var], int32(ci))
+			}
+		}
+	}
+	return occ
+}
+
+func newLocalState(p *Problem, occ [][]int32, seed int64) *localState {
+	return &localState{
 		p:           p,
-		rng:         rng,
+		rng:         rand.New(rand.NewSource(seed)),
 		assign:      make([]bool, p.NumVars),
-		occ:         make([][]int32, p.NumVars),
+		occ:         occ,
 		numSat:      make([]int32, len(p.Clauses)),
 		violHardPos: make([]int32, len(p.Clauses)),
 		violSoftPos: make([]int32, len(p.Clauses)),
 	}
-	for ci, c := range p.Clauses {
-		for _, l := range c.Lits {
-			// One occurrence entry per clause even when a variable is
-			// mentioned in several literals.
-			if occ := st.occ[l.Var]; len(occ) == 0 || occ[len(occ)-1] != int32(ci) {
-				st.occ[l.Var] = append(st.occ[l.Var], int32(ci))
+}
+
+// restartSeed decorrelates the per-restart RNG streams.
+func restartSeed(base int64, restart int) int64 {
+	const golden = -0x61C8864680B583EB // 2^64 / φ as a signed 64-bit value
+	return base + int64(restart)*golden
+}
+
+func solveLocal(p *Problem, opts Options) *Solution {
+	occ := buildOcc(p)
+	restarts := opts.Restarts
+	workers := par.Workers(opts.Parallelism)
+
+	type attempt struct {
+		best  *Solution // best feasible assignment found (nil if none)
+		last  []bool    // final working assignment, for the infeasible fallback
+		flips int
+	}
+	results := make([]attempt, restarts)
+	// minPerfect tracks the lowest restart index that reached a feasible,
+	// zero-cost assignment. Later restarts can never beat it under the
+	// (feasible, cost, index) order, so they may skip — an optimisation
+	// that cannot change the selected winner.
+	var minPerfect atomic.Int32
+	minPerfect.Store(int32(restarts))
+	par.Do(restarts, workers, func(r int) {
+		if int32(r) > minPerfect.Load() {
+			return
+		}
+		st := newLocalState(p, occ, restartSeed(opts.Seed, r))
+		st.initGreedy(r)
+		best := &Solution{Cost: math.Inf(1)}
+		flips := st.walk(opts.MaxFlips/restarts, opts.Noise, best)
+		a := attempt{flips: flips}
+		if best.Assignment != nil {
+			a.best = best
+		} else {
+			a.last = append([]bool(nil), st.assign...)
+		}
+		results[r] = a
+		if best.HardSatisfied && best.Cost == 0 {
+			for {
+				cur := minPerfect.Load()
+				if int32(r) >= cur || minPerfect.CompareAndSwap(cur, int32(r)) {
+					break
+				}
 			}
 		}
-	}
+	})
 
-	best := &Solution{Cost: math.Inf(1)}
+	// Deterministic winner: feasible beats infeasible, then lowest cost,
+	// then lowest restart index (strict < keeps the earliest restart on
+	// ties). Skipped restarts contribute nothing.
+	var win *Solution
 	totalFlips := 0
-	for restart := 0; restart < opts.Restarts; restart++ {
-		st.initGreedy(restart)
-		flipsBudget := opts.MaxFlips / opts.Restarts
-		flips := st.walk(flipsBudget, opts.Noise, best)
-		totalFlips += flips
-		if best.HardSatisfied && best.Cost == 0 {
-			break // perfect
+	for r := range results {
+		totalFlips += results[r].flips
+		if s := results[r].best; s != nil && (win == nil || s.Cost < win.Cost) {
+			win = s
 		}
 	}
-	if best.Assignment == nil {
-		// Never feasible: report the last assignment.
-		assign := make([]bool, p.NumVars)
-		copy(assign, st.assign)
+	if win == nil {
+		// Never feasible: report the last restart's final assignment.
+		assign := results[restarts-1].last
+		if assign == nil {
+			assign = make([]bool, p.NumVars)
+		}
 		hv, cost := Evaluate(p, assign)
 		return &Solution{Assignment: assign, Cost: cost, HardSatisfied: hv == 0, Flips: totalFlips}
 	}
-	best.Flips = totalFlips
-	return best
+	win.Flips = totalFlips
+	return win
 }
 
 // initGreedy assigns variables by their soft unit bias (restart > 0 adds

@@ -9,6 +9,16 @@
 // branch-and-bound with unit propagation for small ground networks, and
 // a WalkSAT-style stochastic local search with greedy initialisation for
 // large ones — behind a single Solve entry point that picks by size.
+//
+// # Concurrency model
+//
+// Local-search restarts are independent: each runs with its own RNG
+// (seeded from Options.Seed and the restart index) and its own working
+// state, sharing only the problem and the read-only occurrence lists, so
+// they execute concurrently on a pool of Options.Parallelism workers.
+// The returned solution is selected deterministically by (hard
+// feasibility, soft cost, restart index) — identical at every
+// parallelism setting, including 1.
 package maxsat
 
 import (
@@ -69,7 +79,11 @@ type Solution struct {
 	HardSatisfied bool
 	// Optimal reports whether the exact engine proved optimality.
 	Optimal bool
-	// Flips counts local-search moves (0 for the exact engine).
+	// Flips counts local-search moves across the restarts that actually
+	// ran (0 for the exact engine). Unlike Assignment, Cost and
+	// HardSatisfied — which are deterministic at every Parallelism
+	// setting — Flips can vary with scheduling: once a restart finds a
+	// perfect solution, later-indexed restarts may be skipped.
 	Flips int
 	// Nodes counts branch-and-bound nodes (0 for local search).
 	Nodes int
@@ -91,6 +105,11 @@ type Options struct {
 	Restarts int
 	// Seed seeds the local-search RNG (default 1).
 	Seed int64
+	// Parallelism bounds the worker pool running restarts concurrently:
+	// 0 means GOMAXPROCS, 1 forces sequential execution. The solution
+	// (assignment, cost, feasibility) is identical at every setting;
+	// only the Flips counter may vary (see Solution.Flips).
+	Parallelism int
 }
 
 func (o Options) withDefaults(nvars int) Options {

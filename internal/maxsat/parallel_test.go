@@ -1,0 +1,84 @@
+package maxsat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomProblem builds a weighted instance large enough to route past
+// the exact engine into local search.
+func randomProblem(seed int64, nvars, nclauses int) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Problem{NumVars: nvars}
+	for i := 0; i < nclauses; i++ {
+		var c Clause
+		width := 1 + rng.Intn(3)
+		for j := 0; j < width; j++ {
+			c.Lits = append(c.Lits, Lit{Var: int32(rng.Intn(nvars)), Neg: rng.Intn(2) == 0})
+		}
+		if rng.Intn(5) == 0 {
+			c.Weight = math.Inf(1)
+		} else {
+			c.Weight = 0.1 + rng.Float64()*3
+		}
+		p.Clauses = append(p.Clauses, c)
+	}
+	return p
+}
+
+// TestParallelRestartsDeterministic: the winning assignment, its cost
+// and feasibility must not depend on the worker count. Restarts are
+// independently seeded and the winner is picked by (feasibility, cost,
+// restart index), so every parallelism level selects the same solution.
+func TestParallelRestartsDeterministic(t *testing.T) {
+	for _, seed := range []int64{3, 17, 88} {
+		p := randomProblem(seed, 120, 600)
+		var base *Solution
+		for _, workers := range []int{1, 2, 8} {
+			opts := Options{Parallelism: workers, Restarts: 6}.withDefaults(p.NumVars)
+			sol := solveLocal(p, opts)
+			// Self-consistency first.
+			hv, cost := Evaluate(p, sol.Assignment)
+			if (hv == 0) != sol.HardSatisfied || math.Abs(cost-sol.Cost) > 1e-9 {
+				t.Fatalf("seed %d workers %d: self-report wrong: hv=%d cost=%g sol=%+v",
+					seed, workers, hv, cost, sol)
+			}
+			if workers == 1 {
+				base = sol
+				continue
+			}
+			if sol.HardSatisfied != base.HardSatisfied || sol.Cost != base.Cost {
+				t.Errorf("seed %d workers %d: (feasible=%v cost=%g) vs sequential (feasible=%v cost=%g)",
+					seed, workers, sol.HardSatisfied, sol.Cost, base.HardSatisfied, base.Cost)
+			}
+			for i := range sol.Assignment {
+				if sol.Assignment[i] != base.Assignment[i] {
+					t.Errorf("seed %d workers %d: assignment diverges at var %d", seed, workers, i)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSolveParallelOptionEndToEnd drives the public entry point with the
+// option set, covering the size-based engine dispatch.
+func TestSolveParallelOptionEndToEnd(t *testing.T) {
+	p := randomProblem(41, 80, 400)
+	var base *Solution
+	for _, workers := range []int{1, 4} {
+		sol, err := Solve(p, Options{Parallelism: workers})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if workers == 1 {
+			base = sol
+			continue
+		}
+		if sol.Cost != base.Cost || sol.HardSatisfied != base.HardSatisfied {
+			t.Errorf("workers %d: cost %g feasible %v; sequential cost %g feasible %v",
+				workers, sol.Cost, sol.HardSatisfied, base.Cost, base.HardSatisfied)
+		}
+	}
+}

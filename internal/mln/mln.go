@@ -40,6 +40,10 @@ type Options struct {
 	// DerivedPrior is the closed-world penalty against deriving atoms
 	// with no rule support (default 0.01).
 	DerivedPrior float64
+	// Parallelism bounds the worker pools used for grounding and for
+	// local-search restarts: 0 means GOMAXPROCS, 1 forces the sequential
+	// path. The MAP state is identical at every setting.
+	Parallelism int
 	// MaxSAT tunes the underlying solver.
 	MaxSAT maxsat.Options
 }
@@ -105,6 +109,10 @@ func (r *Result) TrueAtom(id ground.AtomID) bool { return r.Truth[id] }
 // evidence store; MAP forward-chains inference rules itself.
 func MAP(g *ground.Grounder, prog *logic.Program, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	g.Parallelism = opts.Parallelism
+	if opts.MaxSAT.Parallelism == 0 {
+		opts.MaxSAT.Parallelism = opts.Parallelism
+	}
 	start := time.Now()
 	if _, err := g.Close(prog); err != nil {
 		return nil, fmt.Errorf("mln: %w", err)

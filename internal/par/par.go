@@ -1,0 +1,87 @@
+// Package par provides the bounded worker pool shared by the solve
+// pipeline: rule grounding, local-search restarts and ADMM sweeps all
+// fan work items out across a fixed number of goroutines.
+//
+// The pool is deliberately minimal — deterministic output is the
+// caller's responsibility and every parallel stage in this repository
+// follows the same recipe: workers compute into private, index-addressed
+// shards with no shared mutable state, and a sequential merge phase
+// combines the shards in task order. Under that discipline the result is
+// identical for every worker count, including 1.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a parallelism setting: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do runs task(0), ..., task(n-1) on at most workers goroutines and
+// waits for all of them to finish. Tasks are handed out in index order
+// from a shared counter, so cheap early tasks do not strand a worker.
+// With workers <= 1 (or a single task) everything runs inline on the
+// calling goroutine — the sequential path spawns nothing.
+func Do(n, workers int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DoRange splits [0, n) into one contiguous span per worker and runs
+// body(lo, hi) for each concurrently. Use it for element-wise loops too
+// fine-grained for a closure call per index; cross-element reductions
+// must still be per-element stores (or run after DoRange returns) to
+// stay deterministic across worker counts.
+func DoRange(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	Do(workers, workers, func(w int) {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo < hi {
+			body(lo, hi)
+		}
+	})
+}

@@ -11,6 +11,16 @@
 // restores any hard constraint the rounding broke — PSL "trades
 // expressiveness for scalability" by approximating the discrete MAP
 // state, exactly as the paper describes.
+//
+// # Concurrency model
+//
+// The ADMM sweeps are element-wise parallel: the proximal z-step runs
+// one task per potential, the consensus x-step gathers one task per
+// variable (each variable's contributions summed in a fixed potential
+// order), and residual reductions accumulate per-element partials in a
+// deterministic sequential pass. The converged values — and therefore
+// the discretised MAP state — are bitwise identical at every
+// Options.Parallelism setting.
 package psl
 
 import (
@@ -20,6 +30,7 @@ import (
 
 	"repro/internal/ground"
 	"repro/internal/logic"
+	"repro/internal/par"
 )
 
 // Options tunes ADMM and the discretisation.
@@ -49,6 +60,10 @@ type Options struct {
 	Squared bool
 	// Threshold discretises the soft truth values (default 0.5).
 	Threshold float64
+	// Parallelism bounds the worker pools used for grounding and the
+	// ADMM sweeps: 0 means GOMAXPROCS, 1 forces the sequential path.
+	// The MAP state is identical at every setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -120,6 +135,7 @@ type hinge struct {
 // inference rules itself.
 func MAP(g *ground.Grounder, prog *logic.Program, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	g.Parallelism = opts.Parallelism
 	start := time.Now()
 	if _, err := g.Close(prog); err != nil {
 		return nil, fmt.Errorf("psl: %w", err)
@@ -193,8 +209,13 @@ func clauseToHinge(c ground.Clause, opts Options) hinge {
 
 // runADMM performs consensus ADMM over the hinge potentials plus
 // per-atom quadratic priors (which act directly in the consensus update
-// since they are separable).
+// since they are separable). Each sweep is element-wise parallel across
+// opts.Parallelism workers; every floating-point reduction keeps a fixed
+// order (per-variable gathers in potential order, residual partials
+// summed sequentially), so the iterates are bitwise identical at any
+// worker count.
 func runADMM(n int, target, priorW []float64, potentials []hinge, opts Options) *Result {
+	workers := par.Workers(opts.Parallelism)
 	x := make([]float64, n)
 	copy(x, target)
 
@@ -210,52 +231,71 @@ func runADMM(n int, target, priorW []float64, potentials []hinge, opts Options) 
 			deg[v]++
 		}
 	}
+	// Reverse adjacency for the consensus gather: the (potential, slot)
+	// pairs touching each variable, in potential order — the same
+	// accumulation order as a sequential scatter.
+	type slot struct{ k, i int32 }
+	varPot := make([][]slot, n)
+	for k, h := range potentials {
+		for i, v := range h.vars {
+			varPot[v] = append(varPot[v], slot{k: int32(k), i: int32(i)})
+		}
+	}
 	rho := opts.Rho
 	xPrev := make([]float64, n)
-	sum := make([]float64, n)
+	primalK := make([]float64, len(potentials))
 	res := &Result{}
 
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		// z-step: proximal update per potential.
-		for k := range potentials {
-			h := &potentials[k]
-			vloc := z[k] // reuse storage for v = x - u
-			for i, vi := range h.vars {
-				vloc[i] = x[vi] - u[k][i]
+		par.DoRange(len(potentials), workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				h := &potentials[k]
+				vloc := z[k] // reuse storage for v = x - u
+				for i, vi := range h.vars {
+					vloc[i] = x[vi] - u[k][i]
+				}
+				proxHinge(h, vloc, rho)
 			}
-			proxHinge(h, vloc, rho)
-		}
+		})
 
 		// x-step: average local copies + duals, fold in the quadratic
 		// prior, clamp to [0,1].
 		copy(xPrev, x)
-		for i := range sum {
-			sum[i] = 0
-		}
-		for k, h := range potentials {
-			for i, vi := range h.vars {
-				sum[vi] += z[k][i] + u[k][i]
+		par.DoRange(n, workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				// argmin_x priorW (x-target)² + (ρ/2) Σ_k (x - (z+u))² =
+				// (2·priorW·target + ρ·Σ(z+u)) / (2·priorW + ρ·deg)
+				den := 2*priorW[v] + rho*deg[v]
+				if den == 0 {
+					continue
+				}
+				sum := 0.0
+				for _, s := range varPot[v] {
+					sum += z[s.k][s.i] + u[s.k][s.i]
+				}
+				xv := (2*priorW[v]*target[v] + rho*sum) / den
+				x[v] = clamp01(xv)
 			}
-		}
-		for v := 0; v < n; v++ {
-			// argmin_x priorW (x-target)² + (ρ/2) Σ_k (x - (z+u))² =
-			// (2·priorW·target + ρ·Σ(z+u)) / (2·priorW + ρ·deg)
-			den := 2*priorW[v] + rho*deg[v]
-			if den == 0 {
-				continue
-			}
-			xv := (2*priorW[v]*target[v] + rho*sum[v]) / den
-			x[v] = clamp01(xv)
-		}
+		})
 
-		// u-step and residuals.
-		var primal, dual float64
-		for k, h := range potentials {
-			for i, vi := range h.vars {
-				diff := z[k][i] - x[vi]
-				u[k][i] += diff
-				primal += diff * diff
+		// u-step: per-potential dual updates with primal partials.
+		par.DoRange(len(potentials), workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				h := &potentials[k]
+				pk := 0.0
+				for i, vi := range h.vars {
+					diff := z[k][i] - x[vi]
+					u[k][i] += diff
+					pk += diff * diff
+				}
+				primalK[k] = pk
 			}
+		})
+		// Residual reductions, in fixed order.
+		var primal, dual float64
+		for k := range primalK {
+			primal += primalK[k]
 		}
 		for v := 0; v < n; v++ {
 			d := x[v] - xPrev[v]

@@ -33,6 +33,10 @@ type Server struct {
 	mux      *http.ServeMux
 	// MaxFactsInResponse caps the fact lists returned by /api/solve.
 	MaxFactsInResponse int
+	// Parallelism bounds each solve's worker pools (0 = GOMAXPROCS,
+	// 1 = sequential). Per-request parallelism in /api/solve overrides
+	// it. Results are identical at every setting.
+	Parallelism int
 }
 
 type dataset struct {
@@ -349,6 +353,9 @@ type SolveRequest struct {
 	Solver       string  `json:"solver"`
 	Threshold    float64 `json:"threshold,omitempty"`
 	CuttingPlane bool    `json:"cuttingPlane,omitempty"`
+	// Parallelism overrides the server's worker pool size for this
+	// solve (0 = server default).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // SolveResponse mirrors the statistics display of Figure 8 plus
@@ -392,10 +399,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parsing rules: %v", err)
 		return
 	}
+	parallelism := req.Parallelism
+	if parallelism == 0 {
+		parallelism = s.Parallelism
+	}
 	res, err := sess.Solve(core.SolveOptions{
 		Solver:       solver,
 		Threshold:    req.Threshold,
 		CuttingPlane: req.CuttingPlane,
+		Parallelism:  parallelism,
 	})
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "solving: %v", err)

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/rdf"
 	"repro/internal/temporal"
@@ -40,7 +41,10 @@ type Store struct {
 	byFact map[factKey]FactID
 
 	// tidx caches per-predicate interval indexes; invalidated on Add.
-	tidx map[TermID]*intervalIndex
+	// tidxMu guards it so the lazy build is safe under the concurrent
+	// readers a View admits.
+	tidxMu sync.Mutex
+	tidx   map[TermID]*intervalIndex
 }
 
 type factKey struct {
@@ -94,7 +98,10 @@ func (st *Store) Add(q rdf.Quad) (FactID, error) {
 	st.byO[f.o] = append(st.byO[f.o], id)
 	st.bySP[pair(f.s, f.p)] = append(st.bySP[pair(f.s, f.p)], id)
 	st.byPO[pair(f.p, f.o)] = append(st.byPO[pair(f.p, f.o)], id)
-	delete(st.tidx, f.p) // invalidate the temporal index for this predicate
+	// Invalidate the temporal index for this predicate.
+	st.tidxMu.Lock()
+	delete(st.tidx, f.p)
+	st.tidxMu.Unlock()
 	return id, nil
 }
 

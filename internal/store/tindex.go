@@ -22,8 +22,13 @@ type intervalIndex struct {
 const tidxBlock = 64
 
 // intervalIndexFor returns (building lazily) the interval index for
-// predicate p.
+// predicate p. The cache is mutex-guarded so concurrent readers — e.g.
+// grounding workers matching through a View — can share the lazy build;
+// index contents depend only on store state, so whichever reader builds
+// first yields the same index.
 func (st *Store) intervalIndexFor(p TermID) *intervalIndex {
+	st.tidxMu.Lock()
+	defer st.tidxMu.Unlock()
 	if idx, ok := st.tidx[p]; ok {
 		return idx
 	}

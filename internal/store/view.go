@@ -1,0 +1,48 @@
+package store
+
+import "repro/internal/rdf"
+
+// View is an explicit read-only snapshot of a Store, safe for concurrent
+// use by any number of readers. A plain Store is almost read-safe once
+// loading completes, but Match lazily builds and caches per-predicate
+// interval indexes — a hidden write that would race under concurrent
+// grounding workers if it were unsynchronised; the cache is
+// mutex-guarded precisely so a View's access paths stay sound (and
+// indexes are still built only for the temporal queries that need them).
+//
+// A View aliases the store rather than copying it: it stays valid only
+// while the underlying store is not mutated. Callers that interleave
+// writes with concurrent reads (the grounder's forward-chaining rounds)
+// must take a fresh view after each write phase.
+type View struct {
+	st *Store
+}
+
+// ReadView returns a read-only view over the store. The receiver remains
+// usable; the view is invalidated by any subsequent Add.
+func (st *Store) ReadView() View {
+	return View{st: st}
+}
+
+// Valid reports whether the view is backed by a store (the zero View is
+// not).
+func (v View) Valid() bool { return v.st != nil }
+
+// Len returns the number of distinct facts.
+func (v View) Len() int { return v.st.Len() }
+
+// Fact decodes the quad with the given id.
+func (v View) Fact(id FactID) rdf.Quad { return v.st.Fact(id) }
+
+// Confidence returns the confidence of a fact without decoding terms.
+func (v View) Confidence(id FactID) float64 { return v.st.Confidence(id) }
+
+// Match invokes fn for each fact matching the pattern, in fact-id order
+// for a given index, until fn returns false.
+func (v View) Match(pat Pattern, fn func(FactID, rdf.Quad) bool) { v.st.Match(pat, fn) }
+
+// MatchIDs returns the ids of all facts matching the pattern.
+func (v View) MatchIDs(pat Pattern) []FactID { return v.st.MatchIDs(pat) }
+
+// Contains reports whether the exact temporal statement is present.
+func (v View) Contains(q rdf.Quad) bool { return v.st.Contains(q) }

@@ -113,8 +113,14 @@ func CheckPredicates(st *store.Store, prog *logic.Program) []string {
 
 // Options bundles per-backend tuning.
 type Options struct {
-	MLN mln.Options
-	PSL psl.Options
+	// Parallelism bounds the worker pools across the whole solve
+	// pipeline — grounding, local-search restarts, ADMM sweeps: 0 means
+	// GOMAXPROCS, 1 forces the sequential path. Backend-specific
+	// settings (MLN.Parallelism, PSL.Parallelism) take precedence when
+	// non-zero. Results are identical at every setting.
+	Parallelism int
+	MLN         mln.Options
+	PSL         psl.Options
 }
 
 // Output is the unified MAP result of either backend.
@@ -144,7 +150,17 @@ func Run(st *store.Store, prog *logic.Program, solver Solver, opts Options) (*Ou
 		return nil, err
 	}
 	start := time.Now()
+	if opts.MLN.Parallelism == 0 {
+		opts.MLN.Parallelism = opts.Parallelism
+	}
+	if opts.PSL.Parallelism == 0 {
+		opts.PSL.Parallelism = opts.Parallelism
+	}
 	g := ground.New(st)
+	// The MLN and PSL backends re-set this from their own options; the
+	// assignment here covers backends that do not manage parallelism
+	// themselves (the greedy baseline grounds with this grounder as-is).
+	g.Parallelism = opts.Parallelism
 	out := &Output{Solver: solver, Grounder: g}
 	switch solver {
 	case SolverMLN:

@@ -1,0 +1,106 @@
+package tecore_test
+
+import (
+	"reflect"
+	"testing"
+
+	tecore "repro"
+)
+
+// solveAt runs one full conflict-resolution pass at the given
+// parallelism and strips the wall-clock field, the only part of the
+// outcome allowed to vary between runs.
+func solveAt(t *testing.T, ds *tecore.Dataset, program string, solver tecore.Solver,
+	parallelism int, cpi bool) *tecore.Outcome {
+	t.Helper()
+	s := tecore.NewSession()
+	if err := s.LoadGraph(ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadProgramText(program); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(tecore.SolveOptions{
+		Solver:       solver,
+		Parallelism:  parallelism,
+		CuttingPlane: cpi,
+	})
+	if err != nil {
+		t.Fatalf("solver %v parallelism %d: %v", solver, parallelism, err)
+	}
+	oc := *res.Outcome
+	oc.Stats.Runtime = 0
+	return &oc
+}
+
+// TestSolveDeterministicAcrossParallelism is the end-to-end determinism
+// guarantee of the parallel pipeline: kept, removed and inferred facts,
+// conflict clusters, statistics and explanations are identical whether
+// the solve runs sequentially or across all cores — for both backends
+// and for cutting-plane inference.
+func TestSolveDeterministicAcrossParallelism(t *testing.T) {
+	ds := tecore.GenerateFootball(tecore.FootballConfig{Players: 150, NoiseRatio: 0.8, Seed: 21})
+	program := tecore.FootballProgram + `
+pf1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5
+`
+	cases := []struct {
+		name   string
+		solver tecore.Solver
+		cpi    bool
+	}{
+		{"mln", tecore.SolverMLN, false},
+		{"mln-cpi", tecore.SolverMLN, true},
+		{"psl", tecore.SolverPSL, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := solveAt(t, ds, program, tc.solver, 1, tc.cpi)
+			if base.Stats.RemovedFacts == 0 {
+				t.Fatal("fixture removed nothing; determinism check would be vacuous")
+			}
+			for _, p := range []int{4, 0} { // explicit pool and the all-cores default
+				got := solveAt(t, ds, program, tc.solver, p, tc.cpi)
+				if !reflect.DeepEqual(got.Stats, base.Stats) {
+					t.Errorf("parallelism %d: stats diverge:\n got %+v\nwant %+v", p, got.Stats, base.Stats)
+				}
+				if !reflect.DeepEqual(got.Kept, base.Kept) {
+					t.Errorf("parallelism %d: kept facts diverge (%d vs %d)", p, len(got.Kept), len(base.Kept))
+				}
+				if !reflect.DeepEqual(got.Removed, base.Removed) {
+					t.Errorf("parallelism %d: removed facts diverge (%d vs %d)", p, len(got.Removed), len(base.Removed))
+				}
+				if !reflect.DeepEqual(got.Inferred, base.Inferred) {
+					t.Errorf("parallelism %d: inferred facts diverge (%d vs %d)", p, len(got.Inferred), len(base.Inferred))
+				}
+				if !reflect.DeepEqual(got.Clusters, base.Clusters) {
+					t.Errorf("parallelism %d: conflict clusters diverge", p)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFlagOnAdvancedOptions: parallelism set through the
+// advanced (translate-level) options must behave like the top-level
+// field.
+func TestParallelFlagOnAdvancedOptions(t *testing.T) {
+	ds := tecore.GenerateFootball(tecore.FootballConfig{Players: 80, NoiseRatio: 0.5, Seed: 9})
+	s := tecore.NewSession()
+	if err := s.LoadGraph(ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadProgramText(tecore.FootballProgram); err != nil {
+		t.Fatal(err)
+	}
+	opts := tecore.SolveOptions{Solver: tecore.SolverMLN}
+	opts.Advanced.Parallelism = 2
+	res, err := s.Solve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := solveAt(t, ds, tecore.FootballProgram, tecore.SolverMLN, 1, false)
+	if res.Stats.RemovedFacts != ref.Stats.RemovedFacts || res.Stats.KeptFacts != ref.Stats.KeptFacts {
+		t.Errorf("advanced parallelism: kept/removed %d/%d, sequential %d/%d",
+			res.Stats.KeptFacts, res.Stats.RemovedFacts, ref.Stats.KeptFacts, ref.Stats.RemovedFacts)
+	}
+}
