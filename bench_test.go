@@ -287,6 +287,72 @@ func BenchmarkParallelismScaling(b *testing.B) {
 	}
 }
 
+// --- Incremental solving: single-fact update vs full re-solve ---
+// The stateful session grounds once; each update flows through the
+// store's epoch delta (seminaive re-grounding of affected rules only)
+// and warm-starts the solver from the previous solution. full/ measures
+// the from-scratch cost a stateless client pays per update; update/
+// measures the delta path on a session that toggles one fact per
+// iteration. The emitter (cmd/tecore-bench) records both in
+// BENCH_incremental.json; the delta path is expected ≥5× faster.
+
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	ds := tecore.GenerateFootball(tecore.FootballConfig{Players: 2000, NoiseRatio: 0.05, Seed: 9})
+	b.Logf("dataset: %d facts", len(ds.Graph))
+	probe := tecore.NewQuad("player_42", "playsFor", "bench_club",
+		tecore.MustInterval(1995, 1997), 0.7)
+	for _, solver := range []tecore.Solver{tecore.SolverPSL, tecore.SolverMLN} {
+		b.Run("full/"+solver.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := tecore.NewSession()
+				if err := s.LoadGraph(ds.Graph); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.LoadProgramText(tecore.FootballProgram); err != nil {
+					b.Fatal(err)
+				}
+				if i%2 == 0 {
+					if err := s.AddFact(probe); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := s.Solve(tecore.SolveOptions{Solver: solver}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("update/"+solver.String(), func(b *testing.B) {
+			s := tecore.NewSession()
+			if err := s.LoadGraph(ds.Graph); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.LoadProgramText(tecore.FootballProgram); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Solve(tecore.SolveOptions{Solver: solver}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					if err := s.AddFact(probe); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					s.RemoveFact(probe)
+				}
+				res, err := s.Solve(tecore.SolveOptions{Solver: solver})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Incremental {
+					b.Fatal("update solve did not take the delta path")
+				}
+			}
+		})
+	}
+}
+
 // Guard: the MLN options type stays exported for advanced tuning.
 var _ = translate.Options{MLN: mln.Options{}}
 

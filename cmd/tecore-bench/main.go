@@ -1,0 +1,234 @@
+// Command tecore-bench measures the repository's headline performance
+// scenarios and emits machine-readable JSON, seeding the perf
+// trajectory tracked across PRs:
+//
+//	BENCH_incremental.json  single-fact update re-solve vs full re-solve
+//	                        (the incremental engine's raison d'être)
+//	BENCH_parallel.json     solve wall-clock across worker pool sizes
+//
+// Usage:
+//
+//	tecore-bench [-out dir] [-scenario incremental|parallel|all]
+//	             [-players N] [-reps R]
+//
+// Timings are medians of R runs on the local machine; absolute numbers
+// are substrate-dependent, ratios (speedup, scaling) are the tracked
+// signal.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	tecore "repro"
+)
+
+func main() {
+	out := flag.String("out", ".", "directory to write BENCH_*.json into")
+	scenario := flag.String("scenario", "all", "incremental, parallel or all")
+	players := flag.Int("players", 2000, "FootballDB generator size for the incremental scenario")
+	reps := flag.Int("reps", 3, "runs per measurement (median reported)")
+	flag.Parse()
+
+	switch *scenario {
+	case "incremental", "parallel", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "tecore-bench: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	if *scenario == "incremental" || *scenario == "all" {
+		if err := runIncremental(*out, *players, *reps); err != nil {
+			fmt.Fprintf(os.Stderr, "tecore-bench: incremental: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *scenario == "parallel" || *scenario == "all" {
+		if err := runParallel(*out, *reps); err != nil {
+			fmt.Fprintf(os.Stderr, "tecore-bench: parallel: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func medianMS(reps int, f func() error) (float64, error) {
+	times := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		times = append(times, float64(time.Since(start).Microseconds())/1000)
+	}
+	sort.Float64s(times)
+	return times[len(times)/2], nil
+}
+
+func writeReport(dir, name string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// IncrementalScenario is one solver's full-vs-update measurement.
+type IncrementalScenario struct {
+	Solver   string  `json:"solver"`
+	FullMS   float64 `json:"full_ms"`
+	UpdateMS float64 `json:"update_ms"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// IncrementalReport is the BENCH_incremental.json schema.
+type IncrementalReport struct {
+	Benchmark  string                `json:"benchmark"`
+	KGFacts    int                   `json:"kg_facts"`
+	GoMaxProcs int                   `json:"gomaxprocs"`
+	Scenarios  []IncrementalScenario `json:"scenarios"`
+}
+
+func runIncremental(dir string, players, reps int) error {
+	ds := tecore.GenerateFootball(tecore.FootballConfig{Players: players, NoiseRatio: 0.05, Seed: 9})
+	probe := tecore.NewQuad("player_42", "playsFor", "bench_club",
+		tecore.MustInterval(1995, 1997), 0.7)
+	report := IncrementalReport{
+		Benchmark:  "BenchmarkIncrementalUpdate",
+		KGFacts:    len(ds.Graph),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, solver := range []tecore.Solver{tecore.SolverPSL, tecore.SolverMLN} {
+		fullMS, err := medianMS(reps, func() error {
+			s := tecore.NewSession()
+			if err := s.LoadGraph(ds.Graph); err != nil {
+				return err
+			}
+			if err := s.LoadProgramText(tecore.FootballProgram); err != nil {
+				return err
+			}
+			if err := s.AddFact(probe); err != nil {
+				return err
+			}
+			_, err := s.Solve(tecore.SolveOptions{Solver: solver})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+
+		s := tecore.NewSession()
+		if err := s.LoadGraph(ds.Graph); err != nil {
+			return err
+		}
+		if err := s.LoadProgramText(tecore.FootballProgram); err != nil {
+			return err
+		}
+		if _, err := s.Solve(tecore.SolveOptions{Solver: solver}); err != nil {
+			return err
+		}
+		toggle := false
+		updateMS, err := medianMS(reps*2, func() error {
+			toggle = !toggle
+			if toggle {
+				if err := s.AddFact(probe); err != nil {
+					return err
+				}
+			} else {
+				s.RemoveFact(probe)
+			}
+			res, err := s.Solve(tecore.SolveOptions{Solver: solver})
+			if err != nil {
+				return err
+			}
+			if !res.Incremental {
+				return fmt.Errorf("update solve did not take the delta path")
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		report.Scenarios = append(report.Scenarios, IncrementalScenario{
+			Solver:   solver.String(),
+			FullMS:   fullMS,
+			UpdateMS: updateMS,
+			Speedup:  fullMS / updateMS,
+		})
+	}
+	return writeReport(dir, "BENCH_incremental.json", report)
+}
+
+// ParallelResult is one (solver, workers) wall-clock sample.
+type ParallelResult struct {
+	Solver   string  `json:"solver"`
+	Parallel int     `json:"parallel"`
+	MS       float64 `json:"ms"`
+	Speedup  float64 `json:"speedup_vs_sequential"`
+}
+
+// ParallelReport is the BENCH_parallel.json schema.
+type ParallelReport struct {
+	Benchmark  string           `json:"benchmark"`
+	Workload   string           `json:"workload"`
+	Facts      int              `json:"facts"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Results    []ParallelResult `json:"results"`
+}
+
+func runParallel(dir string, reps int) error {
+	ds := tecore.GenerateWikidata(tecore.WikidataConfig{Scale: 0.01, Seed: 4})
+	perRelation := map[string]tecore.Graph{}
+	var largest tecore.Graph
+	for _, q := range ds.Graph {
+		p := q.Predicate.Value
+		perRelation[p] = append(perRelation[p], q)
+		if len(perRelation[p]) > len(largest) {
+			largest = perRelation[p]
+		}
+	}
+	rel := largest[0].Predicate.Value
+	program := fmt.Sprintf(
+		"c: quad(x, <%s>, y, t) ^ quad(x, <%s>, z, t') ^ y != z -> disjoint(t, t') w = inf", rel, rel)
+	report := ParallelReport{
+		Benchmark:  "BenchmarkParallelismScaling",
+		Workload:   "wikidata-0.01 largest relation (" + rel + ")",
+		Facts:      len(largest),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, solver := range []tecore.Solver{tecore.SolverPSL, tecore.SolverMLN} {
+		var seq float64
+		for _, parallel := range []int{1, 2, 4, 8} {
+			ms, err := medianMS(reps, func() error {
+				s := tecore.NewSession()
+				if err := s.LoadGraph(largest); err != nil {
+					return err
+				}
+				if err := s.LoadProgramText(program); err != nil {
+					return err
+				}
+				_, err := s.Solve(tecore.SolveOptions{Solver: solver, Parallelism: parallel})
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			if parallel == 1 {
+				seq = ms
+			}
+			report.Results = append(report.Results, ParallelResult{
+				Solver: solver.String(), Parallel: parallel, MS: ms, Speedup: seq / ms,
+			})
+		}
+	}
+	return writeReport(dir, "BENCH_parallel.json", report)
+}

@@ -7,8 +7,11 @@
 //	tecore stats    -data g.tq
 //	tecore validate -rules r.tcr [-solver mln|psl]
 //	tecore infer    -data g.tq -rules r.tcr [-solver mln|psl]
-//	                [-threshold 0.3] [-cpi] [-parallel N]
+//	                [-threshold 0.3] [-cpi] [-parallel N] [-incremental]
 //	                [-out consistent.tq] [-removed removed.tq]
+//
+// With -incremental, infer enters a REPL that accepts add/remove/solve
+// commands on stdin and re-solves incrementally after each update.
 package main
 
 import (
@@ -53,7 +56,10 @@ func usage() {
   tecore validate -rules <rules file> [-solver mln|psl]
   tecore infer    -data <tquads file> -rules <rules file>
                   [-solver mln|psl] [-threshold t] [-cpi] [-parallel N]
-                  [-out consistent.tq] [-removed removed.tq]`)
+                  [-incremental] [-out consistent.tq] [-removed removed.tq]
+
+  infer -incremental reads add/remove/solve commands from stdin and
+  re-solves only the delta after each update.`)
 }
 
 func loadGraph(path string) (tecore.Graph, error) {
@@ -139,6 +145,7 @@ func runInfer(args []string) error {
 	cpi := fs.Bool("cpi", false, "cutting-plane inference (MLN)")
 	parallel := fs.Int("parallel", 0, "worker pool size for the solve pipeline (0 = all cores, 1 = sequential)")
 	explain := fs.Bool("explain", false, "print each removed fact with the constraint grounding that removed it")
+	incremental := fs.Bool("incremental", false, "REPL mode: read add/remove/solve commands from stdin and re-solve incrementally")
 	outPath := fs.String("out", "", "write the consistent expanded KG here")
 	removedPath := fs.String("removed", "", "write the removed (conflicting) facts here")
 	if err := fs.Parse(args); err != nil {
@@ -165,6 +172,13 @@ func runInfer(args []string) error {
 	}
 	if err := s.LoadProgramText(string(src)); err != nil {
 		return err
+	}
+	if *incremental {
+		return runIncrementalREPL(s, tecore.SolveOptions{
+			Solver:      solver,
+			Threshold:   *threshold,
+			Parallelism: *parallel,
+		}, os.Stdin, os.Stdout)
 	}
 	res, err := s.Solve(tecore.SolveOptions{
 		Solver:       solver,

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	tecore "repro"
+)
+
+// runIncrementalREPL drives the stateful session from a line-oriented
+// command stream: fact updates accumulate in the epoch-versioned store
+// and each solve consumes only the delta, warm-starting the solver from
+// the previous solution.
+//
+// Commands (one per line; # starts a comment):
+//
+//	add <tquad>       insert a fact, e.g. add CR coach Napoli [2001,2003] 0.6
+//	remove <tquad>    retract a fact (confidence ignored)
+//	solve             re-solve and print statistics
+//	stats             print store statistics without solving
+//	quit              exit (EOF works too)
+func runIncrementalREPL(s *tecore.Session, opts tecore.SolveOptions, in io.Reader, out io.Writer) error {
+	fmt.Fprintf(out, "tecore incremental session: %d facts loaded; commands: add/remove/solve/stats/quit\n",
+		s.Store().Len())
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch strings.ToLower(cmd) {
+		case "add":
+			g, err := tecore.ParseGraphString(rest)
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				continue
+			}
+			if err := s.LoadGraph(g); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(out, "ok: %d fact(s) asserted, %d live\n", len(g), s.Store().Len())
+		case "remove":
+			g, err := tecore.ParseGraphString(rest)
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				continue
+			}
+			removed := 0
+			for _, q := range g {
+				if s.RemoveFact(q) {
+					removed++
+				}
+			}
+			fmt.Fprintf(out, "ok: %d fact(s) removed, %d live\n", removed, s.Store().Len())
+		case "solve":
+			res, err := s.Solve(opts)
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				continue
+			}
+			mode := "full"
+			if res.Incremental {
+				mode = "incremental"
+			}
+			st := res.Stats
+			fmt.Fprintf(out, "solved (%s, %s): kept %d / removed %d / inferred %d, %d conflict cluster(s), %v\n",
+				mode, st.Solver, st.KeptFacts, st.RemovedFacts, st.InferredFacts,
+				st.ConflictClusters, st.Runtime)
+		case "stats":
+			fmt.Fprintf(out, "facts: %d live (epoch %d), rules: %d\n",
+				s.Store().Len(), s.Store().Epoch(), len(s.Program().Rules))
+		case "quit", "exit":
+			return nil
+		default:
+			fmt.Fprintf(out, "error: unknown command %q (add/remove/solve/stats/quit)\n", cmd)
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	tecore "repro"
+)
+
+func TestIncrementalREPL(t *testing.T) {
+	s := tecore.NewSession()
+	if err := s.LoadGraphText(figure1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadProgramText(program); err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(`
+# initial solve: Napoli conflicts with Chelsea under c2
+solve
+remove CR coach Napoli [2001,2003] 0.6
+solve
+add CR coach Napoli [2001,2003] 0.6
+solve
+stats
+bogus
+quit
+`)
+	var out strings.Builder
+	err := runIncrementalREPL(s, tecore.SolveOptions{Solver: tecore.SolverMLN}, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"solved (full, mln): kept 4 / removed 1",
+		"ok: 1 fact(s) removed, 4 live",
+		"solved (incremental, mln): kept 4 / removed 0",
+		"ok: 1 fact(s) asserted, 5 live",
+		"solved (incremental, mln): kept 4 / removed 1",
+		"facts: 5 live",
+		"unknown command \"bogus\"",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q\noutput:\n%s", want, got)
+		}
+	}
+}

@@ -65,4 +65,16 @@ func main() {
 			res.Stats.KeptFacts, res.Stats.RemovedFacts, res.Stats.InferredFacts,
 			res.Stats.ConflictClusters, res.Stats.Runtime)
 	}
+
+	// Sessions are stateful: after the first Solve the grounding engine
+	// is cached, and fact updates re-solve through the delta path (see
+	// examples/streaming for the full walk-through).
+	if s.RemoveFact(tecore.NewQuad("CR", "coach", "Napoli", tecore.MustInterval(2001, 2003), 0.6)) {
+		res, err := s.Solve(tecore.SolveOptions{Solver: tecore.SolverMLN})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("after retracting the Napoli spell (incremental=%v): kept %d / removed %d\n",
+			res.Incremental, res.Stats.KeptFacts, res.Stats.RemovedFacts)
+	}
 }

@@ -1,0 +1,305 @@
+package tecore_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	tecore "repro"
+)
+
+// The incremental engine's contract: after any sequence of fact adds,
+// removes, confidence updates and solves, a Session's delta-path Solve
+// returns the same Resolution a brand-new session over the same live
+// graph computes from scratch. These tests drive randomized mutation
+// sequences against both and compare canonicalised results at every
+// step, at parallelism 1 and N.
+
+// canonResolution renders the solver-order-independent content of a
+// Resolution: statistics (minus runtimes), the kept/removed/inferred
+// fact sets with explanations, and the conflict clusters. Atom ids and
+// iteration orders legitimately differ between a long-lived incremental
+// engine and a fresh grounder, so everything is sorted by statement key.
+// confDigits bounds the confidence precision compared; pass a negative
+// value to omit confidences entirely (the warm-ADMM test checks them
+// separately with a numeric tolerance instead of string rounding).
+func canonResolution(r *tecore.Resolution, confDigits int) string {
+	var b strings.Builder
+	st := r.Stats
+	st.Runtime = 0
+	st.Solver = ""
+	fmt.Fprintf(&b, "stats: %+v\n", st)
+	section := func(label string, fs []tecore.Fact) {
+		lines := make([]string, 0, len(fs))
+		for _, f := range fs {
+			ex := make([]string, 0, len(f.Explanations))
+			for _, e := range f.Explanations {
+				ex = append(ex, e.String())
+			}
+			sort.Strings(ex)
+			conf := ""
+			if confDigits >= 0 {
+				conf = fmt.Sprintf(" conf=%.*f", confDigits, f.Quad.Confidence)
+			}
+			lines = append(lines, fmt.Sprintf("%s %s%s derived=%v expl=%v",
+				label, f.Quad.Fact(), conf, f.Derived, ex))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	section("kept", r.Kept)
+	section("removed", r.Removed)
+	section("inferred", r.Inferred)
+	clusters := make([]string, 0, len(r.Clusters))
+	for _, cl := range r.Clusters {
+		keys := make([]string, 0, len(cl))
+		for _, k := range cl {
+			keys = append(keys, k.String())
+		}
+		sort.Strings(keys)
+		clusters = append(clusters, strings.Join(keys, " | "))
+	}
+	sort.Strings(clusters)
+	for _, c := range clusters {
+		b.WriteString("cluster ")
+		b.WriteString(c)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// factPool builds overlapping coaching/playing spells that exercise the
+// running example's rule shapes: inference (playsFor ⇒ worksFor) plus a
+// hard disjointness constraint with real conflicts.
+func factPool(subjects, clubs int) []tecore.Quad {
+	var pool []tecore.Quad
+	for s := 0; s < subjects; s++ {
+		subj := fmt.Sprintf("P%d", s)
+		for c := 0; c < clubs; c++ {
+			club := fmt.Sprintf("Club%d", c)
+			start := int64(2000 + 3*c)
+			pool = append(pool,
+				tecore.NewQuad(subj, "coach", club, tecore.MustInterval(start, start+4), 0.5+0.1*float64(c%5)),
+				tecore.NewQuad(subj, "playsFor", club, tecore.MustInterval(start-10, start-8), 0.6+0.1*float64((c+s)%4)),
+			)
+		}
+	}
+	return pool
+}
+
+const incrementalProgram = `
+f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5
+c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf
+`
+
+// cascadeProgram chains rules (f2 consumes f1's derived worksFor heads
+// through a two-atom body), so incremental solves exercise multi-round
+// CloseDelta, the seminaive stratification over several body positions,
+// and delete/rederive across derivation chains: removing a playsFor
+// fact must cascade through worksFor into livesIn unless an alternative
+// derivation survives.
+const cascadeProgram = `
+f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5
+f2: quad(x, worksFor, y, t) ^ quad(y, locatedIn, z, t') ^ overlaps(t, t') -> quad(x, livesIn, z, intersect(t, t')) w = 1.6
+c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf
+`
+
+// cascadePool adds the locatedIn layer f2 joins against.
+func cascadePool(subjects, clubs int) []tecore.Quad {
+	pool := factPool(subjects, clubs)
+	for c := 0; c < clubs; c++ {
+		club := fmt.Sprintf("Club%d", c)
+		city := fmt.Sprintf("City%d", c%2)
+		pool = append(pool,
+			tecore.NewQuad(club, "locatedIn", city, tecore.MustInterval(1980, 2020), 0.9))
+	}
+	return pool
+}
+
+// runIncrementalVsFresh drives nSteps random mutations + solves and
+// fails on the first divergence between the incremental session and a
+// from-scratch solve over the same live graph.
+func runIncrementalVsFresh(t *testing.T, pool []tecore.Quad, opts tecore.SolveOptions, seed int64, nSteps int) {
+	runIncrementalVsFreshProgram(t, incrementalProgram, pool, opts, seed, nSteps, 17)
+}
+
+func runIncrementalVsFreshAt(t *testing.T, pool []tecore.Quad, opts tecore.SolveOptions, seed int64, nSteps int, confDigits int) {
+	runIncrementalVsFreshProgram(t, incrementalProgram, pool, opts, seed, nSteps, confDigits)
+}
+
+func runIncrementalVsFreshProgram(t *testing.T, program string, pool []tecore.Quad, opts tecore.SolveOptions, seed int64, nSteps int, confDigits int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inc := tecore.NewSession()
+	if err := inc.LoadProgramText(program); err != nil {
+		t.Fatal(err)
+	}
+	live := make(map[int]bool)
+	// Start from a third of the pool.
+	for i := range pool {
+		if i%3 == 0 {
+			if err := inc.AddFact(pool[i]); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = true
+		}
+	}
+	for step := 0; step < nSteps; step++ {
+		// Mutate: a couple of random adds/removes/updates per step.
+		for m := 0; m < 1+rng.Intn(3); m++ {
+			i := rng.Intn(len(pool))
+			switch op := rng.Intn(4); {
+			case op < 2: // add (possibly re-add / revive)
+				q := pool[i]
+				if rng.Intn(2) == 0 {
+					q.Confidence = 0.5 + 0.4*rng.Float64() // confidence update path
+				}
+				if err := inc.AddFact(q); err != nil {
+					t.Fatal(err)
+				}
+				live[i] = true
+			case op < 3: // remove (possibly a no-op)
+				inc.RemoveFact(pool[i])
+				delete(live, i)
+			default: // remove + immediate revive in the same window
+				if live[i] {
+					inc.RemoveFact(pool[i])
+					if err := inc.AddFact(pool[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+
+		incRes, err := inc.Solve(opts)
+		if err != nil {
+			t.Fatalf("step %d: incremental solve: %v", step, err)
+		}
+		if step > 0 && !incRes.Incremental {
+			t.Fatalf("step %d: solve did not take the delta path", step)
+		}
+
+		fresh := tecore.NewSession()
+		if err := fresh.LoadGraph(inc.Store().Graph()); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.LoadProgramText(program); err != nil {
+			t.Fatal(err)
+		}
+		freshRes, err := fresh.Solve(opts)
+		if err != nil {
+			t.Fatalf("step %d: fresh solve: %v", step, err)
+		}
+
+		got, want := canonResolution(incRes, confDigits), canonResolution(freshRes, confDigits)
+		if got != want {
+			t.Fatalf("step %d: incremental result diverged from from-scratch solve\nincremental:\n%s\nfresh:\n%s", step, got, want)
+		}
+		if confDigits < 0 {
+			if err := confsClose(incRes, freshRes, 5e-3); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+}
+
+// confsClose compares the two resolutions' fact confidences by
+// statement key within tol.
+func confsClose(a, b *tecore.Resolution, tol float64) error {
+	collect := func(r *tecore.Resolution) map[string]float64 {
+		m := make(map[string]float64)
+		for _, fs := range [][]tecore.Fact{r.Kept, r.Removed, r.Inferred} {
+			for _, f := range fs {
+				m[f.Quad.Fact().String()] = f.Quad.Confidence
+			}
+		}
+		return m
+	}
+	am, bm := collect(a), collect(b)
+	for k, av := range am {
+		bv, ok := bm[k]
+		if !ok {
+			return fmt.Errorf("fact %s missing from fresh result", k)
+		}
+		if d := av - bv; d > tol || d < -tol {
+			return fmt.Errorf("fact %s confidence differs: %g vs %g", k, av, bv)
+		}
+	}
+	return nil
+}
+
+func TestIncrementalMatchesFreshMLNExact(t *testing.T) {
+	// Small pool: the ground network stays within the exact MaxSAT
+	// engine, where the warm-started search provably returns the same
+	// optimum as a cold one.
+	pool := factPool(2, 3)
+	for _, par := range []int{1, 0} {
+		t.Run(fmt.Sprintf("parallel=%d", par), func(t *testing.T) {
+			runIncrementalVsFresh(t, pool,
+				tecore.SolveOptions{Solver: tecore.SolverMLN, Parallelism: par}, 7, 12)
+		})
+	}
+}
+
+func TestIncrementalMatchesFreshMLNLocalSearchCold(t *testing.T) {
+	// Larger pool: the solver takes the stochastic local-search path.
+	// With ColdStart the incremental side must hand it a byte-identical
+	// canonical problem, making even the random walk reproduce exactly.
+	pool := factPool(4, 6)
+	for _, par := range []int{1, 0} {
+		t.Run(fmt.Sprintf("parallel=%d", par), func(t *testing.T) {
+			runIncrementalVsFresh(t, pool,
+				tecore.SolveOptions{Solver: tecore.SolverMLN, Parallelism: par, ColdStart: true}, 11, 8)
+		})
+	}
+}
+
+func TestIncrementalMatchesFreshPSLCold(t *testing.T) {
+	pool := factPool(3, 4)
+	for _, par := range []int{1, 0} {
+		t.Run(fmt.Sprintf("parallel=%d", par), func(t *testing.T) {
+			runIncrementalVsFresh(t, pool,
+				tecore.SolveOptions{Solver: tecore.SolverPSL, Parallelism: par, ColdStart: true}, 13, 8)
+		})
+	}
+}
+
+func TestIncrementalMatchesFreshCascade(t *testing.T) {
+	// Rule cascades: f2 consumes f1's derived heads via a two-atom body.
+	// Small pool keeps the network in the exact engine, so warm starts
+	// stay provably identical; mutations on playsFor facts force the
+	// delete/rederive pass to walk derivation chains.
+	pool := cascadePool(2, 2)
+	for _, par := range []int{1, 0} {
+		t.Run(fmt.Sprintf("mln/parallel=%d", par), func(t *testing.T) {
+			runIncrementalVsFreshProgram(t, cascadeProgram, pool,
+				tecore.SolveOptions{Solver: tecore.SolverMLN, Parallelism: par}, 23, 12, 17)
+		})
+	}
+	// Larger cascade through the stochastic local-search path, cold.
+	t.Run("mln/local-cold", func(t *testing.T) {
+		runIncrementalVsFreshProgram(t, cascadeProgram, cascadePool(4, 5),
+			tecore.SolveOptions{Solver: tecore.SolverMLN, ColdStart: true}, 29, 8, 17)
+	})
+	t.Run("psl/cold", func(t *testing.T) {
+		runIncrementalVsFreshProgram(t, cascadeProgram, cascadePool(3, 3),
+			tecore.SolveOptions{Solver: tecore.SolverPSL, ColdStart: true}, 31, 8, 17)
+	})
+}
+
+func TestIncrementalMatchesFreshPSLWarm(t *testing.T) {
+	// Warm-started ADMM (restarted from the previous solve's primal and
+	// dual iterates) converges to the same unique optimum of the
+	// strictly convex HL-MRF, but only to within the residual tolerance
+	// Eps = 1e-4, so confidences are compared numerically at 5e-3.
+	// Everything discrete — kept/removed/inferred sets, clusters,
+	// statistics — must still match exactly.
+	pool := factPool(3, 4)
+	runIncrementalVsFreshAt(t, pool,
+		tecore.SolveOptions{Solver: tecore.SolverPSL}, 17, 8, -1)
+}

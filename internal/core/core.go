@@ -25,9 +25,18 @@ import (
 )
 
 // Session accumulates data and program state for conflict resolution.
+// It is stateful across solves: the first Solve grounds the program from
+// scratch and caches the grounding engine; facts added or removed
+// afterwards flow through the store's epoch delta, so later solves
+// re-ground only what changed and warm-start the solvers from the
+// previous solution. A Session is not safe for concurrent use; wrap it
+// in a mutex (as the server's session table does) to share it.
 type Session struct {
 	st   *store.Store
 	prog *logic.Program
+	// progVersion invalidates the cached engine on program changes.
+	progVersion int
+	engine      *engine
 }
 
 // NewSession returns an empty session.
@@ -63,22 +72,26 @@ func (s *Session) LoadGraphReader(r io.Reader) error {
 }
 
 // LoadProgramText parses rules/constraints in the surface syntax and
-// appends them to the session program.
+// appends them to the session program. Program changes invalidate the
+// cached incremental engine; the next Solve re-grounds from scratch.
 func (s *Session) LoadProgramText(src string) error {
 	prog, err := rulelang.Parse(src)
 	if err != nil {
 		return err
 	}
 	s.prog.Rules = append(s.prog.Rules, prog.Rules...)
+	s.progVersion++
 	return s.prog.Validate()
 }
 
-// AddRule appends a single rule after validating it.
+// AddRule appends a single rule after validating it. Like
+// LoadProgramText this invalidates the cached incremental engine.
 func (s *Session) AddRule(r *logic.Rule) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
 	s.prog.Rules = append(s.prog.Rules, r)
+	s.progVersion++
 	return s.prog.Validate()
 }
 
@@ -105,6 +118,14 @@ type SolveOptions struct {
 	// local-search restarts, ADMM sweeps): 0 uses GOMAXPROCS, 1 forces
 	// the sequential path. Results are identical at every setting.
 	Parallelism int
+	// ColdStart disables warm-starting the solver from the previous
+	// solution on the incremental path. Grounding still reuses the
+	// cached delta state; only the solver starts from scratch. With
+	// ColdStart the incremental result is byte-identical to a fresh
+	// from-scratch solve by construction; with warm starts the exact
+	// MaxSAT engine still guarantees it, while large local-search or
+	// ADMM instances may settle on equally-valid near-identical states.
+	ColdStart bool
 	// Advanced exposes full backend tuning.
 	Advanced translate.Options
 }
@@ -114,14 +135,28 @@ type Resolution struct {
 	*repair.Outcome
 	// Output carries the raw solver result.
 	Output *translate.Output
+	// Incremental reports whether the solve consumed a store delta on
+	// the cached engine rather than re-grounding from scratch.
+	Incremental bool
 }
 
 // Solve runs MAP inference and conflict resolution over the session.
+//
+// The MLN (full grounding) and PSL backends run on the session's cached
+// incremental engine: the first call grounds everything, later calls
+// consume only the store delta and warm-start from the prior solution.
+// The cutting-plane and greedy paths re-run from scratch every time —
+// lazy grounding and the baseline keep no reusable clause state.
 func (s *Session) Solve(opts SolveOptions) (*Resolution, error) {
 	topts := opts.Advanced
 	topts.MLN.CuttingPlane = topts.MLN.CuttingPlane || opts.CuttingPlane
 	if topts.Parallelism == 0 {
 		topts.Parallelism = opts.Parallelism
+	}
+	incrementalOK := (opts.Solver == translate.SolverMLN || opts.Solver == translate.SolverPSL) &&
+		!topts.MLN.CuttingPlane
+	if incrementalOK {
+		return s.solveIncremental(opts.Solver, topts, opts)
 	}
 	out, err := translate.Run(s.st, s.prog, opts.Solver, topts)
 	if err != nil {

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ground"
+	"repro/internal/mln"
+	"repro/internal/psl"
+	"repro/internal/rdf"
+	"repro/internal/repair"
+	"repro/internal/store"
+	"repro/internal/translate"
+)
+
+// engine is the session's cached incremental solve state: a grounder and
+// clause set kept alive across solves, the store epoch they reflect, and
+// the previous solution for warm-starting the solvers. The grounder and
+// clause set depend only on the store and program — switching solvers
+// reuses them and only resets the warm data.
+type engine struct {
+	g           *ground.Grounder
+	cs          *ground.ClauseSet
+	epoch       store.Epoch
+	progVersion int
+
+	warmSolver translate.Solver
+	warmTruth  []bool    // previous MAP state by atom id
+	warmPSL    *psl.Warm // previous ADMM iterates (values + duals)
+}
+
+// ResetEngine drops the cached incremental solve state. The next Solve
+// re-grounds from scratch. Call it after mutating the value returned by
+// Program() directly; mutations through the Session's own methods (and
+// all store mutations) are tracked automatically.
+func (s *Session) ResetEngine() { s.engine = nil }
+
+// AddFact inserts a single quad; the next Solve consumes it through the
+// delta path.
+func (s *Session) AddFact(q rdf.Quad) error {
+	_, err := s.st.Add(q)
+	return err
+}
+
+// RemoveFact retracts the exact temporal statement (confidence ignored),
+// reporting whether a live fact was removed.
+func (s *Session) RemoveFact(q rdf.Quad) bool {
+	_, ok := s.st.Remove(q)
+	return ok
+}
+
+// syncEngine reconciles the cached engine with a store delta:
+// retraction first (delete/rederive), then evidence updates, seminaive
+// forward chaining, and delta grounding into the persistent clause set.
+func (s *Session) syncEngine(eng *engine, topts translate.Options, d store.Delta) error {
+	epoch := s.st.Epoch()
+	eng.g.Parallelism = topts.Parallelism
+	if err := eng.g.RetractFacts(eng.cs, d.Removed); err != nil {
+		return err
+	}
+	delta := eng.g.ApplyUpdates(d.Added, d.Updated)
+	derived, err := eng.g.CloseDelta(s.prog, delta)
+	if err != nil {
+		return err
+	}
+	if err := eng.g.GroundDelta(s.prog, eng.cs, append(delta, derived...)); err != nil {
+		return err
+	}
+	eng.epoch = epoch
+	return nil
+}
+
+// solveIncremental runs MAP inference through the session's cached
+// engine: on the first solve (or after a program change) it grounds from
+// scratch and caches the state; afterwards it reconciles the store delta
+// with RetractFacts/ApplyUpdates/CloseDelta/GroundDelta and solves the
+// maintained clause set, warm-starting from the previous solution.
+func (s *Session) solveIncremental(solver translate.Solver, topts translate.Options, opts SolveOptions) (*Resolution, error) {
+	if err := translate.ValidateFor(solver, s.prog); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if topts.MLN.Parallelism == 0 {
+		topts.MLN.Parallelism = topts.Parallelism
+	}
+	if topts.PSL.Parallelism == 0 {
+		topts.PSL.Parallelism = topts.Parallelism
+	}
+
+	eng := s.engine
+	incremental := eng != nil && eng.progVersion == s.progVersion
+	if !incremental {
+		epoch := s.st.Epoch()
+		g := ground.New(s.st)
+		g.Parallelism = topts.Parallelism
+		if _, err := g.Close(s.prog); err != nil {
+			return nil, err
+		}
+		cs, err := g.GroundProgram(s.prog)
+		if err != nil {
+			return nil, err
+		}
+		cs.EnableAtomIndex()
+		eng = &engine{g: g, cs: cs, epoch: epoch, progVersion: s.progVersion}
+		s.engine = eng
+	} else if d := s.st.DeltaSince(eng.epoch); !d.Empty() {
+		if err := s.syncEngine(eng, topts, d); err != nil {
+			// The engine may be partially mutated (atoms interned but not
+			// grounded); drop it so the next solve re-grounds from
+			// scratch instead of silently solving an incomplete network.
+			s.engine = nil
+			return nil, err
+		}
+	}
+
+	// The log before the engine's epoch can no longer be queried by the
+	// engine; compacting bounds memory on long-lived streaming sessions
+	// (DeltaSince falls back to a full scan for older epochs).
+	s.st.CompactLog(eng.epoch)
+
+	var warmTruth []bool
+	var warmPSL *psl.Warm
+	if !opts.ColdStart && eng.warmSolver == solver {
+		warmTruth, warmPSL = eng.warmTruth, eng.warmPSL
+	}
+
+	out := &translate.Output{Solver: solver, Grounder: eng.g, Clauses: eng.cs}
+	var nextPSL *psl.Warm
+	switch solver {
+	case translate.SolverMLN:
+		res, err := mln.MAPGround(eng.g, eng.cs, topts.MLN, warmTruth)
+		if err != nil {
+			return nil, err
+		}
+		if !res.HardSatisfied {
+			return nil, fmt.Errorf("translate: MLN solver found no assignment satisfying the hard constraints")
+		}
+		out.MLN = res
+		out.Truth = res.Truth
+	case translate.SolverPSL:
+		res, next, err := psl.MAPGround(eng.g, eng.cs, topts.PSL, warmPSL)
+		if err != nil {
+			return nil, err
+		}
+		out.PSL = res
+		out.Truth = res.Truth
+		out.SoftValues = res.Values
+		nextPSL = next
+	default:
+		return nil, fmt.Errorf("core: solver %v has no incremental path", solver)
+	}
+	out.Runtime = time.Since(start)
+	eng.warmSolver = solver
+	eng.warmTruth = out.Truth
+	eng.warmPSL = nextPSL
+
+	oc, err := repair.Resolve(out, s.prog, repair.Options{Threshold: opts.Threshold})
+	if err != nil {
+		return nil, err
+	}
+	return &Resolution{Outcome: oc, Output: out, Incremental: incremental}, nil
+}

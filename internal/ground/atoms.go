@@ -66,6 +66,10 @@ type AtomInfo struct {
 	Key rdf.FactKey
 	// Evidence reports whether the atom is backed by an input fact.
 	Evidence bool
+	// Retracted marks atoms whose backing fact was removed and that are
+	// no longer derivable. Atom ids are stable, so the slot stays; the
+	// atom is excluded from solving until a later update revives it.
+	Retracted bool
 	// Conf is the confidence of the backing fact (0 for derived atoms).
 	Conf float64
 	// FactID is the backing fact in the main store (-1 for derived).
@@ -104,6 +108,40 @@ func (t *AtomTable) InternEvidence(key rdf.FactKey, conf float64, fid store.Fact
 		info.Conf = conf
 	}
 	return id
+}
+
+// Retract marks the atom as dead: its backing fact was removed and no
+// rule derivation survives. Write-side: see the type comment.
+func (t *AtomTable) Retract(id AtomID) {
+	info := &t.infos[id]
+	info.Retracted = true
+	info.Evidence = false
+	info.Conf = 0
+	info.FactID = -1
+}
+
+// SetEvidence (re)binds the atom to a live input fact, reviving it if
+// retracted. Unlike InternEvidence it assigns the confidence exactly —
+// the incremental path mirrors the store state rather than merging
+// extraction runs. Write-side: see the type comment.
+func (t *AtomTable) SetEvidence(id AtomID, conf float64, fid store.FactID) {
+	info := &t.infos[id]
+	info.Retracted = false
+	info.Evidence = true
+	info.Conf = conf
+	info.FactID = fid
+}
+
+// SetDerived demotes the atom to a plain derived atom (no evidence
+// backing), reviving it if retracted. Used when an evidence fact is
+// removed but the statement remains derivable, and when forward chaining
+// re-derives a retracted atom. Write-side: see the type comment.
+func (t *AtomTable) SetDerived(id AtomID) {
+	info := &t.infos[id]
+	info.Retracted = false
+	info.Evidence = false
+	info.Conf = 0
+	info.FactID = -1
 }
 
 // Lookup returns the id of a statement without interning. Safe for

@@ -107,9 +107,21 @@ func (c *Clause) key() string {
 // ClauseSet accumulates ground clauses with deduplication. Identical soft
 // groundings merge by summing weights (equivalent objective, matching how
 // RockIt aggregates feature counts); identical hard groundings collapse.
+//
+// A clause set can live across incremental solves: RemoveAtoms tombstones
+// every clause mentioning a retracted atom (a grounding's participating
+// atoms all appear among its literals, so atom membership is exactly
+// grounding membership), and a later Add of the same grounding revives
+// the slot. EnableAtomIndex turns on the atom → clause index this needs;
+// transient clause sets skip the bookkeeping.
 type ClauseSet struct {
 	clauses []Clause
+	dead    []bool
+	nDead   int
 	index   map[string]int
+	// byAtom maps an atom to the clause positions mentioning it (live or
+	// dead); nil unless EnableAtomIndex was called.
+	byAtom map[AtomID][]int32
 }
 
 // NewClauseSet returns an empty clause set.
@@ -117,10 +129,32 @@ func NewClauseSet() *ClauseSet {
 	return &ClauseSet{index: make(map[string]int)}
 }
 
-// Add normalizes and inserts a clause, merging duplicates. Tautologies
-// and empty soft clauses are dropped. Adding an empty hard clause —
-// an unconditionally violated constraint — is reported by returning
-// false so callers can surface the contradiction.
+// EnableAtomIndex switches on the atom → clause index required by
+// RemoveAtoms and SupportScan, indexing already-present clauses.
+func (cs *ClauseSet) EnableAtomIndex() {
+	if cs.byAtom != nil {
+		return
+	}
+	cs.byAtom = make(map[AtomID][]int32)
+	for at := range cs.clauses {
+		cs.indexAtoms(at)
+	}
+}
+
+func (cs *ClauseSet) indexAtoms(at int) {
+	if cs.byAtom == nil {
+		return
+	}
+	for _, l := range cs.clauses[at].Lits {
+		cs.byAtom[l.Atom] = append(cs.byAtom[l.Atom], int32(at))
+	}
+}
+
+// Add normalizes and inserts a clause, merging duplicates and reviving
+// tombstoned slots. Tautologies and empty soft clauses are dropped.
+// Adding an empty hard clause — an unconditionally violated constraint —
+// is reported by returning false so callers can surface the
+// contradiction.
 func (cs *ClauseSet) Add(c Clause) bool {
 	if c.normalize() {
 		return true // tautology: trivially satisfied
@@ -130,6 +164,14 @@ func (cs *ClauseSet) Add(c Clause) bool {
 	}
 	k := c.key()
 	if at, ok := cs.index[k]; ok {
+		if cs.dead != nil && cs.dead[at] {
+			// Revive: the grounding returns after its atoms came back;
+			// this emission replaces the dropped aggregate.
+			cs.clauses[at] = c
+			cs.dead[at] = false
+			cs.nDead--
+			return true
+		}
 		if !cs.clauses[at].Hard() && !c.Hard() {
 			cs.clauses[at].Weight += c.Weight
 		} else if c.Hard() {
@@ -139,12 +181,100 @@ func (cs *ClauseSet) Add(c Clause) bool {
 	}
 	cs.index[k] = len(cs.clauses)
 	cs.clauses = append(cs.clauses, c)
+	if cs.dead != nil {
+		cs.dead = append(cs.dead, false)
+	}
+	cs.indexAtoms(len(cs.clauses) - 1)
 	return true
 }
 
-// Clauses returns the accumulated clauses. The slice must not be
-// modified.
-func (cs *ClauseSet) Clauses() []Clause { return cs.clauses }
+// RemoveAtoms tombstones every live clause mentioning any of the given
+// atoms, returning the number dropped. EnableAtomIndex must have been
+// called.
+func (cs *ClauseSet) RemoveAtoms(atoms []AtomID) int {
+	if cs.dead == nil {
+		cs.dead = make([]bool, len(cs.clauses))
+	}
+	removed := 0
+	for _, a := range atoms {
+		for _, at := range cs.byAtom[a] {
+			if !cs.dead[at] {
+				cs.dead[at] = true
+				cs.nDead++
+				removed++
+			}
+		}
+	}
+	return removed
+}
 
-// Len returns the number of distinct clauses.
-func (cs *ClauseSet) Len() int { return len(cs.clauses) }
+// ForEach invokes fn for every live clause in slot order until fn
+// returns false. The clause must not be modified.
+func (cs *ClauseSet) ForEach(fn func(*Clause) bool) {
+	cs.ForEachSlot(func(_ int32, c *Clause) bool { return fn(c) })
+}
+
+// ForEachSlot is ForEach exposing each clause's slot index. Slots are
+// stable for the life of the set — tombstoned slots are skipped and a
+// revived grounding reuses its old slot — so they key per-clause state
+// across incremental solves (the PSL warm duals).
+func (cs *ClauseSet) ForEachSlot(fn func(int32, *Clause) bool) {
+	for at := range cs.clauses {
+		if cs.dead != nil && cs.dead[at] {
+			continue
+		}
+		if !fn(int32(at), &cs.clauses[at]) {
+			return
+		}
+	}
+}
+
+// Clauses returns the accumulated live clauses. The slice must not be
+// modified.
+func (cs *ClauseSet) Clauses() []Clause {
+	if cs.nDead == 0 {
+		return cs.clauses
+	}
+	out := make([]Clause, 0, len(cs.clauses)-cs.nDead)
+	for at := range cs.clauses {
+		if !cs.dead[at] {
+			out = append(out, cs.clauses[at])
+		}
+	}
+	return out
+}
+
+// Len returns the number of distinct live clauses.
+func (cs *ClauseSet) Len() int { return len(cs.clauses) - cs.nDead }
+
+// SupportScan visits the live inference clauses that mention atom a,
+// reporting each clause's head (its single positive literal) and body
+// (the negated literals). Constraint clauses — all-negative — are
+// skipped. Used by the incremental engine's delete/rederive pass, which
+// reads rule groundings as derivation records.
+func (cs *ClauseSet) SupportScan(a AtomID, fn func(head AtomID, c *Clause) bool) {
+	for _, at := range cs.byAtom[a] {
+		if cs.dead != nil && cs.dead[at] {
+			continue
+		}
+		c := &cs.clauses[at]
+		head, ok := clauseHead(c)
+		if !ok {
+			continue
+		}
+		if !fn(head, c) {
+			return
+		}
+	}
+}
+
+// clauseHead returns the single positive literal of an inference clause;
+// ok is false for all-negative (constraint) clauses.
+func clauseHead(c *Clause) (AtomID, bool) {
+	for _, l := range c.Lits {
+		if !l.Neg {
+			return l.Atom, true
+		}
+	}
+	return 0, false
+}

@@ -41,7 +41,9 @@ type Grounder struct {
 	Parallelism int
 }
 
-// New prepares a grounder over the given evidence store.
+// New prepares a grounder over the given evidence store. Live facts are
+// interned as evidence atoms in fact-id order; tombstoned facts are
+// skipped.
 func New(main *store.Store) *Grounder {
 	g := &Grounder{
 		main:      main,
@@ -50,13 +52,19 @@ func New(main *store.Store) *Grounder {
 		atoms:     NewAtomTable(),
 		MaxRounds: 32,
 	}
-	for i := 0; i < main.Len(); i++ {
+	for i := 0; i < main.IDBound(); i++ {
 		id := store.FactID(i)
+		if !main.Live(id) {
+			continue
+		}
 		q := main.Fact(id)
 		g.atoms.InternEvidence(q.Fact(), q.Confidence, id)
 	}
 	return g
 }
+
+// Store exposes the evidence store the grounder was built over.
+func (g *Grounder) Store() *store.Store { return g.main }
 
 // Atoms exposes the atom table.
 func (g *Grounder) Atoms() *AtomTable { return g.atoms }
@@ -78,13 +86,50 @@ type joinTask struct {
 	condAt     [][]logic.Condition
 	mainIDs    []store.FactID
 	derivedIDs []store.FactID
+	// seedQuads, when set, replaces the store scan as the depth-0
+	// candidate source — the seminaive delta passes seed the join
+	// directly from the (small) delta instead of the full indexes.
+	seedQuads []rdf.Quad
+	// mode restricts which atoms each body position may bind during the
+	// seminaive delta passes; nil for full grounding.
+	mode *deltaMode
+}
+
+// Restriction kinds of a seminaive pass, per body-atom position.
+const (
+	bindAny   int8 = iota // no restriction
+	bindDelta             // position must bind a delta atom
+	bindOld               // position must bind a non-delta atom
+)
+
+// deltaMode parameterises one seminaive join pass: the delta atom set
+// and the per-body-position restriction. Stratifying positions as
+// (old..., delta, any...) enumerates every grounding containing at least
+// one delta atom exactly once — by its first delta position — so clause
+// weights are never double-counted.
+type deltaMode struct {
+	set  map[AtomID]bool
+	kind []int8 // indexed by body-atom position
+}
+
+func (m *deltaMode) admits(bodyPos int, id AtomID) bool {
+	if m == nil {
+		return true
+	}
+	switch m.kind[bodyPos] {
+	case bindDelta:
+		return m.set[id]
+	case bindOld:
+		return !m.set[id]
+	}
+	return true
 }
 
 // joinTasks plans the task list for one parallel phase over the given
-// rules. It also refreshes the derived-store view — callers must not
-// mutate either store until the phase's merge completes.
+// rules. It also refreshes both store views — callers must not mutate
+// either store until the phase's merge completes.
 func (g *Grounder) joinTasks(rules []*logic.Rule, workers int) ([]joinTask, error) {
-	g.derivedView = g.derived.ReadView()
+	g.refreshViews()
 	chunksPer := 1
 	if workers > 1 && len(rules) < workers {
 		// Oversplit to roughly two tasks per worker so one heavy rule
@@ -260,6 +305,18 @@ func (g *Grounder) ground(rules []*logic.Rule, truth func(AtomID) bool, onlyViol
 	if err != nil {
 		return nil, err
 	}
+	cs := NewClauseSet()
+	if err := g.groundTasks(tasks, truth, onlyViolated, cs); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// groundTasks runs the enumerate/merge phases for a prepared task list,
+// merging emitted clauses into cs (which may already hold clauses from
+// earlier solves on the incremental path).
+func (g *Grounder) groundTasks(tasks []joinTask, truth func(AtomID) bool, onlyViolated bool, cs *ClauseSet) error {
+	workers := par.Workers(g.Parallelism)
 	// Enumerate phase: private shard per task, Lookup-only atom access.
 	shards := make([][]pendingClause, len(tasks))
 	errs := make([]error, len(tasks))
@@ -307,10 +364,9 @@ func (g *Grounder) ground(rules []*logic.Rule, truth func(AtomID) bool, onlyViol
 	// Merge phase: drain shards in task order, interning pending heads
 	// and deduplicating into the clause set exactly as sequential
 	// grounding would.
-	cs := NewClauseSet()
 	for i := range tasks {
 		if errs[i] != nil {
-			return nil, errs[i]
+			return errs[i]
 		}
 		r := tasks[i].rule
 		for _, pc := range shards[i] {
@@ -323,11 +379,18 @@ func (g *Grounder) ground(rules []*logic.Rule, truth func(AtomID) bool, onlyViol
 				c.Lits = append(c.Lits, Lit{Atom: id})
 			}
 			if !cs.Add(c) {
-				return nil, fmt.Errorf("ground: rule %s grounds to an unconditionally violated hard constraint", r.Name)
+				return fmt.Errorf("ground: rule %s grounds to an unconditionally violated hard constraint", r.Name)
 			}
 		}
 	}
-	return cs, nil
+	return nil
+}
+
+// refreshViews re-pins the grounder's store views at the current
+// epochs; a sequential point between mutation and the next join phase.
+func (g *Grounder) refreshViews() {
+	g.mainView = g.main.ReadView()
+	g.derivedView = g.derived.ReadView()
 }
 
 // runJoin enumerates all bindings of the task's rule body over its
@@ -343,16 +406,22 @@ func (g *Grounder) runJoin(t *joinTask, truth func(AtomID) bool, emit func(*logi
 	if err != nil {
 		return err
 	}
+	for i := range t.seedQuads {
+		if err := g.bindQuad(t, 0, atom, timeBound, &t.seedQuads[i],
+			binding, bodyAtoms, truth, emit); err != nil {
+			return err
+		}
+	}
 	for _, id := range t.mainIDs {
 		q := g.mainView.Fact(id)
-		if err := g.bindQuad(t.rule, t.order, t.condAt, 0, atom, timeBound, &q,
+		if err := g.bindQuad(t, 0, atom, timeBound, &q,
 			binding, bodyAtoms, truth, emit); err != nil {
 			return err
 		}
 	}
 	for _, id := range t.derivedIDs {
 		q := g.derivedView.Fact(id)
-		if err := g.bindQuad(t.rule, t.order, t.condAt, 0, atom, timeBound, &q,
+		if err := g.bindQuad(t, 0, atom, timeBound, &q,
 			binding, bodyAtoms, truth, emit); err != nil {
 			return err
 		}
@@ -363,14 +432,18 @@ func (g *Grounder) runJoin(t *joinTask, truth func(AtomID) bool, emit func(*logi
 // bindQuad extends the binding with quad q matched at depth, evaluates
 // the conditions that just became fully bound, recurses to the next join
 // level, and undoes exactly the variables this step bound.
-func (g *Grounder) bindQuad(r *logic.Rule, order []int, condAt [][]logic.Condition, depth int,
+func (g *Grounder) bindQuad(t *joinTask, depth int,
 	atom logic.QuadAtom, timeBound bool, q *rdf.Quad,
 	binding *logic.Binding, bodyAtoms []AtomID, truth func(AtomID) bool,
 	emit func(*logic.Binding, []AtomID) error) error {
 
+	r, order, condAt := t.rule, t.order, t.condAt
 	id, ok := g.atoms.Lookup(q.Fact())
 	if !ok {
 		return nil // fact added after setup; not part of the network
+	}
+	if !t.mode.admits(order[depth], id) {
+		return nil // outside this seminaive pass's stratum
 	}
 	if truth != nil && !truth(id) {
 		return nil
@@ -421,28 +494,28 @@ func (g *Grounder) bindQuad(r *logic.Rule, order []int, condAt [][]logic.Conditi
 		}
 	}
 	bodyAtoms[depth] = id
-	err := g.descend(r, order, condAt, depth+1, binding, bodyAtoms, truth, emit)
+	err := g.descend(t, depth+1, binding, bodyAtoms, truth, emit)
 	undo()
 	return err
 }
 
 // descend enumerates store matches for the body atom at depth (emitting
 // when every atom is bound), binding each matched quad in turn.
-func (g *Grounder) descend(r *logic.Rule, order []int, condAt [][]logic.Condition, depth int,
+func (g *Grounder) descend(t *joinTask, depth int,
 	binding *logic.Binding, bodyAtoms []AtomID, truth func(AtomID) bool,
 	emit func(*logic.Binding, []AtomID) error) error {
 
-	if depth == len(order) {
+	if depth == len(t.order) {
 		return emit(binding, bodyAtoms)
 	}
-	atom := r.Body[order[depth]]
+	atom := t.rule.Body[t.order[depth]]
 	pat, timeBound, err := g.patternFor(atom, binding)
 	if err != nil {
 		return err
 	}
 	var innerErr error
 	visit := func(_ store.FactID, q rdf.Quad) bool {
-		if err := g.bindQuad(r, order, condAt, depth, atom, timeBound, &q,
+		if err := g.bindQuad(t, depth, atom, timeBound, &q,
 			binding, bodyAtoms, truth, emit); err != nil {
 			innerErr = err
 			return false

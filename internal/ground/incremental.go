@@ -1,0 +1,470 @@
+package ground
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/par"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Incremental grounding: the grounder stays alive across solves and
+// consumes store deltas instead of re-grounding from scratch.
+//
+//   - ApplyUpdates interns evidence atoms for added facts and refreshes
+//     confidences of updated ones.
+//   - CloseDelta seminaively forward-chains only the rule passes that
+//     can touch the delta, deriving (or reviving) head atoms.
+//   - GroundDelta emits exactly the clause groundings that involve at
+//     least one delta atom, merging them into the persistent ClauseSet.
+//   - RetractFacts runs a delete/rederive pass over the clause set
+//     (inference clauses double as derivation records): atoms that lose
+//     every backing are retracted and their clauses tombstoned; atoms
+//     still derivable are demoted to derived.
+//
+// The maintained invariant, property-tested in the repository root: the
+// live atom set and live clause set always equal what a from-scratch
+// Close + GroundProgram over the current store state would produce, so
+// a canonically-ordered solve over the incremental state is
+// byte-identical to a fresh one.
+
+// ApplyUpdates brings the atom table up to date with facts added or
+// updated in the main store since the grounder last synced. It returns
+// the atoms that became newly live — the seed delta for CloseDelta and
+// GroundDelta. Updated facts only refresh confidences (priors are
+// rebuilt every solve) and add nothing to the delta; an added fact whose
+// statement was already live as a derived atom flips it to evidence
+// without re-grounding, since it was matchable all along.
+func (g *Grounder) ApplyUpdates(added, updated []store.FactID) []AtomID {
+	for _, fid := range updated {
+		q := g.main.Fact(fid)
+		if id, ok := g.atoms.Lookup(q.Fact()); ok {
+			g.atoms.SetEvidence(id, q.Confidence, fid)
+		}
+	}
+	var delta []AtomID
+	for _, fid := range added {
+		q := g.main.Fact(fid)
+		key := q.Fact()
+		id, ok := g.atoms.Lookup(key)
+		if !ok {
+			delta = append(delta, g.atoms.InternEvidence(key, q.Confidence, fid))
+			continue
+		}
+		info := g.atoms.Info(id)
+		if info.Retracted {
+			// The statement returns after a removal: newly live again.
+			g.atoms.SetEvidence(id, q.Confidence, fid)
+			delta = append(delta, id)
+			continue
+		}
+		if !info.Evidence {
+			// Live derived atom becomes evidence: the statement moves
+			// from the derived store to the main store; its groundings
+			// are unchanged.
+			g.derived.Remove(keyQuad(key))
+		}
+		g.atoms.SetEvidence(id, q.Confidence, fid)
+	}
+	return delta
+}
+
+// CloseDelta seminaively forward-chains the inference rules starting
+// from the delta atoms, interning every newly derivable head. It returns
+// the atoms that became live (fresh or revived), excluding the input
+// delta. Only rules whose body can match a delta atom's predicate run,
+// and each pass pins one body position to the delta, so work scales with
+// the delta rather than the knowledge graph.
+func (g *Grounder) CloseDelta(prog *logic.Program, delta []AtomID) ([]AtomID, error) {
+	rules := prog.InferenceRules()
+	if len(rules) == 0 || len(delta) == 0 {
+		return nil, nil
+	}
+	workers := par.Workers(g.Parallelism)
+	var allNew []AtomID
+	cur := append([]AtomID(nil), delta...)
+	for round := 0; len(cur) > 0; round++ {
+		if round >= g.MaxRounds {
+			return allNew, fmt.Errorf("ground: incremental forward chaining exceeded %d rounds; rule cascade may be unbounded", g.MaxRounds)
+		}
+		tasks, err := g.deltaJoinTasks(rules, cur)
+		if err != nil {
+			return allNew, err
+		}
+		newKeys := make([][]rdf.FactKey, len(tasks))
+		errs := make([]error, len(tasks))
+		par.Do(len(tasks), workers, func(i int) {
+			t := &tasks[i]
+			errs[i] = g.runJoin(t, nil, func(binding *logic.Binding, _ []AtomID) error {
+				key, ok := t.rule.Head.Atom.Resolve(binding)
+				if !ok {
+					return nil // empty time expression: no derivation
+				}
+				if id, seen := g.atoms.Lookup(key); !seen || g.atoms.Info(id).Retracted {
+					newKeys[i] = append(newKeys[i], key)
+				}
+				return nil
+			})
+		})
+		var next []AtomID
+		for i := range tasks {
+			if errs[i] != nil {
+				return allNew, errs[i]
+			}
+			for _, key := range newKeys[i] {
+				if id, seen := g.atoms.Lookup(key); seen {
+					if !g.atoms.Info(id).Retracted {
+						continue // already derived this round
+					}
+					g.atoms.SetDerived(id)
+					next = append(next, id)
+				} else {
+					next = append(next, g.atoms.Intern(key))
+				}
+				if _, err := g.derived.Add(keyQuad(key)); err != nil {
+					return allNew, fmt.Errorf("ground: derived fact %v: %w", key, err)
+				}
+			}
+		}
+		allNew = append(allNew, next...)
+		cur = next
+	}
+	return allNew, nil
+}
+
+// GroundDelta grounds the program restricted to groundings involving at
+// least one delta atom, merging the resulting clauses into cs. Call
+// CloseDelta first so every derivable head atom exists. The delta must
+// list the atoms that became live since cs was last complete: the
+// seminaive stratification emits each new grounding exactly once, and
+// groundings without delta atoms are already in cs.
+func (g *Grounder) GroundDelta(prog *logic.Program, cs *ClauseSet, delta []AtomID) error {
+	if len(delta) == 0 {
+		return nil
+	}
+	tasks, err := g.deltaJoinTasks(prog.Rules, delta)
+	if err != nil {
+		return err
+	}
+	return g.groundTasks(tasks, nil, false, cs)
+}
+
+// RetractFacts reconciles the grounder with facts tombstoned in the main
+// store: a delete/rederive pass over the persistent clause set (whose
+// inference clauses are exactly the rule derivations) decides which
+// atoms lost every backing. Those are retracted and their clauses
+// tombstoned; evidence atoms that remain derivable are demoted to
+// derived atoms instead.
+func (g *Grounder) RetractFacts(cs *ClauseSet, removed []store.FactID) error {
+	if len(removed) == 0 {
+		return nil
+	}
+	lost := make(map[AtomID]bool, len(removed))
+	lostList := make([]AtomID, 0, len(removed))
+	for _, fid := range removed {
+		q := g.main.Fact(fid)
+		id, ok := g.atoms.Lookup(q.Fact())
+		if !ok {
+			return fmt.Errorf("ground: removed fact %v was never interned", q.Fact())
+		}
+		lost[id] = true
+		lostList = append(lostList, id)
+	}
+
+	// Overdelete: an atom is tentatively dead when a removed or
+	// tentatively-dead atom appears in the body of one of its supports
+	// and no live evidence backs it. The closure overshoots; the
+	// rederive pass below rescues what independent derivations sustain.
+	tentative := make(map[AtomID]bool, len(lostList))
+	queue := append([]AtomID(nil), lostList...)
+	for _, a := range lostList {
+		tentative[a] = true
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		cs.SupportScan(b, func(head AtomID, c *Clause) bool {
+			if head == b || tentative[head] {
+				return true
+			}
+			if info := g.atoms.Info(head); info.Evidence && !lost[head] {
+				return true // evidence-backed: alive regardless of rules
+			}
+			tentative[head] = true
+			queue = append(queue, head)
+			return true
+		})
+	}
+
+	// Rederive: least fixpoint of "has a support whose body is alive".
+	// Cycles without external grounding stay dead, matching what a
+	// from-scratch Close would (not) derive.
+	rescued := make(map[AtomID]bool)
+	alive := func(b AtomID) bool {
+		if rescued[b] {
+			return true
+		}
+		return !tentative[b] && !g.atoms.Info(b).Retracted
+	}
+	for changed := true; changed; {
+		changed = false
+		for t := range tentative {
+			if rescued[t] {
+				continue
+			}
+			saved := false
+			cs.SupportScan(t, func(head AtomID, c *Clause) bool {
+				if head != t {
+					return true
+				}
+				for _, l := range c.Lits {
+					if l.Neg && !alive(l.Atom) {
+						return true // this derivation lost a premise
+					}
+				}
+				saved = true
+				return false
+			})
+			if saved {
+				rescued[t] = true
+				changed = true
+			}
+		}
+	}
+
+	deleted := make([]AtomID, 0, len(tentative))
+	for t := range tentative {
+		if !rescued[t] {
+			deleted = append(deleted, t)
+		}
+	}
+	sort.Slice(deleted, func(i, j int) bool { return deleted[i] < deleted[j] })
+	for _, a := range deleted {
+		info := g.atoms.Info(a)
+		if !info.Evidence {
+			g.derived.Remove(keyQuad(info.Key))
+		}
+		g.atoms.Retract(a)
+	}
+	cs.RemoveAtoms(deleted)
+	for _, a := range lostList {
+		if !rescued[a] {
+			continue
+		}
+		// The statement is still derivable: keep the atom as derived and
+		// make it matchable through the derived store, exactly where a
+		// from-scratch Close would put it.
+		g.atoms.SetDerived(a)
+		if _, err := g.derived.Add(keyQuad(g.atoms.Info(a).Key)); err != nil {
+			return fmt.Errorf("ground: demoting %v: %w", g.atoms.Info(a).Key, err)
+		}
+	}
+	return nil
+}
+
+// deltaJoinTasks plans the seminaive passes for one delta: for every
+// rule and every body position whose atom can match a delta statement,
+// one task joins with that position pinned to the delta, earlier
+// positions excluded from it, and later positions unrestricted. Depth-0
+// candidates are seeded directly from the delta atoms, so pass cost
+// scales with the delta.
+func (g *Grounder) deltaJoinTasks(rules []*logic.Rule, delta []AtomID) ([]joinTask, error) {
+	g.refreshViews()
+	ids := append([]AtomID(nil), delta...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	set := make(map[AtomID]bool, len(ids))
+	for _, a := range ids {
+		set[a] = true
+	}
+	var tasks []joinTask
+	for _, r := range rules {
+		for i := range r.Body {
+			var seeds []rdf.Quad
+			for _, a := range ids {
+				info := g.atoms.Info(a)
+				if bodyMatchesKey(r.Body[i], info.Key) {
+					seeds = append(seeds, keyQuad(info.Key))
+				}
+			}
+			if len(seeds) == 0 {
+				continue
+			}
+			order := planOrderFrom(r, i)
+			condAt, err := scheduleConds(r, order)
+			if err != nil {
+				return nil, err
+			}
+			kind := make([]int8, len(r.Body))
+			for j := range kind {
+				switch {
+				case j == i:
+					kind[j] = bindDelta
+				case j < i:
+					kind[j] = bindOld
+				default:
+					kind[j] = bindAny
+				}
+			}
+			tasks = append(tasks, joinTask{
+				rule: r, order: order, condAt: condAt,
+				seedQuads: seeds,
+				mode:      &deltaMode{set: set, kind: kind},
+			})
+		}
+	}
+	return tasks, nil
+}
+
+// bodyMatchesKey reports whether the body atom's constant positions are
+// compatible with the statement key (variable positions match anything;
+// repeated variables are re-checked by the join itself).
+func bodyMatchesKey(a logic.QuadAtom, k rdf.FactKey) bool {
+	if !a.S.IsVar() && a.S.Const != k.S {
+		return false
+	}
+	if !a.P.IsVar() && a.P.Const != k.P {
+		return false
+	}
+	if !a.O.IsVar() && a.O.Const != k.O {
+		return false
+	}
+	if a.T.Kind == logic.TimeConst && a.T.Const != k.Interval {
+		return false
+	}
+	return true
+}
+
+// planOrderFrom plans a join order that starts at body position first,
+// then proceeds greedily by boundness like planOrder.
+func planOrderFrom(r *logic.Rule, first int) []int {
+	n := len(r.Body)
+	used := make([]bool, n)
+	bound := make(map[string]bool)
+	order := make([]int, 0, n)
+	used[first] = true
+	order = append(order, first)
+	for _, v := range r.Body[first].Vars(nil) {
+		bound[v] = true
+	}
+	for len(order) < n {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if score := boundScore(r.Body[i], bound); score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range r.Body[best].Vars(nil) {
+			bound[v] = true
+		}
+	}
+	return order
+}
+
+func keyQuad(k rdf.FactKey) rdf.Quad {
+	return rdf.Quad{Subject: k.S, Predicate: k.P, Object: k.O, Interval: k.Interval, Confidence: 1}
+}
+
+// CanonicalAtoms returns the live atoms in canonical order: evidence
+// atoms by backing fact id, then derived atoms sorted by statement key.
+// Fact ids are stable in the store and derived keys are
+// interning-order-free, so a fresh grounder and a long-lived incremental
+// one produce the same sequence for the same store state — the basis for
+// byte-identical solver inputs.
+func CanonicalAtoms(t *AtomTable) []AtomID {
+	var ev, de []AtomID
+	for i := 0; i < t.Len(); i++ {
+		info := t.Info(AtomID(i))
+		if info.Retracted {
+			continue
+		}
+		if info.Evidence {
+			ev = append(ev, AtomID(i))
+		} else {
+			de = append(de, AtomID(i))
+		}
+	}
+	sort.Slice(ev, func(i, j int) bool { return t.Info(ev[i]).FactID < t.Info(ev[j]).FactID })
+	sort.Slice(de, func(i, j int) bool {
+		return t.Info(de[i]).Key.Compare(t.Info(de[j]).Key) < 0
+	})
+	return append(ev, de...)
+}
+
+// CanonicalVarMap inverts CanonicalAtoms into an AtomID-indexed slice of
+// canonical variable indexes (-1 for retracted atoms).
+func CanonicalVarMap(t *AtomTable, order []AtomID) []int32 {
+	varOf := make([]int32, t.Len())
+	for i := range varOf {
+		varOf[i] = -1
+	}
+	for v, a := range order {
+		varOf[a] = int32(v)
+	}
+	return varOf
+}
+
+// CanonicalClauses maps the live clauses of cs into canonical variable
+// space and sorts them into a deterministic order (literals within a
+// clause by variable, clauses lexicographically by literals then rule).
+// Two clause sets with equal live content yield identical output
+// regardless of insertion history. The returned slots give each
+// canonical clause's stable slot in cs, for keying warm-start state.
+func CanonicalClauses(cs *ClauseSet, varOf []int32) ([]Clause, []int32) {
+	out := make([]Clause, 0, cs.Len())
+	slots := make([]int32, 0, cs.Len())
+	cs.ForEachSlot(func(at int32, c *Clause) bool {
+		mc := Clause{Lits: make([]Lit, len(c.Lits)), Weight: c.Weight, Rule: c.Rule}
+		for i, l := range c.Lits {
+			mc.Lits[i] = Lit{Atom: AtomID(varOf[l.Atom]), Neg: l.Neg}
+		}
+		sort.Slice(mc.Lits, func(i, j int) bool {
+			if mc.Lits[i].Atom != mc.Lits[j].Atom {
+				return mc.Lits[i].Atom < mc.Lits[j].Atom
+			}
+			return !mc.Lits[i].Neg && mc.Lits[j].Neg
+		})
+		out = append(out, mc)
+		slots = append(slots, at)
+		return true
+	})
+	perm := make([]int, len(out))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool { return canonicalClauseLess(&out[perm[i]], &out[perm[j]]) })
+	sorted := make([]Clause, len(out))
+	sortedSlots := make([]int32, len(out))
+	for i, p := range perm {
+		sorted[i] = out[p]
+		sortedSlots[i] = slots[p]
+	}
+	return sorted, sortedSlots
+}
+
+func canonicalClauseLess(a, b *Clause) bool {
+	na, nb := len(a.Lits), len(b.Lits)
+	n := na
+	if nb < n {
+		n = nb
+	}
+	for i := 0; i < n; i++ {
+		la, lb := a.Lits[i], b.Lits[i]
+		if la.Atom != lb.Atom {
+			return la.Atom < lb.Atom
+		}
+		if la.Neg != lb.Neg {
+			return !la.Neg
+		}
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a.Rule < b.Rule
+}

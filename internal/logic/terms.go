@@ -41,7 +41,45 @@ func (t Term) String() string {
 	if t.IsVar() {
 		return t.Var
 	}
+	if t.Const.IsIRI() && !bareNameSafe(t.Const.Value) {
+		// The compact form would lex as a variable (x, t2) or not as a
+		// single identifier at all; the angle form is unambiguous.
+		return "<" + t.Const.Value + ">"
+	}
 	return t.Const.Compact()
+}
+
+// bareNameSafe reports whether an IRI can print bare in rule syntax and
+// re-parse as the same constant: it must be a plain identifier (letters,
+// digits, underscores — mirroring the rulelang lexer) and must not match
+// the variable lexical rule (a lowercase letter plus digits/primes).
+func bareNameSafe(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+		case r >= '0' && r <= '9' || r == '\'':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	// Variable shape: one lowercase letter, digits, then primes.
+	if s[0] >= 'a' && s[0] <= 'z' {
+		i := 1
+		for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		}
+		for ; i < len(s) && s[i] == '\''; i++ {
+		}
+		if i == len(s) {
+			return false
+		}
+	}
+	return true
 }
 
 // TimeTermKind discriminates time-position terms.

@@ -16,6 +16,12 @@ type exactState struct {
 	cost     float64   // violated soft weight so far
 	best     []bool
 	bestCost float64
+	// bound is a warm-start upper bound on the optimal cost (+Inf when
+	// cold). Pruning against it is strict (cost > bound), so subtrees
+	// containing optimal-cost leaves are never cut and the first optimal
+	// leaf in DFS order — the same one a cold search accepts — is still
+	// reached. The warm start only shrinks the search, never the answer.
+	bound    float64
 	feasible bool
 	nodes    int
 	limit    int
@@ -25,7 +31,7 @@ type exactState struct {
 
 // solveExact returns the optimal solution and true, or a partial result
 // and false when the node limit was exhausted.
-func solveExact(p *Problem, nodeLimit int) (*Solution, bool) {
+func solveExact(p *Problem, opts Options) (*Solution, bool) {
 	st := &exactState{
 		p:        p,
 		occ:      make([][]int32, p.NumVars),
@@ -33,8 +39,17 @@ func solveExact(p *Problem, nodeLimit int) (*Solution, bool) {
 		satCnt:   make([]int32, len(p.Clauses)),
 		unasCnt:  make([]int32, len(p.Clauses)),
 		bestCost: math.Inf(1),
-		limit:    nodeLimit,
+		bound:    math.Inf(1),
+		limit:    opts.NodeLimit,
 		bias:     make([]float64, p.NumVars),
+	}
+	if len(opts.Warm) == p.NumVars {
+		if hv, cost := Evaluate(p, opts.Warm); hv == 0 {
+			// Slack absorbs the rounding difference between Evaluate's
+			// straight sum and the search's incremental accounting; the
+			// bound stays a valid upper bound, so pruning remains exact.
+			st.bound = cost + 1e-9*(1+math.Abs(cost))
+		}
 	}
 	for i := range st.assign {
 		st.assign[i] = -1
@@ -189,12 +204,12 @@ func (st *exactState) search() bool {
 	if st.nodes > st.limit {
 		return false
 	}
-	if st.cost >= st.bestCost {
-		return true // prune: cannot improve
+	if st.cost >= st.bestCost || st.cost > st.bound {
+		return true // prune: cannot improve on the incumbent or the bound
 	}
 	trail, conflict := st.propagate()
 	complete := true
-	if !conflict && st.cost < st.bestCost {
+	if !conflict && st.cost < st.bestCost && st.cost <= st.bound {
 		v := st.pickVar()
 		if v < 0 {
 			// All assigned and feasible.

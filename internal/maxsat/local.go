@@ -74,6 +74,26 @@ func solveLocal(p *Problem, opts Options) *Solution {
 	restarts := opts.Restarts
 	workers := par.Workers(opts.Parallelism)
 
+	warm := opts.Warm
+	if len(warm) != p.NumVars {
+		warm = nil
+	}
+	// With a warm start the walk begins at (or next to) the previous
+	// incumbent, so one warm-initialised restart with a stall cutoff
+	// replaces the cold restart portfolio: a walk that has not improved
+	// its best feasible solution for a budget proportional to the
+	// instance size gives up early. Cold runs keep the full portfolio
+	// and budget — their trajectory is part of the deterministic
+	// contract.
+	stall := 0
+	if warm != nil {
+		restarts = 1
+		stall = 2 * p.NumVars
+		if stall < 5000 {
+			stall = 5000
+		}
+	}
+
 	type attempt struct {
 		best  *Solution // best feasible assignment found (nil if none)
 		last  []bool    // final working assignment, for the infeasible fallback
@@ -91,9 +111,13 @@ func solveLocal(p *Problem, opts Options) *Solution {
 			return
 		}
 		st := newLocalState(p, occ, restartSeed(opts.Seed, r))
-		st.initGreedy(r)
+		if r == 0 && warm != nil {
+			st.initWarm(warm)
+		} else {
+			st.initGreedy(r)
+		}
 		best := &Solution{Cost: math.Inf(1)}
-		flips := st.walk(opts.MaxFlips/restarts, opts.Noise, best)
+		flips := st.walk(opts.MaxFlips/restarts, opts.Noise, best, stall)
 		a := attempt{flips: flips}
 		if best.Assignment != nil {
 			a.best = best
@@ -159,6 +183,19 @@ func (st *localState) initGreedy(restart int) {
 	st.rebuild()
 	// Repair pass: greedily satisfy violated hard clauses by flipping the
 	// literal whose unit bias loss is smallest.
+	for guard := 0; len(st.violHard) > 0 && guard < 4*len(st.p.Clauses); guard++ {
+		ci := st.violHard[0]
+		st.flip(st.bestVarInClause(ci, 0))
+	}
+}
+
+// initWarm starts from a previous solution of a related instance (the
+// incremental path's incumbent), then repairs any hard clauses the
+// instance change broke. Near-unchanged instances start at or next to a
+// feasible optimum, so the walk converges in a fraction of the flips.
+func (st *localState) initWarm(warm []bool) {
+	copy(st.assign, warm)
+	st.rebuild()
 	for guard := 0; len(st.violHard) > 0 && guard < 4*len(st.p.Clauses); guard++ {
 		ci := st.violHard[0]
 		st.flip(st.bestVarInClause(ci, 0))
@@ -301,16 +338,24 @@ func (st *localState) bestVarInClause(ci int32, noise float64) int32 {
 	return bestVar
 }
 
-// walk runs the WalkSAT loop, updating best in place.
-func (st *localState) walk(maxFlips int, noise float64, best *Solution) int {
+// walk runs the WalkSAT loop, updating best in place. With stall > 0 it
+// exits once a feasible best has gone stall flips without improvement.
+func (st *localState) walk(maxFlips int, noise float64, best *Solution, stall int) int {
 	flips := 0
+	sinceImprove := 0
 	for ; flips < maxFlips; flips++ {
+		if stall > 0 && best.HardSatisfied {
+			if sinceImprove++; sinceImprove > stall {
+				return flips
+			}
+		}
 		if len(st.violHard) == 0 {
 			// Feasible: record if better.
 			if !best.HardSatisfied || st.cost < best.Cost {
 				best.HardSatisfied = true
 				best.Cost = st.cost
 				best.Assignment = append(best.Assignment[:0], st.assign...)
+				sinceImprove = 0
 			}
 			if len(st.violSoft) == 0 {
 				return flips // all clauses satisfied

@@ -110,6 +110,14 @@ type Options struct {
 	// (assignment, cost, feasibility) is identical at every setting;
 	// only the Flips counter may vary (see Solution.Flips).
 	Parallelism int
+	// Warm, when it has exactly NumVars entries, warm-starts the solver
+	// from a previous solution of a closely related instance. The exact
+	// engine uses it purely as an initial upper bound: pruning is strict,
+	// so the returned assignment is provably identical to a cold solve —
+	// only faster. The local-search engine initialises restart 0 from it
+	// instead of the greedy heuristic, which speeds convergence but may
+	// settle on a different (equally valid) assignment than a cold run.
+	Warm []bool
 }
 
 func (o Options) withDefaults(nvars int) Options {
@@ -172,7 +180,7 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 		return &Solution{HardSatisfied: true, Optimal: true}, nil
 	}
 	if p.NumVars <= opts.ExactVarLimit {
-		sol, complete := solveExact(p, opts.NodeLimit)
+		sol, complete := solveExact(p, opts)
 		if complete {
 			return sol, nil
 		}

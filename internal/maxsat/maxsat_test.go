@@ -213,7 +213,7 @@ func TestLocalMatchesExactProperty(t *testing.T) {
 			}
 			p.Clauses = append(p.Clauses, c)
 		}
-		exact, complete := solveExact(&p, 1<<20)
+		exact, complete := solveExact(&p, Options{NodeLimit: 1 << 20})
 		if !complete {
 			continue
 		}
@@ -248,7 +248,7 @@ func TestExactRespectsNodeLimit(t *testing.T) {
 		c.Weight = 1
 		p.Clauses = append(p.Clauses, c)
 	}
-	_, complete := solveExact(&p, 10)
+	_, complete := solveExact(&p, Options{NodeLimit: 10})
 	if complete {
 		t.Error("node limit 10 should not complete on 26 vars")
 	}
@@ -316,7 +316,7 @@ func BenchmarkExact20Vars(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, complete := solveExact(&p, 1<<21); !complete {
+		if _, complete := solveExact(&p, Options{NodeLimit: 1 << 21}); !complete {
 			b.Fatal("incomplete")
 		}
 	}

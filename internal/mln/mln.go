@@ -118,23 +118,128 @@ func MAP(g *ground.Grounder, prog *logic.Program, opts Options) (*Result, error)
 		return nil, fmt.Errorf("mln: %w", err)
 	}
 
-	base := evidenceClauses(g, opts)
-	res := &Result{}
-	var err error
 	if opts.CuttingPlane {
-		res, err = solveCPI(g, prog, base, opts)
-	} else {
-		res, err = solveFull(g, prog, base, opts)
+		res, err := solveCPI(g, prog, evidenceClauses(g, opts), opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Runtime = time.Since(start)
+		res.RuleViolations, err = countViolations(g, prog, res.Truth)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
+
+	cs, err := g.GroundProgram(prog)
+	if err != nil {
+		return nil, fmt.Errorf("mln: %w", err)
+	}
+	res, err := solveGround(g, cs, opts, nil)
 	if err != nil {
 		return nil, err
 	}
 	res.Runtime = time.Since(start)
-	res.RuleViolations, err = countViolations(g, prog, res.Truth)
+	res.RuleViolations = violationsFromClauses(cs, res.Truth)
+	return res, nil
+}
+
+// MAPGround computes the MAP state over an already-closed grounder and
+// its persistent clause set — the incremental path. Forward chaining and
+// grounding are the caller's responsibility (CloseDelta/GroundDelta);
+// warm, when non-nil, is the previous MAP state indexed by atom id and
+// is handed to the MaxSAT engine as a warm start. The problem is built
+// in canonical atom order, so the result is identical to a fresh
+// solveGround over an equal atom/clause state.
+func MAPGround(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm []bool) (*Result, error) {
+	opts = opts.withDefaults()
+	g.Parallelism = opts.Parallelism
+	if opts.MaxSAT.Parallelism == 0 {
+		opts.MaxSAT.Parallelism = opts.Parallelism
+	}
+	start := time.Now()
+	res, err := solveGround(g, cs, opts, warm)
 	if err != nil {
 		return nil, err
 	}
+	res.Runtime = time.Since(start)
+	res.RuleViolations = violationsFromClauses(cs, res.Truth)
 	return res, nil
+}
+
+// solveGround builds the weighted MaxSAT instance in canonical variable
+// order — live evidence atoms by fact id, derived atoms by statement key
+// — so that any two grounder states with equal live atoms and clauses
+// produce byte-identical problems, regardless of interning history. The
+// solution is mapped back to atom-id space (retracted atoms stay false).
+func solveGround(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm []bool) (*Result, error) {
+	atoms := g.Atoms()
+	order := ground.CanonicalAtoms(atoms)
+	varOf := ground.CanonicalVarMap(atoms, order)
+	problem := &maxsat.Problem{NumVars: len(order)}
+	for v, a := range order {
+		info := atoms.Info(a)
+		if info.Evidence {
+			w := Logit(info.Conf, opts.EvidenceClamp) + opts.KeepBias
+			switch {
+			case w > 0:
+				problem.Clauses = append(problem.Clauses, maxsat.Clause{Lits: []maxsat.Lit{{Var: int32(v)}}, Weight: w})
+			case w < 0:
+				problem.Clauses = append(problem.Clauses, maxsat.Clause{Lits: []maxsat.Lit{{Var: int32(v), Neg: true}}, Weight: -w})
+			}
+			continue
+		}
+		if opts.DerivedPrior > 0 {
+			problem.Clauses = append(problem.Clauses, maxsat.Clause{Lits: []maxsat.Lit{{Var: int32(v), Neg: true}}, Weight: opts.DerivedPrior})
+		}
+	}
+	nClauses := cs.Len()
+	canon, _ := ground.CanonicalClauses(cs, varOf)
+	for _, c := range canon {
+		problem.Clauses = append(problem.Clauses, toMaxsatClause(c))
+	}
+	mopts := opts.MaxSAT
+	if warm != nil {
+		w := make([]bool, len(order))
+		for v, a := range order {
+			if int(a) < len(warm) {
+				w[v] = warm[a]
+			}
+		}
+		mopts.Warm = w
+	}
+	sol, err := maxsat.Solve(problem, mopts)
+	if err != nil {
+		return nil, fmt.Errorf("mln: %w", err)
+	}
+	truth := make([]bool, atoms.Len())
+	for v, a := range order {
+		truth[a] = sol.Assignment[v]
+	}
+	return &Result{
+		Truth:         truth,
+		Cost:          sol.Cost,
+		HardSatisfied: sol.HardSatisfied,
+		Optimal:       sol.Optimal,
+		Rounds:        1,
+		GroundClauses: nClauses,
+	}, nil
+}
+
+// violationsFromClauses counts the violated groundings per rule straight
+// off the clause set: a grounding is violated exactly when all its
+// literals are false, the same condition GroundViolated re-derives by
+// re-joining. Reading it from the clause set is O(clauses) and works on
+// the incremental path's persistent set.
+func violationsFromClauses(cs *ground.ClauseSet, truth []bool) map[string]int {
+	out := make(map[string]int)
+	cs.ForEach(func(c *ground.Clause) bool {
+		if !c.Satisfied(func(a ground.AtomID) bool { return truth[a] }) {
+			out[c.Rule]++
+		}
+		return true
+	})
+	return out
 }
 
 // evidenceClauses builds the prior unit clauses: log-odds units for
@@ -167,29 +272,6 @@ func toMaxsatClause(c ground.Clause) maxsat.Clause {
 		mc.Lits[i] = maxsat.Lit{Var: int32(l.Atom), Neg: l.Neg}
 	}
 	return mc
-}
-
-func solveFull(g *ground.Grounder, prog *logic.Program, base []maxsat.Clause, opts Options) (*Result, error) {
-	cs, err := g.GroundProgram(prog)
-	if err != nil {
-		return nil, fmt.Errorf("mln: %w", err)
-	}
-	problem := &maxsat.Problem{NumVars: g.Atoms().Len(), Clauses: base}
-	for _, c := range cs.Clauses() {
-		problem.Clauses = append(problem.Clauses, toMaxsatClause(c))
-	}
-	sol, err := maxsat.Solve(problem, opts.MaxSAT)
-	if err != nil {
-		return nil, fmt.Errorf("mln: %w", err)
-	}
-	return &Result{
-		Truth:         sol.Assignment,
-		Cost:          sol.Cost,
-		HardSatisfied: sol.HardSatisfied,
-		Optimal:       sol.Optimal,
-		Rounds:        1,
-		GroundClauses: cs.Len(),
-	}, nil
 }
 
 func solveCPI(g *ground.Grounder, prog *logic.Program, base []maxsat.Clause, opts Options) (*Result, error) {

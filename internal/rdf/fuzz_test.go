@@ -1,0 +1,45 @@
+package rdf
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// FuzzParseGraphString hammers the TQuads parser: it must never panic,
+// and every graph it accepts must survive a write → re-parse round trip
+// with the same number of quads and valid contents.
+func FuzzParseGraphString(f *testing.F) {
+	if seed, err := os.ReadFile("../../testdata/running-example.tq"); err == nil {
+		f.Add(string(seed))
+	}
+	f.Add("CR coach Chelsea [2000,2004] 0.9")
+	f.Add(`<http://ex/s> <http://ex/p> "lit"^^<http://ex/dt> [1,2] 0.5 .`)
+	f.Add(`_:b <p> "v"@en [-5,5]`)
+	f.Add("# comment only\n\na b c [1,1]")
+	f.Add("a b c [2,1] 0.5")  // inverted interval: must error, not panic
+	f.Add("a b c [1,2] -0.5") // invalid confidence
+
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseGraphString(src)
+		if err != nil {
+			return
+		}
+		for i, q := range g {
+			if err := q.Validate(); err != nil {
+				t.Fatalf("accepted invalid quad %d (%v): %v", i, q, err)
+			}
+		}
+		var sb strings.Builder
+		if err := WriteGraph(&sb, g); err != nil {
+			t.Fatalf("writing accepted graph: %v", err)
+		}
+		g2, err := ParseGraphString(sb.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nserialised:\n%s", err, sb.String())
+		}
+		if len(g2) != len(g) {
+			t.Fatalf("round trip changed quad count %d -> %d", len(g), len(g2))
+		}
+	})
+}

@@ -76,6 +76,35 @@ func (k FactKey) String() string {
 	return "(" + k.S.Compact() + ", " + k.P.Compact() + ", " + k.O.Compact() + ", " + k.Interval.String() + ")"
 }
 
+// Compare orders fact keys lexicographically by subject, predicate,
+// object and interval. It is the canonical total order the incremental
+// solve pipeline uses to number variables identically regardless of the
+// order atoms were interned in.
+func (k FactKey) Compare(o FactKey) int {
+	if c := k.S.Compare(o.S); c != 0 {
+		return c
+	}
+	if c := k.P.Compare(o.P); c != 0 {
+		return c
+	}
+	if c := k.O.Compare(o.O); c != 0 {
+		return c
+	}
+	switch {
+	case k.Interval.Start != o.Interval.Start:
+		if k.Interval.Start < o.Interval.Start {
+			return -1
+		}
+		return 1
+	case k.Interval.End != o.Interval.End:
+		if k.Interval.End < o.Interval.End {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // Equal reports whether two quads are identical including confidence.
 func (q Quad) Equal(o Quad) bool { return q == o }
 

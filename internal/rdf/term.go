@@ -54,6 +54,34 @@ type Term struct {
 	Lang string
 }
 
+// Compare orders terms by kind, value, datatype and language tag,
+// giving a deterministic total order over distinct terms.
+func (t Term) Compare(o Term) int {
+	switch {
+	case t.Kind != o.Kind:
+		if t.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	case t.Value != o.Value:
+		if t.Value < o.Value {
+			return -1
+		}
+		return 1
+	case t.Datatype != o.Datatype:
+		if t.Datatype < o.Datatype {
+			return -1
+		}
+		return 1
+	case t.Lang != o.Lang:
+		if t.Lang < o.Lang {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // NewIRI returns an IRI term.
 func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
 

@@ -150,6 +150,11 @@ func (p *tqParser) term() (Term, error) {
 		if v, err := strconv.ParseInt(tok, 10, 64); err == nil {
 			return Integer(v), nil
 		}
+		if strings.ContainsAny(tok, `<>"`) {
+			// Angle brackets and quotes delimit the explicit term forms;
+			// a bare name containing them cannot be re-serialised.
+			return Term{}, fmt.Errorf("bare name %q contains reserved characters", tok)
+		}
 		return NewIRI(tok), nil
 	}
 }

@@ -25,13 +25,15 @@ type Options struct {
 	// below it (0 keeps everything).
 	Threshold float64
 	// ConfidenceRounds bounds the derived-confidence propagation
-	// iterations (default 8).
+	// iterations (default 64). Propagation normally reaches its fixpoint
+	// — which is unique and independent of clause iteration order — well
+	// within the bound; the bound only cuts off pathological cascades.
 	ConfidenceRounds int
 }
 
 func (o Options) withDefaults() Options {
 	if o.ConfidenceRounds == 0 {
-		o.ConfidenceRounds = 8
+		o.ConfidenceRounds = 64
 	}
 	return o
 }
@@ -147,6 +149,9 @@ func Resolve(out *translate.Output, prog *logic.Program, opts Options) (*Outcome
 	for i := 0; i < atoms.Len(); i++ {
 		id := ground.AtomID(i)
 		info := atoms.Info(id)
+		if info.Retracted {
+			continue // removed fact / no longer derivable: not part of this solve
+		}
 		if info.Evidence {
 			oc.Stats.TotalFacts++
 			q := rdf.Quad{Subject: info.Key.S, Predicate: info.Key.P, Object: info.Key.O,
@@ -223,10 +228,16 @@ func deriveConfidences(out *translate.Output, prog *logic.Program, opts Options)
 		return conf, nil
 	}
 
-	// MLN: propagate along inference clauses (¬b1 ∨ ... ∨ ¬bn ∨ h).
-	cs, err := out.Grounder.GroundProgram(prog)
-	if err != nil {
-		return nil, fmt.Errorf("repair: %w", err)
+	// MLN: propagate along inference clauses (¬b1 ∨ ... ∨ ¬bn ∨ h),
+	// read off the solve's clause set when available (the incremental
+	// path keeps it alive), otherwise re-grounded.
+	cs := out.Clauses
+	if cs == nil {
+		var err error
+		cs, err = out.Grounder.GroundProgram(prog)
+		if err != nil {
+			return nil, fmt.Errorf("repair: %w", err)
+		}
 	}
 	type support struct {
 		head ground.AtomID
@@ -234,7 +245,7 @@ func deriveConfidences(out *translate.Output, prog *logic.Program, opts Options)
 		att  float64 // σ(w)
 	}
 	var supports []support
-	for _, c := range cs.Clauses() {
+	cs.ForEach(func(c *ground.Clause) bool {
 		var head ground.AtomID = -1
 		var body []ground.AtomID
 		for _, l := range c.Lits {
@@ -248,14 +259,15 @@ func deriveConfidences(out *translate.Output, prog *logic.Program, opts Options)
 			}
 		}
 		if head < 0 || atoms.Info(head).Evidence || !out.Truth[head] {
-			continue
+			return true
 		}
 		att := 1.0
 		if !math.IsInf(c.Weight, 1) {
 			att = 1 / (1 + math.Exp(-c.Weight))
 		}
 		supports = append(supports, support{head: head, body: body, att: att})
-	}
+		return true
+	})
 	for round := 0; round < opts.ConfidenceRounds; round++ {
 		changed := false
 		for _, s := range supports {
@@ -290,14 +302,30 @@ func deriveConfidences(out *translate.Output, prog *logic.Program, opts Options)
 func conflictAnalysis(out *translate.Output, prog *logic.Program) ([][]rdf.FactKey, map[ground.AtomID][]Explanation, error) {
 	g := out.Grounder
 	atoms := g.Atoms()
-	// Ground constraints against "everything asserted" (evidence and
-	// derived atoms all true) to recover the full conflict structure, not
-	// just residual violations.
-	allTrue := func(ground.AtomID) bool { return true }
-	constraints := &logic.Program{Rules: prog.Constraints()}
-	cs, err := g.GroundViolated(constraints, allTrue)
-	if err != nil {
-		return nil, nil, fmt.Errorf("repair: %w", err)
+	// The full conflict structure is the set of constraint groundings
+	// over "everything asserted". When the solve's clause set is
+	// available those are exactly its all-negative clauses (constraint
+	// clauses carry no head literal); otherwise ground the constraints
+	// against an all-true assignment to recover them.
+	var constraintClauses []ground.Clause
+	if out.Clauses != nil {
+		out.Clauses.ForEach(func(c *ground.Clause) bool {
+			for _, l := range c.Lits {
+				if !l.Neg {
+					return true // inference clause
+				}
+			}
+			constraintClauses = append(constraintClauses, *c)
+			return true
+		})
+	} else {
+		allTrue := func(ground.AtomID) bool { return true }
+		constraints := &logic.Program{Rules: prog.Constraints()}
+		cs, err := g.GroundViolated(constraints, allTrue)
+		if err != nil {
+			return nil, nil, fmt.Errorf("repair: %w", err)
+		}
+		constraintClauses = cs.Clauses()
 	}
 	parent := make(map[ground.AtomID]ground.AtomID)
 	var find func(a ground.AtomID) ground.AtomID
@@ -322,7 +350,7 @@ func conflictAnalysis(out *translate.Output, prog *logic.Program) ([][]rdf.FactK
 		}
 	}
 	explanations := make(map[ground.AtomID][]Explanation)
-	for _, c := range cs.Clauses() {
+	for _, c := range constraintClauses {
 		var removed []ground.AtomID
 		for _, l := range c.Lits {
 			if !out.Truth[l.Atom] {
@@ -367,14 +395,23 @@ func conflictAnalysis(out *translate.Output, prog *logic.Program) ([][]rdf.FactK
 }
 
 // residualViolations counts rule groundings still violated in the final
-// state.
+// state, reading them off the solve's clause set when available.
 func residualViolations(out *translate.Output, prog *logic.Program) (map[string]int, error) {
 	truth := func(a ground.AtomID) bool { return out.Truth[a] }
+	counts := make(map[string]int)
+	if out.Clauses != nil {
+		out.Clauses.ForEach(func(c *ground.Clause) bool {
+			if !c.Satisfied(truth) {
+				counts[c.Rule]++
+			}
+			return true
+		})
+		return counts, nil
+	}
 	cs, err := out.Grounder.GroundViolated(prog, truth)
 	if err != nil {
 		return nil, fmt.Errorf("repair: %w", err)
 	}
-	counts := make(map[string]int)
 	for _, c := range cs.Clauses() {
 		counts[c.Rule]++
 	}

@@ -1,0 +1,39 @@
+package rulelang
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzParseRules hammers the rule-language parser: it must never panic,
+// and every program it accepts must validate, format back to text, and
+// re-parse to the same number of rules.
+func FuzzParseRules(f *testing.F) {
+	if seed, err := os.ReadFile("../../testdata/running-example.tcr"); err == nil {
+		f.Add(string(seed))
+	}
+	f.Add("f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w = 2.5")
+	f.Add("c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf")
+	f.Add("c3: quad(x, bornIn, y, t) ^ quad(x, bornIn, z, t') ^ overlap(t, t') -> y = z w = inf")
+	f.Add("quad(x, p, y, t) ^ duration(t) >= 4 -> false w = inf")
+	f.Add("quad(x, p, y, t) -> quad(x, q, y, intersect(t, t)) w = 1")
+	f.Add("# comment\nbad(")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("accepted invalid program: %v", err)
+		}
+		text := Format(prog)
+		prog2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted program does not re-parse: %v\ntext:\n%s", err, text)
+		}
+		if len(prog2.Rules) != len(prog.Rules) {
+			t.Fatalf("round trip changed rule count %d -> %d", len(prog.Rules), len(prog2.Rules))
+		}
+	})
+}

@@ -37,6 +37,8 @@ type Server struct {
 	// 1 = sequential). Per-request parallelism in /api/solve overrides
 	// it. Results are identical at every setting.
 	Parallelism int
+	// sessions holds the stateful incremental solving sessions (LRU).
+	sessions *sessionTable
 }
 
 type dataset struct {
@@ -49,9 +51,27 @@ type dataset struct {
 // New returns a server preloaded with the paper's running example and
 // small generated FootballDB/Wikidata samples.
 func New() *Server {
+	return NewWithConfig(Config{})
+}
+
+// Config tunes a Server.
+type Config struct {
+	// MaxSessions bounds the stateful session table (default
+	// DefaultMaxSessions); the least recently used session is evicted
+	// past it.
+	MaxSessions int
+	// Parallelism is the default solve parallelism (see
+	// Server.Parallelism).
+	Parallelism int
+}
+
+// NewWithConfig returns a configured server.
+func NewWithConfig(cfg Config) *Server {
 	s := &Server{
 		datasets:           make(map[string]*dataset),
 		MaxFactsInResponse: 200,
+		Parallelism:        cfg.Parallelism,
+		sessions:           newSessionTable(cfg.MaxSessions),
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -72,6 +92,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/validate", s.handleValidate)
 	s.mux.HandleFunc("POST /api/solve", s.handleSolve)
 	s.mux.HandleFunc("GET /api/suggest", s.handleSuggest)
+	s.mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /api/sessions/{id}", s.handleSessionInfo)
+	s.mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /api/sessions/{id}/facts", s.handleSessionFacts)
+	s.mux.HandleFunc("DELETE /api/sessions/{id}/facts", s.handleSessionFacts)
+	s.mux.HandleFunc("POST /api/sessions/{id}/solve", s.handleSessionSolve)
 }
 
 // SuggestedConstraint is one mined constraint in /api/suggest.
@@ -413,6 +439,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "solving: %v", err)
 		return
 	}
+	writeJSON(w, s.solveResponse(res))
+}
+
+// solveResponse renders a Resolution with the server's fact cap applied.
+func (s *Server) solveResponse(res *core.Resolution) SolveResponse {
 	resp := SolveResponse{Stats: res.Stats}
 	cap := s.MaxFactsInResponse
 	resp.Kept, resp.Truncated = factStrings(res.Kept, cap, resp.Truncated)
@@ -429,7 +460,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Clusters = append(resp.Clusters, keys)
 	}
-	writeJSON(w, resp)
+	return resp
 }
 
 func factStrings(fs []repair.Fact, max int, truncated bool) ([]string, bool) {

@@ -1,0 +1,325 @@
+package server
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/translate"
+)
+
+// Stateful sessions: the incremental counterpart of the one-shot
+// /api/solve endpoint. A session pins a core.Session — an epoch-versioned
+// store plus a cached grounding engine — server-side, so a client can
+// stream fact updates and re-solve, paying only for the delta:
+//
+//	POST   /api/sessions              {dataset?, rules?, tquads?} → {id}
+//	GET    /api/sessions/{id}         → session info
+//	POST   /api/sessions/{id}/facts   {tquads} → adds facts
+//	DELETE /api/sessions/{id}/facts   {tquads} → removes facts
+//	POST   /api/sessions/{id}/solve   {solver, threshold, parallelism,
+//	                                   coldStart} → SolveResponse
+//	DELETE /api/sessions/{id}         → drops the session
+//
+// Sessions live in a bounded LRU table; creating one past the capacity
+// evicts the least recently used.
+
+// DefaultMaxSessions bounds the LRU session table unless the Server
+// overrides it.
+const DefaultMaxSessions = 64
+
+// session is one server-held incremental solving session.
+type session struct {
+	id string
+	// mu serializes mutations and solves; core.Session is not safe for
+	// concurrent use.
+	mu   sync.Mutex
+	sess *core.Session
+	elem *list.Element // position in the LRU list
+}
+
+// sessionTable is a mutex-guarded LRU map of live sessions.
+type sessionTable struct {
+	mu   sync.Mutex
+	max  int
+	byID map[string]*session
+	lru  *list.List // front = most recently used; values are *session
+}
+
+func newSessionTable(max int) *sessionTable {
+	if max <= 0 {
+		max = DefaultMaxSessions
+	}
+	return &sessionTable{max: max, byID: make(map[string]*session), lru: list.New()}
+}
+
+// get returns the session and marks it most recently used.
+func (t *sessionTable) get(id string) (*session, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.byID[id]
+	if ok {
+		t.lru.MoveToFront(s.elem)
+	}
+	return s, ok
+}
+
+// put inserts a new session, evicting the least recently used past
+// capacity. It returns the evicted session's id, if any.
+func (t *sessionTable) put(s *session) (evicted string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.elem = t.lru.PushFront(s)
+	t.byID[s.id] = s
+	if t.lru.Len() > t.max {
+		oldest := t.lru.Back()
+		t.lru.Remove(oldest)
+		old := oldest.Value.(*session)
+		delete(t.byID, old.id)
+		evicted = old.id
+	}
+	return evicted
+}
+
+// drop removes the session, reporting whether it existed.
+func (t *sessionTable) drop(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	t.lru.Remove(s.elem)
+	delete(t.byID, id)
+	return true
+}
+
+func (t *sessionTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lru.Len()
+}
+
+func newSessionID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("server: session id entropy unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// CreateSessionRequest seeds a new incremental session. Dataset (a named
+// server dataset) and TQuads (inline text) are both optional fact
+// sources; Rules defaults to the dataset's program when a dataset is
+// given.
+type CreateSessionRequest struct {
+	Dataset string `json:"dataset,omitempty"`
+	TQuads  string `json:"tquads,omitempty"`
+	Rules   string `json:"rules,omitempty"`
+}
+
+// SessionInfo describes a session's current state.
+type SessionInfo struct {
+	ID    string `json:"id"`
+	Facts int    `json:"facts"`
+	Rules int    `json:"rules"`
+	Epoch uint64 `json:"epoch"`
+}
+
+func (s *Server) sessionInfo(ss *session) SessionInfo {
+	return SessionInfo{
+		ID:    ss.id,
+		Facts: ss.sess.Store().Len(),
+		Rules: len(ss.sess.Program().Rules),
+		Epoch: uint64(ss.sess.Store().Epoch()),
+	}
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	sess := core.NewSession()
+	rules := req.Rules
+	if req.Dataset != "" {
+		d, ok := s.dataset(req.Dataset)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+			return
+		}
+		if err := sess.LoadGraph(d.graph); err != nil {
+			httpError(w, http.StatusInternalServerError, "loading dataset: %v", err)
+			return
+		}
+		if strings.TrimSpace(rules) == "" {
+			rules = d.program
+		}
+	}
+	if req.TQuads != "" {
+		if err := sess.LoadGraphText(req.TQuads); err != nil {
+			httpError(w, http.StatusBadRequest, "parsing tquads: %v", err)
+			return
+		}
+	}
+	if strings.TrimSpace(rules) != "" {
+		if err := sess.LoadProgramText(rules); err != nil {
+			httpError(w, http.StatusBadRequest, "parsing rules: %v", err)
+			return
+		}
+	}
+	ss := &session{id: newSessionID(), sess: sess}
+	s.sessions.put(ss)
+	writeJSON(w, s.sessionInfo(ss))
+}
+
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	ss, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return nil, false
+	}
+	return ss, true
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	ss.mu.Lock()
+	info := s.sessionInfo(ss)
+	ss.mu.Unlock()
+	writeJSON(w, info)
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.drop(r.PathValue("id")) {
+		httpError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, map[string]bool{"deleted": true})
+}
+
+// FactsRequest carries TQuads text for fact addition or removal.
+type FactsRequest struct {
+	TQuads string `json:"tquads"`
+}
+
+// FactsResponse reports the effect of a facts update.
+type FactsResponse struct {
+	// Added and Removed count the facts that changed liveness; Updated
+	// counts existing facts whose confidence was raised.
+	Added   int    `json:"added,omitempty"`
+	Removed int    `json:"removed,omitempty"`
+	Updated int    `json:"updated,omitempty"`
+	Facts   int    `json:"facts"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+func (s *Server) handleSessionFacts(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req FactsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	g, err := rdf.ParseGraphString(req.TQuads)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parsing tquads: %v", err)
+		return
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	st := ss.sess.Store()
+	resp := FactsResponse{}
+	if r.Method == http.MethodDelete {
+		for _, q := range g {
+			if ss.sess.RemoveFact(q) {
+				resp.Removed++
+			}
+		}
+	} else {
+		before := st.Epoch()
+		if err := ss.sess.LoadGraph(g); err != nil {
+			httpError(w, http.StatusBadRequest, "adding facts: %v", err)
+			return
+		}
+		d := st.DeltaSince(before)
+		resp.Added = len(d.Added)
+		resp.Updated = len(d.Updated)
+	}
+	resp.Facts = st.Len()
+	resp.Epoch = uint64(st.Epoch())
+	writeJSON(w, resp)
+}
+
+// SessionSolveRequest tunes a session solve.
+type SessionSolveRequest struct {
+	Solver      string  `json:"solver"`
+	Threshold   float64 `json:"threshold,omitempty"`
+	Parallelism int     `json:"parallelism,omitempty"`
+	// ColdStart disables warm-starting from the previous solution.
+	ColdStart bool `json:"coldStart,omitempty"`
+}
+
+// SessionSolveResponse is a SolveResponse plus incremental-path info.
+type SessionSolveResponse struct {
+	SolveResponse
+	// Incremental reports whether the solve consumed only the delta.
+	Incremental bool   `json:"incremental"`
+	Epoch       uint64 `json:"epoch"`
+}
+
+func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req SessionSolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Solver == "" {
+		req.Solver = "mln"
+	}
+	solver, err := translate.ParseSolver(req.Solver)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	parallelism := req.Parallelism
+	if parallelism == 0 {
+		parallelism = s.Parallelism
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	res, err := ss.sess.Solve(core.SolveOptions{
+		Solver:      solver,
+		Threshold:   req.Threshold,
+		Parallelism: parallelism,
+		ColdStart:   req.ColdStart,
+	})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "solving: %v", err)
+		return
+	}
+	resp := SessionSolveResponse{
+		SolveResponse: s.solveResponse(res),
+		Incremental:   res.Incremental,
+		Epoch:         uint64(ss.sess.Store().Epoch()),
+	}
+	writeJSON(w, resp)
+}

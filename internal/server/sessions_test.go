@@ -1,0 +1,149 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func doJSON(t *testing.T, method, url string, body string, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+
+	var info SessionInfo
+	resp := postJSON(t, ts.URL+"/api/sessions", CreateSessionRequest{
+		TQuads: `
+CR coach Chelsea [2000,2004] 0.9
+CR coach Leicester [2015,2017] 0.7
+`,
+		Rules: "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
+	}, &info)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create session: status %d", resp.StatusCode)
+	}
+	if info.ID == "" || info.Facts != 2 {
+		t.Fatalf("create session: %+v", info)
+	}
+	base := ts.URL + "/api/sessions/" + info.ID
+
+	// First solve: full grounding, nothing conflicting.
+	var solve SessionSolveResponse
+	resp = postJSON(t, base+"/solve", SessionSolveRequest{Solver: "mln"}, &solve)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d", resp.StatusCode)
+	}
+	if solve.Incremental {
+		t.Fatal("first solve should not be incremental")
+	}
+	if solve.Stats.RemovedFacts != 0 {
+		t.Fatalf("expected no conflicts, got %+v", solve.Stats)
+	}
+
+	// Stream a conflicting fact, then re-solve incrementally.
+	var facts FactsResponse
+	resp = postJSON(t, base+"/facts", FactsRequest{TQuads: "CR coach Napoli [2001,2003] 0.6"}, &facts)
+	if resp.StatusCode != http.StatusOK || facts.Added != 1 {
+		t.Fatalf("add facts: status %d resp %+v", resp.StatusCode, facts)
+	}
+	resp = postJSON(t, base+"/solve", SessionSolveRequest{Solver: "mln"}, &solve)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-solve: status %d", resp.StatusCode)
+	}
+	if !solve.Incremental {
+		t.Fatal("second solve should take the delta path")
+	}
+	if solve.Stats.RemovedFacts != 1 {
+		t.Fatalf("expected the Napoli spell removed, got %+v", solve.Stats)
+	}
+
+	// Retract it again: conflict disappears.
+	resp = doJSON(t, http.MethodDelete, base+"/facts", `{"tquads":"CR coach Napoli [2001,2003] 0.6"}`, &facts)
+	if resp.StatusCode != http.StatusOK || facts.Removed != 1 {
+		t.Fatalf("remove facts: status %d resp %+v", resp.StatusCode, facts)
+	}
+	resp = postJSON(t, base+"/solve", SessionSolveRequest{Solver: "mln"}, &solve)
+	if resp.StatusCode != http.StatusOK || solve.Stats.RemovedFacts != 0 || !solve.Incremental {
+		t.Fatalf("post-retract solve: status %d resp %+v", resp.StatusCode, solve.Stats)
+	}
+
+	// Info and delete.
+	resp = getJSON(t, base, &info)
+	if resp.StatusCode != http.StatusOK || info.Facts != 2 {
+		t.Fatalf("info: status %d %+v", resp.StatusCode, info)
+	}
+	if resp := doJSON(t, http.MethodDelete, base, "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, base, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted session still reachable: status %d", resp.StatusCode)
+	}
+}
+
+func TestSessionFromDataset(t *testing.T) {
+	ts := newTestServer(t)
+	var info SessionInfo
+	resp := postJSON(t, ts.URL+"/api/sessions", CreateSessionRequest{Dataset: "running-example"}, &info)
+	if resp.StatusCode != http.StatusOK || info.Facts != 5 || info.Rules != 2 {
+		t.Fatalf("dataset session: status %d %+v", resp.StatusCode, info)
+	}
+	var solve SessionSolveResponse
+	resp = postJSON(t, ts.URL+"/api/sessions/"+info.ID+"/solve", SessionSolveRequest{Solver: "psl"}, &solve)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d", resp.StatusCode)
+	}
+	if solve.Stats.RemovedFacts != 1 {
+		t.Fatalf("expected 1 removed (Napoli), got %+v", solve.Stats)
+	}
+}
+
+func TestSessionLRUEviction(t *testing.T) {
+	srv := NewWithConfig(Config{MaxSessions: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	ids := make([]string, 3)
+	for i := range ids {
+		var info SessionInfo
+		resp := postJSON(t, ts.URL+"/api/sessions", CreateSessionRequest{
+			TQuads: fmt.Sprintf("S%d p O [2000,2001] 0.9", i),
+		}, &info)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("create %d: status %d", i, resp.StatusCode)
+		}
+		ids[i] = info.ID
+	}
+	if got := srv.sessions.len(); got != 2 {
+		t.Fatalf("table size = %d, want 2", got)
+	}
+	// The first (least recently used) session was evicted.
+	if resp := getJSON(t, ts.URL+"/api/sessions/"+ids[0], nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted session still reachable: status %d", resp.StatusCode)
+	}
+	for _, id := range ids[1:] {
+		if resp := getJSON(t, ts.URL+"/api/sessions/"+id, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("live session %s: status %d", id, resp.StatusCode)
+		}
+	}
+}

@@ -70,3 +70,8 @@ func (d *Dict) Decode(id TermID) rdf.Term {
 
 // Len returns the number of distinct terms interned.
 func (d *Dict) Len() int { return len(d.toT) - 1 }
+
+// terms returns the code-indexed term slice for snapshotting. The
+// header copy is safe to read without the store lock: entries are
+// immutable once published and growth relocates rather than mutates.
+func (d *Dict) terms() []rdf.Term { return d.toT }

@@ -1,0 +1,306 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/temporal"
+)
+
+func quad(s, p, o string, start, end int64, conf float64) rdf.Quad {
+	return rdf.NewQuad(s, p, o, temporal.MustNew(start, end), conf)
+}
+
+func TestEpochAdvancesPerMutation(t *testing.T) {
+	st := New()
+	if st.Epoch() != 0 {
+		t.Fatalf("empty store epoch = %d, want 0", st.Epoch())
+	}
+	id, err := st.Add(quad("a", "p", "b", 1, 2, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch() != 1 {
+		t.Fatalf("after add epoch = %d, want 1", st.Epoch())
+	}
+	// Duplicate add with lower confidence: no-op, no epoch.
+	if _, err := st.Add(quad("a", "p", "b", 1, 2, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch() != 1 {
+		t.Fatalf("no-op dup add advanced epoch to %d", st.Epoch())
+	}
+	// Higher confidence: update, epoch advances.
+	if _, err := st.Add(quad("a", "p", "b", 1, 2, 0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch() != 2 {
+		t.Fatalf("confidence raise epoch = %d, want 2", st.Epoch())
+	}
+	// Remove, then revive under the same id.
+	rid, ok := st.Remove(quad("a", "p", "b", 1, 2, 0))
+	if !ok || rid != id {
+		t.Fatalf("remove: id %d ok %v, want %d true", rid, ok, id)
+	}
+	if st.Len() != 0 || st.Live(id) {
+		t.Fatal("removed fact still live")
+	}
+	if _, ok := st.Remove(quad("a", "p", "b", 1, 2, 0)); ok {
+		t.Fatal("double remove succeeded")
+	}
+	rid2, err := st.Add(quad("a", "p", "b", 1, 2, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rid2 != id {
+		t.Fatalf("revival changed id: %d -> %d", id, rid2)
+	}
+	if st.Confidence(id) != 0.4 {
+		t.Fatalf("revival kept old confidence %g", st.Confidence(id))
+	}
+	if st.Len() != 1 || st.IDBound() != 1 {
+		t.Fatalf("Len=%d IDBound=%d after revival, want 1/1", st.Len(), st.IDBound())
+	}
+}
+
+func TestDeltaSinceBoundaryEpochs(t *testing.T) {
+	st := New()
+	q1 := quad("a", "p", "b", 1, 2, 0.5)
+	q2 := quad("c", "p", "d", 1, 2, 0.5)
+	q3 := quad("e", "p", "f", 1, 2, 0.5)
+	id1, _ := st.Add(q1) // epoch 1
+	e1 := st.Epoch()
+	st.Add(q2)    // epoch 2
+	st.Remove(q1) // epoch 3
+	st.Add(q3)    // epoch 4
+	eNow := st.Epoch()
+
+	// Delta from the current epoch is empty.
+	if d := st.DeltaSince(eNow); !d.Empty() {
+		t.Fatalf("DeltaSince(now) = %+v, want empty", d)
+	}
+	// A future epoch is empty too.
+	if d := st.DeltaSince(eNow + 10); !d.Empty() {
+		t.Fatalf("DeltaSince(future) = %+v, want empty", d)
+	}
+	// From epoch 0: q1 was never live at 0 and is dead now — absent.
+	d := st.DeltaSince(0)
+	if len(d.Added) != 2 || len(d.Removed) != 0 || len(d.Updated) != 0 {
+		t.Fatalf("DeltaSince(0) = %+v, want 2 adds", d)
+	}
+	// From e1 (right after q1's add): q1 shows as removed.
+	d = st.DeltaSince(e1)
+	if len(d.Added) != 2 || len(d.Removed) != 1 || d.Removed[0] != id1 {
+		t.Fatalf("DeltaSince(e1) = %+v", d)
+	}
+	// Remove + revive across the window nets to Updated.
+	st.Remove(q2)
+	st.Add(q2)
+	d = st.DeltaSince(eNow)
+	if len(d.Updated) != 1 || len(d.Added) != 0 || len(d.Removed) != 0 {
+		t.Fatalf("remove+revive delta = %+v, want 1 update", d)
+	}
+	// Add + remove inside the window nets to nothing.
+	eBefore := st.Epoch()
+	st.Add(quad("x", "p", "y", 1, 2, 0.5))
+	st.Remove(quad("x", "p", "y", 1, 2, 0.5))
+	if d := st.DeltaSince(eBefore); !d.Empty() {
+		t.Fatalf("add+remove delta = %+v, want empty", d)
+	}
+}
+
+func TestCompactLogKeepsDeltaCorrect(t *testing.T) {
+	st := New()
+	q1 := quad("a", "p", "b", 1, 2, 0.5)
+	q2 := quad("c", "p", "d", 1, 2, 0.5)
+	st.Add(q1)
+	e1 := st.Epoch()
+	st.Add(q2)
+	st.Remove(q1)
+	eNow := st.Epoch()
+
+	st.CompactLog(eNow)
+	// At or after the floor: the (empty) log answers.
+	if d := st.DeltaSince(eNow); !d.Empty() {
+		t.Fatalf("DeltaSince(now) after compaction = %+v", d)
+	}
+	// Below the floor: the full-scan fallback classifies by lifespan —
+	// q2 added, q1 removed, nothing live at both points.
+	d := st.DeltaSince(e1)
+	if len(d.Added) != 1 || len(d.Removed) != 1 || len(d.Updated) != 0 {
+		t.Fatalf("DeltaSince(e1) after compaction = %+v", d)
+	}
+	// New mutations land in the fresh log and answer precisely.
+	st.Add(quad("e", "p", "f", 1, 2, 0.5))
+	d = st.DeltaSince(eNow)
+	if len(d.Added) != 1 || len(d.Removed) != 0 || len(d.Updated) != 0 {
+		t.Fatalf("post-compaction delta = %+v", d)
+	}
+	// Facts live across the whole compacted window appear as
+	// conservative updates on the fallback path.
+	d = st.DeltaSince(e1 + 1) // q2 live at e1+1 and now; below the floor
+	if len(d.Updated) != 1 {
+		t.Fatalf("conservative update missing: %+v", d)
+	}
+}
+
+func TestViewPinsEpoch(t *testing.T) {
+	st := New()
+	st.Add(quad("a", "p", "b", 1, 2, 0.5))
+	st.Add(quad("a", "p", "c", 3, 4, 0.5))
+	v := st.ReadView()
+
+	// Mutations after the pin are invisible to the view.
+	st.Add(quad("a", "p", "d", 5, 6, 0.5))
+	st.Remove(quad("a", "p", "b", 1, 2, 0))
+	if v.Len() != 2 {
+		t.Fatalf("view Len = %d, want 2", v.Len())
+	}
+	ids := v.MatchIDs(Pattern{S: rdf.NewIRI("a")})
+	if len(ids) != 2 {
+		t.Fatalf("view sees %d facts, want 2", len(ids))
+	}
+	if !v.Contains(quad("a", "p", "b", 1, 2, 0)) {
+		t.Fatal("view lost the fact removed after pinning")
+	}
+	if v.Contains(quad("a", "p", "d", 5, 6, 0)) {
+		t.Fatal("view sees a fact added after pinning")
+	}
+	// The store itself sees current state.
+	if st.Len() != 2 || st.Contains(quad("a", "p", "b", 1, 2, 0)) {
+		t.Fatal("store state wrong after mutations")
+	}
+	// A fresh view sees the new state.
+	if got := st.ReadView().MatchIDs(Pattern{S: rdf.NewIRI("a")}); len(got) != 2 {
+		t.Fatalf("fresh view sees %d facts, want 2 (c and d)", len(got))
+	}
+}
+
+// TestConcurrentMatchDuringMutation drives readers over pinned views
+// while a writer adds and removes facts. Run under -race: the store must
+// stay memory-safe and each view must keep seeing exactly its pinned
+// state.
+func TestConcurrentMatchDuringMutation(t *testing.T) {
+	st := New()
+	const base = 200
+	for i := 0; i < base; i++ {
+		st.Add(quad(fmt.Sprintf("s%d", i%10), "p", fmt.Sprintf("o%d", i), int64(i), int64(i+5), 0.5))
+	}
+	v := st.ReadView()
+	wantLen := v.Len()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := 0
+				v.Match(Pattern{S: rdf.NewIRI(fmt.Sprintf("s%d", r))}, func(id FactID, q rdf.Quad) bool {
+					n++
+					return true
+				})
+				if n != base/10 {
+					t.Errorf("pinned view saw %d facts for subject, want %d", n, base/10)
+					return
+				}
+				if v.Len() != wantLen {
+					t.Errorf("pinned view Len changed: %d", v.Len())
+					return
+				}
+				// Fresh views race with the writer but must not crash or
+				// see torn state (count bounded by total adds).
+				ids := st.MatchIDs(Pattern{P: rdf.NewIRI("p")})
+				if len(ids) > base+100 {
+					t.Errorf("implausible match count %d", len(ids))
+					return
+				}
+			}
+		}(r)
+	}
+	// Writer: interleave adds, removes and revivals.
+	for i := 0; i < 100; i++ {
+		q := quad(fmt.Sprintf("s%d", i%10), "p", fmt.Sprintf("extra%d", i), int64(i), int64(i+3), 0.7)
+		if _, err := st.Add(q); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			st.Remove(q)
+		}
+		if i%7 == 0 {
+			st.Remove(quad(fmt.Sprintf("s%d", i%10), "p", fmt.Sprintf("o%d", i), int64(i), int64(i+5), 0))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTimeFilterEdgeIntervals(t *testing.T) {
+	st := New()
+	st.Add(quad("a", "p", "b", 10, 20, 0.5)) // the probe fact
+	cases := []struct {
+		name string
+		f    TimeFilter
+		want int
+	}{
+		{"any", TimeFilter{}, 1},
+		{"intersects-touching-start", TimeFilter{Kind: TimeIntersects, Interval: temporal.MustNew(5, 10)}, 1},
+		{"intersects-touching-end", TimeFilter{Kind: TimeIntersects, Interval: temporal.MustNew(20, 25)}, 1},
+		{"intersects-before", TimeFilter{Kind: TimeIntersects, Interval: temporal.MustNew(0, 9)}, 0},
+		{"intersects-after", TimeFilter{Kind: TimeIntersects, Interval: temporal.MustNew(21, 30)}, 0},
+		{"intersects-point-inside", TimeFilter{Kind: TimeIntersects, Interval: temporal.Point(15)}, 1},
+		{"during-exact", TimeFilter{Kind: TimeDuring, Interval: temporal.MustNew(10, 20)}, 1},
+		{"during-wider", TimeFilter{Kind: TimeDuring, Interval: temporal.MustNew(9, 21)}, 1},
+		{"during-short-left", TimeFilter{Kind: TimeDuring, Interval: temporal.MustNew(11, 21)}, 0},
+		{"during-short-right", TimeFilter{Kind: TimeDuring, Interval: temporal.MustNew(9, 19)}, 0},
+		{"equals-exact", TimeFilter{Kind: TimeEquals, Interval: temporal.MustNew(10, 20)}, 1},
+		{"equals-off-by-one", TimeFilter{Kind: TimeEquals, Interval: temporal.MustNew(10, 19)}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := st.Count(Pattern{Time: tc.f}); got != tc.want {
+				t.Errorf("Count = %d, want %d", got, tc.want)
+			}
+			// Predicate-bound patterns route through the interval index
+			// for TimeIntersects; results must agree with the scan.
+			if got := st.Count(Pattern{P: rdf.NewIRI("p"), Time: tc.f}); got != tc.want {
+				t.Errorf("indexed Count = %d, want %d", got, tc.want)
+			}
+		})
+	}
+	// Tombstoned facts match nothing.
+	st.Remove(quad("a", "p", "b", 10, 20, 0))
+	if got := st.Count(Pattern{}); got != 0 {
+		t.Errorf("Count after remove = %d, want 0", got)
+	}
+}
+
+func TestCountMatchesMatchIDs(t *testing.T) {
+	st := New()
+	for i := 0; i < 50; i++ {
+		st.Add(quad(fmt.Sprintf("s%d", i%5), "p", fmt.Sprintf("o%d", i%7), int64(i), int64(i+10), 0.5))
+	}
+	st.Remove(quad("s0", "p", "o0", 0, 10, 0))
+	pats := []Pattern{
+		{},
+		{S: rdf.NewIRI("s1")},
+		{P: rdf.NewIRI("p")},
+		{O: rdf.NewIRI("o3")},
+		{S: rdf.NewIRI("s2"), P: rdf.NewIRI("p")},
+		{P: rdf.NewIRI("p"), Time: TimeFilter{Kind: TimeIntersects, Interval: temporal.MustNew(20, 25)}},
+		{S: rdf.NewIRI("nope")},
+	}
+	for i, pat := range pats {
+		if got, want := st.Count(pat), len(st.MatchIDs(pat)); got != want {
+			t.Errorf("pattern %d: Count=%d MatchIDs=%d", i, got, want)
+		}
+	}
+}

@@ -68,15 +68,22 @@ func (st *Store) Timeline(s rdf.Term) []TimelineEntry {
 	return out
 }
 
-// Span returns the smallest interval covering every fact in the store;
-// ok is false for an empty store.
+// Span returns the smallest interval covering every live fact in the
+// store; ok is false when no live facts exist.
 func (st *Store) Span() (temporal.Interval, bool) {
-	if st.Len() == 0 {
-		return temporal.Interval{}, false
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var span temporal.Interval
+	found := false
+	for _, f := range st.facts {
+		if f.removedAt != 0 {
+			continue
+		}
+		if !found {
+			span, found = f.iv, true
+		} else {
+			span = span.Span(f.iv)
+		}
 	}
-	span := st.facts[0].iv
-	for _, f := range st.facts[1:] {
-		span = span.Span(f.iv)
-	}
-	return span, true
+	return span, found
 }

@@ -22,8 +22,12 @@ import (
 
 var snapshotMagic = [4]byte{'T', 'Q', 'S', '1'}
 
-// Save writes a binary snapshot of the store.
+// Save writes a binary snapshot of the store's live facts. Tombstones,
+// epochs and the change log are not persisted: a snapshot captures the
+// logical graph, and Load starts a fresh epoch history.
 func (st *Store) Save(w io.Writer) error {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
@@ -61,10 +65,13 @@ func (st *Store) Save(w io.Writer) error {
 			}
 		}
 	}
-	if err := writeUvarint(uint64(len(st.facts))); err != nil {
+	if err := writeUvarint(uint64(len(st.facts) - st.dead)); err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
 	for _, f := range st.facts {
+		if f.removedAt != 0 {
+			continue
+		}
 		if err := writeUvarint(uint64(f.s)); err != nil {
 			return fmt.Errorf("store: snapshot: %w", err)
 		}

@@ -35,23 +35,42 @@ type Stats struct {
 	MeanConfidence float64
 }
 
-// Stats computes summary statistics over the store.
+// Stats computes summary statistics over the live facts of the store.
 func (st *Store) Stats() Stats {
-	out := Stats{Facts: st.Len(), Terms: st.dict.Len()}
-	if st.Len() == 0 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	live := len(st.facts) - st.dead
+	out := Stats{Facts: live, Terms: st.dict.Len()}
+	if live == 0 {
 		return out
 	}
 	var confSum float64
-	span := st.facts[0].iv
+	first := true
+	var span temporal.Interval
 	for _, f := range st.facts {
+		if f.removedAt != 0 {
+			continue
+		}
 		confSum += f.conf
-		span = span.Span(f.iv)
+		if first {
+			span, first = f.iv, false
+		} else {
+			span = span.Span(f.iv)
+		}
 	}
 	out.Span = span
-	out.MeanConfidence = confSum / float64(st.Len())
+	out.MeanConfidence = confSum / float64(live)
 
-	for _, p := range st.PredicateIDs() {
-		ids := st.byP[p]
+	preds := make([]TermID, 0, len(st.byP))
+	for p := range st.byP {
+		preds = append(preds, p)
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+	for _, p := range preds {
+		ids := st.liveOnlyLocked(st.byP[p])
+		if len(ids) == 0 {
+			continue
+		}
 		ps := PredicateStat{Predicate: st.dict.Decode(p).Value, Count: len(ids)}
 		subjects := make(map[TermID]struct{})
 		var cs float64

@@ -1,3 +1,27 @@
+// Package store implements the storage substrate of TeCoRe: an in-memory,
+// dictionary-encoded temporal quad store with hash indexes on term
+// positions, a block-skip interval index for temporal range scans,
+// pattern-matching iterators used by the grounding engine, dataset
+// statistics, and a binary snapshot format for persistence.
+//
+// In the original system this role is played by a relational backend
+// (MySQL or H2) that the solvers query for evidence; the store offers the
+// same access paths — lookups by any combination of bound subject,
+// predicate and object plus a temporal filter — with index-backed
+// complexity.
+//
+// # Versioning model
+//
+// The store is epoch-versioned: every successful mutation (Add, Remove,
+// a confidence raise, a revival) advances a monotonic Epoch and appends
+// to a change log. Facts are never physically deleted — Remove tombstones
+// the fact, keeping its FactID stable — so DeltaSince(epoch) can report
+// the net adds, removes and updates between any past epoch and now; the
+// incremental solve pipeline consumes exactly that delta. Views pin the
+// epoch at creation and read a consistent snapshot while writers proceed:
+// all access paths are guarded by a reader/writer lock, and no lock is
+// held across user callbacks, so concurrent Match during Add/Remove is
+// safe (and race-detector clean).
 package store
 
 import (
@@ -10,27 +34,87 @@ import (
 )
 
 // FactID identifies a fact within a Store. IDs are dense, start at 0 and
-// are stable for the lifetime of the store (facts are never physically
-// deleted; conflict resolution works on copies of the assignment, not by
-// mutating evidence).
+// are stable for the lifetime of the store: facts are never physically
+// deleted, Remove tombstones them in place and a later re-Add revives
+// the same id.
 type FactID int32
 
-// fact is the dictionary-encoded representation of a quad.
-type fact struct {
-	s, p, o TermID
-	iv      temporal.Interval
-	conf    float64
+// Epoch is a monotonically increasing store version. Epoch 0 is the
+// empty store; every successful mutation advances it by one.
+type Epoch uint64
+
+// Op discriminates change-log entries.
+type Op uint8
+
+const (
+	// OpAdd records a fact becoming (or staying) live: a fresh insert, a
+	// revival of a tombstoned fact, or a confidence raise.
+	OpAdd Op = iota
+	// OpRemove records a fact being tombstoned.
+	OpRemove
+)
+
+// Change is one change-log entry.
+type Change struct {
+	Epoch Epoch
+	Op    Op
+	ID    FactID
 }
 
+// Delta is the net difference between a past epoch and the current
+// state, as reported by DeltaSince. Each id appears in at most one list;
+// ids are sorted ascending.
+type Delta struct {
+	// Added holds facts live now that were not live at the base epoch.
+	Added []FactID
+	// Removed holds facts live at the base epoch that are tombstoned now.
+	Removed []FactID
+	// Updated holds facts live at both points whose confidence changed
+	// in between (including remove-then-revive sequences). Queries below
+	// the compaction floor conservatively include every fact live at
+	// both points.
+	Updated []FactID
+}
+
+// Empty reports whether the delta carries no changes.
+func (d Delta) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.Updated) == 0
+}
+
+// fact is the dictionary-encoded representation of a quad plus its
+// lifespan. addedAt/removedAt bound the current live span; removedAt 0
+// means live. Prior spans of revived facts live in Store.history.
+type fact struct {
+	s, p, o   TermID
+	iv        temporal.Interval
+	conf      float64
+	addedAt   Epoch
+	removedAt Epoch
+}
+
+type lifespan struct{ addedAt, removedAt Epoch }
+
 // Store is an indexed, dictionary-encoded collection of uncertain
-// temporal facts. It is not safe for concurrent mutation; concurrent
-// readers are safe once loading is complete.
+// temporal facts. All methods are safe for concurrent use: readers take
+// a shared lock, mutators an exclusive one, and no lock is held across
+// user callbacks.
 type Store struct {
+	mu    sync.RWMutex
 	dict  *Dict
 	facts []fact
+	dead  int // tombstoned fact count
+	epoch Epoch
+	log   []Change
+	// compacted is the epoch the change log was truncated up to; delta
+	// queries below it use the full-scan path.
+	compacted Epoch
+	// history holds the prior live spans of revived facts (nil until the
+	// first revival), so liveAt stays answerable for any epoch.
+	history map[FactID][]lifespan
 
 	// Hash indexes from bound positions to fact ids. Pair keys pack two
-	// TermIDs into a uint64.
+	// TermIDs into a uint64. Index entries are append-only and include
+	// tombstoned facts; liveness is checked at visit time.
 	byS  map[TermID][]FactID
 	byP  map[TermID][]FactID
 	byO  map[TermID][]FactID
@@ -40,9 +124,9 @@ type Store struct {
 	// byFact detects duplicate temporal statements (same s,p,o,interval).
 	byFact map[factKey]FactID
 
-	// tidx caches per-predicate interval indexes; invalidated on Add.
-	// tidxMu guards it so the lazy build is safe under the concurrent
-	// readers a View admits.
+	// tidx caches per-predicate interval indexes; invalidated when a new
+	// fact of the predicate is added. tidxMu guards the lazy build; lock
+	// order is always mu before tidxMu.
 	tidxMu sync.Mutex
 	tidx   map[TermID]*intervalIndex
 }
@@ -68,14 +152,18 @@ func New() *Store {
 
 func pair(a, b TermID) uint64 { return uint64(a)<<32 | uint64(b) }
 
-// Add inserts a quad and returns its fact id. Re-adding an existing
-// temporal statement (same subject, predicate, object and interval) keeps
-// the higher confidence and returns the original id — the standard
-// deduplication rule when merging extraction runs.
+// Add inserts a quad and returns its fact id. Re-adding an existing live
+// temporal statement (same subject, predicate, object and interval)
+// keeps the higher confidence and returns the original id — the standard
+// deduplication rule when merging extraction runs. Re-adding a
+// tombstoned statement revives it under its original id with the new
+// confidence. Every effective mutation advances the epoch.
 func (st *Store) Add(q rdf.Quad) (FactID, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	f := fact{
 		s:    st.dict.Encode(q.Subject),
 		p:    st.dict.Encode(q.Predicate),
@@ -85,11 +173,30 @@ func (st *Store) Add(q rdf.Quad) (FactID, error) {
 	}
 	key := factKey{s: f.s, p: f.p, o: f.o, iv: f.iv}
 	if id, ok := st.byFact[key]; ok {
-		if q.Confidence > st.facts[id].conf {
-			st.facts[id].conf = q.Confidence
+		old := &st.facts[id]
+		if old.removedAt != 0 {
+			// Revive: the tombstoned assertion returns with the new
+			// confidence; the prior live span moves to the history.
+			if st.history == nil {
+				st.history = make(map[FactID][]lifespan)
+			}
+			st.history[id] = append(st.history[id], lifespan{old.addedAt, old.removedAt})
+			st.epoch++
+			old.addedAt, old.removedAt = st.epoch, 0
+			old.conf = q.Confidence
+			st.dead--
+			st.log = append(st.log, Change{Epoch: st.epoch, Op: OpAdd, ID: id})
+			return id, nil
+		}
+		if q.Confidence > old.conf {
+			old.conf = q.Confidence
+			st.epoch++
+			st.log = append(st.log, Change{Epoch: st.epoch, Op: OpAdd, ID: id})
 		}
 		return id, nil
 	}
+	st.epoch++
+	f.addedAt = st.epoch
 	id := FactID(len(st.facts))
 	st.facts = append(st.facts, f)
 	st.byFact[key] = id
@@ -98,11 +205,52 @@ func (st *Store) Add(q rdf.Quad) (FactID, error) {
 	st.byO[f.o] = append(st.byO[f.o], id)
 	st.bySP[pair(f.s, f.p)] = append(st.bySP[pair(f.s, f.p)], id)
 	st.byPO[pair(f.p, f.o)] = append(st.byPO[pair(f.p, f.o)], id)
+	st.log = append(st.log, Change{Epoch: st.epoch, Op: OpAdd, ID: id})
 	// Invalidate the temporal index for this predicate.
 	st.tidxMu.Lock()
 	delete(st.tidx, f.p)
 	st.tidxMu.Unlock()
 	return id, nil
+}
+
+// Remove tombstones the exact temporal statement (matched on subject,
+// predicate, object and interval; the confidence is ignored). It returns
+// the fact's id and whether a live fact was removed. The id stays valid:
+// indexes keep the entry and a later Add revives it.
+func (st *Store) Remove(q rdf.Quad) (FactID, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok1 := st.dict.Lookup(q.Subject)
+	p, ok2 := st.dict.Lookup(q.Predicate)
+	o, ok3 := st.dict.Lookup(q.Object)
+	if !ok1 || !ok2 || !ok3 {
+		return 0, false
+	}
+	id, ok := st.byFact[factKey{s: s, p: p, o: o, iv: q.Interval}]
+	if !ok || st.facts[id].removedAt != 0 {
+		return 0, false
+	}
+	st.tombstoneLocked(id)
+	return id, true
+}
+
+// RemoveID tombstones the fact with the given id, reporting whether it
+// was live.
+func (st *Store) RemoveID(id FactID) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if int(id) >= len(st.facts) || st.facts[id].removedAt != 0 {
+		return false
+	}
+	st.tombstoneLocked(id)
+	return true
+}
+
+func (st *Store) tombstoneLocked(id FactID) {
+	st.epoch++
+	st.facts[id].removedAt = st.epoch
+	st.dead++
+	st.log = append(st.log, Change{Epoch: st.epoch, Op: OpRemove, ID: id})
 }
 
 // AddGraph inserts every quad of the graph, reporting the first error.
@@ -115,15 +263,160 @@ func (st *Store) AddGraph(g rdf.Graph) error {
 	return nil
 }
 
-// Len returns the number of distinct facts.
-func (st *Store) Len() int { return len(st.facts) }
+// Epoch returns the current store version.
+func (st *Store) Epoch() Epoch {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.epoch
+}
+
+// DeltaSince reports the net change between epoch e and the current
+// state. A fact removed and re-added since e shows up as Updated; a fact
+// added and removed again shows up nowhere.
+//
+// For epochs at or after the compaction floor (see CompactLog) the
+// answer comes from the change log in O(changes); for older epochs it
+// falls back to a full scan over the fact table, which stays correct —
+// lifespans are never compacted — but conservatively reports every fact
+// live at both points as Updated.
+func (st *Store) DeltaSince(e Epoch) Delta {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var d Delta
+	if e >= st.epoch {
+		return d
+	}
+	if e < st.compacted {
+		// Full scan: every fact live at both points is conservatively
+		// reported as Updated (the log that would distinguish real
+		// confidence changes is gone).
+		for id := range st.facts {
+			classifyDelta(&d, st, FactID(id), e)
+		}
+		return d // fact-id order is already sorted
+	}
+	// Log epochs are strictly increasing; binary search the first entry
+	// after e.
+	i := sort.Search(len(st.log), func(i int) bool { return st.log[i].Epoch > e })
+	if i == len(st.log) {
+		return d
+	}
+	seen := make(map[FactID]struct{})
+	for _, ch := range st.log[i:] {
+		if _, ok := seen[ch.ID]; ok {
+			continue
+		}
+		seen[ch.ID] = struct{}{}
+		classifyDelta(&d, st, ch.ID, e)
+	}
+	sortIDs(d.Added)
+	sortIDs(d.Removed)
+	sortIDs(d.Updated)
+	return d
+}
+
+// classifyDelta appends fact id to the delta bucket its liveness
+// transition between epoch e and now selects.
+func classifyDelta(d *Delta, st *Store, id FactID, e Epoch) {
+	was := st.liveAtLocked(id, e)
+	is := st.facts[id].removedAt == 0
+	switch {
+	case !was && is:
+		d.Added = append(d.Added, id)
+	case was && !is:
+		d.Removed = append(d.Removed, id)
+	case was && is:
+		d.Updated = append(d.Updated, id)
+	}
+}
+
+// CompactLog drops change-log entries — and revive-history lifespans —
+// at or below epoch upTo, bounding the store's bookkeeping on
+// long-lived streaming sessions (a fact toggled N times otherwise keeps
+// N lifespans forever). DeltaSince queries from upTo onward remain
+// exact: the log still covers them, and pruned lifespans all ended
+// before upTo so they can never satisfy a liveAt check there. Queries
+// below upTo fall back to the full scan and become approximate — facts
+// whose only presence at the queried epoch was a pruned lifespan are
+// misclassified — so compact only past epochs no consumer will revisit.
+func (st *Store) CompactLog(upTo Epoch) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if upTo <= st.compacted {
+		return
+	}
+	i := sort.Search(len(st.log), func(i int) bool { return st.log[i].Epoch > upTo })
+	if i > 0 {
+		st.log = append(st.log[:0:0], st.log[i:]...)
+	}
+	for id, spans := range st.history {
+		kept := spans[:0]
+		for _, ls := range spans {
+			if ls.removedAt > upTo {
+				kept = append(kept, ls)
+			}
+		}
+		if len(kept) == 0 {
+			delete(st.history, id)
+		} else {
+			st.history[id] = kept
+		}
+	}
+	st.compacted = upTo
+}
+
+func sortIDs(ids []FactID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// liveAtLocked reports whether fact id was live at epoch e.
+func (st *Store) liveAtLocked(id FactID, e Epoch) bool {
+	f := &st.facts[id]
+	if f.addedAt <= e {
+		return f.removedAt == 0 || f.removedAt > e
+	}
+	for _, ls := range st.history[id] {
+		if ls.addedAt <= e && ls.removedAt > e {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of live facts.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.facts) - st.dead
+}
+
+// IDBound returns the exclusive upper bound of assigned fact ids,
+// including tombstoned facts. Iterate [0, IDBound) with Live to visit
+// the dense id space.
+func (st *Store) IDBound() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.facts)
+}
+
+// Live reports whether the fact id is currently live (not tombstoned).
+func (st *Store) Live(id FactID) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return int(id) < len(st.facts) && st.facts[id].removedAt == 0
+}
 
 // Dict exposes the term dictionary (read-only use by the grounder).
 func (st *Store) Dict() *Dict { return st.dict }
 
-// Fact decodes the quad with the given id.
+// Fact decodes the quad with the given id (live or tombstoned).
 func (st *Store) Fact(id FactID) rdf.Quad {
-	f := st.facts[id]
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.decodeLocked(st.facts[id])
+}
+
+func (st *Store) decodeLocked(f fact) rdf.Quad {
 	return rdf.Quad{
 		Subject:    st.dict.Decode(f.s),
 		Predicate:  st.dict.Decode(f.p),
@@ -134,34 +427,56 @@ func (st *Store) Fact(id FactID) rdf.Quad {
 }
 
 // Confidence returns the confidence of a fact without decoding terms.
-func (st *Store) Confidence(id FactID) float64 { return st.facts[id].conf }
+func (st *Store) Confidence(id FactID) float64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.facts[id].conf
+}
 
 // Interval returns the validity interval of a fact without decoding.
-func (st *Store) Interval(id FactID) temporal.Interval { return st.facts[id].iv }
+func (st *Store) Interval(id FactID) temporal.Interval {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.facts[id].iv
+}
 
 // EncodedTriple returns the dictionary codes of a fact's terms.
 func (st *Store) EncodedTriple(id FactID) (s, p, o TermID) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	f := st.facts[id]
 	return f.s, f.p, f.o
 }
 
-// Contains reports whether the exact temporal statement is present.
+// Contains reports whether the exact temporal statement is currently
+// live.
 func (st *Store) Contains(q rdf.Quad) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.containsAtLocked(q, st.epoch)
+}
+
+func (st *Store) containsAtLocked(q rdf.Quad, e Epoch) bool {
 	s, ok1 := st.dict.Lookup(q.Subject)
 	p, ok2 := st.dict.Lookup(q.Predicate)
 	o, ok3 := st.dict.Lookup(q.Object)
 	if !ok1 || !ok2 || !ok3 {
 		return false
 	}
-	_, ok := st.byFact[factKey{s: s, p: p, o: o, iv: q.Interval}]
-	return ok
+	id, ok := st.byFact[factKey{s: s, p: p, o: o, iv: q.Interval}]
+	return ok && st.liveAtLocked(id, e)
 }
 
-// Graph materialises the whole store as a Graph in fact-id order.
+// Graph materialises the live facts as a Graph in fact-id order.
 func (st *Store) Graph() rdf.Graph {
-	g := make(rdf.Graph, st.Len())
-	for i := range st.facts {
-		g[i] = st.Fact(FactID(i))
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	g := make(rdf.Graph, 0, len(st.facts)-st.dead)
+	for _, f := range st.facts {
+		if f.removedAt != 0 {
+			continue
+		}
+		g = append(g, st.decodeLocked(f))
 	}
 	return g
 }
@@ -213,70 +528,103 @@ type Pattern struct {
 	Time    TimeFilter
 }
 
-// Match invokes fn for each fact matching the pattern, in fact-id order
-// for a given index, until fn returns false. The quad passed to fn is
-// decoded on demand.
+// Match invokes fn for each live fact matching the pattern, in fact-id
+// order for a given index, until fn returns false. The quad passed to fn
+// is decoded on demand. Match pins the current epoch: mutations racing
+// with the iteration do not affect which facts are visited.
 func (st *Store) Match(pat Pattern, fn func(FactID, rdf.Quad) bool) {
-	ids, filter := st.candidates(pat)
-	for _, id := range ids {
+	st.ReadView().Match(pat, fn)
+}
+
+// MatchIDs returns the ids of all live facts matching the pattern.
+func (st *Store) MatchIDs(pat Pattern) []FactID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.matchIDsLocked(pat, st.epoch)
+}
+
+func (st *Store) matchIDsLocked(pat Pattern, e Epoch) []FactID {
+	var out []FactID
+	st.forCandidatesLocked(pat, e, func(id FactID, f fact) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of live facts matching the pattern. Unlike
+// MatchIDs it counts in the candidate scan without materialising an id
+// list.
+func (st *Store) Count(pat Pattern) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	n := 0
+	st.forCandidatesLocked(pat, st.epoch, func(FactID, fact) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// forCandidatesLocked drives fn over the facts matching pat that were
+// live at epoch e, using the most selective index. Callers must hold at
+// least a read lock; fn must not call back into the store.
+func (st *Store) forCandidatesLocked(pat Pattern, e Epoch, fn func(FactID, fact) bool) {
+	ids, filter, scanAll := st.candidates(pat)
+	visit := func(id FactID) bool {
 		f := st.facts[id]
+		if !st.liveAtLocked(id, e) {
+			return true
+		}
 		if filter != nil && !filter(f) {
-			continue
+			return true
 		}
 		if !pat.Time.admits(f.iv) {
-			continue
+			return true
 		}
-		if !fn(id, st.Fact(id)) {
+		return fn(id, f)
+	}
+	if scanAll {
+		for i := range st.facts {
+			if !visit(FactID(i)) {
+				return
+			}
+		}
+		return
+	}
+	for _, id := range ids {
+		if !visit(id) {
 			return
 		}
 	}
 }
 
-// MatchIDs returns the ids of all facts matching the pattern.
-func (st *Store) MatchIDs(pat Pattern) []FactID {
-	var out []FactID
-	ids, filter := st.candidates(pat)
-	for _, id := range ids {
-		f := st.facts[id]
-		if filter != nil && !filter(f) {
-			continue
-		}
-		if !pat.Time.admits(f.iv) {
-			continue
-		}
-		out = append(out, id)
-	}
-	return out
-}
-
-// Count returns the number of facts matching the pattern.
-func (st *Store) Count(pat Pattern) int { return len(st.MatchIDs(pat)) }
-
 // candidates picks the most selective index for the bound positions and
 // returns the candidate id list plus a residual filter for positions the
-// chosen index does not cover.
-func (st *Store) candidates(pat Pattern) ([]FactID, func(fact) bool) {
+// chosen index does not cover. scanAll signals the unindexed
+// full-store scan so callers can iterate without materialising ids.
+func (st *Store) candidates(pat Pattern) (ids []FactID, filter func(fact) bool, scanAll bool) {
 	var (
 		sID, pID, oID TermID
 		sOK, pOK, oOK = true, true, true
 	)
 	if !pat.S.IsZero() {
 		if sID, sOK = st.dict.Lookup(pat.S); !sOK {
-			return nil, nil
+			return nil, nil, false
 		}
 	} else {
 		sID = NoTerm
 	}
 	if !pat.P.IsZero() {
 		if pID, pOK = st.dict.Lookup(pat.P); !pOK {
-			return nil, nil
+			return nil, nil, false
 		}
 	} else {
 		pID = NoTerm
 	}
 	if !pat.O.IsZero() {
 		if oID, oOK = st.dict.Lookup(pat.O); !oOK {
-			return nil, nil
+			return nil, nil, false
 		}
 	} else {
 		oID = NoTerm
@@ -284,46 +632,78 @@ func (st *Store) candidates(pat Pattern) ([]FactID, func(fact) bool) {
 
 	switch {
 	case sID != NoTerm && pID != NoTerm && oID != NoTerm:
-		return st.bySP[pair(sID, pID)], func(f fact) bool { return f.o == oID }
+		return st.bySP[pair(sID, pID)], func(f fact) bool { return f.o == oID }, false
 	case sID != NoTerm && pID != NoTerm:
-		return st.bySP[pair(sID, pID)], nil
+		return st.bySP[pair(sID, pID)], nil, false
 	case pID != NoTerm && oID != NoTerm:
-		return st.byPO[pair(pID, oID)], nil
+		return st.byPO[pair(pID, oID)], nil, false
 	case sID != NoTerm && oID != NoTerm:
-		return st.byS[sID], func(f fact) bool { return f.o == oID }
+		return st.byS[sID], func(f fact) bool { return f.o == oID }, false
 	case sID != NoTerm:
-		return st.byS[sID], nil
+		return st.byS[sID], nil, false
 	case oID != NoTerm:
-		return st.byO[oID], nil
+		return st.byO[oID], nil, false
 	case pID != NoTerm:
 		// Predicate-only scans are the grounder's hot path; use the
 		// interval index when the pattern is temporal.
 		if pat.Time.Kind == TimeIntersects {
-			return st.intervalIndexFor(pID).overlapping(pat.Time.Interval), nil
+			return st.intervalIndexFor(pID).overlapping(pat.Time.Interval), nil, false
 		}
-		return st.byP[pID], nil
+		return st.byP[pID], nil, false
 	default:
-		all := make([]FactID, len(st.facts))
-		for i := range all {
-			all[i] = FactID(i)
-		}
-		return all, nil
+		return nil, nil, true
 	}
 }
 
-// PredicateIDs returns the distinct predicate codes in the store.
+// PredicateIDs returns the distinct predicate codes with at least one
+// live fact.
 func (st *Store) PredicateIDs() []TermID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := make([]TermID, 0, len(st.byP))
-	for p := range st.byP {
-		out = append(out, p)
+	for p, ids := range st.byP {
+		if st.dead == 0 {
+			out = append(out, p)
+			continue
+		}
+		for _, id := range ids {
+			if st.facts[id].removedAt == 0 {
+				out = append(out, p)
+				break
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// PredicateFacts returns the ids of all facts with the given predicate
-// code. The returned slice must not be modified.
-func (st *Store) PredicateFacts(p TermID) []FactID { return st.byP[p] }
+// PredicateFacts returns the ids of all live facts with the given
+// predicate code. The returned slice must not be modified.
+func (st *Store) PredicateFacts(p TermID) []FactID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.liveOnlyLocked(st.byP[p])
+}
 
-// SubjectFacts returns the ids of all facts with the given subject code.
-func (st *Store) SubjectFacts(s TermID) []FactID { return st.byS[s] }
+// SubjectFacts returns the ids of all live facts with the given subject
+// code. The returned slice must not be modified.
+func (st *Store) SubjectFacts(s TermID) []FactID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.liveOnlyLocked(st.byS[s])
+}
+
+// liveOnlyLocked filters tombstoned ids out of an index slice, returning
+// the slice unchanged when the store has no tombstones.
+func (st *Store) liveOnlyLocked(ids []FactID) []FactID {
+	if st.dead == 0 {
+		return ids
+	}
+	out := make([]FactID, 0, len(ids))
+	for _, id := range ids {
+		if st.facts[id].removedAt == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}

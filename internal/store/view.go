@@ -2,47 +2,107 @@ package store
 
 import "repro/internal/rdf"
 
-// View is an explicit read-only snapshot of a Store, safe for concurrent
-// use by any number of readers. A plain Store is almost read-safe once
-// loading completes, but Match lazily builds and caches per-predicate
-// interval indexes — a hidden write that would race under concurrent
-// grounding workers if it were unsynchronised; the cache is
-// mutex-guarded precisely so a View's access paths stay sound (and
-// indexes are still built only for the temporal queries that need them).
+// View is an epoch-pinned, read-only snapshot of a Store, safe for
+// concurrent use by any number of readers while writers proceed. A view
+// created at epoch e sees exactly the facts live at e: later adds,
+// removes and revivals are invisible, so a multi-call read sequence
+// (the grounder's join phases, a paginating UI) observes one consistent
+// state.
 //
-// A View aliases the store rather than copying it: it stays valid only
-// while the underlying store is not mutated. Callers that interleave
-// writes with concurrent reads (the grounder's forward-chaining rounds)
-// must take a fresh view after each write phase.
+// A View aliases the store rather than copying it. Reads acquire the
+// store's shared lock per call and never hold it across user callbacks,
+// so callbacks may re-enter the store freely. The one un-versioned
+// dimension is confidence: a confidence raise mutates the fact in place,
+// so Confidence/Fact report the value current at read time, not at pin
+// time — the pipeline treats confidence as monotone merge metadata, not
+// as part of the fact's identity.
 type View struct {
-	st *Store
+	st    *Store
+	epoch Epoch
+	terms []rdf.Term
+	n     int
 }
 
-// ReadView returns a read-only view over the store. The receiver remains
-// usable; the view is invalidated by any subsequent Add.
+// ReadView returns a read-only view pinned at the store's current epoch.
+// The receiver remains usable and mutable; the view keeps seeing the
+// pinned state.
 func (st *Store) ReadView() View {
-	return View{st: st}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return View{st: st, epoch: st.epoch, terms: st.dict.terms(), n: len(st.facts) - st.dead}
 }
 
 // Valid reports whether the view is backed by a store (the zero View is
 // not).
 func (v View) Valid() bool { return v.st != nil }
 
-// Len returns the number of distinct facts.
-func (v View) Len() int { return v.st.Len() }
+// Epoch returns the store epoch the view is pinned at.
+func (v View) Epoch() Epoch { return v.epoch }
 
-// Fact decodes the quad with the given id.
-func (v View) Fact(id FactID) rdf.Quad { return v.st.Fact(id) }
+// Len returns the number of facts live at the pinned epoch.
+func (v View) Len() int { return v.n }
+
+// Fact decodes the quad with the given id. The id must have been
+// assigned no later than the pinned epoch.
+func (v View) Fact(id FactID) rdf.Quad {
+	v.st.mu.RLock()
+	f := v.st.facts[id]
+	v.st.mu.RUnlock()
+	return v.decode(f)
+}
+
+// decode builds the quad from the view's term snapshot, avoiding the
+// store lock for the dictionary half of the work.
+func (v View) decode(f fact) rdf.Quad {
+	return rdf.Quad{
+		Subject:    v.terms[f.s],
+		Predicate:  v.terms[f.p],
+		Object:     v.terms[f.o],
+		Interval:   f.iv,
+		Confidence: f.conf,
+	}
+}
 
 // Confidence returns the confidence of a fact without decoding terms.
 func (v View) Confidence(id FactID) float64 { return v.st.Confidence(id) }
 
-// Match invokes fn for each fact matching the pattern, in fact-id order
-// for a given index, until fn returns false.
-func (v View) Match(pat Pattern, fn func(FactID, rdf.Quad) bool) { v.st.Match(pat, fn) }
+// Match invokes fn for each fact live at the pinned epoch matching the
+// pattern, in fact-id order for a given index, until fn returns false.
+// The matches are buffered under the read lock and the lock released
+// before fn runs — fn may freely re-enter the store (the grounder's
+// nested joins do) without risking a reader/writer deadlock; the
+// per-call buffer is the price of that guarantee.
+func (v View) Match(pat Pattern, fn func(FactID, rdf.Quad) bool) {
+	type matched struct {
+		id FactID
+		f  fact
+	}
+	var ms []matched
+	v.st.mu.RLock()
+	v.st.forCandidatesLocked(pat, v.epoch, func(id FactID, f fact) bool {
+		ms = append(ms, matched{id: id, f: f})
+		return true
+	})
+	v.st.mu.RUnlock()
+	for _, m := range ms {
+		if !fn(m.id, v.decode(m.f)) {
+			return
+		}
+	}
+}
 
-// MatchIDs returns the ids of all facts matching the pattern.
-func (v View) MatchIDs(pat Pattern) []FactID { return v.st.MatchIDs(pat) }
+// MatchIDs returns the ids of all facts live at the pinned epoch that
+// match the pattern.
+func (v View) MatchIDs(pat Pattern) []FactID {
+	v.st.mu.RLock()
+	defer v.st.mu.RUnlock()
+	return v.st.matchIDsLocked(pat, v.epoch)
+}
 
-// Contains reports whether the exact temporal statement is present.
-func (v View) Contains(q rdf.Quad) bool { return v.st.Contains(q) }
+// Contains reports whether the exact temporal statement was live at the
+// pinned epoch.
+func (v View) Contains(q rdf.Quad) bool {
+	v.st.mu.RLock()
+	defer v.st.mu.RUnlock()
+	return v.st.containsAtLocked(q, v.epoch)
+}

@@ -129,6 +129,11 @@ type Output struct {
 	Solver Solver
 	// Grounder exposes the atom table the truth vector indexes.
 	Grounder *ground.Grounder
+	// Clauses, when non-nil, is the full ground clause set of the solve.
+	// The repair layer reads rule groundings from it instead of
+	// re-joining the program; the incremental engine keeps it alive
+	// across solves. Nil on the cutting-plane and greedy paths.
+	Clauses *ground.ClauseSet
 	// Truth is the boolean MAP state per atom id.
 	Truth []bool
 	// SoftValues holds PSL's soft truth values (nil for MLN).
