@@ -353,6 +353,77 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 	}
 }
 
+// --- Component-decomposed solving: monolithic vs per-component ---
+// The clustered workload splits into one conflict component per cluster
+// (a few merged by bridges). components/cold solves them with
+// per-component engines in parallel; components/update additionally
+// reuses cached component solutions so a single-fact toggle re-solves
+// only the component it dirtied. cmd/tecore-bench records the same
+// comparison in BENCH_components.json across cluster counts.
+
+func BenchmarkComponentSolve(b *testing.B) {
+	ds := tecore.GenerateClustered(tecore.ClusteredConfig{
+		Clusters: 150, ClusterSize: 6, BridgeRate: 0.1, Seed: 11})
+	probe := tecore.NewQuad("player/00001", "playsFor", "club/00001/probe",
+		tecore.MustInterval(1991, 1993), 0.55)
+	b.Logf("dataset: %d facts in 150 clusters", len(ds.Graph))
+	newSession := func(b *testing.B) *tecore.Session {
+		s := tecore.NewSession()
+		if err := s.LoadGraph(ds.Graph); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.LoadProgramText(tecore.ClusteredProgram); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	for _, component := range []bool{false, true} {
+		mode := "monolithic"
+		if component {
+			mode = "components"
+		}
+		opts := tecore.SolveOptions{Solver: tecore.SolverMLN, ComponentSolve: component}
+		b.Run("cold/"+mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := newSession(b)
+				res, err := s.Solve(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if component {
+					b.ReportMetric(float64(res.Stats.Components.Count), "components")
+				}
+			}
+		})
+		b.Run("update/"+mode, func(b *testing.B) {
+			s := newSession(b)
+			if _, err := s.Solve(opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					if err := s.AddFact(probe); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					s.RemoveFact(probe)
+				}
+				res, err := s.Solve(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Incremental {
+					b.Fatal("update solve did not take the delta path")
+				}
+				if component {
+					b.ReportMetric(float64(res.Stats.Components.Reused), "reused")
+				}
+			}
+		})
+	}
+}
+
 // Guard: the MLN options type stays exported for advanced tuning.
 var _ = translate.Options{MLN: mln.Options{}}
 

@@ -5,11 +5,14 @@
 //	BENCH_incremental.json  single-fact update re-solve vs full re-solve
 //	                        (the incremental engine's raison d'être)
 //	BENCH_parallel.json     solve wall-clock across worker pool sizes
+//	BENCH_components.json   monolithic vs component-decomposed solving on
+//	                        the clustered benchmark, cold and incremental,
+//	                        scaling in cluster count
 //
 // Usage:
 //
-//	tecore-bench [-out dir] [-scenario incremental|parallel|all]
-//	             [-players N] [-reps R]
+//	tecore-bench [-out dir] [-scenario incremental|parallel|components|all]
+//	             [-players N] [-clusters N] [-reps R]
 //
 // Timings are medians of R runs on the local machine; absolute numbers
 // are substrate-dependent, ratios (speedup, scaling) are the tracked
@@ -31,13 +34,14 @@ import (
 
 func main() {
 	out := flag.String("out", ".", "directory to write BENCH_*.json into")
-	scenario := flag.String("scenario", "all", "incremental, parallel or all")
+	scenario := flag.String("scenario", "all", "incremental, parallel, components or all")
 	players := flag.Int("players", 2000, "FootballDB generator size for the incremental scenario")
+	clusters := flag.Int("clusters", 0, "single cluster count for the components scenario (0 = the 50/150/400 sweep)")
 	reps := flag.Int("reps", 3, "runs per measurement (median reported)")
 	flag.Parse()
 
 	switch *scenario {
-	case "incremental", "parallel", "all":
+	case "incremental", "parallel", "components", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "tecore-bench: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -51,6 +55,12 @@ func main() {
 	if *scenario == "parallel" || *scenario == "all" {
 		if err := runParallel(*out, *reps); err != nil {
 			fmt.Fprintf(os.Stderr, "tecore-bench: parallel: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *scenario == "components" || *scenario == "all" {
+		if err := runComponents(*out, *clusters, *reps); err != nil {
+			fmt.Fprintf(os.Stderr, "tecore-bench: components: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -166,6 +176,155 @@ func runIncremental(dir string, players, reps int) error {
 		})
 	}
 	return writeReport(dir, "BENCH_incremental.json", report)
+}
+
+// ComponentsScenario compares the monolithic and component-decomposed
+// paths at one cluster count, cold and incremental.
+type ComponentsScenario struct {
+	Clusters int `json:"clusters"`
+	Facts    int `json:"facts"`
+	// Components is the conflict-component count of the cold solve.
+	Components int `json:"components"`
+	// Cold: full from-scratch solve.
+	ColdMonolithicMS float64 `json:"cold_monolithic_ms"`
+	ColdComponentMS  float64 `json:"cold_component_ms"`
+	ColdSpeedup      float64 `json:"cold_speedup"`
+	// Incremental: single-fact toggle on a warm session. The monolithic
+	// number is PR 2's whole-graph delta path (re-ground the delta, warm
+	// re-solve of the whole network); the component number re-solves
+	// only the dirtied component and reuses the rest from cache.
+	IncrementalMonolithicMS float64 `json:"incremental_monolithic_ms"`
+	IncrementalComponentMS  float64 `json:"incremental_component_ms"`
+	IncrementalSpeedup      float64 `json:"incremental_speedup"`
+	// SolverMS isolates the inference stage (grounding sync + MAP solve,
+	// excluding the conflict-resolution read-out that both paths share):
+	// this is where re-solve work ∝ dirty components shows directly.
+	IncrementalMonolithicSolverMS float64 `json:"incremental_monolithic_solver_ms"`
+	IncrementalComponentSolverMS  float64 `json:"incremental_component_solver_ms"`
+	IncrementalSolverSpeedup      float64 `json:"incremental_solver_speedup"`
+	// ReusedComponents counts cache hits in an incremental component
+	// re-solve (re-solve work ∝ dirty components).
+	ReusedComponents int `json:"reused_components"`
+}
+
+// ComponentsReport is the BENCH_components.json schema.
+type ComponentsReport struct {
+	Benchmark  string               `json:"benchmark"`
+	Workload   string               `json:"workload"`
+	Solver     string               `json:"solver"`
+	GoMaxProcs int                  `json:"gomaxprocs"`
+	Scenarios  []ComponentsScenario `json:"scenarios"`
+}
+
+func runComponents(dir string, clusters, reps int) error {
+	sizes := []int{50, 150, 400}
+	if clusters > 0 {
+		sizes = []int{clusters}
+	}
+	report := ComponentsReport{
+		Benchmark:  "BenchmarkComponentSolve",
+		Workload:   "clustered (size 6, bridge rate 0.1)",
+		Solver:     tecore.SolverMLN.String(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, n := range sizes {
+		ds := tecore.GenerateClustered(tecore.ClusteredConfig{
+			Clusters: n, ClusterSize: 6, BridgeRate: 0.1, Seed: 11})
+		probe := tecore.NewQuad("player/00001", "playsFor", "club/00001/probe",
+			tecore.MustInterval(1991, 1993), 0.55)
+		newSession := func() (*tecore.Session, error) {
+			s := tecore.NewSession()
+			if err := s.LoadGraph(ds.Graph); err != nil {
+				return nil, err
+			}
+			if err := s.LoadProgramText(tecore.ClusteredProgram); err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+		opts := func(component bool) tecore.SolveOptions {
+			return tecore.SolveOptions{Solver: tecore.SolverMLN, ComponentSolve: component}
+		}
+
+		sc := ComponentsScenario{Clusters: n, Facts: len(ds.Graph)}
+		// Cold solves.
+		for _, component := range []bool{false, true} {
+			ms, err := medianMS(reps, func() error {
+				s, err := newSession()
+				if err != nil {
+					return err
+				}
+				res, err := s.Solve(opts(component))
+				if err != nil {
+					return err
+				}
+				if component {
+					sc.Components = res.Stats.Components.Count
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if component {
+				sc.ColdComponentMS = ms
+			} else {
+				sc.ColdMonolithicMS = ms
+			}
+		}
+		sc.ColdSpeedup = sc.ColdMonolithicMS / sc.ColdComponentMS
+
+		// Incremental single-fact toggles on a warm session.
+		for _, component := range []bool{false, true} {
+			s, err := newSession()
+			if err != nil {
+				return err
+			}
+			if _, err := s.Solve(opts(component)); err != nil {
+				return err
+			}
+			toggle := false
+			var solverMS []float64
+			ms, err := medianMS(reps*2, func() error {
+				toggle = !toggle
+				if toggle {
+					if err := s.AddFact(probe); err != nil {
+						return err
+					}
+				} else {
+					s.RemoveFact(probe)
+				}
+				res, err := s.Solve(opts(component))
+				if err != nil {
+					return err
+				}
+				if !res.Incremental {
+					return fmt.Errorf("update solve did not take the delta path")
+				}
+				solverMS = append(solverMS, float64(res.Output.Runtime.Microseconds())/1000)
+				if component {
+					sc.ReusedComponents = res.Stats.Components.Reused
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			sort.Float64s(solverMS)
+			solver := solverMS[len(solverMS)/2]
+			if component {
+				sc.IncrementalComponentMS = ms
+				sc.IncrementalComponentSolverMS = solver
+			} else {
+				sc.IncrementalMonolithicMS = ms
+				sc.IncrementalMonolithicSolverMS = solver
+			}
+		}
+		sc.IncrementalSpeedup = sc.IncrementalMonolithicMS / sc.IncrementalComponentMS
+		sc.IncrementalSolverSpeedup = sc.IncrementalMonolithicSolverMS / sc.IncrementalComponentSolverMS
+		report.Scenarios = append(report.Scenarios, sc)
+	}
+	return writeReport(dir, "BENCH_components.json", report)
 }
 
 // ParallelResult is one (solver, workers) wall-clock sample.

@@ -7,18 +7,24 @@
 //	tecore stats    -data g.tq
 //	tecore validate -rules r.tcr [-solver mln|psl]
 //	tecore infer    -data g.tq -rules r.tcr [-solver mln|psl]
-//	                [-threshold 0.3] [-cpi] [-parallel N] [-incremental]
+//	                [-threshold 0.3] [-cpi] [-parallel N] [-components]
+//	                [-component-exact N] [-v] [-incremental]
 //	                [-out consistent.tq] [-removed removed.tq]
 //
 // With -incremental, infer enters a REPL that accepts add/remove/solve
-// commands on stdin and re-solves incrementally after each update.
+// commands on stdin and re-solves incrementally after each update. With
+// -components the ground network is partitioned into independent
+// conflict components solved separately (and, in the REPL, cached per
+// component across re-solves); -v prints the component summary.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 
 	tecore "repro"
 )
@@ -56,10 +62,12 @@ func usage() {
   tecore validate -rules <rules file> [-solver mln|psl]
   tecore infer    -data <tquads file> -rules <rules file>
                   [-solver mln|psl] [-threshold t] [-cpi] [-parallel N]
+                  [-components] [-component-exact N] [-v]
                   [-incremental] [-out consistent.tq] [-removed removed.tq]
 
   infer -incremental reads add/remove/solve commands from stdin and
-  re-solves only the delta after each update.`)
+  re-solves only the delta after each update; with -components only the
+  conflict components the delta dirtied are re-solved.`)
 }
 
 func loadGraph(path string) (tecore.Graph, error) {
@@ -144,6 +152,9 @@ func runInfer(args []string) error {
 	threshold := fs.Float64("threshold", 0, "drop derived facts below this confidence")
 	cpi := fs.Bool("cpi", false, "cutting-plane inference (MLN)")
 	parallel := fs.Int("parallel", 0, "worker pool size for the solve pipeline (0 = all cores, 1 = sequential)")
+	components := fs.Bool("components", false, "solve independent conflict components separately (per-component engines, parallel, cached on -incremental)")
+	componentExact := fs.Int("component-exact", 0, "largest component handed to the exact MaxSAT engine with -components (0 = default 48)")
+	verbose := fs.Bool("v", false, "print the component summary (count, sizes, engines, cache hits)")
 	explain := fs.Bool("explain", false, "print each removed fact with the constraint grounding that removed it")
 	incremental := fs.Bool("incremental", false, "REPL mode: read add/remove/solve commands from stdin and re-solve incrementally")
 	outPath := fs.String("out", "", "write the consistent expanded KG here")
@@ -175,16 +186,20 @@ func runInfer(args []string) error {
 	}
 	if *incremental {
 		return runIncrementalREPL(s, tecore.SolveOptions{
-			Solver:      solver,
-			Threshold:   *threshold,
-			Parallelism: *parallel,
-		}, os.Stdin, os.Stdout)
+			Solver:              solver,
+			Threshold:           *threshold,
+			Parallelism:         *parallel,
+			ComponentSolve:      *components,
+			ComponentExactLimit: *componentExact,
+		}, *verbose, os.Stdin, os.Stdout)
 	}
 	res, err := s.Solve(tecore.SolveOptions{
-		Solver:       solver,
-		Threshold:    *threshold,
-		CuttingPlane: *cpi,
-		Parallelism:  *parallel,
+		Solver:              solver,
+		Threshold:           *threshold,
+		CuttingPlane:        *cpi,
+		Parallelism:         *parallel,
+		ComponentSolve:      *components,
+		ComponentExactLimit: *componentExact,
 	})
 	if err != nil {
 		return err
@@ -198,6 +213,9 @@ func runInfer(args []string) error {
 	fmt.Printf("inferred facts:    %d (threshold filtered %d)\n", st.InferredFacts, st.ThresholdFiltered)
 	fmt.Printf("conflict clusters: %d\n", st.ConflictClusters)
 	fmt.Printf("runtime:           %v\n", st.Runtime)
+	if *verbose && st.Components != nil {
+		printComponentSummary(os.Stdout, st.Components)
+	}
 	if len(st.RuleViolations) > 0 {
 		fmt.Println("residual violations:")
 		names := make([]string, 0, len(st.RuleViolations))
@@ -235,6 +253,34 @@ func runInfer(args []string) error {
 		}
 	}
 	return nil
+}
+
+// printComponentSummary renders the component-decomposed solve
+// statistics: component count and sizes, the engine each component ran
+// on, and the solved/reused (cache hit) split of incremental re-solves.
+func printComponentSummary(w io.Writer, cs *tecore.ComponentStats) {
+	fmt.Fprintf(w, "components:        %d (largest %d atoms; %d solved, %d reused",
+		cs.Count, cs.Largest, cs.Solved, cs.Reused)
+	if cs.Fallbacks > 0 {
+		fmt.Fprintf(w, ", %d exact→local fallbacks", cs.Fallbacks)
+	}
+	fmt.Fprintln(w, ")")
+	fmt.Fprintf(w, "  sizes:  %s\n", formatTallies(cs.SizeHistogram))
+	fmt.Fprintf(w, "  engines: %s\n", formatTallies(cs.Engines))
+}
+
+// formatTallies renders a tally map as "k=v, k=v" in sorted key order.
+func formatTallies(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return strings.Join(parts, ", ")
 }
 
 func writeGraphFile(path string, g tecore.Graph) error {

@@ -21,7 +21,11 @@ import (
 //	solve             re-solve and print statistics
 //	stats             print store statistics without solving
 //	quit              exit (EOF works too)
-func runIncrementalREPL(s *tecore.Session, opts tecore.SolveOptions, in io.Reader, out io.Writer) error {
+//
+// With verbose set (tecore infer -v), each solve also prints the
+// component summary — count, largest, engine tallies and the cache-hit
+// split that shows how much of the graph the re-solve skipped.
+func runIncrementalREPL(s *tecore.Session, opts tecore.SolveOptions, verbose bool, in io.Reader, out io.Writer) error {
 	fmt.Fprintf(out, "tecore incremental session: %d facts loaded; commands: add/remove/solve/stats/quit\n",
 		s.Store().Len())
 	sc := bufio.NewScanner(in)
@@ -71,6 +75,13 @@ func runIncrementalREPL(s *tecore.Session, opts tecore.SolveOptions, in io.Reade
 			fmt.Fprintf(out, "solved (%s, %s): kept %d / removed %d / inferred %d, %d conflict cluster(s), %v\n",
 				mode, st.Solver, st.KeptFacts, st.RemovedFacts, st.InferredFacts,
 				st.ConflictClusters, st.Runtime)
+			if st.Components != nil {
+				fmt.Fprintf(out, "components: %d (%d solved, %d reused from cache)\n",
+					st.Components.Count, st.Components.Solved, st.Components.Reused)
+				if verbose {
+					printComponentSummary(out, st.Components)
+				}
+			}
 		case "stats":
 			fmt.Fprintf(out, "facts: %d live (epoch %d), rules: %d\n",
 				s.Store().Len(), s.Store().Epoch(), len(s.Program().Rules))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ bogus
 quit
 `)
 	var out strings.Builder
-	err := runIncrementalREPL(s, tecore.SolveOptions{Solver: tecore.SolverMLN}, in, &out)
+	err := runIncrementalREPL(s, tecore.SolveOptions{Solver: tecore.SolverMLN}, false, in, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,5 +45,45 @@ quit
 		if !strings.Contains(got, want) {
 			t.Errorf("REPL output missing %q\noutput:\n%s", want, got)
 		}
+	}
+}
+
+// TestIncrementalREPLComponents drives the REPL with -components -v:
+// every solve prints the component summary, and the re-solve after a
+// mutation reports cache reuse for the untouched components.
+func TestIncrementalREPLComponents(t *testing.T) {
+	s := tecore.NewSession()
+	if err := s.LoadGraphText(figure1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadProgramText(program); err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(`
+solve
+remove CR coach Napoli [2001,2003] 0.6
+solve
+quit
+`)
+	var out strings.Builder
+	err := runIncrementalREPL(s,
+		tecore.SolveOptions{Solver: tecore.SolverMLN, ComponentSolve: true}, true, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"components:",
+		"reused from cache",
+		"engines:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q\noutput:\n%s", want, got)
+		}
+	}
+	// The incremental re-solve must reuse at least one cached component
+	// (the components the removal did not touch).
+	if !regexp.MustCompile(`\(\d+ solved, [1-9]\d* reused from cache\)`).MatchString(got) {
+		t.Errorf("re-solve reported no cache reuse\noutput:\n%s", got)
 	}
 }

@@ -30,6 +30,10 @@ func canonResolution(r *tecore.Resolution, confDigits int) string {
 	st := r.Stats
 	st.Runtime = 0
 	st.Solver = ""
+	// Component statistics legitimately differ between the monolithic
+	// and component-decomposed paths (and between cold and cached
+	// component solves); the MAP state they describe must not.
+	st.Components = nil
 	fmt.Fprintf(&b, "stats: %+v\n", st)
 	section := func(label string, fs []tecore.Fact) {
 		lines := make([]string, 0, len(fs))
@@ -134,6 +138,17 @@ func runIncrementalVsFreshAt(t *testing.T, pool []tecore.Quad, opts tecore.Solve
 
 func runIncrementalVsFreshProgram(t *testing.T, program string, pool []tecore.Quad, opts tecore.SolveOptions, seed int64, nSteps int, confDigits int) {
 	t.Helper()
+	runTwoWaysProgram(t, program, pool, opts, opts, seed, nSteps, confDigits)
+}
+
+// runTwoWaysProgram drives nSteps random mutations against a long-lived
+// incremental session solved with incOpts and, at every step, a fresh
+// from-scratch session over the same live graph solved with freshOpts,
+// failing on the first divergence. With incOpts == freshOpts this is
+// the incremental-vs-fresh contract; with incOpts component-decomposed
+// and freshOpts monolithic it is the component-equivalence contract.
+func runTwoWaysProgram(t *testing.T, program string, pool []tecore.Quad, incOpts, freshOpts tecore.SolveOptions, seed int64, nSteps int, confDigits int) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	inc := tecore.NewSession()
 	if err := inc.LoadProgramText(program); err != nil {
@@ -176,7 +191,7 @@ func runIncrementalVsFreshProgram(t *testing.T, program string, pool []tecore.Qu
 			}
 		}
 
-		incRes, err := inc.Solve(opts)
+		incRes, err := inc.Solve(incOpts)
 		if err != nil {
 			t.Fatalf("step %d: incremental solve: %v", step, err)
 		}
@@ -191,7 +206,7 @@ func runIncrementalVsFreshProgram(t *testing.T, program string, pool []tecore.Qu
 		if err := fresh.LoadProgramText(program); err != nil {
 			t.Fatal(err)
 		}
-		freshRes, err := fresh.Solve(opts)
+		freshRes, err := fresh.Solve(freshOpts)
 		if err != nil {
 			t.Fatalf("step %d: fresh solve: %v", step, err)
 		}

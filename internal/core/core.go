@@ -118,13 +118,30 @@ type SolveOptions struct {
 	// local-search restarts, ADMM sweeps): 0 uses GOMAXPROCS, 1 forces
 	// the sequential path. Results are identical at every setting.
 	Parallelism int
+	// ComponentSolve partitions the ground network into independent
+	// conflict components and solves them separately instead of as one
+	// monolithic problem: each component gets the engine its size calls
+	// for (exact branch-and-bound for small ones, local search / ADMM
+	// for large ones), components solve concurrently on the worker pool,
+	// and on the incremental path a per-component solution cache makes a
+	// delta re-solve only the components it dirtied — re-solve cost is
+	// proportional to the conflict actually affected, not the knowledge
+	// graph. MLN and PSL backends only; ignored under CuttingPlane.
+	// Results are deterministic at every Parallelism setting.
+	ComponentSolve bool
+	// ComponentExactLimit is the largest component (in atoms) handed to
+	// the exact MaxSAT engine in component mode; larger components use
+	// local search (default 48; MLN backend only).
+	ComponentExactLimit int
 	// ColdStart disables warm-starting the solver from the previous
-	// solution on the incremental path. Grounding still reuses the
-	// cached delta state; only the solver starts from scratch. With
-	// ColdStart the incremental result is byte-identical to a fresh
-	// from-scratch solve by construction; with warm starts the exact
-	// MaxSAT engine still guarantees it, while large local-search or
-	// ADMM instances may settle on equally-valid near-identical states.
+	// solution on the incremental path, and in component mode also
+	// drops the per-component solution cache for this solve. Grounding
+	// still reuses the cached delta state; only the solver starts from
+	// scratch. With ColdStart the incremental result is byte-identical
+	// to a fresh from-scratch solve by construction; with warm starts
+	// the exact MaxSAT engine still guarantees it, while large
+	// local-search or ADMM instances may settle on equally-valid
+	// near-identical states.
 	ColdStart bool
 	// Advanced exposes full backend tuning.
 	Advanced translate.Options
@@ -152,6 +169,13 @@ func (s *Session) Solve(opts SolveOptions) (*Resolution, error) {
 	topts.MLN.CuttingPlane = topts.MLN.CuttingPlane || opts.CuttingPlane
 	if topts.Parallelism == 0 {
 		topts.Parallelism = opts.Parallelism
+	}
+	if opts.ComponentSolve {
+		topts.MLN.ComponentSolve = true
+		topts.PSL.ComponentSolve = true
+	}
+	if topts.MLN.ComponentExactLimit == 0 {
+		topts.MLN.ComponentExactLimit = opts.ComponentExactLimit
 	}
 	incrementalOK := (opts.Solver == translate.SolverMLN || opts.Solver == translate.SolverPSL) &&
 		!topts.MLN.CuttingPlane

@@ -27,6 +27,20 @@ type engine struct {
 	warmSolver translate.Solver
 	warmTruth  []bool    // previous MAP state by atom id
 	warmPSL    *psl.Warm // previous ADMM iterates (values + duals)
+
+	// Per-component solution caches for the component-decomposed solve,
+	// keyed by (component key, generation, membership); entries survive
+	// solver switches because they are only consulted — and only valid —
+	// for components whose generation is unchanged.
+	compMLN *mln.ComponentCache
+	compPSL *psl.ComponentCache
+	// compOptsKey fingerprints the backend options the component caches
+	// were built under: a cached solution computed under different
+	// engine tuning (exact limit, weights, seeds, ...) is not the
+	// solution the requested options would produce, so an options
+	// change drops both caches. Parallelism is excluded — results are
+	// identical at every worker count.
+	compOptsKey string
 }
 
 // ResetEngine drops the cached incremental solve state. The next Solve
@@ -58,10 +72,16 @@ func (s *Session) syncEngine(eng *engine, topts translate.Options, d store.Delta
 	if err := eng.g.RetractFacts(eng.cs, d.Removed); err != nil {
 		return err
 	}
-	delta := eng.g.ApplyUpdates(d.Added, d.Updated)
+	delta := eng.g.ApplyUpdates(eng.cs, d.Added, d.Updated)
 	derived, err := eng.g.CloseDelta(s.prog, delta)
 	if err != nil {
 		return err
+	}
+	// Revived derived atoms may hold stale component links from before
+	// their retraction; touching them forces the lazy resplit to regroup
+	// their components from live clauses.
+	for _, a := range derived {
+		eng.cs.TouchAtom(a)
 	}
 	if err := eng.g.GroundDelta(s.prog, eng.cs, append(delta, derived...)); err != nil {
 		return err
@@ -101,6 +121,9 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 			return nil, err
 		}
 		cs.EnableAtomIndex()
+		// Track conflict components from the start so ComponentSolve can
+		// be toggled per solve and generations stay warm either way.
+		cs.EnableComponentIndex()
 		eng = &engine{g: g, cs: cs, epoch: epoch, progVersion: s.progVersion}
 		s.engine = eng
 	} else if d := s.st.DeltaSince(eng.epoch); !d.Empty() {
@@ -124,11 +147,29 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 		warmTruth, warmPSL = eng.warmTruth, eng.warmPSL
 	}
 
+	if topts.MLN.ComponentSolve || topts.PSL.ComponentSolve {
+		mlnOpts, pslOpts := topts.MLN, topts.PSL
+		mlnOpts.Parallelism, pslOpts.Parallelism = 0, 0
+		if key := fmt.Sprintf("%+v|%+v", mlnOpts, pslOpts); key != eng.compOptsKey {
+			eng.compMLN, eng.compPSL = nil, nil
+			eng.compOptsKey = key
+		}
+	}
+
 	out := &translate.Output{Solver: solver, Grounder: eng.g, Clauses: eng.cs}
 	var nextPSL *psl.Warm
 	switch solver {
 	case translate.SolverMLN:
-		res, err := mln.MAPGround(eng.g, eng.cs, topts.MLN, warmTruth)
+		var res *mln.Result
+		var err error
+		if topts.MLN.ComponentSolve {
+			if opts.ColdStart || eng.compMLN == nil {
+				eng.compMLN = mln.NewComponentCache()
+			}
+			res, err = mln.MAPGroundComponents(eng.g, eng.cs, topts.MLN, warmTruth, eng.compMLN)
+		} else {
+			res, err = mln.MAPGround(eng.g, eng.cs, topts.MLN, warmTruth)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +179,17 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 		out.MLN = res
 		out.Truth = res.Truth
 	case translate.SolverPSL:
-		res, next, err := psl.MAPGround(eng.g, eng.cs, topts.PSL, warmPSL)
+		var res *psl.Result
+		var next *psl.Warm
+		var err error
+		if topts.PSL.ComponentSolve {
+			if opts.ColdStart || eng.compPSL == nil {
+				eng.compPSL = psl.NewComponentCache()
+			}
+			res, next, err = psl.MAPGroundComponents(eng.g, eng.cs, topts.PSL, warmPSL, eng.compPSL)
+		} else {
+			res, next, err = psl.MAPGround(eng.g, eng.cs, topts.PSL, warmPSL)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -122,6 +122,9 @@ type ClauseSet struct {
 	// byAtom maps an atom to the clause positions mentioning it (live or
 	// dead); nil unless EnableAtomIndex was called.
 	byAtom map[AtomID][]int32
+	// comps tracks conflict components incrementally; nil unless
+	// EnableComponentIndex was called (see components.go).
+	comps *componentIndex
 }
 
 // NewClauseSet returns an empty clause set.
@@ -170,6 +173,7 @@ func (cs *ClauseSet) Add(c Clause) bool {
 			cs.clauses[at] = c
 			cs.dead[at] = false
 			cs.nDead--
+			cs.noteClause(at)
 			return true
 		}
 		if !cs.clauses[at].Hard() && !c.Hard() {
@@ -177,6 +181,7 @@ func (cs *ClauseSet) Add(c Clause) bool {
 		} else if c.Hard() {
 			cs.clauses[at].Weight = math.Inf(1)
 		}
+		cs.noteClause(at)
 		return true
 	}
 	cs.index[k] = len(cs.clauses)
@@ -185,7 +190,17 @@ func (cs *ClauseSet) Add(c Clause) bool {
 		cs.dead = append(cs.dead, false)
 	}
 	cs.indexAtoms(len(cs.clauses) - 1)
+	cs.noteClause(len(cs.clauses) - 1)
 	return true
+}
+
+// noteClause forwards a clause mutation at slot at to the component
+// index: the clause's atoms merge into one component and its generation
+// advances.
+func (cs *ClauseSet) noteClause(at int) {
+	if cs.comps != nil {
+		cs.comps.noteClause(cs.clauses[at].Lits)
+	}
 }
 
 // RemoveAtoms tombstones every live clause mentioning any of the given
@@ -203,6 +218,11 @@ func (cs *ClauseSet) RemoveAtoms(atoms []AtomID) int {
 				cs.nDead++
 				removed++
 			}
+		}
+		if cs.comps != nil {
+			// The atom's component lost clauses and may have split; it is
+			// re-derived lazily at the next Components call.
+			cs.comps.noteRemoval(a)
 		}
 	}
 	return removed

@@ -1,0 +1,401 @@
+package ground
+
+import "sort"
+
+// Conflict components.
+//
+// Constraints and rules only connect atoms that actually co-occur in a
+// ground clause, so the clause graph of a real utkg splits into many
+// small, mutually independent conflict components: the MAP objective
+// decomposes exactly across them, and a fact update can only affect the
+// component(s) it touches. The component index below maintains that
+// partition incrementally on the persistent ClauseSet — union-find merge
+// when Add connects atoms, generation bumps plus lazy split detection
+// when RetractFacts tombstones clauses — and the per-component solvers
+// in internal/mln and internal/psl consume it through Components.
+//
+// Every component carries a generation: a counter bumped whenever
+// anything that can change the component's subproblem happens (a clause
+// added, merged or tombstoned inside it, or an atom's evidence state
+// touched). A (Key, Gen, Atoms) triple therefore identifies an unchanged
+// subproblem, which is what the incremental solve caches component
+// solutions under.
+
+// Component is one conflict component of the ground network: a maximal
+// set of live atoms connected by live clauses (atoms appearing in no
+// clause form singleton components).
+type Component struct {
+	// Key is the smallest atom id in the component — a stable identity
+	// for solution caches (any membership change bumps Gen).
+	Key AtomID
+	// Gen is the component's generation; equal (Key, Gen, Atoms) means
+	// the component's subproblem is unchanged since it was last seen.
+	Gen uint64
+	// Atoms lists the component's live atoms in canonical solve order
+	// (the order Components was given).
+	Atoms []AtomID
+}
+
+// ComponentStats summarises a component-decomposed solve for
+// Resolution.Stats, the CLI and the server API.
+type ComponentStats struct {
+	// Count is the number of conflict components solved or reused.
+	Count int
+	// Largest is the atom count of the biggest component.
+	Largest int
+	// SizeHistogram buckets components by atom count.
+	SizeHistogram map[string]int
+	// Solved counts components actually solved this call (dirty), Reused
+	// counts cache hits whose previous solution was kept.
+	Solved int
+	Reused int
+	// Fallbacks counts components where the exact engine exhausted its
+	// node limit and the orchestrator fell back to local search.
+	Fallbacks int
+	// Engines tallies components per engine ("exact", "local",
+	// "exact→local", "admm", "cached").
+	Engines map[string]int
+}
+
+// SizeBucket names the histogram bucket for a component of n atoms.
+func SizeBucket(n int) string {
+	switch {
+	case n <= 1:
+		return "1"
+	case n <= 4:
+		return "2-4"
+	case n <= 16:
+		return "5-16"
+	case n <= 64:
+		return "17-64"
+	case n <= 256:
+		return "65-256"
+	default:
+		return "257+"
+	}
+}
+
+// Observe accounts one component of n atoms into the stats.
+func (s *ComponentStats) Observe(n int) {
+	s.Count++
+	if n > s.Largest {
+		s.Largest = n
+	}
+	if s.SizeHistogram == nil {
+		s.SizeHistogram = make(map[string]int)
+	}
+	s.SizeHistogram[SizeBucket(n)]++
+}
+
+// Engine accounts one component solved (or reused) by the named engine.
+func (s *ComponentStats) Engine(name string) {
+	if s.Engines == nil {
+		s.Engines = make(map[string]int)
+	}
+	s.Engines[name]++
+}
+
+// componentIndex is the incrementally maintained union-find over atoms.
+// All mutation happens at sequential points (clause-set merges, the
+// incremental engine's sync), matching the two-phase discipline of the
+// grounder; Components resolves pending splits lazily.
+type componentIndex struct {
+	parent []AtomID
+	// gen is meaningful at root atoms.
+	gen []uint64
+	// dirty marks roots whose component lost a clause since the last
+	// Components call and may therefore have split.
+	dirty   map[AtomID]bool
+	nextGen uint64
+}
+
+func newComponentIndex() *componentIndex {
+	return &componentIndex{dirty: make(map[AtomID]bool)}
+}
+
+// ensure grows the index to cover atom a.
+func (ci *componentIndex) ensure(a AtomID) {
+	for len(ci.parent) <= int(a) {
+		ci.parent = append(ci.parent, AtomID(len(ci.parent)))
+		ci.gen = append(ci.gen, 0)
+	}
+}
+
+func (ci *componentIndex) find(a AtomID) AtomID {
+	ci.ensure(a)
+	root := a
+	for ci.parent[root] != root {
+		root = ci.parent[root]
+	}
+	for ci.parent[a] != root {
+		ci.parent[a], a = root, ci.parent[a]
+	}
+	return root
+}
+
+// bump assigns the root a fresh generation.
+func (ci *componentIndex) bump(root AtomID) {
+	ci.nextGen++
+	ci.gen[root] = ci.nextGen
+}
+
+// noteClause records that the literal atoms now co-occur in a live
+// clause: their components merge and the merged component's generation
+// advances. Also called for weight merges and slot revivals — any Add
+// that changes clause content.
+func (ci *componentIndex) noteClause(lits []Lit) {
+	if len(lits) == 0 {
+		return
+	}
+	root := ci.find(lits[0].Atom)
+	for _, l := range lits[1:] {
+		r := ci.find(l.Atom)
+		if r == root {
+			continue
+		}
+		// Union by id keeps the root deterministic.
+		if r < root {
+			root, r = r, root
+		}
+		if ci.dirty[r] {
+			ci.dirty[root] = true
+			delete(ci.dirty, r)
+		}
+		ci.parent[r] = root
+	}
+	ci.bump(root)
+}
+
+// noteRemoval records that clauses mentioning atom a were tombstoned:
+// the component may have split, so it is re-derived lazily at the next
+// Components call.
+func (ci *componentIndex) noteRemoval(a AtomID) {
+	root := ci.find(a)
+	ci.bump(root)
+	ci.dirty[root] = true
+}
+
+// touch bumps the generation of a's component and schedules it for
+// re-derivation — for evidence/confidence changes and atom revivals that
+// alter the subproblem without touching any clause. Marking the
+// component dirty also dissolves stale union links a revived atom may
+// still hold from before its retraction: the lazy resplit regroups the
+// component purely from live clauses.
+func (ci *componentIndex) touch(a AtomID) {
+	root := ci.find(a)
+	ci.bump(root)
+	ci.dirty[root] = true
+}
+
+// EnableComponentIndex switches on incremental conflict-component
+// tracking (implies EnableAtomIndex, which lazy split detection needs),
+// indexing already-present clauses.
+func (cs *ClauseSet) EnableComponentIndex() {
+	if cs.comps != nil {
+		return
+	}
+	cs.EnableAtomIndex()
+	cs.comps = newComponentIndex()
+	cs.ForEach(func(c *Clause) bool {
+		cs.comps.noteClause(c.Lits)
+		return true
+	})
+}
+
+// TouchAtom bumps the generation of the component containing atom a and
+// schedules it for lazy re-derivation. The incremental grounder calls it
+// whenever an atom's evidence state or confidence changes (including
+// retraction and revival), so component solution caches see the
+// subproblem change even though no clause did. A no-op without the
+// component index.
+func (cs *ClauseSet) TouchAtom(a AtomID) {
+	if cs.comps != nil {
+		cs.comps.touch(a)
+	}
+}
+
+// Components partitions the given live atoms (in canonical solve order)
+// into conflict components: atoms are connected when they co-occur in a
+// live clause; atoms in no clause are singletons. Components come back
+// ordered by their first atom in the input order, each listing its atoms
+// in input order.
+//
+// With EnableComponentIndex the partition is maintained incrementally
+// and generations persist across calls — pending splits from clause
+// removals are resolved here, lazily, by re-deriving only the dirty
+// components from the atom index. Without it a transient partition is
+// computed from the live clauses (all generations zero).
+func (cs *ClauseSet) Components(order []AtomID) []Component {
+	ci := cs.comps
+	if ci == nil {
+		ci = newComponentIndex()
+		cs.ForEach(func(c *Clause) bool {
+			// Transient index: union only, generations stay zero.
+			if len(c.Lits) == 0 {
+				return true
+			}
+			root := ci.find(c.Lits[0].Atom)
+			for _, l := range c.Lits[1:] {
+				r := ci.find(l.Atom)
+				if r != root {
+					if r < root {
+						root, r = r, root
+					}
+					ci.parent[r] = root
+				}
+			}
+			return true
+		})
+	} else if len(ci.dirty) > 0 {
+		cs.resplit(ci, order)
+	}
+
+	byRoot := make(map[AtomID]int)
+	var comps []Component
+	for _, a := range order {
+		root := ci.find(a)
+		i, ok := byRoot[root]
+		if !ok {
+			i = len(comps)
+			byRoot[root] = i
+			comps = append(comps, Component{Key: a, Gen: ci.gen[root]})
+		}
+		c := &comps[i]
+		if a < c.Key {
+			c.Key = a
+		}
+		c.Atoms = append(c.Atoms, a)
+	}
+	return comps
+}
+
+// HasAtomIndex reports whether EnableAtomIndex was called — the
+// prerequisite for ComponentClauses' index-driven gathering.
+func (cs *ClauseSet) HasAtomIndex() bool { return cs.byAtom != nil }
+
+// ComponentClauses returns the live clauses of one conflict component in
+// canonical order, remapped through local into the component's dense
+// variable space (local must return the component-local variable of
+// every component atom; values for other atoms are never requested).
+// atoms must span the component, and EnableAtomIndex must have been
+// called: the gather walks only the component's own clauses, so
+// collecting the subproblems of the dirty components costs time
+// proportional to those components — not the clause set.
+//
+// Local variable numbering follows the component's canonical atom order,
+// so the comparator order here matches CanonicalClauses restricted to
+// the component: per component, both produce the identical clause
+// sequence, which is what keeps the incremental per-component solver
+// inputs byte-identical to the cold path's. The returned slots give each
+// clause's stable slot in cs, for keying warm-start state.
+func (cs *ClauseSet) ComponentClauses(atoms []AtomID, local func(AtomID) int32) ([]Clause, []int32) {
+	var slots []int32
+	seen := make(map[int32]bool)
+	for _, a := range atoms {
+		for _, at := range cs.byAtom[a] {
+			if cs.dead != nil && cs.dead[at] {
+				continue
+			}
+			if seen[at] {
+				continue
+			}
+			seen[at] = true
+			slots = append(slots, at)
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	out := make([]Clause, len(slots))
+	for k, at := range slots {
+		c := &cs.clauses[at]
+		mc := Clause{Lits: make([]Lit, len(c.Lits)), Weight: c.Weight, Rule: c.Rule}
+		for i, l := range c.Lits {
+			mc.Lits[i] = Lit{Atom: AtomID(local(l.Atom)), Neg: l.Neg}
+		}
+		sort.Slice(mc.Lits, func(i, j int) bool {
+			if mc.Lits[i].Atom != mc.Lits[j].Atom {
+				return mc.Lits[i].Atom < mc.Lits[j].Atom
+			}
+			return !mc.Lits[i].Neg && mc.Lits[j].Neg
+		})
+		out[k] = mc
+	}
+	perm := make([]int, len(out))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool { return canonicalClauseLess(&out[perm[i]], &out[perm[j]]) })
+	sorted := make([]Clause, len(out))
+	sortedSlots := make([]int32, len(out))
+	for i, p := range perm {
+		sorted[i] = out[p]
+		sortedSlots[i] = slots[p]
+	}
+	return sorted, sortedSlots
+}
+
+// resplit re-derives the dirty components: their live atoms are
+// re-grouped through the atom→clause index, detached pieces become new
+// components with fresh generations. Runs in time proportional to the
+// dirty components' atoms and clauses, not the whole network.
+func (cs *ClauseSet) resplit(ci *componentIndex, order []AtomID) {
+	var atoms []AtomID
+	for _, a := range order {
+		if ci.dirty[ci.find(a)] {
+			atoms = append(atoms, a)
+		}
+	}
+	// Local union-find over the dirty atoms only, rebuilt from the live
+	// clauses that mention them (every clause of a dirty component only
+	// mentions atoms of that component, so the local view is complete).
+	local := make(map[AtomID]AtomID, len(atoms))
+	for _, a := range atoms {
+		local[a] = a
+	}
+	var lfind func(a AtomID) AtomID
+	lfind = func(a AtomID) AtomID {
+		if local[a] == a {
+			return a
+		}
+		r := lfind(local[a])
+		local[a] = r
+		return r
+	}
+	for _, a := range atoms {
+		for _, at := range cs.byAtom[a] {
+			if cs.dead != nil && cs.dead[at] {
+				continue
+			}
+			for _, l := range cs.clauses[at].Lits {
+				if l.Atom == a {
+					continue
+				}
+				if _, ok := local[l.Atom]; !ok {
+					continue // retracted partner: not in the live order
+				}
+				ra, rb := lfind(a), lfind(l.Atom)
+				if ra != rb {
+					if rb < ra {
+						ra, rb = rb, ra
+					}
+					local[rb] = ra
+				}
+			}
+		}
+	}
+	// Re-point the global structure at the new roots and assign fresh
+	// generations, one per piece, in ascending atom order so the values
+	// are deterministic.
+	sorted := append([]AtomID(nil), atoms...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	seen := make(map[AtomID]bool)
+	for _, a := range sorted {
+		r := lfind(a)
+		ci.parent[a] = r
+		if !seen[r] {
+			seen[r] = true
+			ci.parent[r] = r
+			ci.bump(r)
+		}
+	}
+	ci.dirty = make(map[AtomID]bool)
+}

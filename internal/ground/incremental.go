@@ -36,12 +36,16 @@ import (
 // GroundDelta. Updated facts only refresh confidences (priors are
 // rebuilt every solve) and add nothing to the delta; an added fact whose
 // statement was already live as a derived atom flips it to evidence
-// without re-grounding, since it was matchable all along.
-func (g *Grounder) ApplyUpdates(added, updated []store.FactID) []AtomID {
+// without re-grounding, since it was matchable all along. Every
+// evidence-state change is reported to cs's component index (TouchAtom),
+// so component solution caches observe prior changes that touch no
+// clause.
+func (g *Grounder) ApplyUpdates(cs *ClauseSet, added, updated []store.FactID) []AtomID {
 	for _, fid := range updated {
 		q := g.main.Fact(fid)
 		if id, ok := g.atoms.Lookup(q.Fact()); ok {
 			g.atoms.SetEvidence(id, q.Confidence, fid)
+			cs.TouchAtom(id)
 		}
 	}
 	var delta []AtomID
@@ -50,13 +54,16 @@ func (g *Grounder) ApplyUpdates(added, updated []store.FactID) []AtomID {
 		key := q.Fact()
 		id, ok := g.atoms.Lookup(key)
 		if !ok {
-			delta = append(delta, g.atoms.InternEvidence(key, q.Confidence, fid))
+			id = g.atoms.InternEvidence(key, q.Confidence, fid)
+			cs.TouchAtom(id)
+			delta = append(delta, id)
 			continue
 		}
 		info := g.atoms.Info(id)
 		if info.Retracted {
 			// The statement returns after a removal: newly live again.
 			g.atoms.SetEvidence(id, q.Confidence, fid)
+			cs.TouchAtom(id)
 			delta = append(delta, id)
 			continue
 		}
@@ -67,6 +74,7 @@ func (g *Grounder) ApplyUpdates(added, updated []store.FactID) []AtomID {
 			g.derived.Remove(keyQuad(key))
 		}
 		g.atoms.SetEvidence(id, q.Confidence, fid)
+		cs.TouchAtom(id)
 	}
 	return delta
 }
@@ -255,8 +263,10 @@ func (g *Grounder) RetractFacts(cs *ClauseSet, removed []store.FactID) error {
 		}
 		// The statement is still derivable: keep the atom as derived and
 		// make it matchable through the derived store, exactly where a
-		// from-scratch Close would put it.
+		// from-scratch Close would put it. The demotion changes the
+		// atom's prior, so its component is touched.
 		g.atoms.SetDerived(a)
+		cs.TouchAtom(a)
 		if _, err := g.derived.Add(keyQuad(g.atoms.Info(a).Key)); err != nil {
 			return fmt.Errorf("ground: demoting %v: %w", g.atoms.Info(a).Key, err)
 		}

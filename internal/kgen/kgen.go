@@ -202,6 +202,132 @@ oneBirth: quad(x, birthDate, y, t) ^ quad(x, birthDate, z, t') -> y = z w = inf
 bornBeforePlays: quad(x, birthDate, y, t) ^ quad(x, playsFor, z, t') ^ start(t') < start(t) -> false w = inf
 `
 
+// ClusteredConfig parameterises the clustered-conflict generator: many
+// small, mutually independent conflict clusters with a tunable bridge
+// rate — the component structure real utkgs exhibit and the
+// component-decomposed solver exploits.
+type ClusteredConfig struct {
+	// Clusters is the number of conflict clusters (default 100). Each
+	// cluster is one player whose overlapping spells conflict only with
+	// each other, so without bridges the ground network has exactly one
+	// conflict component per cluster (plus singleton atoms).
+	Clusters int
+	// ClusterSize is the number of playsFor facts per cluster (default
+	// 6): a chain of boundary-overlapping spells (each conflicts with
+	// the next, keeping the cluster's clause graph connected) plus noisy
+	// alt spells overlapping random chain positions.
+	ClusterSize int
+	// BridgeRate is the probability that a cluster is bridged to its
+	// successor (default 0): a bridge is one playsFor fact placing the
+	// next cluster's player at this cluster's first club at overlapping
+	// times, so its oneClubAtATime grounding connects it into the next
+	// cluster and its oneStarPlayer grounding into this one — merging
+	// the two components.
+	BridgeRate float64
+	// Seed drives the deterministic RNG (default 1).
+	Seed int64
+}
+
+func (c ClusteredConfig) withDefaults() ClusteredConfig {
+	if c.Clusters == 0 {
+		c.Clusters = 100
+	}
+	if c.ClusterSize == 0 {
+		c.ClusterSize = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Clustered generates a clustered-conflict dataset. Facts within a
+// cluster share one subject and chain through boundary overlaps, so the
+// cluster grounds into exactly one conflict component under
+// ClusteredProgram; bridges (see ClusteredConfig.BridgeRate) merge
+// adjacent clusters. Conflict-inducing facts (overlapping alt spells,
+// bridges) carry gold noise labels.
+func Clustered(cfg ClusteredConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{Profile: "clustered", Noise: make(map[rdf.FactKey]bool)}
+
+	nChain := (cfg.ClusterSize + 1) / 2
+	firstSpell := make([]temporal.Interval, cfg.Clusters)
+	firstClub := make([]string, cfg.Clusters)
+	for c := 0; c < cfg.Clusters; c++ {
+		subj := fmt.Sprintf("player/%05d", c)
+		// Chain: each spell starts the year the previous one ends, so
+		// adjacent spells overlap at the boundary and every cluster is
+		// one clause-connected conflict component.
+		year := int64(1990 + rng.Intn(6))
+		spells := make([]temporal.Interval, 0, nChain)
+		for s := 0; s < nChain; s++ {
+			dur := int64(2 + rng.Intn(4))
+			iv := temporal.MustNew(year, year+dur)
+			spells = append(spells, iv)
+			club := fmt.Sprintf("club/%05d/%d", c, s)
+			if s == 0 {
+				firstSpell[c], firstClub[c] = iv, club
+			}
+			ds.add(rdf.Quad{
+				Subject:    rdf.NewIRI(subj),
+				Predicate:  rdf.NewIRI("playsFor"),
+				Object:     rdf.NewIRI(club),
+				Interval:   iv,
+				Confidence: 0.7 + 0.3*rng.Float64(),
+			}, false)
+			year += dur
+		}
+		// Noise: alt spells overlapping a random chain position.
+		for s := nChain; s < cfg.ClusterSize; s++ {
+			base := spells[rng.Intn(len(spells))]
+			start := base.Start + int64(rng.Intn(int(base.Duration())))
+			ds.add(rdf.Quad{
+				Subject:    rdf.NewIRI(subj),
+				Predicate:  rdf.NewIRI("playsFor"),
+				Object:     rdf.NewIRI(fmt.Sprintf("club/%05d/%d/alt", c, s)),
+				Interval:   temporal.MustNew(start, start+1+int64(rng.Intn(3))),
+				Confidence: 0.5 + 0.25*rng.Float64(),
+			}, true)
+		}
+	}
+	// Bridges: the next cluster's player also plays for this cluster's
+	// first club, at times overlapping both clusters' first spells. The
+	// oneClubAtATime grounding ties the fact into its own cluster, the
+	// oneStarPlayer grounding into this one — one component.
+	for c := 0; c+1 < cfg.Clusters; c++ {
+		if rng.Float64() >= cfg.BridgeRate {
+			continue
+		}
+		a, b := firstSpell[c], firstSpell[c+1]
+		lo, hi := a.Start, b.End
+		if b.Start < lo {
+			lo = b.Start
+		}
+		if a.End > hi {
+			hi = a.End
+		}
+		ds.add(rdf.Quad{
+			Subject:    rdf.NewIRI(fmt.Sprintf("player/%05d", c+1)),
+			Predicate:  rdf.NewIRI("playsFor"),
+			Object:     rdf.NewIRI(firstClub[c]),
+			Interval:   temporal.MustNew(lo, hi),
+			Confidence: 0.5 + 0.25*rng.Float64(),
+		}, true)
+	}
+	return ds
+}
+
+// ClusteredProgram is the constraint set used with the clustered
+// profile: a player plays for one club at a time (the intra-cluster
+// conflicts) and a club fields one of the generated players at a time
+// (the constraint bridge facts violate across clusters).
+const ClusteredProgram = `
+oneClubAtATime: quad(x, playsFor, y, t) ^ quad(x, playsFor, z, t') ^ y != z -> disjoint(t, t') w = inf
+oneStarPlayer: quad(x, playsFor, y, t) ^ quad(z, playsFor, y, t') ^ x != z -> disjoint(t, t') w = inf
+`
+
 // WikidataConfig parameterises the Wikidata-profile generator.
 type WikidataConfig struct {
 	// Scale multiplies the paper's per-relation cardinalities

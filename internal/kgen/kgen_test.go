@@ -159,6 +159,72 @@ func TestWikidataProgramParses(t *testing.T) {
 	}
 }
 
+func TestClusteredDeterministic(t *testing.T) {
+	a := Clustered(ClusteredConfig{Clusters: 40, ClusterSize: 5, BridgeRate: 0.4, Seed: 3})
+	b := Clustered(ClusteredConfig{Clusters: 40, ClusterSize: 5, BridgeRate: 0.4, Seed: 3})
+	if len(a.Graph) != len(b.Graph) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Graph), len(b.Graph))
+	}
+	for i := range a.Graph {
+		if a.Graph[i] != b.Graph[i] {
+			t.Fatalf("fact %d differs", i)
+		}
+	}
+}
+
+// TestClusteredComponentStructure grounds ClusteredProgram over a
+// bridge-free dataset and checks the clause graph splits into exactly
+// one conflict component per cluster; with bridges, strictly fewer.
+func TestClusteredComponentStructure(t *testing.T) {
+	const clusters = 30
+	components := func(bridgeRate float64) int {
+		ds := Clustered(ClusteredConfig{Clusters: clusters, ClusterSize: 6, BridgeRate: bridgeRate, Seed: 11})
+		st := store.New()
+		if err := st.AddGraph(ds.Graph); err != nil {
+			t.Fatal(err)
+		}
+		gr := newGrounder(t, st)
+		prog := rulelang.MustParse(ClusteredProgram)
+		cs, err := gr.GroundProgram(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Len() == 0 {
+			t.Fatal("clustered dataset grounds no conflicts")
+		}
+		n := 0
+		for _, c := range cs.Components(ground.CanonicalAtoms(gr.Atoms())) {
+			if len(c.Atoms) > 1 {
+				n++ // count clause-connected components, not singletons
+			}
+		}
+		return n
+	}
+	if got := components(0); got != clusters {
+		t.Errorf("bridge-free: %d conflict components, want %d", got, clusters)
+	}
+	if got := components(1.0); got >= clusters {
+		t.Errorf("fully bridged: %d conflict components, want < %d", got, clusters)
+	}
+}
+
+func TestClusteredProgramParses(t *testing.T) {
+	prog := rulelang.MustParse(ClusteredProgram)
+	if len(prog.Rules) != 2 {
+		t.Errorf("ClusteredProgram has %d rules, want 2", len(prog.Rules))
+	}
+	ds := Clustered(ClusteredConfig{Clusters: 20, ClusterSize: 6, BridgeRate: 0.5, Seed: 2})
+	if ds.NoiseCount() == 0 {
+		t.Error("clustered dataset injected no labelled noise")
+	}
+	if err := ds.Graph.Validate(); err != nil {
+		t.Errorf("clustered graph invalid: %v", err)
+	}
+	if ds.Profile != "clustered" {
+		t.Errorf("profile = %q", ds.Profile)
+	}
+}
+
 func TestPoissonishMean(t *testing.T) {
 	ds := Football(FootballConfig{Players: 1, Seed: 9}) // exercise generator paths
 	_ = ds

@@ -87,7 +87,18 @@ type Solution struct {
 	Flips int
 	// Nodes counts branch-and-bound nodes (0 for local search).
 	Nodes int
+	// Engine names the engine that produced the assignment: "exact",
+	// "local", or "exact→local" when the exact engine exhausted its node
+	// limit and Solve fell back to local search.
+	Engine string
 }
+
+// Engine names reported in Solution.Engine.
+const (
+	EngineExact    = "exact"
+	EngineLocal    = "local"
+	EngineFallback = "exact→local"
+)
 
 // Options tunes Solve.
 type Options struct {
@@ -177,13 +188,51 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	}
 	opts = opts.withDefaults(p.NumVars)
 	if p.NumVars == 0 {
-		return &Solution{HardSatisfied: true, Optimal: true}, nil
+		return &Solution{HardSatisfied: true, Optimal: true, Engine: EngineExact}, nil
 	}
 	if p.NumVars <= opts.ExactVarLimit {
-		sol, complete := solveExact(p, opts)
-		if complete {
+		if sol, complete := solveExact(p, opts); complete {
+			sol.Engine = EngineExact
 			return sol, nil
 		}
+		sol := solveLocal(p, opts)
+		sol.Engine = EngineFallback
+		return sol, nil
 	}
-	return solveLocal(p, opts), nil
+	sol := solveLocal(p, opts)
+	sol.Engine = EngineLocal
+	return sol, nil
+}
+
+// Exact runs the exact branch-and-bound engine regardless of instance
+// size, reporting whether the search completed within the node limit.
+// When it did not, the returned solution is partial — callers (the
+// per-component orchestrators) should fall back to Local rather than
+// trust it.
+func Exact(p *Problem, opts Options) (*Solution, bool, error) {
+	if err := p.Validate(); err != nil {
+		return nil, false, err
+	}
+	opts = opts.withDefaults(p.NumVars)
+	if p.NumVars == 0 {
+		return &Solution{HardSatisfied: true, Optimal: true, Engine: EngineExact}, true, nil
+	}
+	sol, complete := solveExact(p, opts)
+	sol.Engine = EngineExact
+	return sol, complete, nil
+}
+
+// Local runs the stochastic local-search engine regardless of instance
+// size.
+func Local(p *Problem, opts Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(p.NumVars)
+	if p.NumVars == 0 {
+		return &Solution{HardSatisfied: true, Optimal: true, Engine: EngineLocal}, nil
+	}
+	sol := solveLocal(p, opts)
+	sol.Engine = EngineLocal
+	return sol, nil
 }

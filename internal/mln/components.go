@@ -1,0 +1,336 @@
+package mln
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ground"
+	"repro/internal/maxsat"
+	"repro/internal/par"
+)
+
+// Component-decomposed MAP inference.
+//
+// Constraints only connect atoms that co-occur in a ground clause, so
+// the ground network splits into independent conflict components and the
+// MaxSAT objective decomposes exactly across them: solving each
+// component separately and concatenating the assignments yields an
+// optimum of the whole network. The orchestrator below exploits that
+// three ways:
+//
+//   - engine specialisation: small components go to the exact
+//     branch-and-bound (provably optimal), large ones to local search;
+//     a component whose exact search exhausts its node limit falls back
+//     to local search rather than keeping the partial result;
+//   - parallelism: components solve concurrently on the shared worker
+//     pool, with a sequential merge in deterministic component order, so
+//     the MAP state is identical at every Parallelism setting;
+//   - incremental caching: a ComponentCache keyed by (component key,
+//     generation, membership) lets a delta re-solve only the components
+//     it dirtied — re-solve cost is proportional to the conflict
+//     actually affected, not the knowledge graph.
+//
+// Per-component subproblems are built in the same canonical order as the
+// monolithic path (solveGround) restricted to the component, so when
+// both sides solve exactly — where the optimum is unique — the
+// component-decomposed MAP state is identical to the monolithic one.
+
+// ComponentCache carries per-component MAP solutions across the
+// incremental engine's solves. The zero value is not usable; construct
+// with NewComponentCache. Not safe for concurrent use.
+type ComponentCache struct {
+	entries map[ground.AtomID]*compEntry
+}
+
+// NewComponentCache returns an empty cache.
+func NewComponentCache() *ComponentCache {
+	return &ComponentCache{entries: make(map[ground.AtomID]*compEntry)}
+}
+
+type compEntry struct {
+	gen     uint64
+	atoms   []ground.AtomID
+	truth   []bool // aligned with atoms
+	engine  string
+	optimal bool
+}
+
+// compResult is one component's outcome in a solve.
+type compResult struct {
+	truth    []bool
+	engine   string
+	optimal  bool
+	fallback bool
+	cached   bool
+}
+
+// MAPGroundComponents computes the MAP state over an already-closed
+// grounder and its persistent clause set by solving each conflict
+// component separately — the component-decomposed counterpart of
+// MAPGround. warm, when non-nil, is the previous MAP state by atom id
+// (used as a per-component warm start); cache, when non-nil, is
+// consulted for unchanged components and updated with this solve's
+// solutions.
+func MAPGroundComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm []bool, cache *ComponentCache) (*Result, error) {
+	opts = opts.withDefaults()
+	g.Parallelism = opts.Parallelism
+	start := time.Now()
+	res, err := solveComponents(g, cs, opts, warm, cache)
+	if err != nil {
+		return nil, err
+	}
+	res.Runtime = time.Since(start)
+	res.RuleViolations = violationsFromClauses(cs, res.Truth)
+	return res, nil
+}
+
+// solveComponents partitions the ground network, solves each component
+// with the engine its size calls for, and merges the assignments in
+// deterministic component order. The MAP state is identical to the
+// monolithic path's whenever both solve exactly; the reported cost can
+// differ from the monolithic number only in floating-point summation
+// order (clauses are folded in stable slot order rather than the
+// monolithic problem order).
+func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm []bool, cache *ComponentCache) (*Result, error) {
+	atoms := g.Atoms()
+	order := ground.CanonicalAtoms(atoms)
+	varOf := ground.CanonicalVarMap(atoms, order)
+	comps := cs.Components(order)
+
+	// Var → (component, local index); components list their atoms in
+	// canonical order, so local numbering is the canonical order
+	// restricted to the component.
+	compOfVar := make([]int32, len(order))
+	localOfVar := make([]int32, len(order))
+	for ci := range comps {
+		for li, a := range comps[ci].Atoms {
+			v := varOf[a]
+			compOfVar[v] = int32(ci)
+			localOfVar[v] = int32(li)
+		}
+	}
+
+	// Split reusable from dirty components.
+	results := make([]compResult, len(comps))
+	var dirty []int
+	for i := range comps {
+		if e := cacheLookup(cache, &comps[i]); e != nil {
+			results[i] = compResult{truth: e.truth, engine: "cached", optimal: e.optimal, cached: true}
+			continue
+		}
+		dirty = append(dirty, i)
+	}
+
+	// Collect each dirty component's clauses. With the atom index the
+	// gather walks only the dirty components' own clauses — incremental
+	// solve work stays proportional to what the delta dirtied — and
+	// produces, per component, the same canonical clause sequence the
+	// index-less global path computes (ComponentClauses' contract).
+	compClauses := make([][]ground.Clause, len(comps))
+	local := func(a ground.AtomID) int32 { return localOfVar[varOf[a]] }
+	if !cs.HasAtomIndex() {
+		canon, _ := ground.CanonicalClauses(cs, varOf)
+		for _, c := range canon {
+			ci := compOfVar[c.Lits[0].Atom]
+			compClauses[ci] = append(compClauses[ci], c)
+		}
+		// Canonical literals index canonical variable space; remap to the
+		// component-local numbering the subproblems use.
+		for ci := range compClauses {
+			for k := range compClauses[ci] {
+				lits := compClauses[ci][k].Lits
+				remapped := make([]ground.Lit, len(lits))
+				for i, l := range lits {
+					remapped[i] = ground.Lit{Atom: ground.AtomID(localOfVar[l.Atom]), Neg: l.Neg}
+				}
+				compClauses[ci][k].Lits = remapped
+			}
+		}
+	}
+
+	// Solve dirty components concurrently; each subsolve runs
+	// sequentially (Parallelism 1), the pool parallelises across
+	// components. Workers only read the clause set (gather) and the atom
+	// table — all index maintenance happened at sequential points.
+	workers := par.Workers(opts.Parallelism)
+	errs := make([]error, len(dirty))
+	par.Do(len(dirty), workers, func(k int) {
+		i := dirty[k]
+		clauses := compClauses[i]
+		if cs.HasAtomIndex() {
+			clauses, _ = cs.ComponentClauses(comps[i].Atoms, local)
+		}
+		results[i], errs[k] = solveComponent(atoms, &comps[i], clauses, opts, warm)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mln: %w", err)
+		}
+	}
+
+	// Deterministic merge in component order + statistics.
+	truth := make([]bool, atoms.Len())
+	stats := &ground.ComponentStats{}
+	optimal := true
+	for i := range comps {
+		r := &results[i]
+		for li, a := range comps[i].Atoms {
+			truth[a] = r.truth[li]
+		}
+		stats.Observe(len(comps[i].Atoms))
+		if r.cached {
+			stats.Reused++
+			stats.Engine("cached")
+		} else {
+			stats.Solved++
+			stats.Engine(r.engine)
+			if r.fallback {
+				stats.Fallbacks++
+			}
+		}
+		optimal = optimal && r.optimal
+	}
+	if cache != nil {
+		fresh := make(map[ground.AtomID]*compEntry, len(comps))
+		for i := range comps {
+			fresh[comps[i].Key] = &compEntry{
+				gen: comps[i].Gen, atoms: comps[i].Atoms,
+				truth: results[i].truth, engine: results[i].engine,
+				optimal: results[i].optimal,
+			}
+		}
+		cache.entries = fresh
+	}
+
+	cost, hardOK := evaluateState(atoms, order, cs, truth, opts)
+	return &Result{
+		Truth:         truth,
+		Cost:          cost,
+		HardSatisfied: hardOK,
+		Optimal:       optimal,
+		Rounds:        1,
+		GroundClauses: cs.Len(),
+		Components:    stats,
+	}, nil
+}
+
+// cacheLookup returns the cached entry when the component's subproblem
+// is provably unchanged: same key, same generation, same membership.
+func cacheLookup(cache *ComponentCache, comp *ground.Component) *compEntry {
+	if cache == nil {
+		return nil
+	}
+	e, ok := cache.entries[comp.Key]
+	if !ok || e.gen != comp.Gen || len(e.atoms) != len(comp.Atoms) {
+		return nil
+	}
+	for i, a := range comp.Atoms {
+		if e.atoms[i] != a {
+			return nil
+		}
+	}
+	return e
+}
+
+// solveComponent builds the component's weighted MaxSAT subproblem from
+// its clauses (already in dense local variable numbering) and solves it:
+// exact branch-and-bound for components within ComponentExactLimit
+// (falling back to local search when the node limit is exhausted), local
+// search otherwise.
+func solveComponent(atoms *ground.AtomTable, comp *ground.Component, clauses []ground.Clause, opts Options, warm []bool) (compResult, error) {
+	n := len(comp.Atoms)
+	problem := &maxsat.Problem{NumVars: n}
+	for li, a := range comp.Atoms {
+		info := atoms.Info(a)
+		if info.Evidence {
+			w := Logit(info.Conf, opts.EvidenceClamp) + opts.KeepBias
+			switch {
+			case w > 0:
+				problem.Clauses = append(problem.Clauses, maxsat.Clause{Lits: []maxsat.Lit{{Var: int32(li)}}, Weight: w})
+			case w < 0:
+				problem.Clauses = append(problem.Clauses, maxsat.Clause{Lits: []maxsat.Lit{{Var: int32(li), Neg: true}}, Weight: -w})
+			}
+			continue
+		}
+		if opts.DerivedPrior > 0 {
+			problem.Clauses = append(problem.Clauses, maxsat.Clause{Lits: []maxsat.Lit{{Var: int32(li), Neg: true}}, Weight: opts.DerivedPrior})
+		}
+	}
+	for _, c := range clauses {
+		mc := maxsat.Clause{Weight: c.Weight, Lits: make([]maxsat.Lit, len(c.Lits))}
+		for i, l := range c.Lits {
+			mc.Lits[i] = maxsat.Lit{Var: int32(l.Atom), Neg: l.Neg}
+		}
+		problem.Clauses = append(problem.Clauses, mc)
+	}
+
+	mopts := opts.MaxSAT
+	mopts.Parallelism = 1
+	if warm != nil {
+		w := make([]bool, n)
+		for li, a := range comp.Atoms {
+			if int(a) < len(warm) {
+				w[li] = warm[a]
+			}
+		}
+		mopts.Warm = w
+	}
+
+	if n <= opts.ComponentExactLimit {
+		sol, complete, err := maxsat.Exact(problem, mopts)
+		if err != nil {
+			return compResult{}, err
+		}
+		if complete {
+			return compResult{truth: sol.Assignment, engine: maxsat.EngineExact, optimal: true}, nil
+		}
+		// Node limit exhausted: the partial branch-and-bound result is
+		// untrustworthy — fall back to local search for this component
+		// and record the fallback.
+		sol, err = maxsat.Local(problem, mopts)
+		if err != nil {
+			return compResult{}, err
+		}
+		return compResult{truth: sol.Assignment, engine: maxsat.EngineFallback, fallback: true}, nil
+	}
+	sol, err := maxsat.Local(problem, mopts)
+	if err != nil {
+		return compResult{}, err
+	}
+	return compResult{truth: sol.Assignment, engine: maxsat.EngineLocal}, nil
+}
+
+// evaluateState computes the violated soft weight and hard feasibility
+// of the merged assignment in a fixed order — priors in canonical atom
+// order, then live clauses in stable slot order — so the numbers are
+// identical at every parallelism setting (and equal to the monolithic
+// path's up to floating-point summation order).
+func evaluateState(atoms *ground.AtomTable, order []ground.AtomID, cs *ground.ClauseSet, truth []bool, opts Options) (cost float64, hardOK bool) {
+	hardOK = true
+	for _, a := range order {
+		info := atoms.Info(a)
+		if info.Evidence {
+			w := Logit(info.Conf, opts.EvidenceClamp) + opts.KeepBias
+			if w > 0 && !truth[a] {
+				cost += w
+			} else if w < 0 && truth[a] {
+				cost += -w
+			}
+			continue
+		}
+		if opts.DerivedPrior > 0 && truth[a] {
+			cost += opts.DerivedPrior
+		}
+	}
+	cs.ForEach(func(c *ground.Clause) bool {
+		if !c.Satisfied(func(a ground.AtomID) bool { return truth[a] }) {
+			if c.Hard() {
+				hardOK = false
+			} else {
+				cost += c.Weight
+			}
+		}
+		return true
+	})
+	return cost, hardOK
+}

@@ -44,6 +44,16 @@ type Options struct {
 	// local-search restarts: 0 means GOMAXPROCS, 1 forces the sequential
 	// path. The MAP state is identical at every setting.
 	Parallelism int
+	// ComponentSolve partitions the ground network into independent
+	// conflict components and solves each with its own engine,
+	// concurrently, instead of one monolithic MaxSAT problem (see
+	// components.go). Ignored under CuttingPlane, which keeps no
+	// persistent clause set to partition.
+	ComponentSolve bool
+	// ComponentExactLimit is the largest component (in atoms) handed to
+	// the exact branch-and-bound engine in component mode; larger
+	// components use local search (default 48).
+	ComponentExactLimit int
 	// MaxSAT tunes the underlying solver.
 	MaxSAT maxsat.Options
 }
@@ -60,6 +70,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DerivedPrior == 0 {
 		o.DerivedPrior = 0.01
+	}
+	if o.ComponentExactLimit == 0 {
+		o.ComponentExactLimit = 48
 	}
 	return o
 }
@@ -99,6 +112,9 @@ type Result struct {
 	// RuleViolations counts violated groundings per rule name in the
 	// final state (soft rules only; hard violations imply infeasibility).
 	RuleViolations map[string]int
+	// Components summarises the component-decomposed solve; nil when the
+	// monolithic path ran.
+	Components *ground.ComponentStats
 }
 
 // TrueAtom reports the truth of atom id in the MAP state.
@@ -135,7 +151,12 @@ func MAP(g *ground.Grounder, prog *logic.Program, opts Options) (*Result, error)
 	if err != nil {
 		return nil, fmt.Errorf("mln: %w", err)
 	}
-	res, err := solveGround(g, cs, opts, nil)
+	var res *Result
+	if opts.ComponentSolve {
+		res, err = solveComponents(g, cs, opts, nil, nil)
+	} else {
+		res, err = solveGround(g, cs, opts, nil)
+	}
 	if err != nil {
 		return nil, err
 	}

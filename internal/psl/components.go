@@ -1,0 +1,291 @@
+package psl
+
+import (
+	"time"
+
+	"repro/internal/ground"
+	"repro/internal/par"
+)
+
+// Component-decomposed HL-MRF MAP inference.
+//
+// The HL-MRF objective is a sum of per-potential hinges plus separable
+// per-atom priors, so it decomposes exactly across the conflict
+// components of the ground network: running consensus ADMM per component
+// minimises the same objective. Each component converges on its own
+// residuals (rather than waiting for a global criterion), components run
+// concurrently on the shared worker pool with a deterministic sequential
+// merge, and a ComponentCache keyed by (component key, generation,
+// membership) carries converged iterates across incremental solves so a
+// delta re-runs ADMM only inside the components it dirtied.
+//
+// Because per-component ADMM stops on per-component residuals, the
+// converged soft values can differ from the monolithic solve's within
+// the residual tolerance — the discretised MAP state agrees except for
+// atoms balanced at the rounding threshold, the same caveat the warm
+// start already carries (the strictly convex objective has a unique
+// optimum; only the finite-tolerance approach to it differs).
+
+// ComponentCache carries per-component converged ADMM iterates across
+// the incremental engine's solves. Construct with NewComponentCache.
+// Not safe for concurrent use.
+type ComponentCache struct {
+	entries map[ground.AtomID]*compEntry
+}
+
+// NewComponentCache returns an empty cache.
+func NewComponentCache() *ComponentCache {
+	return &ComponentCache{entries: make(map[ground.AtomID]*compEntry)}
+}
+
+type compEntry struct {
+	gen   uint64
+	atoms []ground.AtomID
+	// values and truth are aligned with atoms; z and u are keyed by the
+	// potentials' stable clause-set slots.
+	values []float64
+	truth  []bool
+	z, u   map[int32][]float64
+	// converged records whether ADMM met its tolerance; unconverged
+	// entries are never reused (see cacheLookup), so the component is
+	// iterated again — warm-started — on the next solve.
+	converged bool
+}
+
+type compState struct {
+	values      []float64
+	truth       []bool
+	z, u        map[int32][]float64
+	iterations  int
+	converged   bool
+	primal      float64
+	dual        float64
+	repairFlips int
+	cached      bool
+}
+
+// MAPGroundComponents computes the HL-MRF MAP state over an
+// already-closed grounder and its persistent clause set by running ADMM
+// per conflict component — the component-decomposed counterpart of
+// MAPGround. warm, when non-nil, seeds dirty components from the
+// previous solve's iterates; cache, when non-nil, is consulted for
+// unchanged components and updated with this solve's iterates. The
+// returned Warm feeds the next solve, exactly like MAPGround's.
+func MAPGroundComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm *Warm, cache *ComponentCache) (*Result, *Warm, error) {
+	opts = opts.withDefaults()
+	g.Parallelism = opts.Parallelism
+	start := time.Now()
+	res, next := solveComponents(g, cs, opts, warm, cache)
+	res.Runtime = time.Since(start)
+	return res, next, nil
+}
+
+func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm *Warm, cache *ComponentCache) (*Result, *Warm) {
+	atoms := g.Atoms()
+	order := ground.CanonicalAtoms(atoms)
+	varOf := ground.CanonicalVarMap(atoms, order)
+	comps := cs.Components(order)
+
+	compOfVar := make([]int32, len(order))
+	localOfVar := make([]int32, len(order))
+	for ci := range comps {
+		for li, a := range comps[ci].Atoms {
+			v := varOf[a]
+			compOfVar[v] = int32(ci)
+			localOfVar[v] = int32(li)
+		}
+	}
+
+	results := make([]compState, len(comps))
+	var dirty []int
+	for i := range comps {
+		if e := cacheLookup(cache, &comps[i]); e != nil {
+			results[i] = compState{
+				values: e.values, truth: e.truth, z: e.z, u: e.u,
+				converged: true, cached: true,
+			}
+			continue
+		}
+		dirty = append(dirty, i)
+	}
+
+	// Per-component potentials in dense local numbering plus their
+	// stable clause-set slots (for warm duals and caching). With the
+	// atom index, each dirty component gathers only its own clauses —
+	// incremental solve work stays proportional to what the delta
+	// dirtied; without it (the one-shot path) the canonical clause list
+	// is partitioned globally. Both routes produce the identical
+	// per-component potential sequence.
+	compPots := make([][]hinge, len(comps))
+	compSlots := make([][]int32, len(comps))
+	if !cs.HasAtomIndex() {
+		canon, slots := ground.CanonicalClauses(cs, varOf)
+		for k, c := range canon {
+			ci := compOfVar[c.Lits[0].Atom]
+			h := clauseToHinge(c, opts)
+			for i, v := range h.vars {
+				h.vars[i] = localOfVar[v]
+			}
+			compPots[ci] = append(compPots[ci], h)
+			compSlots[ci] = append(compSlots[ci], slots[k])
+		}
+	}
+
+	workers := par.Workers(opts.Parallelism)
+	par.Do(len(dirty), workers, func(k int) {
+		i := dirty[k]
+		pots, slots := compPots[i], compSlots[i]
+		if cs.HasAtomIndex() {
+			local := func(a ground.AtomID) int32 { return localOfVar[varOf[a]] }
+			clauses, gathered := cs.ComponentClauses(comps[i].Atoms, local)
+			pots = make([]hinge, len(clauses))
+			for k, c := range clauses {
+				pots[k] = clauseToHinge(c, opts)
+			}
+			slots = gathered
+		}
+		results[i] = solveComponent(atoms, &comps[i], pots, slots, opts, warm)
+	})
+
+	// Deterministic merge in component order.
+	values := make([]float64, atoms.Len())
+	truth := make([]bool, atoms.Len())
+	stats := &ground.ComponentStats{}
+	res := &Result{Converged: true, Potentials: cs.Len()}
+	next := &Warm{
+		Values: values,
+		Z:      make(map[int32][]float64, cs.Len()),
+		U:      make(map[int32][]float64, cs.Len()),
+	}
+	for i := range comps {
+		r := &results[i]
+		for li, a := range comps[i].Atoms {
+			values[a] = r.values[li]
+			truth[a] = r.truth[li]
+		}
+		for slot, z := range r.z {
+			next.Z[slot] = z
+		}
+		for slot, u := range r.u {
+			next.U[slot] = u
+		}
+		stats.Observe(len(comps[i].Atoms))
+		if r.cached {
+			stats.Reused++
+			stats.Engine("cached")
+		} else {
+			stats.Solved++
+			stats.Engine("admm")
+		}
+		if r.iterations > res.Iterations {
+			res.Iterations = r.iterations
+		}
+		if r.primal > res.PrimalResidual {
+			res.PrimalResidual = r.primal
+		}
+		if r.dual > res.DualResidual {
+			res.DualResidual = r.dual
+		}
+		res.Converged = res.Converged && r.converged
+		res.RepairFlips += r.repairFlips
+	}
+	if cache != nil {
+		fresh := make(map[ground.AtomID]*compEntry, len(comps))
+		for i := range comps {
+			fresh[comps[i].Key] = &compEntry{
+				gen: comps[i].Gen, atoms: comps[i].Atoms,
+				values: results[i].values, truth: results[i].truth,
+				z: results[i].z, u: results[i].u,
+				converged: results[i].converged,
+			}
+		}
+		cache.entries = fresh
+	}
+	res.Values = values
+	res.Truth = truth
+	res.Components = stats
+	return res, next
+}
+
+func cacheLookup(cache *ComponentCache, comp *ground.Component) *compEntry {
+	if cache == nil {
+		return nil
+	}
+	e, ok := cache.entries[comp.Key]
+	if !ok || e.gen != comp.Gen || len(e.atoms) != len(comp.Atoms) {
+		return nil
+	}
+	if !e.converged {
+		// An unconverged solve is not a solution to reuse: treat the
+		// component as dirty so ADMM resumes (warm-started from the
+		// previous iterates) instead of freezing the unconverged state.
+		return nil
+	}
+	for i, a := range comp.Atoms {
+		if e.atoms[i] != a {
+			return nil
+		}
+	}
+	return e
+}
+
+// solveComponent runs consensus ADMM over one component's potentials
+// and priors, discretises, and repairs broken hard potentials — the
+// per-component slice of exactly what solveGround does monolithically.
+func solveComponent(atoms *ground.AtomTable, comp *ground.Component, potentials []hinge, slots []int32, opts Options, warm *Warm) compState {
+	n := len(comp.Atoms)
+	target := make([]float64, n)
+	priorW := make([]float64, n)
+	for li, a := range comp.Atoms {
+		info := atoms.Info(a)
+		if info.Evidence {
+			target[li] = clamp01(info.Conf + opts.KeepBias)
+			priorW[li] = opts.EvidenceWeight
+		} else {
+			target[li] = 0
+			priorW[li] = opts.DerivedWeight
+		}
+	}
+	var init *admmInit
+	if warm != nil {
+		init = &admmInit{
+			x: make([]float64, n),
+			z: make([][]float64, len(potentials)),
+			u: make([][]float64, len(potentials)),
+		}
+		for li, a := range comp.Atoms {
+			if int(a) < len(warm.Values) {
+				init.x[li] = clamp01(warm.Values[a])
+			} else {
+				init.x[li] = target[li]
+			}
+		}
+		for k := range potentials {
+			if z, ok := warm.Z[slots[k]]; ok && len(z) == len(potentials[k].vars) {
+				init.z[k] = z
+			}
+			if u, ok := warm.U[slots[k]]; ok && len(u) == len(potentials[k].vars) {
+				init.u[k] = u
+			}
+		}
+	}
+	inner := opts
+	inner.Parallelism = 1 // the pool parallelises across components
+	res, zs, us := runADMM(n, target, priorW, potentials, inner, init)
+	truth := discretize(res.Values, opts.Threshold)
+	flips := repairHard(truth, res.Values, potentials)
+
+	st := compState{
+		values: res.Values, truth: truth,
+		z:          make(map[int32][]float64, len(potentials)),
+		u:          make(map[int32][]float64, len(potentials)),
+		iterations: res.Iterations, converged: res.Converged,
+		primal: res.PrimalResidual, dual: res.DualResidual,
+		repairFlips: flips,
+	}
+	for k := range potentials {
+		st.z[slots[k]] = zs[k]
+		st.u[slots[k]] = us[k]
+	}
+	return st
+}

@@ -99,6 +99,10 @@ type Stats struct {
 	Solver string
 	// Runtime is the solver's inference time.
 	Runtime time.Duration
+	// Components summarises the component-decomposed solve — component
+	// count, size histogram, solved/reused split and per-engine tallies.
+	// Nil when the monolithic path ran.
+	Components *ground.ComponentStats
 }
 
 // Outcome is the full result of temporal conflict resolution.
@@ -140,6 +144,11 @@ func Resolve(out *translate.Output, prog *logic.Program, opts Options) (*Outcome
 		Solver:  out.Solver.String(),
 		Runtime: out.Runtime,
 	}}
+	if out.MLN != nil {
+		oc.Stats.Components = out.MLN.Components
+	} else if out.PSL != nil {
+		oc.Stats.Components = out.PSL.Components
+	}
 
 	confidences, err := deriveConfidences(out, prog, opts)
 	if err != nil {
@@ -302,31 +311,6 @@ func deriveConfidences(out *translate.Output, prog *logic.Program, opts Options)
 func conflictAnalysis(out *translate.Output, prog *logic.Program) ([][]rdf.FactKey, map[ground.AtomID][]Explanation, error) {
 	g := out.Grounder
 	atoms := g.Atoms()
-	// The full conflict structure is the set of constraint groundings
-	// over "everything asserted". When the solve's clause set is
-	// available those are exactly its all-negative clauses (constraint
-	// clauses carry no head literal); otherwise ground the constraints
-	// against an all-true assignment to recover them.
-	var constraintClauses []ground.Clause
-	if out.Clauses != nil {
-		out.Clauses.ForEach(func(c *ground.Clause) bool {
-			for _, l := range c.Lits {
-				if !l.Neg {
-					return true // inference clause
-				}
-			}
-			constraintClauses = append(constraintClauses, *c)
-			return true
-		})
-	} else {
-		allTrue := func(ground.AtomID) bool { return true }
-		constraints := &logic.Program{Rules: prog.Constraints()}
-		cs, err := g.GroundViolated(constraints, allTrue)
-		if err != nil {
-			return nil, nil, fmt.Errorf("repair: %w", err)
-		}
-		constraintClauses = cs.Clauses()
-	}
 	parent := make(map[ground.AtomID]ground.AtomID)
 	var find func(a ground.AtomID) ground.AtomID
 	find = func(a ground.AtomID) ground.AtomID {
@@ -350,21 +334,26 @@ func conflictAnalysis(out *translate.Output, prog *logic.Program) ([][]rdf.FactK
 		}
 	}
 	explanations := make(map[ground.AtomID][]Explanation)
-	for _, c := range constraintClauses {
-		var removed []ground.AtomID
+	// process folds one constraint grounding into the cluster structure
+	// and, when exactly one member was removed, into that member's
+	// explanations (restoring it would violate the grounding against
+	// kept facts). Clauses are visited in place — materialising a copy
+	// of every constraint grounding per solve dominated incremental
+	// re-solves.
+	var removed []ground.AtomID
+	process := func(c *ground.Clause) {
+		removed = removed[:0]
 		for _, l := range c.Lits {
 			if !out.Truth[l.Atom] {
 				removed = append(removed, l.Atom)
 			}
 		}
 		if len(removed) == 0 {
-			continue
+			return
 		}
 		for i := 1; i < len(c.Lits); i++ {
 			union(c.Lits[0].Atom, c.Lits[i].Atom)
 		}
-		// An explanation applies when exactly one member was removed:
-		// restoring it would violate this grounding against kept facts.
 		if len(removed) == 1 {
 			ex := Explanation{Rule: c.Rule}
 			for _, l := range c.Lits {
@@ -374,6 +363,33 @@ func conflictAnalysis(out *translate.Output, prog *logic.Program) ([][]rdf.FactK
 			}
 			explanations[removed[0]] = append(explanations[removed[0]], ex)
 		}
+	}
+	// The full conflict structure is the set of constraint groundings
+	// over "everything asserted". When the solve's clause set is
+	// available those are exactly its all-negative clauses (constraint
+	// clauses carry no head literal); otherwise ground the constraints
+	// against an all-true assignment to recover them.
+	if out.Clauses != nil {
+		out.Clauses.ForEach(func(c *ground.Clause) bool {
+			for _, l := range c.Lits {
+				if !l.Neg {
+					return true // inference clause
+				}
+			}
+			process(c)
+			return true
+		})
+	} else {
+		allTrue := func(ground.AtomID) bool { return true }
+		constraints := &logic.Program{Rules: prog.Constraints()}
+		cs, err := g.GroundViolated(constraints, allTrue)
+		if err != nil {
+			return nil, nil, fmt.Errorf("repair: %w", err)
+		}
+		cs.ForEach(func(c *ground.Clause) bool {
+			process(c)
+			return true
+		})
 	}
 	groups := make(map[ground.AtomID][]rdf.FactKey)
 	var roots []ground.AtomID
@@ -388,7 +404,9 @@ func conflictAnalysis(out *translate.Output, prog *logic.Program) ([][]rdf.FactK
 	out2 := make([][]rdf.FactKey, 0, len(roots))
 	for _, r := range roots {
 		keys := groups[r]
-		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		// Compare, not String(): rendering keys inside the comparator
+		// dominated incremental re-solves on cluster-heavy graphs.
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
 		out2 = append(out2, keys)
 	}
 	return out2, explanations, nil

@@ -382,6 +382,13 @@ type SolveRequest struct {
 	// Parallelism overrides the server's worker pool size for this
 	// solve (0 = server default).
 	Parallelism int `json:"parallelism,omitempty"`
+	// ComponentSolve partitions the ground network into independent
+	// conflict components solved separately (stats.Components reports
+	// the decomposition).
+	ComponentSolve bool `json:"componentSolve,omitempty"`
+	// ComponentExactLimit is the largest component handed to the exact
+	// MaxSAT engine in component mode (0 = default 48).
+	ComponentExactLimit int `json:"componentExactLimit,omitempty"`
 }
 
 // SolveResponse mirrors the statistics display of Figure 8 plus
@@ -430,10 +437,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		parallelism = s.Parallelism
 	}
 	res, err := sess.Solve(core.SolveOptions{
-		Solver:       solver,
-		Threshold:    req.Threshold,
-		CuttingPlane: req.CuttingPlane,
-		Parallelism:  parallelism,
+		Solver:              solver,
+		Threshold:           req.Threshold,
+		CuttingPlane:        req.CuttingPlane,
+		Parallelism:         parallelism,
+		ComponentSolve:      req.ComponentSolve,
+		ComponentExactLimit: req.ComponentExactLimit,
 	})
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "solving: %v", err)

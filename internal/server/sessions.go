@@ -25,6 +25,7 @@ import (
 //	POST   /api/sessions/{id}/facts   {tquads} → adds facts
 //	DELETE /api/sessions/{id}/facts   {tquads} → removes facts
 //	POST   /api/sessions/{id}/solve   {solver, threshold, parallelism,
+//	                                   componentSolve, componentExactLimit,
 //	                                   coldStart} → SolveResponse
 //	DELETE /api/sessions/{id}         → drops the session
 //
@@ -270,7 +271,16 @@ type SessionSolveRequest struct {
 	Solver      string  `json:"solver"`
 	Threshold   float64 `json:"threshold,omitempty"`
 	Parallelism int     `json:"parallelism,omitempty"`
-	// ColdStart disables warm-starting from the previous solution.
+	// ComponentSolve partitions the ground network into independent
+	// conflict components; across session re-solves only the components
+	// a delta dirtied are re-solved (stats.Components reports the
+	// solved/reused split).
+	ComponentSolve bool `json:"componentSolve,omitempty"`
+	// ComponentExactLimit is the largest component handed to the exact
+	// MaxSAT engine in component mode (0 = default 48).
+	ComponentExactLimit int `json:"componentExactLimit,omitempty"`
+	// ColdStart disables warm-starting from the previous solution (and
+	// drops the per-component solution cache for this solve).
 	ColdStart bool `json:"coldStart,omitempty"`
 }
 
@@ -307,10 +317,12 @@ func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	res, err := ss.sess.Solve(core.SolveOptions{
-		Solver:      solver,
-		Threshold:   req.Threshold,
-		Parallelism: parallelism,
-		ColdStart:   req.ColdStart,
+		Solver:              solver,
+		Threshold:           req.Threshold,
+		Parallelism:         parallelism,
+		ComponentSolve:      req.ComponentSolve,
+		ComponentExactLimit: req.ComponentExactLimit,
+		ColdStart:           req.ColdStart,
 	})
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "solving: %v", err)

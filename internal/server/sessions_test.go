@@ -118,6 +118,55 @@ func TestSessionFromDataset(t *testing.T) {
 	}
 }
 
+// TestSessionComponentSolve streams facts through a session with
+// componentSolve on: stats report the decomposition, and an incremental
+// re-solve reuses the cached solutions of untouched components.
+func TestSessionComponentSolve(t *testing.T) {
+	ts := newTestServer(t)
+	var info SessionInfo
+	resp := postJSON(t, ts.URL+"/api/sessions", CreateSessionRequest{
+		TQuads: `
+CR coach Chelsea [2000,2004] 0.9
+CR coach Napoli [2001,2003] 0.6
+MX coach Porto [2002,2004] 0.8
+MX coach Lyon [2003,2005] 0.7
+`,
+		Rules: "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
+	}, &info)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create session: status %d", resp.StatusCode)
+	}
+	base := ts.URL + "/api/sessions/" + info.ID
+
+	var solve SessionSolveResponse
+	resp = postJSON(t, base+"/solve", SessionSolveRequest{Solver: "mln", ComponentSolve: true}, &solve)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d", resp.StatusCode)
+	}
+	cs := solve.Stats.Components
+	if cs == nil || cs.Count < 2 {
+		t.Fatalf("componentSolve stats missing or trivial: %+v", cs)
+	}
+	if cs.Solved != cs.Count || cs.Reused != 0 {
+		t.Fatalf("first solve should solve every component: %+v", cs)
+	}
+
+	// Touch only CR's component; MX's cached solution must be reused.
+	var facts FactsResponse
+	resp = postJSON(t, base+"/facts", FactsRequest{TQuads: "CR coach Leeds [2003,2004] 0.5"}, &facts)
+	if resp.StatusCode != http.StatusOK || facts.Added != 1 {
+		t.Fatalf("add facts: status %d resp %+v", resp.StatusCode, facts)
+	}
+	resp = postJSON(t, base+"/solve", SessionSolveRequest{Solver: "mln", ComponentSolve: true}, &solve)
+	if resp.StatusCode != http.StatusOK || !solve.Incremental {
+		t.Fatalf("re-solve: status %d incremental=%v", resp.StatusCode, solve.Incremental)
+	}
+	cs = solve.Stats.Components
+	if cs == nil || cs.Reused == 0 {
+		t.Fatalf("incremental component re-solve reused nothing: %+v", cs)
+	}
+}
+
 func TestSessionLRUEviction(t *testing.T) {
 	srv := NewWithConfig(Config{MaxSessions: 2})
 	ts := httptest.NewServer(srv.Handler())

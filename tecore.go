@@ -34,6 +34,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/ground"
 	"repro/internal/kgen"
 	"repro/internal/logic"
 	"repro/internal/rdf"
@@ -139,6 +140,10 @@ type Outcome = repair.Outcome
 // Stats summarises a debugging run (Figure 8 of the paper).
 type Stats = repair.Stats
 
+// ComponentStats summarises a component-decomposed solve (see
+// SolveOptions.ComponentSolve); available as Stats.Components.
+type ComponentStats = ground.ComponentStats
+
 // Fact is a resolved fact with provenance.
 type Fact = repair.Fact
 
@@ -151,6 +156,11 @@ type FootballConfig = kgen.FootballConfig
 // WikidataConfig parameterises the Wikidata-profile generator.
 type WikidataConfig = kgen.WikidataConfig
 
+// ClusteredConfig parameterises the clustered-conflict generator: many
+// small independent conflict clusters with a tunable inter-cluster
+// bridge rate — the structure the component-decomposed solver exploits.
+type ClusteredConfig = kgen.ClusteredConfig
+
 // GenerateFootball builds a FootballDB-profile dataset (>13K playsFor,
 // >6K birthDate facts at default scale) with optional labelled noise.
 func GenerateFootball(cfg FootballConfig) *Dataset { return kgen.Football(cfg) }
@@ -159,6 +169,11 @@ func GenerateFootball(cfg FootballConfig) *Dataset { return kgen.Football(cfg) }
 // per-relation cardinalities scaled by cfg.Scale.
 func GenerateWikidata(cfg WikidataConfig) *Dataset { return kgen.Wikidata(cfg) }
 
+// GenerateClustered builds a clustered-conflict dataset: cfg.Clusters
+// independent conflict clusters of cfg.ClusterSize facts each, merged
+// pairwise with probability cfg.BridgeRate.
+func GenerateClustered(cfg ClusteredConfig) *Dataset { return kgen.Clustered(cfg) }
+
 // FootballProgram is the standard constraint set for the football
 // profile (no two teams at once, single birth date, born before plays).
 const FootballProgram = kgen.FootballProgram
@@ -166,6 +181,12 @@ const FootballProgram = kgen.FootballProgram
 // WikidataProgram is the standard constraint set for the Wikidata
 // profile.
 const WikidataProgram = kgen.WikidataProgram
+
+// ClusteredProgram is the standard constraint set for the clustered
+// profile: a player plays for one club at a time (the intra-cluster
+// conflicts) and a club fields one of the generated players at a time
+// (the constraint bridge facts violate across clusters).
+const ClusteredProgram = kgen.ClusteredProgram
 
 // ConstraintSuggestion is a mined candidate constraint with its support
 // statistics.
