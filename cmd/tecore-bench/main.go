@@ -8,11 +8,16 @@
 //	BENCH_components.json   monolithic vs component-decomposed solving on
 //	                        the clustered benchmark, cold and incremental,
 //	                        scaling in cluster count
+//	BENCH_repair.json       whole-graph vs component-incremental repair
+//	                        read-out (conflict analysis, confidences,
+//	                        violation counts) on incremental re-solves of
+//	                        the clustered benchmark
 //
 // Usage:
 //
-//	tecore-bench [-out dir] [-scenario incremental|parallel|components|all]
+//	tecore-bench [-out dir] [-scenario incremental|parallel|components|repair|all]
 //	             [-players N] [-clusters N] [-reps R]
+//	             [-assert-repair-speedup X]
 //
 // Timings are medians of R runs on the local machine; absolute numbers
 // are substrate-dependent, ratios (speedup, scaling) are the tracked
@@ -34,14 +39,16 @@ import (
 
 func main() {
 	out := flag.String("out", ".", "directory to write BENCH_*.json into")
-	scenario := flag.String("scenario", "all", "incremental, parallel, components or all")
+	scenario := flag.String("scenario", "all", "incremental, parallel, components, repair or all")
 	players := flag.Int("players", 2000, "FootballDB generator size for the incremental scenario")
-	clusters := flag.Int("clusters", 0, "single cluster count for the components scenario (0 = the 50/150/400 sweep)")
+	clusters := flag.Int("clusters", 0, "single cluster count for the components/repair scenarios (0 = the default sweep)")
 	reps := flag.Int("reps", 3, "runs per measurement (median reported)")
+	assertRepair := flag.Float64("assert-repair-speedup", 0,
+		"repair scenario: exit non-zero unless the largest workload's incremental repair speedup reaches this factor (0 = no assertion)")
 	flag.Parse()
 
 	switch *scenario {
-	case "incremental", "parallel", "components", "all":
+	case "incremental", "parallel", "components", "repair", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "tecore-bench: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -61,6 +68,12 @@ func main() {
 	if *scenario == "components" || *scenario == "all" {
 		if err := runComponents(*out, *clusters, *reps); err != nil {
 			fmt.Fprintf(os.Stderr, "tecore-bench: components: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *scenario == "repair" || *scenario == "all" {
+		if err := runRepair(*out, *clusters, *reps, *assertRepair); err != nil {
+			fmt.Fprintf(os.Stderr, "tecore-bench: repair: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -325,6 +338,140 @@ func runComponents(dir string, clusters, reps int) error {
 		report.Scenarios = append(report.Scenarios, sc)
 	}
 	return writeReport(dir, "BENCH_components.json", report)
+}
+
+// RepairScenario compares the repair read-out stage — conflict
+// analysis, confidence propagation, violation counts — between the
+// whole-graph pass and the component-incremental pass at one cluster
+// count, on single-fact update re-solves of a warm session.
+type RepairScenario struct {
+	Clusters int `json:"clusters"`
+	Facts    int `json:"facts"`
+	// Components is the conflict-component count of the decomposed
+	// read-out; Repaired/Reused is its per-update split (re-repair work
+	// ∝ dirty components).
+	Components         int `json:"components"`
+	RepairedComponents int `json:"repaired_components"`
+	ReusedComponents   int `json:"reused_components"`
+	// WholeGraphRepairMS is the read-out stage of an incremental
+	// monolithic re-solve (PR 3's whole-graph repair.Resolve, rescanning
+	// every clause); IncrementalRepairMS is the component-decomposed
+	// read-out reusing every clean component's cached unit.
+	WholeGraphRepairMS  float64 `json:"whole_graph_repair_ms"`
+	IncrementalRepairMS float64 `json:"incremental_repair_ms"`
+	Speedup             float64 `json:"speedup"`
+}
+
+// RepairReport is the BENCH_repair.json schema.
+type RepairReport struct {
+	Benchmark  string           `json:"benchmark"`
+	Workload   string           `json:"workload"`
+	Solver     string           `json:"solver"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Scenarios  []RepairScenario `json:"scenarios"`
+}
+
+func runRepair(dir string, clusters, reps int, assertSpeedup float64) error {
+	sizes := []int{100, 400}
+	if clusters > 0 {
+		sizes = []int{clusters}
+	}
+	report := RepairReport{
+		Benchmark:  "BenchmarkRepairStage",
+		Workload:   "clustered (size 6, bridge rate 0.1)",
+		Solver:     tecore.SolverMLN.String(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, n := range sizes {
+		ds := tecore.GenerateClustered(tecore.ClusteredConfig{
+			Clusters: n, ClusterSize: 6, BridgeRate: 0.1, Seed: 11})
+		probe := tecore.NewQuad("player/00001", "playsFor", "club/00001/probe",
+			tecore.MustInterval(1991, 1993), 0.55)
+		sc := RepairScenario{Clusters: n, Facts: len(ds.Graph)}
+
+		// component=false: incremental monolithic session, read-out runs
+		// the whole-graph pass every update. component=true: the
+		// read-out decomposes per component and reuses cached units.
+		for _, component := range []bool{false, true} {
+			s := tecore.NewSession()
+			if err := s.LoadGraph(ds.Graph); err != nil {
+				return err
+			}
+			if err := s.LoadProgramText(tecore.ClusteredProgram); err != nil {
+				return err
+			}
+			opts := tecore.SolveOptions{Solver: tecore.SolverMLN, ComponentSolve: component}
+			if _, err := s.Solve(opts); err != nil {
+				return err
+			}
+			toggle := false
+			var repairMS []float64
+			for i := 0; i < reps*4; i++ {
+				toggle = !toggle
+				if toggle {
+					if err := s.AddFact(probe); err != nil {
+						return err
+					}
+				} else {
+					s.RemoveFact(probe)
+				}
+				// Quiesce the heap so a collection triggered by earlier
+				// iterations' garbage doesn't land inside the timed
+				// read-out stage of either mode.
+				runtime.GC()
+				res, err := s.Solve(opts)
+				if err != nil {
+					return err
+				}
+				if !res.Incremental {
+					return fmt.Errorf("update solve did not take the delta path")
+				}
+				rs := res.Stats.Repair
+				if rs == nil {
+					return fmt.Errorf("solve reported no repair stage stats")
+				}
+				wantMode := tecore.RepairWholeGraph
+				if component {
+					wantMode = tecore.RepairComponents
+				}
+				if rs.Mode != wantMode {
+					return fmt.Errorf("repair mode = %q, want %q", rs.Mode, wantMode)
+				}
+				repairMS = append(repairMS, float64(rs.Total.Nanoseconds())/1e6)
+				if component {
+					sc.Components = rs.Components
+					sc.RepairedComponents = rs.Repaired
+					sc.ReusedComponents = rs.Reused
+				}
+			}
+			sort.Float64s(repairMS)
+			med := repairMS[len(repairMS)/2]
+			if component {
+				sc.IncrementalRepairMS = med
+			} else {
+				sc.WholeGraphRepairMS = med
+			}
+		}
+		if sc.IncrementalRepairMS > 0 {
+			// Guard the division: a zero median would put +Inf in the
+			// report, which JSON cannot encode.
+			sc.Speedup = sc.WholeGraphRepairMS / sc.IncrementalRepairMS
+		}
+		report.Scenarios = append(report.Scenarios, sc)
+	}
+	if err := writeReport(dir, "BENCH_repair.json", report); err != nil {
+		return err
+	}
+	if assertSpeedup > 0 {
+		last := report.Scenarios[len(report.Scenarios)-1]
+		if last.Speedup < assertSpeedup {
+			return fmt.Errorf("incremental repair speedup %.2fx at %d clusters below required %.2fx",
+				last.Speedup, last.Clusters, assertSpeedup)
+		}
+		fmt.Printf("repair speedup assertion ok: %.2fx ≥ %.2fx at %d clusters\n",
+			last.Speedup, assertSpeedup, last.Clusters)
+	}
+	return nil
 }
 
 // ParallelResult is one (solver, workers) wall-clock sample.

@@ -1,12 +1,16 @@
 // Command tecore-gen generates the evaluation datasets of the TeCoRe
-// demo: a FootballDB-profile knowledge graph (player careers) or a
-// Wikidata-profile graph (the five temporal relations of the paper),
-// with optional labelled noise injection.
+// demo: a FootballDB-profile knowledge graph (player careers), a
+// Wikidata-profile graph (the five temporal relations of the paper), or
+// a clustered-conflict graph (many small independent conflict clusters
+// with a tunable inter-cluster bridge rate — the component structure
+// the component-decomposed solver and repair exploit), with optional
+// labelled noise injection.
 //
 // Usage:
 //
 //	tecore-gen -profile football -players 6500 -noise 1.0 -o fb.tq
 //	tecore-gen -profile wikidata -scale 0.01 -o wd.tq [-labels noise.txt]
+//	tecore-gen -profile clustered -clusters 400 -cluster-size 6 -bridge 0.1 -o cl.tq
 package main
 
 import (
@@ -20,36 +24,57 @@ import (
 )
 
 func main() {
-	profile := flag.String("profile", "football", "dataset profile: football or wikidata")
+	profile := flag.String("profile", "football", "dataset profile: football, wikidata or clustered")
 	players := flag.Int("players", 0, "football: number of players (default 6500)")
 	scale := flag.Float64("scale", 0, "wikidata: cardinality scale factor (default 0.01)")
 	noise := flag.Float64("noise", 0, "noise ratio: injected facts per clean fact")
+	clusters := flag.Int("clusters", 0, "clustered: number of conflict clusters (default 100)")
+	clusterSize := flag.Int("cluster-size", 0, "clustered: playsFor facts per cluster (default 6)")
+	bridge := flag.Float64("bridge", 0, "clustered: probability a cluster is bridged to its successor, merging their components (default 0)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("o", "", "output TQuads file (default stdout)")
 	labels := flag.String("labels", "", "optional file for gold noise labels (one statement per line)")
 	rules := flag.String("rules", "", "optional file for the profile's standard constraint set")
 	flag.Parse()
 
-	if err := run(*profile, *players, *scale, *noise, *seed, *out, *labels, *rules); err != nil {
+	cfg := genConfig{
+		profile: *profile, players: *players, scale: *scale, noise: *noise,
+		clusters: *clusters, clusterSize: *clusterSize, bridge: *bridge, seed: *seed,
+	}
+	if err := run(cfg, *out, *labels, *rules); err != nil {
 		fmt.Fprintf(os.Stderr, "tecore-gen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(profile string, players int, scale, noise float64, seed int64, out, labels, rules string) error {
+// genConfig bundles the profile selection and per-profile knobs.
+type genConfig struct {
+	profile               string
+	players               int
+	scale, noise          float64
+	clusters, clusterSize int
+	bridge                float64
+	seed                  int64
+}
+
+func run(cfg genConfig, out, labels, rules string) error {
 	var (
 		ds      *tecore.Dataset
 		program string
 	)
-	switch profile {
+	switch cfg.profile {
 	case "football":
-		ds = tecore.GenerateFootball(tecore.FootballConfig{Players: players, NoiseRatio: noise, Seed: seed})
+		ds = tecore.GenerateFootball(tecore.FootballConfig{Players: cfg.players, NoiseRatio: cfg.noise, Seed: cfg.seed})
 		program = tecore.FootballProgram
 	case "wikidata":
-		ds = tecore.GenerateWikidata(tecore.WikidataConfig{Scale: scale, NoiseRatio: noise, Seed: seed})
+		ds = tecore.GenerateWikidata(tecore.WikidataConfig{Scale: cfg.scale, NoiseRatio: cfg.noise, Seed: cfg.seed})
 		program = tecore.WikidataProgram
+	case "clustered":
+		ds = tecore.GenerateClustered(tecore.ClusteredConfig{
+			Clusters: cfg.clusters, ClusterSize: cfg.clusterSize, BridgeRate: cfg.bridge, Seed: cfg.seed})
+		program = tecore.ClusteredProgram
 	default:
-		return fmt.Errorf("unknown profile %q (want football or wikidata)", profile)
+		return fmt.Errorf("unknown profile %q (want football, wikidata or clustered)", cfg.profile)
 	}
 
 	w := os.Stdout

@@ -14,8 +14,10 @@
 // With -incremental, infer enters a REPL that accepts add/remove/solve
 // commands on stdin and re-solves incrementally after each update. With
 // -components the ground network is partitioned into independent
-// conflict components solved separately (and, in the REPL, cached per
-// component across re-solves); -v prints the component summary.
+// conflict components solved — and conflict-resolved — separately (and,
+// in the REPL, cached per component across re-solves, for the solver
+// stage and the repair read-out alike); -v prints the component and
+// repair-stage summaries.
 package main
 
 import (
@@ -216,6 +218,9 @@ func runInfer(args []string) error {
 	if *verbose && st.Components != nil {
 		printComponentSummary(os.Stdout, st.Components)
 	}
+	if *verbose && st.Repair != nil {
+		printRepairSummary(os.Stdout, st.Repair)
+	}
 	if len(st.RuleViolations) > 0 {
 		fmt.Println("residual violations:")
 		names := make([]string, 0, len(st.RuleViolations))
@@ -267,6 +272,19 @@ func printComponentSummary(w io.Writer, cs *tecore.ComponentStats) {
 	fmt.Fprintln(w, ")")
 	fmt.Fprintf(w, "  sizes:  %s\n", formatTallies(cs.SizeHistogram))
 	fmt.Fprintf(w, "  engines: %s\n", formatTallies(cs.Engines))
+}
+
+// printRepairSummary renders the conflict-resolution read-out stage:
+// how it ran (whole-graph, or per conflict component with caching), the
+// repaired/reused split of a component-decomposed read-out, and the
+// stage timings.
+func printRepairSummary(w io.Writer, rs *tecore.RepairStats) {
+	fmt.Fprintf(w, "repair:            %s", rs.Mode)
+	if rs.Mode == tecore.RepairComponents {
+		fmt.Fprintf(w, " (%d components; %d repaired, %d reused)",
+			rs.Components, rs.Repaired, rs.Reused)
+	}
+	fmt.Fprintf(w, " in %v (analysis %v, merge %v)\n", rs.Total, rs.Analysis, rs.Merge)
 }
 
 // formatTallies renders a tally map as "k=v, k=v" in sorted key order.

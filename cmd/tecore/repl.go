@@ -82,6 +82,13 @@ func runIncrementalREPL(s *tecore.Session, opts tecore.SolveOptions, verbose boo
 					printComponentSummary(out, st.Components)
 				}
 			}
+			if st.Repair != nil && st.Repair.Mode == tecore.RepairComponents {
+				fmt.Fprintf(out, "repair: %d repaired, %d reused from cache (%v)\n",
+					st.Repair.Repaired, st.Repair.Reused, st.Repair.Total)
+			}
+			if verbose && st.Repair != nil {
+				printRepairSummary(out, st.Repair)
+			}
 		case "stats":
 			fmt.Fprintf(out, "facts: %d live (epoch %d), rules: %d\n",
 				s.Store().Len(), s.Store().Epoch(), len(s.Program().Rules))

@@ -36,7 +36,7 @@ type Session struct {
 	prog *logic.Program
 	// progVersion invalidates the cached engine on program changes.
 	progVersion int
-	engine      *engine
+	engine      *solveEngine
 }
 
 // NewSession returns an empty session.

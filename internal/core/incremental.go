@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/ground"
 	"repro/internal/mln"
 	"repro/internal/psl"
@@ -13,12 +14,12 @@ import (
 	"repro/internal/translate"
 )
 
-// engine is the session's cached incremental solve state: a grounder and
-// clause set kept alive across solves, the store epoch they reflect, and
-// the previous solution for warm-starting the solvers. The grounder and
-// clause set depend only on the store and program — switching solvers
-// reuses them and only resets the warm data.
-type engine struct {
+// solveEngine is the session's cached incremental solve state: a
+// grounder and clause set kept alive across solves, the store epoch they
+// reflect, and the previous solution for warm-starting the solvers. The
+// grounder and clause set depend only on the store and program —
+// switching solvers reuses them and only resets the warm data.
+type solveEngine struct {
 	g           *ground.Grounder
 	cs          *ground.ClauseSet
 	epoch       store.Epoch
@@ -41,6 +42,15 @@ type engine struct {
 	// change drops both caches. Parallelism is excluded — results are
 	// identical at every worker count.
 	compOptsKey string
+
+	// compRepair caches per-component repair read-outs alongside the
+	// solver caches. Unlike them it is keyed per (solver, read-out
+	// options): a read-out computed from PSL soft values or under a
+	// different threshold is not the one the requested solve would
+	// produce, so repairKey changes drop it (the per-entry truth check
+	// in repair covers solver-side divergence within one key).
+	compRepair *repair.ComponentCache
+	repairKey  string
 }
 
 // ResetEngine drops the cached incremental solve state. The next Solve
@@ -66,7 +76,7 @@ func (s *Session) RemoveFact(q rdf.Quad) bool {
 // syncEngine reconciles the cached engine with a store delta:
 // retraction first (delete/rederive), then evidence updates, seminaive
 // forward chaining, and delta grounding into the persistent clause set.
-func (s *Session) syncEngine(eng *engine, topts translate.Options, d store.Delta) error {
+func (s *Session) syncEngine(eng *solveEngine, topts translate.Options, d store.Delta) error {
 	epoch := s.st.Epoch()
 	eng.g.Parallelism = topts.Parallelism
 	if err := eng.g.RetractFacts(eng.cs, d.Removed); err != nil {
@@ -124,7 +134,7 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 		// Track conflict components from the start so ComponentSolve can
 		// be toggled per solve and generations stay warm either way.
 		cs.EnableComponentIndex()
-		eng = &engine{g: g, cs: cs, epoch: epoch, progVersion: s.progVersion}
+		eng = &solveEngine{g: g, cs: cs, epoch: epoch, progVersion: s.progVersion}
 		s.engine = eng
 	} else if d := s.st.DeltaSince(eng.epoch); !d.Empty() {
 		if err := s.syncEngine(eng, topts, d); err != nil {
@@ -147,6 +157,8 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 		warmTruth, warmPSL = eng.warmTruth, eng.warmPSL
 	}
 
+	componentSolve := (solver == translate.SolverMLN && topts.MLN.ComponentSolve) ||
+		(solver == translate.SolverPSL && topts.PSL.ComponentSolve)
 	if topts.MLN.ComponentSolve || topts.PSL.ComponentSolve {
 		mlnOpts, pslOpts := topts.MLN, topts.PSL
 		mlnOpts.Parallelism, pslOpts.Parallelism = 0, 0
@@ -156,17 +168,26 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 		}
 	}
 
+	// One shared decomposition per component-decomposed solve: the
+	// solver stage and the repair read-out both consume it, so every
+	// stage sees the identical partition (and the partition cost is paid
+	// once).
+	var plan *engine.Plan
+	if componentSolve {
+		plan = engine.NewPlan(eng.g.Atoms(), eng.cs)
+	}
+
 	out := &translate.Output{Solver: solver, Grounder: eng.g, Clauses: eng.cs}
 	var nextPSL *psl.Warm
 	switch solver {
 	case translate.SolverMLN:
 		var res *mln.Result
 		var err error
-		if topts.MLN.ComponentSolve {
+		if componentSolve {
 			if opts.ColdStart || eng.compMLN == nil {
 				eng.compMLN = mln.NewComponentCache()
 			}
-			res, err = mln.MAPGroundComponents(eng.g, eng.cs, topts.MLN, warmTruth, eng.compMLN)
+			res, err = mln.MAPGroundComponents(eng.g, eng.cs, topts.MLN, warmTruth, eng.compMLN, plan)
 		} else {
 			res, err = mln.MAPGround(eng.g, eng.cs, topts.MLN, warmTruth)
 		}
@@ -182,11 +203,11 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 		var res *psl.Result
 		var next *psl.Warm
 		var err error
-		if topts.PSL.ComponentSolve {
+		if componentSolve {
 			if opts.ColdStart || eng.compPSL == nil {
 				eng.compPSL = psl.NewComponentCache()
 			}
-			res, next, err = psl.MAPGroundComponents(eng.g, eng.cs, topts.PSL, warmPSL, eng.compPSL)
+			res, next, err = psl.MAPGroundComponents(eng.g, eng.cs, topts.PSL, warmPSL, eng.compPSL, plan)
 		} else {
 			res, next, err = psl.MAPGround(eng.g, eng.cs, topts.PSL, warmPSL)
 		}
@@ -205,7 +226,29 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 	eng.warmTruth = out.Truth
 	eng.warmPSL = nextPSL
 
-	oc, err := repair.Resolve(out, s.prog, repair.Options{Threshold: opts.Threshold})
+	ropts := repair.Options{Threshold: opts.Threshold, Parallelism: topts.Parallelism}
+	var oc *repair.Outcome
+	var err error
+	if componentSolve {
+		// The read-out decomposes along the same plan, with its own
+		// per-component cache: a delta re-repairs only the dirtied
+		// components. The cache is dropped on ColdStart and whenever the
+		// solver, its tuning, or the read-out options change — a cached
+		// unit embeds threshold-filtered facts and solver-specific
+		// confidences (PSL soft values can shift under new engine tuning
+		// without the discrete truth, which the per-entry check covers,
+		// moving at all).
+		rkey := fmt.Sprintf("%v|%+v|%s", solver,
+			repair.Options{Threshold: ropts.Threshold, ConfidenceRounds: ropts.ConfidenceRounds},
+			eng.compOptsKey)
+		if opts.ColdStart || eng.compRepair == nil || rkey != eng.repairKey {
+			eng.compRepair = repair.NewComponentCache()
+			eng.repairKey = rkey
+		}
+		oc, err = repair.ResolveComponents(out, s.prog, ropts, plan, eng.compRepair)
+	} else {
+		oc, err = repair.Resolve(out, s.prog, ropts)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,239 @@
+// Package engine is the shared orchestration layer for
+// component-decomposed incremental work. The ground network of a solve
+// splits into independent conflict components (see
+// internal/ground/components.go); everything the system computes over
+// it — the MLN MaxSAT state, the PSL ADMM state, and the repair
+// read-out — decomposes along that partition. This package owns the
+// machinery all three consumers share, so each backend contributes only
+// its per-component kernel:
+//
+//   - Plan: the decomposition of one solve — canonical atom order,
+//     component partition, and per-component clause gathering in dense
+//     local numbering (index-driven for incremental clause sets, a
+//     global canonical partition otherwise);
+//   - Cache: a generic per-component payload cache keyed by (component
+//     key, generation, membership), the invariant under which a
+//     component's subproblem is provably unchanged;
+//   - Run: the scheduling loop — split components into reusable and
+//     dirty, process dirty ones concurrently on the shared worker pool,
+//     return results in deterministic component order;
+//   - Observe: the stats accounting every consumer reports identically.
+package engine
+
+import (
+	"repro/internal/ground"
+	"repro/internal/par"
+)
+
+// Plan is the component decomposition of one solve over an atom table
+// and its persistent clause set. Build it once per solve (after any
+// incremental sync) and hand it to every consumer — solver and repair —
+// so all stages see the identical partition. A Plan is read-only after
+// construction and safe for concurrent use.
+type Plan struct {
+	// Atoms is the atom table the truth vectors index.
+	Atoms *ground.AtomTable
+	// Order is the canonical solve order over the live atoms.
+	Order []ground.AtomID
+	// VarOf maps atom ids to canonical variable indexes (-1 when
+	// retracted).
+	VarOf []int32
+	// Comps is the conflict-component partition of Order, each
+	// component listing its atoms in canonical order.
+	Comps []ground.Component
+
+	cs         *ground.ClauseSet
+	compOfVar  []int32
+	localOfVar []int32
+	// gathered/slots hold the global partition of canonical clauses on
+	// the index-less path; nil when the atom index drives per-component
+	// gathering instead.
+	gathered [][]ground.Clause
+	slots    [][]int32
+}
+
+// NewPlan partitions the clause set's ground network into conflict
+// components in canonical order. Without an atom index on cs the
+// per-component clauses are partitioned globally here (the one-shot
+// path); with one, Clauses gathers each component's own clauses on
+// demand, so incremental work stays proportional to the dirty
+// components.
+func NewPlan(atoms *ground.AtomTable, cs *ground.ClauseSet) *Plan {
+	order := ground.CanonicalAtoms(atoms)
+	varOf := ground.CanonicalVarMap(atoms, order)
+	p := &Plan{
+		Atoms: atoms,
+		Order: order,
+		VarOf: varOf,
+		Comps: cs.Components(order),
+		cs:    cs,
+	}
+	// Var → (component, local index); components list their atoms in
+	// canonical order, so local numbering is the canonical order
+	// restricted to the component.
+	p.compOfVar = make([]int32, len(order))
+	p.localOfVar = make([]int32, len(order))
+	for ci := range p.Comps {
+		for li, a := range p.Comps[ci].Atoms {
+			v := varOf[a]
+			p.compOfVar[v] = int32(ci)
+			p.localOfVar[v] = int32(li)
+		}
+	}
+	if !cs.HasAtomIndex() {
+		p.gatherGlobal()
+	}
+	return p
+}
+
+// Local maps a global atom id to its component-local variable.
+func (p *Plan) Local(a ground.AtomID) int32 { return p.localOfVar[p.VarOf[a]] }
+
+// Clauses returns component i's live clauses in canonical order,
+// remapped into the component's dense local variable space, plus their
+// stable clause-set slots (for keying per-clause warm state). With the
+// atom index the gather walks only the component's own clauses —
+// incremental work stays proportional to what the delta dirtied — and
+// produces the same canonical clause sequence the index-less global
+// partition computes (ComponentClauses' contract). Safe to call
+// concurrently for different components.
+func (p *Plan) Clauses(i int) ([]ground.Clause, []int32) {
+	if p.gathered != nil {
+		return p.gathered[i], p.slots[i]
+	}
+	return p.cs.ComponentClauses(p.Comps[i].Atoms, p.Local)
+}
+
+// gatherGlobal partitions the canonical clause list across components —
+// the index-less path, where per-component gathering has nothing to
+// walk. Canonical literals index canonical variable space; they are
+// remapped to the component-local numbering the subproblems use.
+func (p *Plan) gatherGlobal() {
+	canon, slots := ground.CanonicalClauses(p.cs, p.VarOf)
+	p.gathered = make([][]ground.Clause, len(p.Comps))
+	p.slots = make([][]int32, len(p.Comps))
+	for k, c := range canon {
+		ci := p.compOfVar[c.Lits[0].Atom]
+		remapped := make([]ground.Lit, len(c.Lits))
+		for i, l := range c.Lits {
+			remapped[i] = ground.Lit{Atom: ground.AtomID(p.localOfVar[l.Atom]), Neg: l.Neg}
+		}
+		c.Lits = remapped
+		p.gathered[ci] = append(p.gathered[ci], c)
+		p.slots[ci] = append(p.slots[ci], slots[k])
+	}
+}
+
+// Observe accounts component i into a component-decomposed solve's
+// statistics: size histogram always, the solved/reused split and engine
+// tallies according to whether the component's payload was reused from
+// cache ("cached") or computed by the named engine.
+func (p *Plan) Observe(stats *ground.ComponentStats, i int, cached bool, engine string, fallback bool) {
+	stats.Observe(len(p.Comps[i].Atoms))
+	if cached {
+		stats.Reused++
+		stats.Engine("cached")
+		return
+	}
+	stats.Solved++
+	stats.Engine(engine)
+	if fallback {
+		stats.Fallbacks++
+	}
+}
+
+// Cache carries per-component payloads across incremental solves, keyed
+// by (component key, generation, membership) — the triple under which a
+// component's subproblem is provably unchanged. The zero value is not
+// usable; construct with NewCache. A nil *Cache is valid and never
+// hits. Not safe for concurrent use.
+type Cache[V any] struct {
+	entries map[ground.AtomID]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	gen   uint64
+	atoms []ground.AtomID
+	value V
+}
+
+// NewCache returns an empty cache.
+func NewCache[V any]() *Cache[V] {
+	return &Cache[V]{entries: make(map[ground.AtomID]*cacheEntry[V])}
+}
+
+// Lookup returns the cached payload when the component's subproblem is
+// provably unchanged: same key, same generation, same membership.
+func (c *Cache[V]) Lookup(comp *ground.Component) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	e, ok := c.entries[comp.Key]
+	if !ok || e.gen != comp.Gen || len(e.atoms) != len(comp.Atoms) {
+		return zero, false
+	}
+	for i, a := range comp.Atoms {
+		if e.atoms[i] != a {
+			return zero, false
+		}
+	}
+	return e.value, true
+}
+
+// Replace installs this solve's payloads, one per component; entries of
+// components that no longer exist are dropped. A nil cache is a no-op.
+func (c *Cache[V]) Replace(comps []ground.Component, value func(i int) V) {
+	if c == nil {
+		return
+	}
+	fresh := make(map[ground.AtomID]*cacheEntry[V], len(comps))
+	for i := range comps {
+		fresh[comps[i].Key] = &cacheEntry[V]{
+			gen:   comps[i].Gen,
+			atoms: comps[i].Atoms,
+			value: value(i),
+		}
+	}
+	c.entries = fresh
+}
+
+// Run is the shared scheduling loop of a component-decomposed pass. For
+// every component it first offers the cached payload (if any) to reuse;
+// a false return — stale by the consumer's own criteria, e.g. an
+// unconverged ADMM iterate — demotes the component to dirty. Dirty
+// components are then processed concurrently on the shared worker pool
+// (each kernel call must itself be sequential; the pool parallelises
+// across components) and results land in deterministic component order.
+// The returned cached slice marks the components whose payload was
+// reused. Workers must only read shared state — all index maintenance
+// happens at sequential points.
+func Run[V, R any](p *Plan, parallelism int, cache *Cache[V],
+	reuse func(i int, v V) (R, bool),
+	solve func(i int) (R, error),
+) (results []R, cached []bool, err error) {
+	results = make([]R, len(p.Comps))
+	cached = make([]bool, len(p.Comps))
+	var dirty []int
+	for i := range p.Comps {
+		if v, ok := cache.Lookup(&p.Comps[i]); ok {
+			if r, fresh := reuse(i, v); fresh {
+				results[i] = r
+				cached[i] = true
+				continue
+			}
+		}
+		dirty = append(dirty, i)
+	}
+	workers := par.Workers(parallelism)
+	errs := make([]error, len(dirty))
+	par.Do(len(dirty), workers, func(k int) {
+		results[dirty[k]], errs[k] = solve(dirty[k])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return results, cached, nil
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ground"
+)
+
+func comp(key ground.AtomID, gen uint64, atoms ...ground.AtomID) ground.Component {
+	return ground.Component{Key: key, Gen: gen, Atoms: atoms}
+}
+
+// TestCacheLookupInvariant: a payload is returned only under the exact
+// (key, generation, membership) triple it was stored under.
+func TestCacheLookupInvariant(t *testing.T) {
+	c := NewCache[string]()
+	comps := []ground.Component{comp(0, 3, 0, 1), comp(2, 5, 2)}
+	c.Replace(comps, func(i int) string { return []string{"a", "b"}[i] })
+
+	if v, ok := c.Lookup(&comps[0]); !ok || v != "a" {
+		t.Fatalf("exact match not returned: %q %v", v, ok)
+	}
+	cases := []struct {
+		name string
+		c    ground.Component
+	}{
+		{"unknown key", comp(7, 3, 7)},
+		{"stale generation", comp(0, 4, 0, 1)},
+		{"membership grew", comp(0, 3, 0, 1, 2)},
+		{"membership differs", comp(0, 3, 0, 2)},
+	}
+	for _, tc := range cases {
+		if _, ok := c.Lookup(&tc.c); ok {
+			t.Errorf("%s: stale payload reused", tc.name)
+		}
+	}
+
+	// Replace drops entries of components that no longer exist.
+	c.Replace(comps[:1], func(i int) string { return "a2" })
+	if _, ok := c.Lookup(&comps[1]); ok {
+		t.Error("entry of a vanished component survived Replace")
+	}
+	if v, ok := c.Lookup(&comps[0]); !ok || v != "a2" {
+		t.Errorf("replaced payload not returned: %q %v", v, ok)
+	}
+}
+
+// TestNilCache: a nil cache never hits and ignores Replace — the
+// cacheless one-shot path.
+func TestNilCache(t *testing.T) {
+	var c *Cache[int]
+	comps := []ground.Component{comp(0, 1, 0)}
+	if _, ok := c.Lookup(&comps[0]); ok {
+		t.Error("nil cache returned a payload")
+	}
+	c.Replace(comps, func(int) int { return 1 }) // must not panic
+}
+
+// TestRunReuseAndDirtySplit: cached components are served by the reuse
+// hook, a reuse veto demotes to dirty, and results land in component
+// order regardless of scheduling.
+func TestRunReuseAndDirtySplit(t *testing.T) {
+	comps := []ground.Component{comp(0, 1, 0), comp(1, 1, 1), comp(2, 1, 2)}
+	p := &Plan{Comps: comps}
+	c := NewCache[int]()
+	c.Replace(comps[:2], func(i int) int { return 10 + i })
+
+	vetoed := 0
+	results, cached, err := Run(p, 1, c,
+		func(i int, v int) (int, bool) {
+			if i == 1 {
+				vetoed++ // consumer-side staleness (e.g. unconverged ADMM)
+				return 0, false
+			}
+			return v, true
+		},
+		func(i int) (int, error) { return 100 + i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vetoed != 1 {
+		t.Fatalf("reuse hook vetoed %d times, want 1", vetoed)
+	}
+	want := []int{10, 101, 102}
+	wantCached := []bool{true, false, false}
+	for i := range comps {
+		if results[i] != want[i] || cached[i] != wantCached[i] {
+			t.Fatalf("component %d: got (%d, %v), want (%d, %v)",
+				i, results[i], cached[i], want[i], wantCached[i])
+		}
+	}
+}
+
+// TestRunPropagatesError: any dirty component's error fails the run.
+func TestRunPropagatesError(t *testing.T) {
+	p := &Plan{Comps: []ground.Component{comp(0, 1, 0), comp(1, 1, 1)}}
+	boom := errors.New("boom")
+	_, _, err := Run[int](p, 1, nil,
+		func(i int, v int) (int, bool) { return v, true },
+		func(i int) (int, error) {
+			if i == 1 {
+				return 0, boom
+			}
+			return 0, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestObserveAccounting: the shared stats accounting matches what every
+// consumer used to do by hand.
+func TestObserveAccounting(t *testing.T) {
+	p := &Plan{Comps: []ground.Component{comp(0, 1, 0, 1, 2), comp(3, 1, 3)}}
+	stats := &ground.ComponentStats{}
+	p.Observe(stats, 0, false, "exact", false)
+	p.Observe(stats, 1, true, "ignored", false)
+	if stats.Count != 2 || stats.Largest != 3 {
+		t.Errorf("histogram accounting wrong: %+v", stats)
+	}
+	if stats.Solved != 1 || stats.Reused != 1 {
+		t.Errorf("solved/reused split wrong: %+v", stats)
+	}
+	if stats.Engines["exact"] != 1 || stats.Engines["cached"] != 1 {
+		t.Errorf("engine tallies wrong: %+v", stats)
+	}
+	p.Observe(stats, 1, false, "local", true)
+	if stats.Fallbacks != 1 {
+		t.Errorf("fallback not accounted: %+v", stats)
+	}
+}

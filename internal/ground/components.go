@@ -289,21 +289,7 @@ func (cs *ClauseSet) HasAtomIndex() bool { return cs.byAtom != nil }
 // inputs byte-identical to the cold path's. The returned slots give each
 // clause's stable slot in cs, for keying warm-start state.
 func (cs *ClauseSet) ComponentClauses(atoms []AtomID, local func(AtomID) int32) ([]Clause, []int32) {
-	var slots []int32
-	seen := make(map[int32]bool)
-	for _, a := range atoms {
-		for _, at := range cs.byAtom[a] {
-			if cs.dead != nil && cs.dead[at] {
-				continue
-			}
-			if seen[at] {
-				continue
-			}
-			seen[at] = true
-			slots = append(slots, at)
-		}
-	}
-	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	slots := cs.ComponentSlots(atoms)
 	out := make([]Clause, len(slots))
 	for k, at := range slots {
 		c := &cs.clauses[at]
@@ -331,6 +317,47 @@ func (cs *ClauseSet) ComponentClauses(atoms []AtomID, local func(AtomID) int32) 
 		sortedSlots[i] = slots[p]
 	}
 	return sorted, sortedSlots
+}
+
+// ComponentSlots gathers the live clause slots touching the given
+// atoms, each once, in stable slot order — the component-restricted
+// counterpart of a full ForEachSlot pass, for consumers (the repair
+// read-out) that need grounding identity rather than a dense
+// subproblem. Because a clause's atoms all belong to one conflict
+// component, passing a component's atom set yields exactly its
+// clauses, in the same relative order ForEachSlot would visit them —
+// which is what keeps per-component read-outs byte-identical to
+// whole-graph ones. Gather once and iterate with ForEachSlots as often
+// as needed. EnableAtomIndex must have been called. Safe to call
+// concurrently for disjoint components.
+func (cs *ClauseSet) ComponentSlots(atoms []AtomID) []int32 {
+	var slots []int32
+	seen := make(map[int32]bool)
+	for _, a := range atoms {
+		for _, at := range cs.byAtom[a] {
+			if cs.dead != nil && cs.dead[at] {
+				continue
+			}
+			if seen[at] {
+				continue
+			}
+			seen[at] = true
+			slots = append(slots, at)
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	return slots
+}
+
+// ForEachSlots invokes fn for the given clause slots in order, until fn
+// returns false. The slots must be live (as returned by
+// ComponentSlots); the clause must not be modified.
+func (cs *ClauseSet) ForEachSlots(slots []int32, fn func(slot int32, c *Clause) bool) {
+	for _, at := range slots {
+		if !fn(at, &cs.clauses[at]) {
+			return
+		}
+	}
 }
 
 // resplit re-derives the dirty components: their live atoms are

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/ground"
 	"repro/internal/maxsat"
-	"repro/internal/par"
 )
 
 // Component-decomposed MAP inference.
@@ -15,43 +15,31 @@ import (
 // the ground network splits into independent conflict components and the
 // MaxSAT objective decomposes exactly across them: solving each
 // component separately and concatenating the assignments yields an
-// optimum of the whole network. The orchestrator below exploits that
-// three ways:
+// optimum of the whole network. The orchestration — partitioning, the
+// reusable/dirty split, concurrent scheduling with a deterministic
+// merge order, and the (key, generation, membership) solution cache —
+// lives in internal/engine and is shared with the PSL backend and the
+// repair read-out; this file contributes only the MaxSAT kernel:
 //
 //   - engine specialisation: small components go to the exact
 //     branch-and-bound (provably optimal), large ones to local search;
 //     a component whose exact search exhausts its node limit falls back
 //     to local search rather than keeping the partial result;
-//   - parallelism: components solve concurrently on the shared worker
-//     pool, with a sequential merge in deterministic component order, so
-//     the MAP state is identical at every Parallelism setting;
-//   - incremental caching: a ComponentCache keyed by (component key,
-//     generation, membership) lets a delta re-solve only the components
-//     it dirtied — re-solve cost is proportional to the conflict
-//     actually affected, not the knowledge graph.
-//
-// Per-component subproblems are built in the same canonical order as the
-// monolithic path (solveGround) restricted to the component, so when
-// both sides solve exactly — where the optimum is unique — the
-// component-decomposed MAP state is identical to the monolithic one.
+//   - per-component subproblems built in the same canonical order as
+//     the monolithic path (solveGround) restricted to the component, so
+//     when both sides solve exactly — where the optimum is unique — the
+//     component-decomposed MAP state is identical to the monolithic one.
 
 // ComponentCache carries per-component MAP solutions across the
-// incremental engine's solves. The zero value is not usable; construct
-// with NewComponentCache. Not safe for concurrent use.
-type ComponentCache struct {
-	entries map[ground.AtomID]*compEntry
-}
+// incremental engine's solves. Construct with NewComponentCache. Not
+// safe for concurrent use.
+type ComponentCache = engine.Cache[compEntry]
 
 // NewComponentCache returns an empty cache.
-func NewComponentCache() *ComponentCache {
-	return &ComponentCache{entries: make(map[ground.AtomID]*compEntry)}
-}
+func NewComponentCache() *ComponentCache { return engine.NewCache[compEntry]() }
 
 type compEntry struct {
-	gen     uint64
-	atoms   []ground.AtomID
-	truth   []bool // aligned with atoms
-	engine  string
+	truth   []bool // aligned with the component's atoms
 	optimal bool
 }
 
@@ -61,7 +49,6 @@ type compResult struct {
 	engine   string
 	optimal  bool
 	fallback bool
-	cached   bool
 }
 
 // MAPGroundComponents computes the MAP state over an already-closed
@@ -70,12 +57,14 @@ type compResult struct {
 // MAPGround. warm, when non-nil, is the previous MAP state by atom id
 // (used as a per-component warm start); cache, when non-nil, is
 // consulted for unchanged components and updated with this solve's
-// solutions.
-func MAPGroundComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm []bool, cache *ComponentCache) (*Result, error) {
+// solutions. plan, when non-nil, is the shared decomposition built by
+// the caller (so solver and repair stages see the identical partition);
+// nil builds one here.
+func MAPGroundComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm []bool, cache *ComponentCache, plan *engine.Plan) (*Result, error) {
 	opts = opts.withDefaults()
 	g.Parallelism = opts.Parallelism
 	start := time.Now()
-	res, err := solveComponents(g, cs, opts, warm, cache)
+	res, err := solveComponents(g, cs, opts, warm, cache, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -91,118 +80,41 @@ func MAPGroundComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options,
 // differ from the monolithic number only in floating-point summation
 // order (clauses are folded in stable slot order rather than the
 // monolithic problem order).
-func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm []bool, cache *ComponentCache) (*Result, error) {
+func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm []bool, cache *ComponentCache, plan *engine.Plan) (*Result, error) {
 	atoms := g.Atoms()
-	order := ground.CanonicalAtoms(atoms)
-	varOf := ground.CanonicalVarMap(atoms, order)
-	comps := cs.Components(order)
-
-	// Var → (component, local index); components list their atoms in
-	// canonical order, so local numbering is the canonical order
-	// restricted to the component.
-	compOfVar := make([]int32, len(order))
-	localOfVar := make([]int32, len(order))
-	for ci := range comps {
-		for li, a := range comps[ci].Atoms {
-			v := varOf[a]
-			compOfVar[v] = int32(ci)
-			localOfVar[v] = int32(li)
-		}
+	if plan == nil {
+		plan = engine.NewPlan(atoms, cs)
 	}
 
-	// Split reusable from dirty components.
-	results := make([]compResult, len(comps))
-	var dirty []int
-	for i := range comps {
-		if e := cacheLookup(cache, &comps[i]); e != nil {
-			results[i] = compResult{truth: e.truth, engine: "cached", optimal: e.optimal, cached: true}
-			continue
-		}
-		dirty = append(dirty, i)
-	}
-
-	// Collect each dirty component's clauses. With the atom index the
-	// gather walks only the dirty components' own clauses — incremental
-	// solve work stays proportional to what the delta dirtied — and
-	// produces, per component, the same canonical clause sequence the
-	// index-less global path computes (ComponentClauses' contract).
-	compClauses := make([][]ground.Clause, len(comps))
-	local := func(a ground.AtomID) int32 { return localOfVar[varOf[a]] }
-	if !cs.HasAtomIndex() {
-		canon, _ := ground.CanonicalClauses(cs, varOf)
-		for _, c := range canon {
-			ci := compOfVar[c.Lits[0].Atom]
-			compClauses[ci] = append(compClauses[ci], c)
-		}
-		// Canonical literals index canonical variable space; remap to the
-		// component-local numbering the subproblems use.
-		for ci := range compClauses {
-			for k := range compClauses[ci] {
-				lits := compClauses[ci][k].Lits
-				remapped := make([]ground.Lit, len(lits))
-				for i, l := range lits {
-					remapped[i] = ground.Lit{Atom: ground.AtomID(localOfVar[l.Atom]), Neg: l.Neg}
-				}
-				compClauses[ci][k].Lits = remapped
-			}
-		}
-	}
-
-	// Solve dirty components concurrently; each subsolve runs
-	// sequentially (Parallelism 1), the pool parallelises across
-	// components. Workers only read the clause set (gather) and the atom
-	// table — all index maintenance happened at sequential points.
-	workers := par.Workers(opts.Parallelism)
-	errs := make([]error, len(dirty))
-	par.Do(len(dirty), workers, func(k int) {
-		i := dirty[k]
-		clauses := compClauses[i]
-		if cs.HasAtomIndex() {
-			clauses, _ = cs.ComponentClauses(comps[i].Atoms, local)
-		}
-		results[i], errs[k] = solveComponent(atoms, &comps[i], clauses, opts, warm)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("mln: %w", err)
-		}
+	results, cached, err := engine.Run(plan, opts.Parallelism, cache,
+		func(i int, e compEntry) (compResult, bool) {
+			return compResult{truth: e.truth, engine: "cached", optimal: e.optimal}, true
+		},
+		func(i int) (compResult, error) {
+			clauses, _ := plan.Clauses(i)
+			return solveComponent(atoms, &plan.Comps[i], clauses, opts, warm)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("mln: %w", err)
 	}
 
 	// Deterministic merge in component order + statistics.
 	truth := make([]bool, atoms.Len())
 	stats := &ground.ComponentStats{}
 	optimal := true
-	for i := range comps {
+	for i := range plan.Comps {
 		r := &results[i]
-		for li, a := range comps[i].Atoms {
+		for li, a := range plan.Comps[i].Atoms {
 			truth[a] = r.truth[li]
 		}
-		stats.Observe(len(comps[i].Atoms))
-		if r.cached {
-			stats.Reused++
-			stats.Engine("cached")
-		} else {
-			stats.Solved++
-			stats.Engine(r.engine)
-			if r.fallback {
-				stats.Fallbacks++
-			}
-		}
+		plan.Observe(stats, i, cached[i], r.engine, r.fallback)
 		optimal = optimal && r.optimal
 	}
-	if cache != nil {
-		fresh := make(map[ground.AtomID]*compEntry, len(comps))
-		for i := range comps {
-			fresh[comps[i].Key] = &compEntry{
-				gen: comps[i].Gen, atoms: comps[i].Atoms,
-				truth: results[i].truth, engine: results[i].engine,
-				optimal: results[i].optimal,
-			}
-		}
-		cache.entries = fresh
-	}
+	cache.Replace(plan.Comps, func(i int) compEntry {
+		return compEntry{truth: results[i].truth, optimal: results[i].optimal}
+	})
 
-	cost, hardOK := evaluateState(atoms, order, cs, truth, opts)
+	cost, hardOK := evaluateState(atoms, plan.Order, cs, truth, opts)
 	return &Result{
 		Truth:         truth,
 		Cost:          cost,
@@ -212,24 +124,6 @@ func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, war
 		GroundClauses: cs.Len(),
 		Components:    stats,
 	}, nil
-}
-
-// cacheLookup returns the cached entry when the component's subproblem
-// is provably unchanged: same key, same generation, same membership.
-func cacheLookup(cache *ComponentCache, comp *ground.Component) *compEntry {
-	if cache == nil {
-		return nil
-	}
-	e, ok := cache.entries[comp.Key]
-	if !ok || e.gen != comp.Gen || len(e.atoms) != len(comp.Atoms) {
-		return nil
-	}
-	for i, a := range comp.Atoms {
-		if e.atoms[i] != a {
-			return nil
-		}
-	}
-	return e
 }
 
 // solveComponent builds the component's weighted MaxSAT subproblem from
@@ -265,7 +159,7 @@ func solveComponent(atoms *ground.AtomTable, comp *ground.Component, clauses []g
 	}
 
 	mopts := opts.MaxSAT
-	mopts.Parallelism = 1
+	mopts.Parallelism = 1 // the pool parallelises across components
 	if warm != nil {
 		w := make([]bool, n)
 		for li, a := range comp.Atoms {

@@ -153,7 +153,7 @@ func MAP(g *ground.Grounder, prog *logic.Program, opts Options) (*Result, error)
 	}
 	var res *Result
 	if opts.ComponentSolve {
-		res, err = solveComponents(g, cs, opts, nil, nil)
+		res, err = solveComponents(g, cs, opts, nil, nil, nil)
 	} else {
 		res, err = solveGround(g, cs, opts, nil)
 	}

@@ -3,8 +3,8 @@ package psl
 import (
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/ground"
-	"repro/internal/par"
 )
 
 // Component-decomposed HL-MRF MAP inference.
@@ -12,12 +12,13 @@ import (
 // The HL-MRF objective is a sum of per-potential hinges plus separable
 // per-atom priors, so it decomposes exactly across the conflict
 // components of the ground network: running consensus ADMM per component
-// minimises the same objective. Each component converges on its own
-// residuals (rather than waiting for a global criterion), components run
-// concurrently on the shared worker pool with a deterministic sequential
-// merge, and a ComponentCache keyed by (component key, generation,
-// membership) carries converged iterates across incremental solves so a
-// delta re-runs ADMM only inside the components it dirtied.
+// minimises the same objective. The orchestration — partitioning, the
+// reusable/dirty split, concurrent scheduling with a deterministic
+// merge order, and the (key, generation, membership) iterate cache —
+// lives in internal/engine and is shared with the MLN backend and the
+// repair read-out; this file contributes only the ADMM kernel. Each
+// component converges on its own residuals rather than waiting for a
+// global criterion.
 //
 // Because per-component ADMM stops on per-component residuals, the
 // converged soft values can differ from the monolithic solve's within
@@ -29,26 +30,21 @@ import (
 // ComponentCache carries per-component converged ADMM iterates across
 // the incremental engine's solves. Construct with NewComponentCache.
 // Not safe for concurrent use.
-type ComponentCache struct {
-	entries map[ground.AtomID]*compEntry
-}
+type ComponentCache = engine.Cache[compEntry]
 
 // NewComponentCache returns an empty cache.
-func NewComponentCache() *ComponentCache {
-	return &ComponentCache{entries: make(map[ground.AtomID]*compEntry)}
-}
+func NewComponentCache() *ComponentCache { return engine.NewCache[compEntry]() }
 
 type compEntry struct {
-	gen   uint64
-	atoms []ground.AtomID
-	// values and truth are aligned with atoms; z and u are keyed by the
-	// potentials' stable clause-set slots.
+	// values and truth are aligned with the component's atoms; z and u
+	// are keyed by the potentials' stable clause-set slots.
 	values []float64
 	truth  []bool
 	z, u   map[int32][]float64
 	// converged records whether ADMM met its tolerance; unconverged
-	// entries are never reused (see cacheLookup), so the component is
-	// iterated again — warm-started — on the next solve.
+	// entries are never reused (the reuse hook demotes them to dirty),
+	// so the component is iterated again — warm-started — on the next
+	// solve.
 	converged bool
 }
 
@@ -61,7 +57,6 @@ type compState struct {
 	primal      float64
 	dual        float64
 	repairFlips int
-	cached      bool
 }
 
 // MAPGroundComponents computes the HL-MRF MAP state over an
@@ -69,83 +64,46 @@ type compState struct {
 // per conflict component — the component-decomposed counterpart of
 // MAPGround. warm, when non-nil, seeds dirty components from the
 // previous solve's iterates; cache, when non-nil, is consulted for
-// unchanged components and updated with this solve's iterates. The
-// returned Warm feeds the next solve, exactly like MAPGround's.
-func MAPGroundComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm *Warm, cache *ComponentCache) (*Result, *Warm, error) {
+// unchanged components and updated with this solve's iterates. plan,
+// when non-nil, is the shared decomposition built by the caller; nil
+// builds one here. The returned Warm feeds the next solve, exactly like
+// MAPGround's.
+func MAPGroundComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm *Warm, cache *ComponentCache, plan *engine.Plan) (*Result, *Warm, error) {
 	opts = opts.withDefaults()
 	g.Parallelism = opts.Parallelism
 	start := time.Now()
-	res, next := solveComponents(g, cs, opts, warm, cache)
+	res, next, err := solveComponents(g, cs, opts, warm, cache, plan)
+	if err != nil {
+		return nil, nil, err
+	}
 	res.Runtime = time.Since(start)
 	return res, next, nil
 }
 
-func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm *Warm, cache *ComponentCache) (*Result, *Warm) {
+func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm *Warm, cache *ComponentCache, plan *engine.Plan) (*Result, *Warm, error) {
 	atoms := g.Atoms()
-	order := ground.CanonicalAtoms(atoms)
-	varOf := ground.CanonicalVarMap(atoms, order)
-	comps := cs.Components(order)
-
-	compOfVar := make([]int32, len(order))
-	localOfVar := make([]int32, len(order))
-	for ci := range comps {
-		for li, a := range comps[ci].Atoms {
-			v := varOf[a]
-			compOfVar[v] = int32(ci)
-			localOfVar[v] = int32(li)
-		}
+	if plan == nil {
+		plan = engine.NewPlan(atoms, cs)
 	}
 
-	results := make([]compState, len(comps))
-	var dirty []int
-	for i := range comps {
-		if e := cacheLookup(cache, &comps[i]); e != nil {
-			results[i] = compState{
-				values: e.values, truth: e.truth, z: e.z, u: e.u,
-				converged: true, cached: true,
+	results, cached, err := engine.Run(plan, opts.Parallelism, cache,
+		func(i int, e compEntry) (compState, bool) {
+			if !e.converged {
+				// An unconverged solve is not a solution to reuse: treat
+				// the component as dirty so ADMM resumes (warm-started from
+				// the previous iterates) instead of freezing the
+				// unconverged state.
+				return compState{}, false
 			}
-			continue
-		}
-		dirty = append(dirty, i)
+			return compState{values: e.values, truth: e.truth, z: e.z, u: e.u, converged: true}, true
+		},
+		func(i int) (compState, error) {
+			pots, slots := hinges(plan, i, opts)
+			return solveComponent(atoms, &plan.Comps[i], pots, slots, opts, warm), nil
+		})
+	if err != nil {
+		return nil, nil, err
 	}
-
-	// Per-component potentials in dense local numbering plus their
-	// stable clause-set slots (for warm duals and caching). With the
-	// atom index, each dirty component gathers only its own clauses —
-	// incremental solve work stays proportional to what the delta
-	// dirtied; without it (the one-shot path) the canonical clause list
-	// is partitioned globally. Both routes produce the identical
-	// per-component potential sequence.
-	compPots := make([][]hinge, len(comps))
-	compSlots := make([][]int32, len(comps))
-	if !cs.HasAtomIndex() {
-		canon, slots := ground.CanonicalClauses(cs, varOf)
-		for k, c := range canon {
-			ci := compOfVar[c.Lits[0].Atom]
-			h := clauseToHinge(c, opts)
-			for i, v := range h.vars {
-				h.vars[i] = localOfVar[v]
-			}
-			compPots[ci] = append(compPots[ci], h)
-			compSlots[ci] = append(compSlots[ci], slots[k])
-		}
-	}
-
-	workers := par.Workers(opts.Parallelism)
-	par.Do(len(dirty), workers, func(k int) {
-		i := dirty[k]
-		pots, slots := compPots[i], compSlots[i]
-		if cs.HasAtomIndex() {
-			local := func(a ground.AtomID) int32 { return localOfVar[varOf[a]] }
-			clauses, gathered := cs.ComponentClauses(comps[i].Atoms, local)
-			pots = make([]hinge, len(clauses))
-			for k, c := range clauses {
-				pots[k] = clauseToHinge(c, opts)
-			}
-			slots = gathered
-		}
-		results[i] = solveComponent(atoms, &comps[i], pots, slots, opts, warm)
-	})
 
 	// Deterministic merge in component order.
 	values := make([]float64, atoms.Len())
@@ -157,9 +115,9 @@ func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, war
 		Z:      make(map[int32][]float64, cs.Len()),
 		U:      make(map[int32][]float64, cs.Len()),
 	}
-	for i := range comps {
+	for i := range plan.Comps {
 		r := &results[i]
-		for li, a := range comps[i].Atoms {
+		for li, a := range plan.Comps[i].Atoms {
 			values[a] = r.values[li]
 			truth[a] = r.truth[li]
 		}
@@ -169,14 +127,7 @@ func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, war
 		for slot, u := range r.u {
 			next.U[slot] = u
 		}
-		stats.Observe(len(comps[i].Atoms))
-		if r.cached {
-			stats.Reused++
-			stats.Engine("cached")
-		} else {
-			stats.Solved++
-			stats.Engine("admm")
-		}
+		plan.Observe(stats, i, cached[i], "admm", false)
 		if r.iterations > res.Iterations {
 			res.Iterations = r.iterations
 		}
@@ -189,44 +140,29 @@ func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, war
 		res.Converged = res.Converged && r.converged
 		res.RepairFlips += r.repairFlips
 	}
-	if cache != nil {
-		fresh := make(map[ground.AtomID]*compEntry, len(comps))
-		for i := range comps {
-			fresh[comps[i].Key] = &compEntry{
-				gen: comps[i].Gen, atoms: comps[i].Atoms,
-				values: results[i].values, truth: results[i].truth,
-				z: results[i].z, u: results[i].u,
-				converged: results[i].converged,
-			}
+	cache.Replace(plan.Comps, func(i int) compEntry {
+		return compEntry{
+			values: results[i].values, truth: results[i].truth,
+			z: results[i].z, u: results[i].u,
+			converged: results[i].converged,
 		}
-		cache.entries = fresh
-	}
+	})
 	res.Values = values
 	res.Truth = truth
 	res.Components = stats
-	return res, next
+	return res, next, nil
 }
 
-func cacheLookup(cache *ComponentCache, comp *ground.Component) *compEntry {
-	if cache == nil {
-		return nil
+// hinges converts component i's clauses (already in dense local
+// numbering) into its HL-MRF potentials plus their stable clause-set
+// slots (for warm duals and caching).
+func hinges(plan *engine.Plan, i int, opts Options) ([]hinge, []int32) {
+	clauses, slots := plan.Clauses(i)
+	pots := make([]hinge, len(clauses))
+	for k, c := range clauses {
+		pots[k] = clauseToHinge(c, opts)
 	}
-	e, ok := cache.entries[comp.Key]
-	if !ok || e.gen != comp.Gen || len(e.atoms) != len(comp.Atoms) {
-		return nil
-	}
-	if !e.converged {
-		// An unconverged solve is not a solution to reuse: treat the
-		// component as dirty so ADMM resumes (warm-started from the
-		// previous iterates) instead of freezing the unconverged state.
-		return nil
-	}
-	for i, a := range comp.Atoms {
-		if e.atoms[i] != a {
-			return nil
-		}
-	}
-	return e
+	return pots, slots
 }
 
 // solveComponent runs consensus ADMM over one component's potentials

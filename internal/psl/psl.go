@@ -155,7 +155,10 @@ func MAP(g *ground.Grounder, prog *logic.Program, opts Options) (*Result, error)
 	}
 	var res *Result
 	if opts.ComponentSolve {
-		res, _ = solveComponents(g, cs, opts, nil, nil)
+		res, _, err = solveComponents(g, cs, opts, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		res, _ = solveGround(g, cs, opts, nil)
 	}

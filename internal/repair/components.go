@@ -1,0 +1,171 @@
+package repair
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/ground"
+	"repro/internal/logic"
+	"repro/internal/translate"
+)
+
+// Component-decomposed conflict resolution.
+//
+// Clauses never cross conflict components, so every piece of the
+// read-out — fact classification, confidence propagation, conflict
+// clusters, explanations, violation counts — is a per-component
+// computation followed by a deterministic merge. ResolveComponents is
+// the repair layer's counterpart of the solvers' MAPGroundComponents:
+// it runs one resolveUnit per component on the shared orchestration
+// layer (internal/engine), caches each component's finished read-out
+// under (component key, generation, membership) plus the component's
+// MAP assignment, and on an incremental update re-repairs only the
+// components the delta dirtied. Reusing a cached unit is sound because
+// a unit depends only on the component's clauses, its atoms'
+// evidence/confidence state (both covered by the generation) and its
+// slice of the MAP state (checked explicitly against the cached
+// assignment).
+
+// ComponentCache carries per-component repair read-outs across the
+// incremental engine's solves, plus the reusable confidence scratch
+// buffer (per-update allocation churn on the read-out hot path shows up
+// directly in repair-stage latency). Construct with NewComponentCache.
+// Not safe for concurrent use. The cache must be dropped when anything
+// outside the (generation, truth) invariant changes the read-out: a
+// threshold or solver change, or a ColdStart (core.Session does this).
+type ComponentCache struct {
+	units *engine.Cache[compUnit]
+	conf  []float64 // scratch, indexed by atom id
+}
+
+// NewComponentCache returns an empty cache.
+func NewComponentCache() *ComponentCache {
+	return &ComponentCache{units: engine.NewCache[compUnit]()}
+}
+
+// confScratch returns a zero-filling-free confidence buffer covering n
+// atoms; units overwrite their own scope's entries before reading them.
+func (c *ComponentCache) confScratch(n int) []float64 {
+	if c == nil {
+		return make([]float64, n)
+	}
+	if cap(c.conf) < n {
+		c.conf = make([]float64, n)
+	}
+	return c.conf[:n]
+}
+
+// compUnit is one component's cached read-out plus the component-local
+// MAP state it was computed under: the discrete assignment and, on the
+// PSL path, the soft values (which feed derived confidences — an
+// unconverged component's ADMM can resume and move them while the
+// discrete truth and the generation both stand still).
+type compUnit struct {
+	unit
+	truth  []bool    // aligned with the component's atoms
+	values []float64 // aligned with the component's atoms; nil for MLN
+}
+
+// ResolveComponents interprets the translator output as a conflict
+// resolution computed per conflict component, reusing cached
+// per-component read-outs for components whose subproblem and MAP
+// assignment are unchanged. plan, when non-nil, is the shared
+// decomposition the solver stage already built; nil builds one here.
+// The merged Outcome is byte-identical to whole-graph Resolve over the
+// same state, at every Parallelism setting. Falls back to whole-graph
+// Resolve when the solve kept no indexed clause set.
+func ResolveComponents(out *translate.Output, prog *logic.Program, opts Options, plan *engine.Plan, cache *ComponentCache) (*Outcome, error) {
+	if out.Clauses == nil || !out.Clauses.HasAtomIndex() {
+		return Resolve(out, prog, opts)
+	}
+	opts = opts.withDefaults()
+	start := time.Now()
+	oc := newOutcome(out)
+	rs := oc.Stats.Repair
+	rs.Mode = RepairComponents
+	rs.Repaired = 0
+
+	atoms := out.Grounder.Atoms()
+	if plan == nil {
+		plan = engine.NewPlan(atoms, out.Clauses)
+	}
+	// Shared across units: each writes only its own component's atoms,
+	// so disjoint components repair concurrently.
+	conf := cache.confScratch(atoms.Len())
+
+	var unitCache *engine.Cache[compUnit]
+	if cache != nil {
+		unitCache = cache.units
+	}
+	analysisStart := time.Now()
+	units, cached, err := engine.Run(plan, opts.Parallelism, unitCache,
+		func(i int, e compUnit) (compUnit, bool) {
+			// The generation covers clauses and evidence state; the MAP
+			// state is the solver's to change, so compare it explicitly
+			// against the cached one — the discrete assignment, and on
+			// the PSL path the soft values too (a re-run of an
+			// unconverged component moves them under an unchanged truth
+			// and generation).
+			for li, a := range plan.Comps[i].Atoms {
+				if e.truth[li] != out.Truth[a] {
+					return compUnit{}, false
+				}
+			}
+			if out.SoftValues != nil {
+				if e.values == nil {
+					return compUnit{}, false
+				}
+				for li, a := range plan.Comps[i].Atoms {
+					if e.values[li] != out.SoftValues[a] {
+						return compUnit{}, false
+					}
+				}
+			}
+			return e, true
+		},
+		func(i int) (compUnit, error) {
+			comp := &plan.Comps[i]
+			// Gather the component's live clause slots once; both passes
+			// of the read-out (confidence supports, conflict/violation
+			// scan) iterate the same list.
+			slots := out.Clauses.ComponentSlots(comp.Atoms)
+			forEach := func(fn func(int32, *ground.Clause) bool) {
+				out.Clauses.ForEachSlots(slots, fn)
+			}
+			u := resolveUnit(out, comp.Atoms, forEach, conf, opts)
+			cu := compUnit{unit: u, truth: make([]bool, len(comp.Atoms))}
+			for li, a := range comp.Atoms {
+				cu.truth[li] = out.Truth[a]
+			}
+			if out.SoftValues != nil {
+				cu.values = make([]float64, len(comp.Atoms))
+				for li, a := range comp.Atoms {
+					cu.values[li] = out.SoftValues[a]
+				}
+			}
+			return cu, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	rs.Analysis = time.Since(analysisStart)
+	rs.Components = len(plan.Comps)
+	for _, c := range cached {
+		if c {
+			rs.Reused++
+		} else {
+			rs.Repaired++
+		}
+	}
+	unitCache.Replace(plan.Comps, func(i int) compUnit { return units[i] })
+
+	mergeStart := time.Now()
+	merged := make([]*unit, len(units))
+	for i := range units {
+		merged[i] = &units[i].unit
+	}
+	assembleOutcome(oc, merged)
+	rs.Merge = time.Since(mergeStart)
+	rs.Total = time.Since(start)
+	return oc, nil
+}

@@ -5,6 +5,16 @@
 // (Figure 8 of the paper: total facts, conflicting facts, per-constraint
 // violation counts, conflict clusters). Derived facts get a propagated
 // confidence and can be filtered by a user threshold.
+//
+// The read-out decomposes along the conflict components of the ground
+// network exactly like the solvers do: every piece — fact
+// classification, confidence propagation, conflict clusters,
+// explanations and violation counts — is computed per clause-connected
+// scope (resolveUnit) and merged deterministically (assembleOutcome).
+// Resolve runs one unit over the whole graph; ResolveComponents (see
+// components.go) runs one unit per conflict component with a
+// per-component cache, so an incremental update re-repairs only the
+// components it dirtied.
 package repair
 
 import (
@@ -29,6 +39,10 @@ type Options struct {
 	// — which is unique and independent of clause iteration order — well
 	// within the bound; the bound only cuts off pathological cascades.
 	ConfidenceRounds int
+	// Parallelism bounds the worker pool of the component-decomposed
+	// read-out (ResolveComponents): 0 uses GOMAXPROCS, 1 forces the
+	// sequential path. The Outcome is identical at every setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +88,39 @@ func (e Explanation) String() string {
 	return s
 }
 
+// Repair modes reported in RepairStats.Mode.
+const (
+	// RepairWholeGraph is one read-out pass over the full ground
+	// program.
+	RepairWholeGraph = "whole-graph"
+	// RepairComponents is the component-decomposed read-out with
+	// per-component caching (ResolveComponents).
+	RepairComponents = "components"
+)
+
+// RepairStats summarises the conflict-resolution read-out stage — the
+// incremental counterpart of the solver's ComponentStats.
+type RepairStats struct {
+	// Mode reports how the read-out ran: RepairWholeGraph or
+	// RepairComponents.
+	Mode string
+	// Components is the number of conflict components the read-out was
+	// decomposed into (component mode only).
+	Components int
+	// Repaired counts components whose read-out was recomputed this
+	// solve; Reused counts components whose cached read-out was kept.
+	// In whole-graph mode Repaired is 1.
+	Repaired int
+	Reused   int
+	// Analysis is the time spent computing (or reusing) the per-scope
+	// read-outs — conflict analysis, confidence propagation, violation
+	// counts; Merge is the deterministic merge into the final Outcome;
+	// Total is the whole read-out stage including orchestration.
+	Analysis time.Duration
+	Merge    time.Duration
+	Total    time.Duration
+}
+
 // Stats summarises the debugging run, mirroring the result statistics
 // display of the demo.
 type Stats struct {
@@ -103,6 +150,10 @@ type Stats struct {
 	// count, size histogram, solved/reused split and per-engine tallies.
 	// Nil when the monolithic path ran.
 	Components *ground.ComponentStats
+	// Repair summarises the conflict-resolution read-out stage: how it
+	// ran (whole-graph or per-component), the repaired/reused component
+	// split, and stage timings.
+	Repair *RepairStats
 }
 
 // Outcome is the full result of temporal conflict resolution.
@@ -135,126 +186,250 @@ func (o *Outcome) ConsistentGraph() rdf.Graph {
 	return g
 }
 
-// Resolve interprets the translator output as a conflict resolution.
-func Resolve(out *translate.Output, prog *logic.Program, opts Options) (*Outcome, error) {
-	opts = opts.withDefaults()
-	g := out.Grounder
-	atoms := g.Atoms()
+// clauseVisitor walks a scope's live clauses in stable slot order —
+// ForEachSlot for the whole graph, ForEachComponentClause restricted to
+// one component.
+type clauseVisitor func(fn func(slot int32, c *ground.Clause) bool)
+
+// unit is the conflict-resolution read-out of one clause-connected
+// scope: a single conflict component, or the whole graph.
+type unit struct {
+	kept, removed, inferred []Fact
+	thresholdFiltered       int
+	clusters                []cluster
+	violations              map[string]int
+}
+
+// cluster is one connected group of conflicting statements, tagged with
+// its union-find root for a deterministic cross-scope merge order.
+type cluster struct {
+	root ground.AtomID
+	keys []rdf.FactKey
+}
+
+// newOutcome seeds an Outcome with the solver-side statistics.
+func newOutcome(out *translate.Output) *Outcome {
 	oc := &Outcome{Stats: Stats{
 		Solver:  out.Solver.String(),
 		Runtime: out.Runtime,
+		Repair:  &RepairStats{Mode: RepairWholeGraph, Repaired: 1},
 	}}
 	if out.MLN != nil {
 		oc.Stats.Components = out.MLN.Components
 	} else if out.PSL != nil {
 		oc.Stats.Components = out.PSL.Components
 	}
+	return oc
+}
 
-	confidences, err := deriveConfidences(out, prog, opts)
-	if err != nil {
-		return nil, err
-	}
-
+// liveAtoms lists the non-retracted atoms in ascending id order — the
+// whole-graph scope.
+func liveAtoms(atoms *ground.AtomTable) []ground.AtomID {
+	scope := make([]ground.AtomID, 0, atoms.Len())
 	for i := 0; i < atoms.Len(); i++ {
-		id := ground.AtomID(i)
-		info := atoms.Info(id)
-		if info.Retracted {
-			continue // removed fact / no longer derivable: not part of this solve
+		if !atoms.Info(ground.AtomID(i)).Retracted {
+			scope = append(scope, ground.AtomID(i))
 		}
+	}
+	return scope
+}
+
+// Resolve interprets the translator output as a conflict resolution —
+// one read-out unit over the whole graph. When the solve's clause set
+// is unavailable (the cutting-plane and greedy paths) the rule
+// groundings are recovered by re-grounding the program.
+func Resolve(out *translate.Output, prog *logic.Program, opts Options) (*Outcome, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	oc := newOutcome(out)
+	rs := oc.Stats.Repair
+
+	atoms := out.Grounder.Atoms()
+	scope := liveAtoms(atoms)
+	conf := make([]float64, atoms.Len())
+
+	analysisStart := time.Now()
+	var u unit
+	if out.Clauses != nil {
+		u = resolveUnit(out, scope, out.Clauses.ForEachSlot, conf, opts)
+	} else {
+		var err error
+		u, err = resolveRegrounding(out, prog, scope, conf, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rs.Analysis = time.Since(analysisStart)
+
+	mergeStart := time.Now()
+	assembleOutcome(oc, []*unit{&u})
+	rs.Merge = time.Since(mergeStart)
+	rs.Total = time.Since(start)
+	return oc, nil
+}
+
+// resolveUnit computes the read-out of one clause-connected scope from
+// the scope's atoms and its clauses: scoped confidences, fact
+// classification, conflict clusters with removal explanations, and
+// residual violation counts. conf is shared across scopes and indexed
+// by atom id; a unit writes only its own scope's entries, so disjoint
+// scopes can resolve concurrently.
+func resolveUnit(out *translate.Output, scope []ground.AtomID, forEach clauseVisitor, conf []float64, opts Options) unit {
+	propagateConfidences(out, scope, forEach, conf, opts)
+	u := classifyScope(out, scope, conf, opts)
+
+	// Conflict analysis over the scope's constraint groundings (the
+	// all-negative clauses) and violation counts over all of them.
+	atoms := out.Grounder.Atoms()
+	scan := newConflictScan(atoms, out.Truth)
+	u.violations = make(map[string]int)
+	forEach(func(_ int32, c *ground.Clause) bool {
+		if !c.Satisfied(func(a ground.AtomID) bool { return out.Truth[a] }) {
+			u.violations[c.Rule]++
+		}
+		for _, l := range c.Lits {
+			if !l.Neg {
+				return true // inference clause
+			}
+		}
+		scan.process(c)
+		return true
+	})
+	u.attachAnalysis(scan)
+	return u
+}
+
+// classifyScope partitions the scope's atoms into kept/removed/inferred
+// facts given the MAP state and the already-propagated confidences.
+func classifyScope(out *translate.Output, scope []ground.AtomID, conf []float64, opts Options) unit {
+	atoms := out.Grounder.Atoms()
+	var u unit
+	for _, a := range scope {
+		info := atoms.Info(a)
 		if info.Evidence {
-			oc.Stats.TotalFacts++
 			q := rdf.Quad{Subject: info.Key.S, Predicate: info.Key.P, Object: info.Key.O,
 				Interval: info.Key.Interval, Confidence: info.Conf}
-			if out.Truth[i] {
-				oc.Kept = append(oc.Kept, Fact{Quad: q, AtomID: id})
-				oc.Stats.KeptFacts++
+			if out.Truth[a] {
+				u.kept = append(u.kept, Fact{Quad: q, AtomID: a})
 			} else {
-				oc.Removed = append(oc.Removed, Fact{Quad: q, AtomID: id})
-				oc.Stats.RemovedFacts++
-				oc.Stats.RemovedWeight += info.Conf
+				u.removed = append(u.removed, Fact{Quad: q, AtomID: a})
 			}
 			continue
 		}
-		if !out.Truth[i] {
+		if !out.Truth[a] {
 			continue
 		}
-		conf := confidences[i]
-		if conf < opts.Threshold {
-			oc.Stats.ThresholdFiltered++
+		c := conf[a]
+		if c < opts.Threshold {
+			u.thresholdFiltered++
 			continue
 		}
 		q := rdf.Quad{Subject: info.Key.S, Predicate: info.Key.P, Object: info.Key.O,
-			Interval: info.Key.Interval, Confidence: conf}
-		oc.Inferred = append(oc.Inferred, Fact{Quad: q, Derived: true, AtomID: id})
-		oc.Stats.InferredFacts++
+			Interval: info.Key.Interval, Confidence: c}
+		u.inferred = append(u.inferred, Fact{Quad: q, Derived: true, AtomID: a})
 	}
+	return u
+}
 
-	clusters, explanations, err := conflictAnalysis(out, prog)
-	if err != nil {
-		return nil, err
+// attachAnalysis folds a finished conflict scan into the unit: derived
+// clusters, and removal explanations onto the removed facts.
+func (u *unit) attachAnalysis(scan *conflictScan) {
+	u.clusters = scan.clusters()
+	for i := range u.removed {
+		u.removed[i].Explanations = scan.explanations[u.removed[i].AtomID]
 	}
-	oc.Clusters = clusters
-	oc.Stats.ConflictClusters = len(clusters)
-	for i := range oc.Removed {
-		oc.Removed[i].Explanations = explanations[oc.Removed[i].AtomID]
-	}
+}
 
-	oc.Stats.RuleViolations, err = residualViolations(out, prog)
-	if err != nil {
-		return nil, err
+// assembleOutcome merges read-out units into the Outcome: facts sorted
+// by atom id, clusters by union-find root, statistics recomputed over
+// the merged lists in that fixed order — so the merged result is
+// byte-identical to a single whole-graph unit over the same state, and
+// identical at every parallelism setting.
+func assembleOutcome(oc *Outcome, units []*unit) {
+	var nk, nr, ni, nc int
+	for _, u := range units {
+		nk += len(u.kept)
+		nr += len(u.removed)
+		ni += len(u.inferred)
+		nc += len(u.clusters)
+	}
+	oc.Kept = make([]Fact, 0, nk)
+	oc.Removed = make([]Fact, 0, nr)
+	oc.Inferred = make([]Fact, 0, ni)
+	oc.Stats.RuleViolations = make(map[string]int)
+	for _, u := range units {
+		oc.Kept = append(oc.Kept, u.kept...)
+		oc.Removed = append(oc.Removed, u.removed...)
+		oc.Inferred = append(oc.Inferred, u.inferred...)
+		oc.Stats.ThresholdFiltered += u.thresholdFiltered
+		for rule, n := range u.violations {
+			oc.Stats.RuleViolations[rule] += n
+		}
 	}
 	sortFacts(oc.Kept)
 	sortFacts(oc.Removed)
 	sortFacts(oc.Inferred)
-	return oc, nil
+	oc.Stats.KeptFacts = len(oc.Kept)
+	oc.Stats.RemovedFacts = len(oc.Removed)
+	oc.Stats.TotalFacts = len(oc.Kept) + len(oc.Removed)
+	oc.Stats.InferredFacts = len(oc.Inferred)
+	for _, f := range oc.Removed {
+		oc.Stats.RemovedWeight += f.Quad.Confidence
+	}
+
+	clusters := make([]cluster, 0, nc)
+	for _, u := range units {
+		clusters = append(clusters, u.clusters...)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i].root < clusters[j].root })
+	oc.Clusters = make([][]rdf.FactKey, 0, len(clusters))
+	for _, c := range clusters {
+		oc.Clusters = append(oc.Clusters, c.keys)
+	}
+	oc.Stats.ConflictClusters = len(oc.Clusters)
 }
 
 func sortFacts(fs []Fact) {
 	sort.Slice(fs, func(i, j int) bool { return fs[i].AtomID < fs[j].AtomID })
 }
 
-// deriveConfidences assigns confidences to derived atoms. PSL's soft
-// values are used directly. For MLN the confidence propagates through
-// supporting rule groundings: a derivation is as credible as its weakest
-// premise, attenuated by the rule's weight (σ(w)); alternative
-// derivations take the maximum. Evidence atoms keep their input
-// confidence.
-func deriveConfidences(out *translate.Output, prog *logic.Program, opts Options) ([]float64, error) {
+// propagateConfidences assigns confidences to the scope's atoms. PSL's
+// soft values are used directly. For MLN the confidence propagates
+// through supporting rule groundings: a derivation is as credible as
+// its weakest premise, attenuated by the rule's weight (σ(w));
+// alternative derivations take the maximum. Evidence atoms keep their
+// input confidence. Inference clauses never cross conflict components,
+// so scoped propagation reaches the same fixpoint as a whole-graph
+// pass.
+func propagateConfidences(out *translate.Output, scope []ground.AtomID, forEach clauseVisitor, conf []float64, opts Options) {
 	atoms := out.Grounder.Atoms()
-	conf := make([]float64, atoms.Len())
-	for i := 0; i < atoms.Len(); i++ {
-		info := atoms.Info(ground.AtomID(i))
-		if info.Evidence {
-			conf[i] = info.Conf
-		}
-	}
 	if out.SoftValues != nil {
-		for i := range conf {
-			if !atoms.Info(ground.AtomID(i)).Evidence {
-				conf[i] = out.SoftValues[i]
+		for _, a := range scope {
+			if atoms.Info(a).Evidence {
+				conf[a] = atoms.Info(a).Conf
+			} else {
+				conf[a] = out.SoftValues[a]
 			}
 		}
-		return conf, nil
+		return
 	}
-
-	// MLN: propagate along inference clauses (¬b1 ∨ ... ∨ ¬bn ∨ h),
-	// read off the solve's clause set when available (the incremental
-	// path keeps it alive), otherwise re-grounded.
-	cs := out.Clauses
-	if cs == nil {
-		var err error
-		cs, err = out.Grounder.GroundProgram(prog)
-		if err != nil {
-			return nil, fmt.Errorf("repair: %w", err)
+	for _, a := range scope {
+		info := atoms.Info(a)
+		if info.Evidence {
+			conf[a] = info.Conf
+		} else {
+			conf[a] = 0
 		}
 	}
+
+	// MLN: propagate along inference clauses (¬b1 ∨ ... ∨ ¬bn ∨ h).
 	type support struct {
 		head ground.AtomID
 		body []ground.AtomID
 		att  float64 // σ(w)
 	}
 	var supports []support
-	cs.ForEach(func(c *ground.Clause) bool {
+	forEach(func(_ int32, c *ground.Clause) bool {
 		var head ground.AtomID = -1
 		var body []ground.AtomID
 		for _, l := range c.Lits {
@@ -300,138 +475,138 @@ func deriveConfidences(out *translate.Output, prog *logic.Program, opts Options)
 			break
 		}
 	}
-	return conf, nil
 }
 
-// conflictAnalysis grounds the constraints against "everything asserted"
-// and derives both the conflict clusters (connected components over
-// groundings that caused removals) and per-removed-atom explanations:
-// the groundings whose other members all survived, so keeping the
-// removed fact would violate the constraint.
-func conflictAnalysis(out *translate.Output, prog *logic.Program) ([][]rdf.FactKey, map[ground.AtomID][]Explanation, error) {
-	g := out.Grounder
-	atoms := g.Atoms()
-	parent := make(map[ground.AtomID]ground.AtomID)
-	var find func(a ground.AtomID) ground.AtomID
-	find = func(a ground.AtomID) ground.AtomID {
-		if parent[a] == a {
-			return a
-		}
-		parent[a] = find(parent[a])
-		return parent[a]
+// conflictScan folds constraint groundings into the cluster structure
+// (connected components over groundings that caused removals) and
+// per-removed-atom explanations: the groundings whose other members all
+// survived, so keeping the removed fact would violate the constraint.
+type conflictScan struct {
+	atoms        *ground.AtomTable
+	truth        []bool
+	parent       map[ground.AtomID]ground.AtomID
+	explanations map[ground.AtomID][]Explanation
+	removed      []ground.AtomID // scratch, reused across clauses
+}
+
+func newConflictScan(atoms *ground.AtomTable, truth []bool) *conflictScan {
+	return &conflictScan{
+		atoms:        atoms,
+		truth:        truth,
+		parent:       make(map[ground.AtomID]ground.AtomID),
+		explanations: make(map[ground.AtomID][]Explanation),
 	}
-	add := func(a ground.AtomID) {
-		if _, ok := parent[a]; !ok {
-			parent[a] = a
+}
+
+func (s *conflictScan) find(a ground.AtomID) ground.AtomID {
+	if s.parent[a] == a {
+		return a
+	}
+	r := s.find(s.parent[a])
+	s.parent[a] = r
+	return r
+}
+
+func (s *conflictScan) union(a, b ground.AtomID) {
+	for _, x := range [2]ground.AtomID{a, b} {
+		if _, ok := s.parent[x]; !ok {
+			s.parent[x] = x
 		}
 	}
-	union := func(a, b ground.AtomID) {
-		add(a)
-		add(b)
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
+	ra, rb := s.find(a), s.find(b)
+	if ra != rb {
+		s.parent[ra] = rb
+	}
+}
+
+// process folds one constraint grounding into the cluster structure
+// and, when exactly one member was removed, into that member's
+// explanations (restoring it would violate the grounding against kept
+// facts). Clauses are visited in place — materialising a copy of every
+// constraint grounding per solve dominated incremental re-solves.
+func (s *conflictScan) process(c *ground.Clause) {
+	s.removed = s.removed[:0]
+	for _, l := range c.Lits {
+		if !s.truth[l.Atom] {
+			s.removed = append(s.removed, l.Atom)
 		}
 	}
-	explanations := make(map[ground.AtomID][]Explanation)
-	// process folds one constraint grounding into the cluster structure
-	// and, when exactly one member was removed, into that member's
-	// explanations (restoring it would violate the grounding against
-	// kept facts). Clauses are visited in place — materialising a copy
-	// of every constraint grounding per solve dominated incremental
-	// re-solves.
-	var removed []ground.AtomID
-	process := func(c *ground.Clause) {
-		removed = removed[:0]
+	if len(s.removed) == 0 {
+		return
+	}
+	for i := 1; i < len(c.Lits); i++ {
+		s.union(c.Lits[0].Atom, c.Lits[i].Atom)
+	}
+	if len(s.removed) == 1 {
+		ex := Explanation{Rule: c.Rule}
 		for _, l := range c.Lits {
-			if !out.Truth[l.Atom] {
-				removed = append(removed, l.Atom)
+			if l.Atom != s.removed[0] {
+				ex.Partners = append(ex.Partners, s.atoms.Info(l.Atom).Key)
 			}
 		}
-		if len(removed) == 0 {
-			return
-		}
-		for i := 1; i < len(c.Lits); i++ {
-			union(c.Lits[0].Atom, c.Lits[i].Atom)
-		}
-		if len(removed) == 1 {
-			ex := Explanation{Rule: c.Rule}
-			for _, l := range c.Lits {
-				if l.Atom != removed[0] {
-					ex.Partners = append(ex.Partners, atoms.Info(l.Atom).Key)
-				}
-			}
-			explanations[removed[0]] = append(explanations[removed[0]], ex)
-		}
+		s.explanations[s.removed[0]] = append(s.explanations[s.removed[0]], ex)
 	}
-	// The full conflict structure is the set of constraint groundings
-	// over "everything asserted". When the solve's clause set is
-	// available those are exactly its all-negative clauses (constraint
-	// clauses carry no head literal); otherwise ground the constraints
-	// against an all-true assignment to recover them.
-	if out.Clauses != nil {
-		out.Clauses.ForEach(func(c *ground.Clause) bool {
-			for _, l := range c.Lits {
-				if !l.Neg {
-					return true // inference clause
-				}
-			}
-			process(c)
-			return true
-		})
-	} else {
-		allTrue := func(ground.AtomID) bool { return true }
-		constraints := &logic.Program{Rules: prog.Constraints()}
-		cs, err := g.GroundViolated(constraints, allTrue)
-		if err != nil {
-			return nil, nil, fmt.Errorf("repair: %w", err)
-		}
-		cs.ForEach(func(c *ground.Clause) bool {
-			process(c)
-			return true
-		})
-	}
+}
+
+// clusters derives the connected groups, each tagged with its root and
+// its keys sorted. Compare, not String(): rendering keys inside the
+// comparator dominated incremental re-solves on cluster-heavy graphs.
+func (s *conflictScan) clusters() []cluster {
 	groups := make(map[ground.AtomID][]rdf.FactKey)
 	var roots []ground.AtomID
-	for a := range parent {
-		r := find(a)
+	for a := range s.parent {
+		r := s.find(a)
 		if _, ok := groups[r]; !ok {
 			roots = append(roots, r)
 		}
-		groups[r] = append(groups[r], atoms.Info(a).Key)
+		groups[r] = append(groups[r], s.atoms.Info(a).Key)
 	}
 	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
-	out2 := make([][]rdf.FactKey, 0, len(roots))
+	out := make([]cluster, 0, len(roots))
 	for _, r := range roots {
 		keys := groups[r]
-		// Compare, not String(): rendering keys inside the comparator
-		// dominated incremental re-solves on cluster-heavy graphs.
 		sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
-		out2 = append(out2, keys)
+		out = append(out, cluster{root: r, keys: keys})
 	}
-	return out2, explanations, nil
+	return out
 }
 
-// residualViolations counts rule groundings still violated in the final
-// state, reading them off the solve's clause set when available.
-func residualViolations(out *translate.Output, prog *logic.Program) (map[string]int, error) {
-	truth := func(a ground.AtomID) bool { return out.Truth[a] }
-	counts := make(map[string]int)
-	if out.Clauses != nil {
-		out.Clauses.ForEach(func(c *ground.Clause) bool {
-			if !c.Satisfied(truth) {
-				counts[c.Rule]++
-			}
-			return true
-		})
-		return counts, nil
-	}
-	cs, err := out.Grounder.GroundViolated(prog, truth)
+// resolveRegrounding is the read-out for solver paths that keep no
+// clause set (cutting-plane, greedy): the rule groundings are recovered
+// by re-grounding — the full program for confidence propagation,
+// constraints against "everything asserted" for conflict analysis, and
+// the program against the final state for violation counts.
+func resolveRegrounding(out *translate.Output, prog *logic.Program, scope []ground.AtomID, conf []float64, opts Options) (unit, error) {
+	g := out.Grounder
+	atoms := g.Atoms()
+
+	cs, err := g.GroundProgram(prog)
 	if err != nil {
-		return nil, fmt.Errorf("repair: %w", err)
+		return unit{}, fmt.Errorf("repair: %w", err)
 	}
-	for _, c := range cs.Clauses() {
-		counts[c.Rule]++
+	propagateConfidences(out, scope, cs.ForEachSlot, conf, opts)
+	u := classifyScope(out, scope, conf, opts)
+
+	allTrue := func(ground.AtomID) bool { return true }
+	constraints := &logic.Program{Rules: prog.Constraints()}
+	ccs, err := g.GroundViolated(constraints, allTrue)
+	if err != nil {
+		return unit{}, fmt.Errorf("repair: %w", err)
 	}
-	return counts, nil
+	scan := newConflictScan(atoms, out.Truth)
+	ccs.ForEach(func(c *ground.Clause) bool {
+		scan.process(c)
+		return true
+	})
+	u.attachAnalysis(scan)
+
+	vcs, err := g.GroundViolated(prog, func(a ground.AtomID) bool { return out.Truth[a] })
+	if err != nil {
+		return unit{}, fmt.Errorf("repair: %w", err)
+	}
+	u.violations = make(map[string]int)
+	for _, c := range vcs.Clauses() {
+		u.violations[c.Rule]++
+	}
+	return u, nil
 }

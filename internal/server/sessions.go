@@ -273,8 +273,9 @@ type SessionSolveRequest struct {
 	Parallelism int     `json:"parallelism,omitempty"`
 	// ComponentSolve partitions the ground network into independent
 	// conflict components; across session re-solves only the components
-	// a delta dirtied are re-solved (stats.Components reports the
-	// solved/reused split).
+	// a delta dirtied are re-solved and re-repaired (stats.Components
+	// reports the solver's solved/reused split, stats.Repair the
+	// read-out's repaired/reused split).
 	ComponentSolve bool `json:"componentSolve,omitempty"`
 	// ComponentExactLimit is the largest component handed to the exact
 	// MaxSAT engine in component mode (0 = default 48).
@@ -285,6 +286,10 @@ type SessionSolveRequest struct {
 }
 
 // SessionSolveResponse is a SolveResponse plus incremental-path info.
+// With componentSolve, stats.Repair reports the conflict-resolution
+// read-out stage: its mode ("components"), the repaired/reused
+// component split of this re-solve, and stage timings — the read-out
+// counterpart of stats.Components.
 type SessionSolveResponse struct {
 	SolveResponse
 	// Incremental reports whether the solve consumed only the delta.

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/repair"
 )
 
 func doJSON(t *testing.T, method, url string, body string, out any) *http.Response {
@@ -150,6 +152,13 @@ MX coach Lyon [2003,2005] 0.7
 	if cs.Solved != cs.Count || cs.Reused != 0 {
 		t.Fatalf("first solve should solve every component: %+v", cs)
 	}
+	rs := solve.Stats.Repair
+	if rs == nil || rs.Mode != repair.RepairComponents {
+		t.Fatalf("componentSolve response missing component repair stats: %+v", rs)
+	}
+	if rs.Repaired != rs.Components || rs.Reused != 0 {
+		t.Fatalf("first solve should repair every component: %+v", rs)
+	}
 
 	// Touch only CR's component; MX's cached solution must be reused.
 	var facts FactsResponse
@@ -164,6 +173,10 @@ MX coach Lyon [2003,2005] 0.7
 	cs = solve.Stats.Components
 	if cs == nil || cs.Reused == 0 {
 		t.Fatalf("incremental component re-solve reused nothing: %+v", cs)
+	}
+	rs = solve.Stats.Repair
+	if rs == nil || rs.Reused == 0 || rs.Repaired == 0 {
+		t.Fatalf("incremental re-solve should re-repair only the dirtied component: %+v", rs)
 	}
 }
 

@@ -144,6 +144,17 @@ type Stats = repair.Stats
 // SolveOptions.ComponentSolve); available as Stats.Components.
 type ComponentStats = ground.ComponentStats
 
+// RepairStats summarises the conflict-resolution read-out stage — mode
+// (whole-graph or per-component), the repaired/reused component split,
+// and stage timings; available as Stats.Repair.
+type RepairStats = repair.RepairStats
+
+// Repair modes reported in RepairStats.Mode.
+const (
+	RepairWholeGraph = repair.RepairWholeGraph
+	RepairComponents = repair.RepairComponents
+)
+
 // Fact is a resolved fact with provenance.
 type Fact = repair.Fact
 
