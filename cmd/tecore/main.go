@@ -221,6 +221,9 @@ func runInfer(args []string) error {
 	if *verbose && st.Repair != nil {
 		printRepairSummary(os.Stdout, st.Repair)
 	}
+	if *verbose && st.Outcome != nil {
+		printOutcomeSummary(os.Stdout, st.Outcome)
+	}
 	if len(st.RuleViolations) > 0 {
 		fmt.Println("residual violations:")
 		names := make([]string, 0, len(st.RuleViolations))
@@ -285,6 +288,18 @@ func printRepairSummary(w io.Writer, rs *tecore.RepairStats) {
 			rs.Components, rs.Repaired, rs.Reused)
 	}
 	fmt.Fprintf(w, " in %v (analysis %v, merge %v)\n", rs.Total, rs.Analysis, rs.Merge)
+}
+
+// printOutcomeSummary renders the Outcome production stage: whether
+// the result was assembled from scratch or delta-patched on the live
+// outcome, the patched/reused component split, and the index/merge
+// timings.
+func printOutcomeSummary(w io.Writer, ocs *tecore.OutcomeStats) {
+	fmt.Fprintf(w, "outcome:           %s", ocs.Mode)
+	if ocs.Mode == tecore.OutcomeLive {
+		fmt.Fprintf(w, " (%d patched, %d reused)", ocs.Patched, ocs.Reused)
+	}
+	fmt.Fprintf(w, " in %v (index %v, merge %v)\n", ocs.Total, ocs.Index, ocs.Merge)
 }
 
 // formatTallies renders a tally map as "k=v, k=v" in sorted key order.

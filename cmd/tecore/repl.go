@@ -86,8 +86,20 @@ func runIncrementalREPL(s *tecore.Session, opts tecore.SolveOptions, verbose boo
 				fmt.Fprintf(out, "repair: %d repaired, %d reused from cache (%v)\n",
 					st.Repair.Repaired, st.Repair.Reused, st.Repair.Total)
 			}
+			if st.Outcome != nil && st.Outcome.Mode == tecore.OutcomeLive {
+				fmt.Fprintf(out, "outcome: %d patched, %d reused (live, %v)\n",
+					st.Outcome.Patched, st.Outcome.Reused, st.Outcome.Total)
+			}
+			if d := res.Delta; d != nil {
+				fmt.Fprintf(out, "delta: kept +%d/-%d, removed +%d/-%d, inferred +%d/-%d, clusters +%d/-%d\n",
+					len(d.AddedKept), len(d.RemovedKept), len(d.AddedRemoved), len(d.RemovedRemoved),
+					len(d.AddedInferred), len(d.RemovedInferred), len(d.AddedClusters), len(d.RemovedClusters))
+			}
 			if verbose && st.Repair != nil {
 				printRepairSummary(out, st.Repair)
+			}
+			if verbose && st.Outcome != nil {
+				printOutcomeSummary(out, st.Outcome)
 			}
 		case "stats":
 			fmt.Fprintf(out, "facts: %d live (epoch %d), rules: %d\n",

@@ -4,6 +4,12 @@
 // every re-solve after the first consumes only the store delta —
 // seminaive re-grounding of the affected rules plus a warm-started
 // solver — instead of paying the full load-and-solve cost again.
+//
+// With ComponentSolve the session additionally maintains a live,
+// delta-patched Outcome and each Solve returns Resolution.Delta — the
+// changelog of facts and conflict clusters that entered or left the
+// repaired graph — so a streaming consumer processes diffs instead of
+// re-reading the full result every update.
 package main
 
 import (
@@ -35,7 +41,9 @@ func main() {
 	}
 
 	solve := func(label string) {
-		res, err := s.Solve(tecore.SolveOptions{Solver: tecore.SolverMLN})
+		// ComponentSolve keeps the read-out live: res.Delta carries only
+		// what this update changed.
+		res, err := s.Solve(tecore.SolveOptions{Solver: tecore.SolverMLN, ComponentSolve: true})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,12 +54,26 @@ func main() {
 		fmt.Printf("%-28s %-11s kept %d / removed %d / inferred %d (epoch %d)\n",
 			label, mode, res.Stats.KeptFacts, res.Stats.RemovedFacts,
 			res.Stats.InferredFacts, s.Store().Epoch())
-		for _, f := range res.Removed {
-			fmt.Printf("  conflict: %s", f.Quad.Compact())
-			if len(f.Explanations) > 0 {
-				fmt.Printf("  — violates %s", f.Explanations[0])
+		if d := res.Delta; d != nil {
+			for _, f := range d.AddedRemoved {
+				fmt.Printf("  + conflict: %s", f.Quad.Compact())
+				if len(f.Explanations) > 0 {
+					fmt.Printf("  — violates %s", f.Explanations[0])
+				}
+				fmt.Println()
 			}
-			fmt.Println()
+			for _, f := range d.RemovedRemoved {
+				fmt.Printf("  - conflict resolved: %s\n", f.Quad.Compact())
+			}
+			for _, f := range d.AddedInferred {
+				fmt.Printf("  + inferred: %s\n", f.Quad.Compact())
+			}
+			for _, f := range d.RemovedInferred {
+				fmt.Printf("  - no longer inferred: %s\n", f.Quad.Compact())
+			}
+			if d.Empty() {
+				fmt.Println("  (no change)")
+			}
 		}
 	}
 

@@ -30,12 +30,13 @@ func canonResolution(r *tecore.Resolution, confDigits int) string {
 	st := r.Stats
 	st.Runtime = 0
 	st.Solver = ""
-	// Component and repair-stage statistics legitimately differ between
-	// the monolithic and component-decomposed paths (and between cold
-	// and cached component solves); the MAP state and read-out they
-	// describe must not.
+	// Component, repair-stage and outcome-stage statistics legitimately
+	// differ between the monolithic and component-decomposed paths (and
+	// between cold and cached component solves); the MAP state and
+	// read-out they describe must not.
 	st.Components = nil
 	st.Repair = nil
+	st.Outcome = nil
 	fmt.Fprintf(&b, "stats: %+v\n", st)
 	section := func(label string, fs []tecore.Fact) {
 		lines := make([]string, 0, len(fs))

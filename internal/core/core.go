@@ -143,6 +143,16 @@ type SolveOptions struct {
 	// local-search or ADMM instances may settle on equally-valid
 	// near-identical states.
 	ColdStart bool
+	// AssembledOutcome forces the component read-out to rebuild the
+	// Outcome from scratch (the sort/merge assembly of every
+	// component's unit) instead of delta-patching the session's live
+	// outcome. The live outcome is the default on the component path
+	// and produces byte-identical results; this knob exists to
+	// benchmark and debug the patched read-out against the assembly it
+	// replaced. It also suppresses Resolution.Delta for the solve and
+	// resets the live outcome, so the next live solve re-patches from
+	// scratch.
+	AssembledOutcome bool
 	// Advanced exposes full backend tuning.
 	Advanced translate.Options
 }
@@ -155,6 +165,14 @@ type Resolution struct {
 	// Incremental reports whether the solve consumed a store delta on
 	// the cached engine rather than re-grounding from scratch.
 	Incremental bool
+	// Delta is the Outcome's changelog relative to the session's
+	// previous component-path solve: the facts and conflict clusters
+	// that entered or left each list. Only the component-decomposed
+	// incremental path maintains it (nil otherwise, and nil under
+	// AssembledOutcome); after a read-out cache invalidation —
+	// ColdStart, threshold, solver or solver-tuning change — it reports
+	// the full outcome as added.
+	Delta *repair.OutcomeDelta
 }
 
 // Solve runs MAP inference and conflict resolution over the session.

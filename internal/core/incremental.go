@@ -51,6 +51,16 @@ type solveEngine struct {
 	// in repair covers solver-side divergence within one key).
 	compRepair *repair.ComponentCache
 	repairKey  string
+
+	// liveOutcome is the session's delta-maintained Outcome: component
+	// solves patch only the components the delta dirtied instead of
+	// re-assembling the full fact and cluster lists. It shares
+	// compRepair's validity conditions and is dropped with it; it is
+	// also dropped whenever a solve produces an Outcome without syncing
+	// it (the AssembledOutcome knob), because a stale live outcome
+	// would replay contributions the repair cache no longer vouches
+	// for.
+	liveOutcome *repair.LiveOutcome
 }
 
 // ResetEngine drops the cached incremental solve state. The next Solve
@@ -228,6 +238,7 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 
 	ropts := repair.Options{Threshold: opts.Threshold, Parallelism: topts.Parallelism}
 	var oc *repair.Outcome
+	var delta *repair.OutcomeDelta
 	var err error
 	if componentSolve {
 		// The read-out decomposes along the same plan, with its own
@@ -237,20 +248,34 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 		// unit embeds threshold-filtered facts and solver-specific
 		// confidences (PSL soft values can shift under new engine tuning
 		// without the discrete truth, which the per-entry check covers,
-		// moving at all).
+		// moving at all). The live outcome replays those units into the
+		// global lists, so it is only valid under the same key and
+		// drops with the cache.
 		rkey := fmt.Sprintf("%v|%+v|%s", solver,
 			repair.Options{Threshold: ropts.Threshold, ConfidenceRounds: ropts.ConfidenceRounds},
 			eng.compOptsKey)
 		if opts.ColdStart || eng.compRepair == nil || rkey != eng.repairKey {
 			eng.compRepair = repair.NewComponentCache()
+			eng.liveOutcome = nil
 			eng.repairKey = rkey
 		}
-		oc, err = repair.ResolveComponents(out, s.prog, ropts, plan, eng.compRepair)
+		if opts.AssembledOutcome {
+			// The assembled path does not sync the live outcome; drop it
+			// so the next live solve rebuilds instead of patching state
+			// the caches moved past.
+			eng.liveOutcome = nil
+			oc, err = repair.ResolveComponents(out, s.prog, ropts, plan, eng.compRepair)
+		} else {
+			if eng.liveOutcome == nil {
+				eng.liveOutcome = repair.NewLiveOutcome()
+			}
+			oc, delta, err = repair.ResolveComponentsLive(out, s.prog, ropts, plan, eng.compRepair, eng.liveOutcome)
+		}
 	} else {
 		oc, err = repair.Resolve(out, s.prog, ropts)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &Resolution{Outcome: oc, Output: out, Incremental: incremental}, nil
+	return &Resolution{Outcome: oc, Output: out, Incremental: incremental, Delta: delta}, nil
 }

@@ -181,6 +181,70 @@ func (c *Cache[V]) Lookup(comp *ground.Component) (V, bool) {
 	return e.value, true
 }
 
+// Each visits every cached payload with its component key, in no
+// particular order. Consumers that must subtract stale contributions
+// (the live outcome retiring components that vanished from the
+// partition) use it to enumerate what the cache still holds; entry
+// generations are not exposed — Lookup remains the only way to prove an
+// entry current. A nil cache is a no-op.
+func (c *Cache[V]) Each(fn func(key ground.AtomID, value V)) {
+	if c == nil {
+		return
+	}
+	for k, e := range c.entries {
+		fn(k, e.value)
+	}
+}
+
+// Peek returns the payload stored under key regardless of generation
+// or membership — the possibly-stale contribution a delta-maintaining
+// consumer must subtract before installing a fresh one. Use Lookup
+// when the payload is to be reused.
+func (c *Cache[V]) Peek(key ground.AtomID) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	e, ok := c.entries[key]
+	if !ok {
+		return zero, false
+	}
+	return e.value, true
+}
+
+// Put installs a single component's payload under the component's
+// current (key, generation, membership), overwriting any previous
+// entry in place. Together with Drop it lets an incremental consumer
+// maintain the cache entry-wise instead of rebuilding it with Replace
+// — on a single-component delta the cache churn is one entry, not the
+// whole table. A nil cache is a no-op.
+func (c *Cache[V]) Put(comp *ground.Component, value V) {
+	if c == nil {
+		return
+	}
+	if e, ok := c.entries[comp.Key]; ok {
+		e.gen, e.atoms, e.value = comp.Gen, comp.Atoms, value
+		return
+	}
+	c.entries[comp.Key] = &cacheEntry[V]{gen: comp.Gen, atoms: comp.Atoms, value: value}
+}
+
+// Drop removes the entry stored under key, if any.
+func (c *Cache[V]) Drop(key ground.AtomID) {
+	if c == nil {
+		return
+	}
+	delete(c.entries, key)
+}
+
+// Len reports the number of cached entries.
+func (c *Cache[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.entries)
+}
+
 // Replace installs this solve's payloads, one per component; entries of
 // components that no longer exist are dropped. A nil cache is a no-op.
 func (c *Cache[V]) Replace(comps []ground.Component, value func(i int) V) {

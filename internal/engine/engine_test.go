@@ -46,7 +46,7 @@ func TestCacheLookupInvariant(t *testing.T) {
 	}
 }
 
-// TestNilCache: a nil cache never hits and ignores Replace — the
+// TestNilCache: a nil cache never hits and ignores Replace/Each — the
 // cacheless one-shot path.
 func TestNilCache(t *testing.T) {
 	var c *Cache[int]
@@ -55,6 +55,36 @@ func TestNilCache(t *testing.T) {
 		t.Error("nil cache returned a payload")
 	}
 	c.Replace(comps, func(int) int { return 1 }) // must not panic
+	c.Each(func(ground.AtomID, int) { t.Error("nil cache visited an entry") })
+}
+
+// TestCacheEach: every held payload is visited exactly once with its
+// component key — the enumeration consumers use to retire vanished
+// components' contributions — and entries dropped by Replace stop
+// being visited.
+func TestCacheEach(t *testing.T) {
+	c := NewCache[string]()
+	comps := []ground.Component{comp(0, 1, 0, 1), comp(5, 2, 5), comp(9, 4, 9)}
+	c.Replace(comps, func(i int) string { return []string{"a", "b", "c"}[i] })
+
+	seen := map[ground.AtomID]string{}
+	c.Each(func(k ground.AtomID, v string) {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("key %d visited twice", k)
+		}
+		seen[k] = v
+	})
+	if want := map[ground.AtomID]string{0: "a", 5: "b", 9: "c"}; len(seen) != len(want) ||
+		seen[0] != "a" || seen[5] != "b" || seen[9] != "c" {
+		t.Fatalf("Each visited %v, want %v", seen, want)
+	}
+
+	c.Replace(comps[:1], func(i int) string { return "a" })
+	n := 0
+	c.Each(func(ground.AtomID, string) { n++ })
+	if n != 1 {
+		t.Fatalf("Each visited %d entries after Replace, want 1", n)
+	}
 }
 
 // TestRunReuseAndDirtySplit: cached components are served by the reuse

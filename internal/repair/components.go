@@ -75,8 +75,30 @@ type compUnit struct {
 // same state, at every Parallelism setting. Falls back to whole-graph
 // Resolve when the solve kept no indexed clause set.
 func ResolveComponents(out *translate.Output, prog *logic.Program, opts Options, plan *engine.Plan, cache *ComponentCache) (*Outcome, error) {
+	oc, _, err := resolveComponents(out, prog, opts, plan, cache, nil)
+	return oc, err
+}
+
+// ResolveComponentsLive is ResolveComponents with the Outcome
+// delta-patched on live instead of assembled from scratch: components
+// whose read-out is unchanged keep their contribution to the global
+// fact/cluster lists, dirtied ones are subtracted and re-spliced, and
+// the returned OutcomeDelta is the changelog of what entered or left
+// each list this solve. The materialized Outcome stays byte-identical
+// to whole-graph Resolve. live must be synced by every component solve
+// it survives (the session owns and invalidates it); on the whole-graph
+// fallback it is reset and the delta is nil.
+func ResolveComponentsLive(out *translate.Output, prog *logic.Program, opts Options, plan *engine.Plan, cache *ComponentCache, live *LiveOutcome) (*Outcome, *OutcomeDelta, error) {
+	return resolveComponents(out, prog, opts, plan, cache, live)
+}
+
+func resolveComponents(out *translate.Output, prog *logic.Program, opts Options, plan *engine.Plan, cache *ComponentCache, live *LiveOutcome) (*Outcome, *OutcomeDelta, error) {
 	if out.Clauses == nil || !out.Clauses.HasAtomIndex() {
-		return Resolve(out, prog, opts)
+		if live != nil {
+			live.Reset()
+		}
+		oc, err := Resolve(out, prog, opts)
+		return oc, nil, err
 	}
 	opts = opts.withDefaults()
 	start := time.Now()
@@ -146,7 +168,7 @@ func ResolveComponents(out *translate.Output, prog *logic.Program, opts Options,
 			return cu, nil
 		})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rs.Analysis = time.Since(analysisStart)
 	rs.Components = len(plan.Comps)
@@ -159,13 +181,51 @@ func ResolveComponents(out *translate.Output, prog *logic.Program, opts Options,
 	}
 	unitCache.Replace(plan.Comps, func(i int) compUnit { return units[i] })
 
-	mergeStart := time.Now()
-	merged := make([]*unit, len(units))
-	for i := range units {
-		merged[i] = &units[i].unit
+	os := oc.Stats.Outcome
+	if live == nil {
+		mergeStart := time.Now()
+		merged := make([]*unit, len(units))
+		for i := range units {
+			merged[i] = &units[i].unit
+		}
+		assembleOutcome(oc, merged)
+		rs.Merge = time.Since(mergeStart)
+		os.Patched = len(units)
+		os.Merge = rs.Merge
+		os.Total = rs.Merge
+		rs.Total = time.Since(start)
+		return oc, nil, nil
 	}
-	assembleOutcome(oc, merged)
+
+	// Live path: dirty components subtract their previous contribution
+	// and splice in the new one; clean components' held patches stand.
+	// A repair-cache hit (cached[i]) proves the unit content unchanged
+	// since the last component solve, and the engine-cache lookup inside
+	// sync proves the live outcome still holds that component — both
+	// must hold for a skip.
+	indexStart := time.Now()
+	live.sync(plan.Comps,
+		func(i int) bool { return cached[i] },
+		func(i int) *Patch {
+			u := &units[i].unit
+			return &Patch{
+				Component:         plan.Comps[i].Key,
+				Kept:              u.kept,
+				Removed:           u.removed,
+				Inferred:          u.inferred,
+				Clusters:          u.clusters,
+				Violations:        u.violations,
+				ThresholdFiltered: u.thresholdFiltered,
+			}
+		})
+	os.Index = time.Since(indexStart)
+	mergeStart := time.Now()
+	live.materialize(oc)
 	rs.Merge = time.Since(mergeStart)
+	os.Mode = OutcomeLive
+	os.Patched, os.Reused = live.patched, live.reused
+	os.Merge = rs.Merge
+	os.Total = os.Index + os.Merge
 	rs.Total = time.Since(start)
-	return oc, nil
+	return oc, live.Delta(), nil
 }

@@ -1,0 +1,507 @@
+package repair
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/ground"
+	"repro/internal/rdf"
+)
+
+// Delta-maintained Outcome.
+//
+// After the solver and repair stages went component-incremental (PRs
+// 3–4), assembling the final Outcome — the sort/merge of every
+// component's kept/removed/inferred facts and conflict clusters — was
+// the last whole-graph work on the update path. LiveOutcome removes it:
+// the session keeps one live outcome whose global fact lists, cluster
+// list and fact index stay sorted across solves, and each re-solve
+// applies a Patch per dirtied component (subtract the component's
+// previous contribution, splice in the new one) instead of rebuilding
+// everything. The materialized Outcome is byte-identical to what
+// whole-graph assembly produces over the same units, and every patch
+// also feeds an OutcomeDelta changelog so callers can consume diffs
+// instead of snapshots.
+
+// Outcome read-out modes reported in OutcomeStats.Mode.
+const (
+	// OutcomeAssembled is the from-scratch sort/merge of every read-out
+	// unit (whole-graph Resolve, and ResolveComponents without a live
+	// outcome).
+	OutcomeAssembled = "assembled"
+	// OutcomeLive is the delta-patched read-out: per-component patches
+	// applied to the session's live outcome.
+	OutcomeLive = "live"
+)
+
+// OutcomeStats summarises how the final Outcome was produced — the
+// read-out counterpart of RepairStats for the merge stage.
+type OutcomeStats struct {
+	// Mode reports how the Outcome was built: OutcomeAssembled or
+	// OutcomeLive.
+	Mode string
+	// Patched counts components whose contribution was (re)applied to
+	// the live outcome this solve; Reused counts components whose held
+	// contribution was kept untouched. In assembled mode Patched is the
+	// number of units merged.
+	Patched int
+	Reused  int
+	// Index is the time spent maintaining the global indices (patch
+	// subtraction, splices, fact index, changelog); Merge is the
+	// materialization of the Outcome from them (assembled mode folds
+	// everything into Merge); Total is the whole stage.
+	Index time.Duration
+	Merge time.Duration
+	Total time.Duration
+}
+
+// Patch is one conflict component's contribution to the Outcome: its
+// classified facts, conflict clusters and violation counts. Applying a
+// patch replaces the component's previous contribution wholesale. A
+// Patch is immutable once applied — its slices are shared with the
+// repair cache and with materialized Outcomes.
+type Patch struct {
+	// Component is the conflict component's stable key (its smallest
+	// atom id).
+	Component ground.AtomID
+	// Kept, Removed and Inferred are the component's classified facts
+	// (any order; the live outcome sorts on application).
+	Kept, Removed, Inferred []Fact
+	// Clusters are the component's conflict clusters.
+	Clusters []Cluster
+	// Violations counts the component's residual violated groundings
+	// per rule.
+	Violations map[string]int
+	// ThresholdFiltered counts derived facts the threshold dropped.
+	ThresholdFiltered int
+}
+
+// OutcomeDelta is the changelog of one live-outcome update: the facts
+// and conflict clusters that entered or left each list relative to the
+// previous materialized Outcome. A fact whose content changed (e.g. a
+// derived confidence moved) appears in both the Removed (old content)
+// and Added (new content) lists; an untouched fact appears in neither,
+// even when its component was re-patched. Fact lists are sorted by atom
+// id, cluster lists by cluster root.
+type OutcomeDelta struct {
+	AddedKept   []Fact
+	RemovedKept []Fact
+
+	AddedRemoved   []Fact
+	RemovedRemoved []Fact
+
+	AddedInferred   []Fact
+	RemovedInferred []Fact
+
+	AddedClusters   [][]rdf.FactKey
+	RemovedClusters [][]rdf.FactKey
+}
+
+// Empty reports whether the update changed nothing.
+func (d *OutcomeDelta) Empty() bool {
+	return len(d.AddedKept) == 0 && len(d.RemovedKept) == 0 &&
+		len(d.AddedRemoved) == 0 && len(d.RemovedRemoved) == 0 &&
+		len(d.AddedInferred) == 0 && len(d.RemovedInferred) == 0 &&
+		len(d.AddedClusters) == 0 && len(d.RemovedClusters) == 0
+}
+
+// factClass names the outcome list a fact belongs to; the live
+// outcome's fact index maps every present FactKey to its class.
+type factClass uint8
+
+const (
+	classKept factClass = iota + 1
+	classRemoved
+	classInferred
+)
+
+// LiveOutcome is a delta-maintained conflict-resolution result: global
+// kept/removed/inferred lists sorted by atom id, the cluster list
+// sorted by root, a fact index keyed by rdf.FactKey, and per-component
+// held patches under the engine cache's (component key, generation,
+// membership) invariant — the fourth consumer of that invariant after
+// the MLN, PSL and repair caches. Construct with NewLiveOutcome. Not
+// safe for concurrent use. The owner must drop it whenever the repair
+// component cache is dropped (ColdStart, threshold/solver/tuning
+// changes) and whenever a solve bypasses the live sync.
+type LiveOutcome struct {
+	// held stores each component's applied patch; Lookup hits prove the
+	// held contribution belongs to an unchanged component.
+	held *engine.Cache[*Patch]
+
+	// Global indices. The fact slices are copy-on-write: every sync
+	// builds new backing arrays, so slices handed out by a previous
+	// materialization remain valid snapshots.
+	kept, removed, inferred []Fact
+	clusters                []Cluster
+	// clusterKeys is the materialized snapshot of clusters, rebuilt
+	// only when a sync changes them (an unchanged cluster list is the
+	// common case on single-fact updates that dirty a cluster-free
+	// region).
+	clusterKeys [][]rdf.FactKey
+	// index maps every present statement to its list — the global
+	// fact index the per-component patches must agree with. It backs
+	// the structural invariant FuzzOutcomePatch and checkInvariants
+	// enforce (one class per statement, lists and patches in exact
+	// agreement) and gives future consumers O(1) fact classification
+	// without a scan.
+	index map[rdf.FactKey]factClass
+
+	violations        map[string]int
+	thresholdFiltered int
+
+	// delta is the changelog of the most recent sync; patched/reused is
+	// its component split.
+	delta   OutcomeDelta
+	patched int
+	reused  int
+}
+
+// NewLiveOutcome returns an empty live outcome.
+func NewLiveOutcome() *LiveOutcome {
+	lo := &LiveOutcome{}
+	lo.Reset()
+	return lo
+}
+
+// Reset drops all held state; the next sync rebuilds from scratch (and
+// reports the full state as added in its changelog).
+func (lo *LiveOutcome) Reset() {
+	lo.held = engine.NewCache[*Patch]()
+	lo.kept, lo.removed, lo.inferred = []Fact{}, []Fact{}, []Fact{}
+	lo.clusters = []Cluster{}
+	lo.clusterKeys = [][]rdf.FactKey{}
+	lo.index = make(map[rdf.FactKey]factClass)
+	lo.violations = make(map[string]int)
+	lo.thresholdFiltered = 0
+	lo.delta = OutcomeDelta{}
+	lo.patched, lo.reused = 0, 0
+}
+
+// Delta returns the changelog of the most recent sync. The returned
+// struct's slices are immutable snapshots.
+func (lo *LiveOutcome) Delta() *OutcomeDelta {
+	d := lo.delta
+	return &d
+}
+
+// sync reconciles the live outcome with one solve's component
+// partition: components whose read-out is provably unchanged (reusable
+// by the caller's criteria AND held under an unchanged (key,
+// generation, membership)) keep their contribution; every other
+// component is re-patched from fresh, and components that vanished from
+// the partition are retired. fresh must be callable for every index.
+func (lo *LiveOutcome) sync(comps []ground.Component, reusable func(i int) bool, fresh func(i int) *Patch) {
+	lo.patched, lo.reused = 0, 0
+	var subtract, add []*Patch
+	for i := range comps {
+		if reusable(i) {
+			if _, ok := lo.held.Lookup(&comps[i]); ok {
+				lo.reused++
+				continue
+			}
+		}
+		p := fresh(i)
+		lo.patched++
+		if op, ok := lo.held.Peek(comps[i].Key); ok {
+			subtract = append(subtract, op)
+		}
+		add = append(add, p)
+		lo.held.Put(&comps[i], p)
+	}
+
+	// After the loop every live component's key is held; surplus
+	// entries belong to components that vanished from the partition
+	// (merged away or fully retracted) — the rare structural case, paid
+	// for with one enumeration only when it happens.
+	if lo.held.Len() > len(comps) {
+		current := make(map[ground.AtomID]bool, len(comps))
+		for i := range comps {
+			current[comps[i].Key] = true
+		}
+		var retired []ground.AtomID
+		lo.held.Each(func(k ground.AtomID, p *Patch) {
+			if !current[k] {
+				retired = append(retired, k)
+				subtract = append(subtract, p)
+			}
+		})
+		for _, k := range retired {
+			lo.held.Drop(k)
+		}
+	}
+
+	lo.apply(subtract, add)
+}
+
+// apply removes the subtracted patches' contributions and splices in
+// the added ones, maintaining the sorted global lists, the fact index,
+// the violation counts and the changelog.
+func (lo *LiveOutcome) apply(subtract, add []*Patch) {
+	lo.delta = OutcomeDelta{}
+	if len(subtract) == 0 && len(add) == 0 {
+		return
+	}
+
+	for _, p := range subtract {
+		for rule, n := range p.Violations {
+			if lo.violations[rule] -= n; lo.violations[rule] == 0 {
+				delete(lo.violations, rule)
+			}
+		}
+		lo.thresholdFiltered -= p.ThresholdFiltered
+	}
+	for _, p := range add {
+		for rule, n := range p.Violations {
+			lo.violations[rule] += n
+		}
+		lo.thresholdFiltered += p.ThresholdFiltered
+	}
+
+	// Gather per-class removal/addition lists in deterministic (atom
+	// id) order.
+	collect := func(sel func(*Patch) []Fact) (rm, ad []Fact) {
+		for _, p := range subtract {
+			rm = append(rm, sel(p)...)
+		}
+		for _, p := range add {
+			ad = append(ad, sel(p)...)
+		}
+		sortFacts(rm)
+		sortFacts(ad)
+		return rm, ad
+	}
+	rmK, adK := collect(func(p *Patch) []Fact { return p.Kept })
+	rmR, adR := collect(func(p *Patch) []Fact { return p.Removed })
+	rmI, adI := collect(func(p *Patch) []Fact { return p.Inferred })
+
+	// Cancel the facts a re-patched component carries over unchanged:
+	// what remains is the true churn, which keeps the splice window —
+	// and the index traffic — proportional to the delta, not to the
+	// dirtied component. A fully-cancelled class skips its copy-on-
+	// write rebuild entirely, the dominant per-update cost on large
+	// graphs.
+	factID := func(f Fact) ground.AtomID { return f.AtomID }
+	rmK, adK = cancelCommon(rmK, adK, factID)
+	rmR, adR = cancelCommon(rmR, adR, factID)
+	rmI, adI = cancelCommon(rmI, adI, factID)
+
+	// Index maintenance: all deletions before all insertions, so a fact
+	// moving between classes within one sync lands on its new class.
+	for _, fs := range [][]Fact{rmK, rmR, rmI} {
+		for i := range fs {
+			delete(lo.index, fs[i].Quad.Fact())
+		}
+	}
+	for cls, fs := range map[factClass][]Fact{classKept: adK, classRemoved: adR, classInferred: adI} {
+		for i := range fs {
+			lo.index[fs[i].Quad.Fact()] = cls
+		}
+	}
+
+	lo.kept = splice(lo.kept, rmK, adK, factID)
+	lo.removed = splice(lo.removed, rmR, adR, factID)
+	lo.inferred = splice(lo.inferred, rmI, adI, factID)
+
+	var rmC, adC []Cluster
+	for _, p := range subtract {
+		rmC = append(rmC, p.Clusters...)
+	}
+	for _, p := range add {
+		adC = append(adC, p.Clusters...)
+	}
+	sort.Slice(rmC, func(i, j int) bool { return rmC[i].Root < rmC[j].Root })
+	sort.Slice(adC, func(i, j int) bool { return adC[i].Root < adC[j].Root })
+	rmC, adC = cancelCommon(rmC, adC, func(c Cluster) ground.AtomID { return c.Root })
+	if len(rmC) > 0 || len(adC) > 0 {
+		lo.clusters = splice(lo.clusters, rmC, adC, func(c Cluster) ground.AtomID { return c.Root })
+		keys := make([][]rdf.FactKey, 0, len(lo.clusters))
+		for _, c := range lo.clusters {
+			keys = append(keys, c.Keys)
+		}
+		lo.clusterKeys = keys
+	}
+
+	// Changelog: after cancellation the remaining lists ARE the true
+	// churn (every carried-over fact and cluster cancelled above; ids
+	// map 1:1 to statements and groups), already in deterministic id
+	// order.
+	lo.delta.RemovedKept, lo.delta.AddedKept = rmK, adK
+	lo.delta.RemovedRemoved, lo.delta.AddedRemoved = rmR, adR
+	lo.delta.RemovedInferred, lo.delta.AddedInferred = rmI, adI
+	lo.delta.RemovedClusters = clusterKeyLists(rmC)
+	lo.delta.AddedClusters = clusterKeyLists(adC)
+}
+
+// clusterKeyLists projects clusters onto their member statements, the
+// shape the changelog exposes; nil stays nil so Empty() keeps working.
+func clusterKeyLists(cs []Cluster) [][]rdf.FactKey {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([][]rdf.FactKey, 0, len(cs))
+	for _, c := range cs {
+		out = append(out, c.Keys)
+	}
+	return out
+}
+
+// cancelCommon drops the elements present with identical content on
+// both sides of a patch application. Both inputs are sorted by a
+// unique id (an atom keeps its id across retraction and revival and
+// maps to one statement; a cluster root identifies one group), so a
+// linear merge finds every carried-over element; a fully-cancelled
+// side comes back nil, letting the caller skip its list entirely.
+func cancelCommon[T any](rm, ad []T, id func(T) ground.AtomID) ([]T, []T) {
+	i, j := 0, 0
+	var outRm, outAd []T
+	for i < len(rm) && j < len(ad) {
+		a, b := rm[i], ad[j]
+		switch ia, ib := id(a), id(b); {
+		case ia == ib:
+			if !reflect.DeepEqual(a, b) {
+				outRm = append(outRm, a)
+				outAd = append(outAd, b)
+			}
+			i++
+			j++
+		case ia < ib:
+			outRm = append(outRm, a)
+			i++
+		default:
+			outAd = append(outAd, b)
+			j++
+		}
+	}
+	outRm = append(outRm, rm[i:]...)
+	outAd = append(outAd, ad[j:]...)
+	return outRm, outAd
+}
+
+// splice returns global with rm's elements removed and ad's inserted,
+// preserving ascending id order. Both rm and ad must be sorted by id,
+// every rm id must be present in global, and no ad id may collide with
+// a surviving element. Copy-on-write: the result is a fresh backing
+// array, with the untouched prefix and suffix block-copied and only the
+// affected id window merged element-wise.
+func splice[T any](global, rm, ad []T, id func(T) ground.AtomID) []T {
+	if len(rm) == 0 && len(ad) == 0 {
+		return global
+	}
+	var min, max ground.AtomID
+	first := true
+	for _, s := range [2][]T{rm, ad} {
+		if len(s) == 0 {
+			continue
+		}
+		if lo, hi := id(s[0]), id(s[len(s)-1]); first {
+			min, max, first = lo, hi, false
+		} else {
+			if lo < min {
+				min = lo
+			}
+			if hi > max {
+				max = hi
+			}
+		}
+	}
+	lo := sort.Search(len(global), func(i int) bool { return id(global[i]) >= min })
+	hi := sort.Search(len(global), func(i int) bool { return id(global[i]) > max })
+
+	out := make([]T, 0, len(global)-len(rm)+len(ad))
+	out = append(out, global[:lo]...)
+	ai, ri := 0, 0
+	for _, x := range global[lo:hi] {
+		for ai < len(ad) && id(ad[ai]) < id(x) {
+			out = append(out, ad[ai])
+			ai++
+		}
+		if ri < len(rm) && id(rm[ri]) == id(x) {
+			ri++
+			continue
+		}
+		out = append(out, x)
+	}
+	out = append(out, ad[ai:]...)
+	out = append(out, global[hi:]...)
+	return out
+}
+
+// materialize renders the live state into oc, byte-identical to
+// assembleOutcome over the same per-component units: the fact and
+// cluster slices are the maintained sorted snapshots, and the
+// summary statistics are recomputed in that same merged order (the
+// float accumulation of RemovedWeight is order-sensitive, so it is
+// summed rather than maintained).
+func (lo *LiveOutcome) materialize(oc *Outcome) {
+	oc.Kept, oc.Removed, oc.Inferred = lo.kept, lo.removed, lo.inferred
+	oc.Stats.KeptFacts = len(oc.Kept)
+	oc.Stats.RemovedFacts = len(oc.Removed)
+	oc.Stats.TotalFacts = len(oc.Kept) + len(oc.Removed)
+	oc.Stats.InferredFacts = len(oc.Inferred)
+	oc.Stats.ThresholdFiltered = lo.thresholdFiltered
+	for _, f := range oc.Removed {
+		oc.Stats.RemovedWeight += f.Quad.Confidence
+	}
+	oc.Stats.RuleViolations = make(map[string]int, len(lo.violations))
+	for rule, n := range lo.violations {
+		oc.Stats.RuleViolations[rule] = n
+	}
+	oc.Clusters = lo.clusterKeys
+	oc.Stats.ConflictClusters = len(oc.Clusters)
+}
+
+// checkInvariants validates the live outcome's global-index and
+// deterministic-order invariants: each list strictly ascending in its
+// id, the fact index in exact agreement with the lists, and the held
+// per-component patches summing to the global state. Used by the tests
+// and FuzzOutcomePatch; not on the hot path.
+func (lo *LiveOutcome) checkInvariants() error {
+	total := 0
+	for _, l := range []struct {
+		name  string
+		facts []Fact
+		class factClass
+	}{
+		{"kept", lo.kept, classKept},
+		{"removed", lo.removed, classRemoved},
+		{"inferred", lo.inferred, classInferred},
+	} {
+		for i, f := range l.facts {
+			if i > 0 && l.facts[i-1].AtomID >= f.AtomID {
+				return fmt.Errorf("%s not strictly ascending at %d (atom %d after %d)",
+					l.name, i, f.AtomID, l.facts[i-1].AtomID)
+			}
+			if cls, ok := lo.index[f.Quad.Fact()]; !ok || cls != l.class {
+				return fmt.Errorf("%s fact %v missing or misclassified in index (%d)", l.name, f.Quad.Fact(), cls)
+			}
+		}
+		total += len(l.facts)
+	}
+	if len(lo.index) != total {
+		return fmt.Errorf("index holds %d keys, lists hold %d facts", len(lo.index), total)
+	}
+	for i := range lo.clusters {
+		if i > 0 && lo.clusters[i-1].Root >= lo.clusters[i].Root {
+			return fmt.Errorf("clusters not strictly ascending at %d", i)
+		}
+	}
+	held := 0
+	var err error
+	lo.held.Each(func(k ground.AtomID, p *Patch) {
+		if p.Component != k {
+			err = fmt.Errorf("held patch keyed %d claims component %d", k, p.Component)
+		}
+		held += len(p.Kept) + len(p.Removed) + len(p.Inferred)
+	})
+	if err != nil {
+		return err
+	}
+	if held != total {
+		return fmt.Errorf("held patches sum to %d facts, lists hold %d", held, total)
+	}
+	return nil
+}

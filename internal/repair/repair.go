@@ -154,6 +154,11 @@ type Stats struct {
 	// ran (whole-graph or per-component), the repaired/reused component
 	// split, and stage timings.
 	Repair *RepairStats
+	// Outcome summarises how the final Outcome was produced: assembled
+	// from scratch (sort/merge of every read-out unit) or delta-patched
+	// on the session's live outcome, with the patched/reused component
+	// split and the index/merge timings.
+	Outcome *OutcomeStats
 }
 
 // Outcome is the full result of temporal conflict resolution.
@@ -196,15 +201,19 @@ type clauseVisitor func(fn func(slot int32, c *ground.Clause) bool)
 type unit struct {
 	kept, removed, inferred []Fact
 	thresholdFiltered       int
-	clusters                []cluster
+	clusters                []Cluster
 	violations              map[string]int
 }
 
-// cluster is one connected group of conflicting statements, tagged with
-// its union-find root for a deterministic cross-scope merge order.
-type cluster struct {
-	root ground.AtomID
-	keys []rdf.FactKey
+// Cluster is one connected group of conflicting statements, tagged with
+// its union-find root — a deterministic cross-scope merge order and a
+// stable identity for the live outcome's delta changelog.
+type Cluster struct {
+	// Root is the union-find root atom of the group; roots are unique
+	// across disjoint scopes, so they order and identify clusters.
+	Root ground.AtomID
+	// Keys are the statements of the group, sorted.
+	Keys []rdf.FactKey
 }
 
 // newOutcome seeds an Outcome with the solver-side statistics.
@@ -213,6 +222,7 @@ func newOutcome(out *translate.Output) *Outcome {
 		Solver:  out.Solver.String(),
 		Runtime: out.Runtime,
 		Repair:  &RepairStats{Mode: RepairWholeGraph, Repaired: 1},
+		Outcome: &OutcomeStats{Mode: OutcomeAssembled},
 	}}
 	if out.MLN != nil {
 		oc.Stats.Components = out.MLN.Components
@@ -264,6 +274,10 @@ func Resolve(out *translate.Output, prog *logic.Program, opts Options) (*Outcome
 	mergeStart := time.Now()
 	assembleOutcome(oc, []*unit{&u})
 	rs.Merge = time.Since(mergeStart)
+	os := oc.Stats.Outcome
+	os.Patched = 1
+	os.Merge = rs.Merge
+	os.Total = rs.Merge
 	rs.Total = time.Since(start)
 	return oc, nil
 }
@@ -377,14 +391,14 @@ func assembleOutcome(oc *Outcome, units []*unit) {
 		oc.Stats.RemovedWeight += f.Quad.Confidence
 	}
 
-	clusters := make([]cluster, 0, nc)
+	clusters := make([]Cluster, 0, nc)
 	for _, u := range units {
 		clusters = append(clusters, u.clusters...)
 	}
-	sort.Slice(clusters, func(i, j int) bool { return clusters[i].root < clusters[j].root })
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i].Root < clusters[j].Root })
 	oc.Clusters = make([][]rdf.FactKey, 0, len(clusters))
 	for _, c := range clusters {
-		oc.Clusters = append(oc.Clusters, c.keys)
+		oc.Clusters = append(oc.Clusters, c.Keys)
 	}
 	oc.Stats.ConflictClusters = len(oc.Clusters)
 }
@@ -551,7 +565,7 @@ func (s *conflictScan) process(c *ground.Clause) {
 // clusters derives the connected groups, each tagged with its root and
 // its keys sorted. Compare, not String(): rendering keys inside the
 // comparator dominated incremental re-solves on cluster-heavy graphs.
-func (s *conflictScan) clusters() []cluster {
+func (s *conflictScan) clusters() []Cluster {
 	groups := make(map[ground.AtomID][]rdf.FactKey)
 	var roots []ground.AtomID
 	for a := range s.parent {
@@ -562,11 +576,11 @@ func (s *conflictScan) clusters() []cluster {
 		groups[r] = append(groups[r], s.atoms.Info(a).Key)
 	}
 	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
-	out := make([]cluster, 0, len(roots))
+	out := make([]Cluster, 0, len(roots))
 	for _, r := range roots {
 		keys := groups[r]
 		sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
-		out = append(out, cluster{root: r, keys: keys})
+		out = append(out, Cluster{Root: r, Keys: keys})
 	}
 	return out
 }

@@ -394,11 +394,13 @@ type SolveRequest struct {
 // SolveResponse mirrors the statistics display of Figure 8 plus
 // browsable consistent and conflicting statements.
 type SolveResponse struct {
-	Stats    repair.Stats `json:"stats"`
-	Kept     []string     `json:"kept"`
-	Removed  []string     `json:"removed"`
-	Inferred []string     `json:"inferred"`
-	Clusters [][]string   `json:"clusters"`
+	Stats repair.Stats `json:"stats"`
+	// The fact lists are omitted (not null) when absent — the session
+	// API's delta mode returns a changelog instead of them.
+	Kept     []string   `json:"kept,omitempty"`
+	Removed  []string   `json:"removed,omitempty"`
+	Inferred []string   `json:"inferred,omitempty"`
+	Clusters [][]string `json:"clusters,omitempty"`
 	// Truncated reports whether fact lists were capped.
 	Truncated bool `json:"truncated,omitempty"`
 }
@@ -458,18 +460,25 @@ func (s *Server) solveResponse(res *core.Resolution) SolveResponse {
 	resp.Kept, resp.Truncated = factStrings(res.Kept, cap, resp.Truncated)
 	resp.Removed, resp.Truncated = removedStrings(res.Removed, cap, resp.Truncated)
 	resp.Inferred, resp.Truncated = factStrings(res.Inferred, cap, resp.Truncated)
-	for i, cl := range res.Clusters {
-		if i >= cap {
-			resp.Truncated = true
-			break
+	resp.Clusters, resp.Truncated = clusterStrings(res.Clusters, cap, resp.Truncated)
+	return resp
+}
+
+// clusterStrings renders conflict clusters as key-string groups with
+// the fact cap applied to the cluster count.
+func clusterStrings(clusters [][]rdf.FactKey, max int, truncated bool) ([][]string, bool) {
+	var out [][]string
+	for i, cl := range clusters {
+		if i >= max {
+			return out, true
 		}
-		var keys []string
+		keys := make([]string, 0, len(cl))
 		for _, k := range cl {
 			keys = append(keys, k.String())
 		}
-		resp.Clusters = append(resp.Clusters, keys)
+		out = append(out, keys)
 	}
-	return resp
+	return out, truncated
 }
 
 func factStrings(fs []repair.Fact, max int, truncated bool) ([]string, bool) {

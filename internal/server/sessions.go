@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rdf"
+	"repro/internal/repair"
 	"repro/internal/translate"
 )
 
@@ -283,18 +284,67 @@ type SessionSolveRequest struct {
 	// ColdStart disables warm-starting from the previous solution (and
 	// drops the per-component solution cache for this solve).
 	ColdStart bool `json:"coldStart,omitempty"`
+	// Delta requests changelog mode: the response carries only the
+	// facts and clusters that entered or left each Outcome list since
+	// the session's previous solve (plus statistics), not the full
+	// lists. Requires componentSolve — the delta-patched live outcome
+	// is maintained on the component path only; without it the full
+	// response is returned. After a cache invalidation (coldStart,
+	// threshold or solver change) the delta reports the full outcome as
+	// added.
+	Delta bool `json:"delta,omitempty"`
 }
 
 // SessionSolveResponse is a SolveResponse plus incremental-path info.
 // With componentSolve, stats.Repair reports the conflict-resolution
 // read-out stage: its mode ("components"), the repaired/reused
 // component split of this re-solve, and stage timings — the read-out
-// counterpart of stats.Components.
+// counterpart of stats.Components — and stats.Outcome reports how the
+// final Outcome was produced (live delta-patching vs full assembly,
+// patched/reused split, index/merge timings).
 type SessionSolveResponse struct {
 	SolveResponse
 	// Incremental reports whether the solve consumed only the delta.
 	Incremental bool   `json:"incremental"`
 	Epoch       uint64 `json:"epoch"`
+	// Delta is the Outcome changelog of this solve (delta mode only);
+	// when set, the full kept/removed/inferred/clusters lists are
+	// omitted.
+	Delta *OutcomeDeltaResponse `json:"delta,omitempty"`
+}
+
+// OutcomeDeltaResponse renders an Outcome changelog: the statements
+// that entered or left each list since the previous solve, as display
+// strings (removed-list entries annotated with their first
+// explanation, like the full response's removed list).
+type OutcomeDeltaResponse struct {
+	AddedKept       []string   `json:"addedKept,omitempty"`
+	RemovedKept     []string   `json:"removedKept,omitempty"`
+	AddedRemoved    []string   `json:"addedRemoved,omitempty"`
+	RemovedRemoved  []string   `json:"removedRemoved,omitempty"`
+	AddedInferred   []string   `json:"addedInferred,omitempty"`
+	RemovedInferred []string   `json:"removedInferred,omitempty"`
+	AddedClusters   [][]string `json:"addedClusters,omitempty"`
+	RemovedClusters [][]string `json:"removedClusters,omitempty"`
+	// Truncated reports whether any list was capped at the server's
+	// per-response fact limit.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// deltaResponse renders the changelog with the server's fact cap
+// applied per list.
+func (s *Server) deltaResponse(d *repair.OutcomeDelta) *OutcomeDeltaResponse {
+	max := s.MaxFactsInResponse
+	resp := &OutcomeDeltaResponse{}
+	resp.AddedKept, resp.Truncated = factStrings(d.AddedKept, max, resp.Truncated)
+	resp.RemovedKept, resp.Truncated = factStrings(d.RemovedKept, max, resp.Truncated)
+	resp.AddedRemoved, resp.Truncated = removedStrings(d.AddedRemoved, max, resp.Truncated)
+	resp.RemovedRemoved, resp.Truncated = removedStrings(d.RemovedRemoved, max, resp.Truncated)
+	resp.AddedInferred, resp.Truncated = factStrings(d.AddedInferred, max, resp.Truncated)
+	resp.RemovedInferred, resp.Truncated = factStrings(d.RemovedInferred, max, resp.Truncated)
+	resp.AddedClusters, resp.Truncated = clusterStrings(d.AddedClusters, max, resp.Truncated)
+	resp.RemovedClusters, resp.Truncated = clusterStrings(d.RemovedClusters, max, resp.Truncated)
+	return resp
 }
 
 func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
@@ -334,9 +384,15 @@ func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := SessionSolveResponse{
-		SolveResponse: s.solveResponse(res),
-		Incremental:   res.Incremental,
-		Epoch:         uint64(ss.sess.Store().Epoch()),
+		Incremental: res.Incremental,
+		Epoch:       uint64(ss.sess.Store().Epoch()),
+	}
+	if req.Delta && res.Delta != nil {
+		// Changelog mode: statistics plus the diff, no full lists.
+		resp.SolveResponse = SolveResponse{Stats: res.Stats}
+		resp.Delta = s.deltaResponse(res.Delta)
+	} else {
+		resp.SolveResponse = s.solveResponse(res)
 	}
 	writeJSON(w, resp)
 }

@@ -180,6 +180,113 @@ MX coach Lyon [2003,2005] 0.7
 	}
 }
 
+// TestSessionSolveDeltaMode drives the changelog mode of session
+// solves: delta=true returns only what entered or left the outcome
+// since the previous solve, omitting the full fact lists. The first
+// solve reports the full state as added; an incremental single-fact
+// update reports only its own component's churn; a no-op re-solve
+// reports an empty changelog.
+func TestSessionSolveDeltaMode(t *testing.T) {
+	ts := newTestServer(t)
+	var info SessionInfo
+	resp := postJSON(t, ts.URL+"/api/sessions", CreateSessionRequest{
+		TQuads: `
+CR coach Chelsea [2000,2004] 0.9
+CR coach Napoli [2001,2003] 0.6
+MX coach Porto [2002,2004] 0.8
+MX coach Lyon [2003,2005] 0.7
+`,
+		Rules: "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
+	}, &info)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create session: status %d", resp.StatusCode)
+	}
+	base := ts.URL + "/api/sessions/" + info.ID
+	req := SessionSolveRequest{Solver: "mln", ComponentSolve: true, Delta: true}
+
+	var solve SessionSolveResponse
+	resp = postJSON(t, base+"/solve", req, &solve)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d", resp.StatusCode)
+	}
+	if solve.Delta == nil {
+		t.Fatal("delta mode returned no changelog")
+	}
+	if len(solve.Kept) != 0 || len(solve.Removed) != 0 || len(solve.Inferred) != 0 || len(solve.Clusters) != 0 {
+		t.Fatalf("delta mode returned full lists: %+v", solve.SolveResponse)
+	}
+	if got := len(solve.Delta.AddedKept); got != solve.Stats.KeptFacts {
+		t.Fatalf("first delta added %d kept facts, stats report %d", got, solve.Stats.KeptFacts)
+	}
+	if got := len(solve.Delta.AddedRemoved); got != solve.Stats.RemovedFacts {
+		t.Fatalf("first delta added %d removed facts, stats report %d", got, solve.Stats.RemovedFacts)
+	}
+	if ocs := solve.Stats.Outcome; ocs == nil || ocs.Mode != repair.OutcomeLive {
+		t.Fatalf("delta mode did not run the live outcome: %+v", solve.Stats.Outcome)
+	}
+
+	// Single-fact update: the changelog must stay scoped to CR's
+	// component (no MX statements churn).
+	var facts FactsResponse
+	resp = postJSON(t, base+"/facts", FactsRequest{TQuads: "CR coach Leeds [2003,2004] 0.5"}, &facts)
+	if resp.StatusCode != http.StatusOK || facts.Added != 1 {
+		t.Fatalf("add facts: status %d resp %+v", resp.StatusCode, facts)
+	}
+	// Fresh response structs per request: omitempty fields absent from a
+	// later response must read as empty, not as the previous decode's
+	// values.
+	var update SessionSolveResponse
+	resp = postJSON(t, base+"/solve", req, &update)
+	if resp.StatusCode != http.StatusOK || !update.Incremental {
+		t.Fatalf("re-solve: status %d incremental=%v", resp.StatusCode, update.Incremental)
+	}
+	if update.Delta == nil {
+		t.Fatal("incremental delta solve returned no changelog")
+	}
+	var all []string
+	for _, list := range [][]string{update.Delta.AddedKept, update.Delta.RemovedKept,
+		update.Delta.AddedRemoved, update.Delta.RemovedRemoved} {
+		all = append(all, list...)
+	}
+	if len(all) == 0 {
+		t.Fatal("adding a conflicting spell changed nothing")
+	}
+	for _, line := range all {
+		if strings.Contains(line, "MX") {
+			t.Fatalf("changelog churned a clean component: %q", line)
+		}
+	}
+
+	// No-op re-solve: empty changelog.
+	var noop SessionSolveResponse
+	resp = postJSON(t, base+"/solve", req, &noop)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("no-op solve: status %d", resp.StatusCode)
+	}
+	d := noop.Delta
+	if d == nil {
+		t.Fatal("no-op delta solve returned no changelog")
+	}
+	if n := len(d.AddedKept) + len(d.RemovedKept) + len(d.AddedRemoved) + len(d.RemovedRemoved) +
+		len(d.AddedInferred) + len(d.RemovedInferred) + len(d.AddedClusters) + len(d.RemovedClusters); n != 0 {
+		t.Fatalf("no-op solve produced a %d-entry changelog: %+v", n, d)
+	}
+
+	// Without componentSolve there is no live outcome: delta mode falls
+	// back to the full response.
+	var mono SessionSolveResponse
+	resp = postJSON(t, base+"/solve", SessionSolveRequest{Solver: "mln", Delta: true}, &mono)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("monolithic solve: status %d", resp.StatusCode)
+	}
+	if mono.Delta != nil {
+		t.Fatal("monolithic solve fabricated a changelog")
+	}
+	if len(mono.Kept) == 0 {
+		t.Fatal("fallback response missing the full lists")
+	}
+}
+
 func TestSessionLRUEviction(t *testing.T) {
 	srv := NewWithConfig(Config{MaxSessions: 2})
 	ts := httptest.NewServer(srv.Handler())

@@ -32,6 +32,7 @@ func solveAt(t *testing.T, ds *tecore.Dataset, program string, solver tecore.Sol
 	oc := *res.Outcome
 	oc.Stats.Runtime = 0
 	oc.Stats.Repair = nil
+	oc.Stats.Outcome = nil
 	return &oc
 }
 

@@ -155,6 +155,24 @@ const (
 	RepairComponents = repair.RepairComponents
 )
 
+// OutcomeStats summarises how the final Outcome was produced —
+// assembled from scratch or delta-patched on the session's live
+// outcome — with the patched/reused component split and the index and
+// merge timings; available as Stats.Outcome.
+type OutcomeStats = repair.OutcomeStats
+
+// Outcome read-out modes reported in OutcomeStats.Mode.
+const (
+	OutcomeAssembled = repair.OutcomeAssembled
+	OutcomeLive      = repair.OutcomeLive
+)
+
+// OutcomeDelta is the changelog of an incremental component solve: the
+// facts and conflict clusters that entered or left each Outcome list
+// relative to the session's previous solve; available as
+// Resolution.Delta.
+type OutcomeDelta = repair.OutcomeDelta
+
 // Fact is a resolved fact with provenance.
 type Fact = repair.Fact
 
