@@ -16,11 +16,18 @@
 package tecore_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 
 	tecore "repro"
 	"repro/internal/mln"
+	"repro/internal/server"
 	"repro/internal/translate"
 )
 
@@ -536,6 +543,83 @@ func BenchmarkOutcomeStage(b *testing.B) {
 			b.ReportMetric(outcomeNS/float64(b.N), "outcome-ns/op")
 		})
 	}
+}
+
+// --- Concurrent session serving: the HTTP session API under load ---
+// K sessions, each its own clustered dataset, all applying one batch
+// toggle + component re-solve per iteration concurrently. The emitter
+// (cmd/tecore-bench -scenario serve) records the full serial-vs-
+// concurrent and per-fact-vs-batch comparison in BENCH_serve.json;
+// this benchmark keeps the concurrent path itself on the perf radar.
+func BenchmarkServeConcurrentSessions(b *testing.B) {
+	const nSessions = 4
+	srv := server.NewWithConfig(server.Config{MaxQueuedSolves: 2 * nSessions})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: nSessions + 2}}
+	post := func(path string, body, out any) error {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: status %d", path, resp.StatusCode)
+		}
+		if out != nil {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		return nil
+	}
+	solve := &server.SessionSolveRequest{Solver: "mln", ComponentSolve: true}
+	ids := make([]string, nSessions)
+	for i := range ids {
+		ds := tecore.GenerateClustered(tecore.ClusteredConfig{
+			Clusters: 40, ClusterSize: 6, BridgeRate: 0.1, Seed: int64(20 + i)})
+		var sb strings.Builder
+		if err := tecore.WriteGraph(&sb, ds.Graph); err != nil {
+			b.Fatal(err)
+		}
+		var info server.SessionInfo
+		if err := post("/api/sessions", server.CreateSessionRequest{
+			TQuads: sb.String(), Rules: tecore.ClusteredProgram}, &info); err != nil {
+			b.Fatal(err)
+		}
+		if err := post("/api/sessions/"+info.ID+"/solve", solve, nil); err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+	probe := "player/00001 playsFor club/00001/probe [1991,1993] 0.55"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := server.BatchRequest{Solve: solve}
+		if i%2 == 0 {
+			req.Add = probe
+		} else {
+			req.Remove = probe
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(ids))
+		for j, id := range ids {
+			wg.Add(1)
+			go func(j int, id string) {
+				defer wg.Done()
+				errs[j] = post("/api/sessions/"+id+"/batch", req, nil)
+			}(j, id)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(nSessions), "sessions")
 }
 
 // Guard: the MLN options type stays exported for advanced tuning.

@@ -16,12 +16,17 @@
 //	                        every component's facts and clusters) vs the
 //	                        live delta-patched outcome on incremental
 //	                        re-solves of the clustered benchmark
+//	BENCH_serve.json        HTTP session serving under concurrent load:
+//	                        K sessions streaming batch updates, serial vs
+//	                        concurrent throughput and latency percentiles,
+//	                        plus batched vs per-fact ingest
 //
 // Usage:
 //
-//	tecore-bench [-out dir] [-scenario incremental|parallel|components|repair|outcome|all]
-//	             [-players N] [-clusters N] [-reps R]
+//	tecore-bench [-out dir] [-scenario incremental|parallel|components|repair|outcome|serve|all]
+//	             [-players N] [-clusters N] [-sessions K] [-updates U] [-reps R]
 //	             [-assert-repair-speedup X] [-assert-outcome-speedup X]
+//	             [-assert-serve-speedup X]
 //
 // Timings are medians of R runs on the local machine; absolute numbers
 // are substrate-dependent, ratios (speedup, scaling) are the tracked
@@ -43,18 +48,22 @@ import (
 
 func main() {
 	out := flag.String("out", ".", "directory to write BENCH_*.json into")
-	scenario := flag.String("scenario", "all", "incremental, parallel, components, repair or all")
+	scenario := flag.String("scenario", "all", "incremental, parallel, components, repair, outcome, serve or all")
 	players := flag.Int("players", 2000, "FootballDB generator size for the incremental scenario")
 	clusters := flag.Int("clusters", 0, "single cluster count for the components/repair scenarios (0 = the default sweep)")
+	sessions := flag.Int("sessions", 8, "concurrent sessions for the serve scenario")
+	updates := flag.Int("updates", 20, "updates per session per pass for the serve scenario")
 	reps := flag.Int("reps", 3, "runs per measurement (median reported)")
 	assertRepair := flag.Float64("assert-repair-speedup", 0,
 		"repair scenario: exit non-zero unless the largest workload's incremental repair speedup reaches this factor (0 = no assertion)")
 	assertOutcome := flag.Float64("assert-outcome-speedup", 0,
 		"outcome scenario: exit non-zero unless the largest workload's live-outcome speedup reaches this factor (0 = no assertion)")
+	assertServe := flag.Float64("assert-serve-speedup", 0,
+		"serve scenario: exit non-zero unless concurrent throughput beats serial by this factor (0 = no assertion)")
 	flag.Parse()
 
 	switch *scenario {
-	case "incremental", "parallel", "components", "repair", "outcome", "all":
+	case "incremental", "parallel", "components", "repair", "outcome", "serve", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "tecore-bench: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -86,6 +95,12 @@ func main() {
 	if *scenario == "outcome" || *scenario == "all" {
 		if err := runOutcome(*out, *clusters, *reps, *assertOutcome); err != nil {
 			fmt.Fprintf(os.Stderr, "tecore-bench: outcome: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *scenario == "serve" || *scenario == "all" {
+		if err := runServe(*out, *sessions, *updates, *reps, *assertServe); err != nil {
+			fmt.Fprintf(os.Stderr, "tecore-bench: serve: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	tecore "repro"
+	"repro/internal/server"
+)
+
+// The serve scenario measures the HTTP session API under concurrent
+// load: K sessions, each its own clustered dataset, each streaming
+// single-fact updates through the combined batch endpoint (retract +
+// assert + component re-solve in one request). The serial pass drives
+// the sessions one after another; the concurrent pass drives all K at
+// once. Solves on different sessions share the admission gate and
+// split the worker budget (par.Share), so concurrent throughput above
+// serial is the tracked signal — it proves sessions do not serialize
+// on any global lock. The ingest comparison measures the batch
+// endpoint's raison d'être: N facts in one request against N per-fact
+// requests, both followed by one re-solve.
+
+// ServePassStats summarises one update-driving pass.
+type ServePassStats struct {
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+}
+
+// ServeReport is the BENCH_serve.json schema.
+type ServeReport struct {
+	Benchmark         string `json:"benchmark"`
+	Workload          string `json:"workload"`
+	Sessions          int    `json:"sessions"`
+	UpdatesPerSession int    `json:"updates_per_session"`
+	GoMaxProcs        int    `json:"gomaxprocs"`
+	// Serial and Concurrent drive the same per-session updates; only
+	// the request concurrency differs.
+	Serial     ServePassStats `json:"serial"`
+	Concurrent ServePassStats `json:"concurrent"`
+	// ConcurrencySpeedup is concurrent vs serial sustained throughput.
+	ConcurrencySpeedup float64 `json:"concurrency_speedup"`
+	// Ingest comparison: IngestFacts new facts + one re-solve, sent as
+	// one batch request vs one request per fact.
+	IngestFacts        int     `json:"ingest_facts"`
+	PerFactIngestMS    float64 `json:"per_fact_ingest_ms"`
+	BatchIngestMS      float64 `json:"batch_ingest_ms"`
+	BatchIngestSpeedup float64 `json:"batch_ingest_speedup"`
+}
+
+// serveClient wraps the bench HTTP client with JSON helpers.
+type serveClient struct {
+	base string
+	c    *http.Client
+}
+
+func (sc *serveClient) post(path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := sc.c.Post(sc.base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d", path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func percentileMS(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func runServe(dir string, sessions, updates, reps int, assertSpeedup float64) error {
+	srv := server.NewWithConfig(server.Config{
+		MaxSessions: sessions + 4,
+		// The queue must absorb every concurrent session so the bench
+		// never trips the 429 backpressure it is not measuring.
+		MaxQueuedSolves: 2*sessions + 8,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &serveClient{base: ts.URL, c: &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: sessions + 4},
+	}}
+
+	solve := &server.SessionSolveRequest{Solver: "mln", ComponentSolve: true}
+
+	// One session per simulated client, each over its own clustered
+	// dataset (distinct seeds), warmed with a first full solve.
+	ids := make([]string, sessions)
+	for i := range ids {
+		ds := tecore.GenerateClustered(tecore.ClusteredConfig{
+			Clusters: 40, ClusterSize: 6, BridgeRate: 0.1, Seed: int64(20 + i)})
+		var sb strings.Builder
+		if err := tecore.WriteGraph(&sb, ds.Graph); err != nil {
+			return err
+		}
+		var info server.SessionInfo
+		if err := client.post("/api/sessions", server.CreateSessionRequest{
+			TQuads: sb.String(), Rules: tecore.ClusteredProgram,
+		}, &info); err != nil {
+			return err
+		}
+		if err := client.post("/api/sessions/"+info.ID+"/solve", solve, nil); err != nil {
+			return err
+		}
+		ids[i] = info.ID
+	}
+
+	// update toggles a conflicting probe spell in the session's first
+	// cluster through the batch endpoint: one request carries the fact
+	// delta and the component re-solve.
+	probe := "player/00001 playsFor club/00001/probe [1991,1993] 0.55"
+	update := func(id string, step int) (float64, error) {
+		req := server.BatchRequest{Solve: solve}
+		if step%2 == 0 {
+			req.Add = probe
+		} else {
+			req.Remove = probe
+		}
+		start := time.Now()
+		err := client.post("/api/sessions/"+id+"/batch", req, nil)
+		return float64(time.Since(start).Microseconds()) / 1000, err
+	}
+
+	// drive runs `updates` toggles on every session and reports the
+	// per-update latencies and the pass's wall clock.
+	drive := func(concurrent bool) ([]float64, float64, error) {
+		perSession := make([][]float64, len(ids))
+		errs := make([]error, len(ids))
+		start := time.Now()
+		if concurrent {
+			var wg sync.WaitGroup
+			for i, id := range ids {
+				wg.Add(1)
+				go func(i int, id string) {
+					defer wg.Done()
+					for u := 0; u < updates; u++ {
+						ms, err := update(id, u)
+						if err != nil {
+							errs[i] = err
+							return
+						}
+						perSession[i] = append(perSession[i], ms)
+					}
+				}(i, id)
+			}
+			wg.Wait()
+		} else {
+			for i, id := range ids {
+				for u := 0; u < updates; u++ {
+					ms, err := update(id, u)
+					if err != nil {
+						errs[i] = err
+						break
+					}
+					perSession[i] = append(perSession[i], ms)
+				}
+			}
+		}
+		wallMS := float64(time.Since(start).Microseconds()) / 1000
+		var all []float64
+		for i, list := range perSession {
+			if errs[i] != nil {
+				return nil, 0, errs[i]
+			}
+			all = append(all, list...)
+		}
+		return all, wallMS, nil
+	}
+
+	// Alternate serial and concurrent rounds so cache warmth and heap
+	// state drift equally on both sides; latencies pool across rounds,
+	// throughput is the median round's.
+	pass := func(concurrent bool) (ServePassStats, error) {
+		var all []float64
+		var ups []float64
+		for r := 0; r < reps; r++ {
+			samples, wallMS, err := drive(concurrent)
+			if err != nil {
+				return ServePassStats{}, err
+			}
+			all = append(all, samples...)
+			ups = append(ups, float64(len(samples))/(wallMS/1000))
+		}
+		sort.Float64s(ups)
+		return ServePassStats{
+			P50MS:         percentileMS(all, 0.50),
+			P99MS:         percentileMS(all, 0.99),
+			UpdatesPerSec: ups[len(ups)/2],
+		}, nil
+	}
+
+	report := ServeReport{
+		Benchmark:         "BenchmarkServeConcurrentSessions",
+		Workload:          "clustered (40 clusters, size 6, bridge rate 0.1) per session, batch toggle + component re-solve per update",
+		Sessions:          sessions,
+		UpdatesPerSession: updates,
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+	}
+	var err error
+	if report.Serial, err = pass(false); err != nil {
+		return err
+	}
+	if report.Concurrent, err = pass(true); err != nil {
+		return err
+	}
+	if report.Serial.UpdatesPerSec > 0 {
+		report.ConcurrencySpeedup = report.Concurrent.UpdatesPerSec / report.Serial.UpdatesPerSec
+	}
+
+	// Ingest comparison: N fresh facts + one re-solve, as N per-fact
+	// requests vs one batch request. After each timed round the facts
+	// are retracted and the session re-solved untimed, so every round —
+	// in both passes — starts from the same committed state.
+	const ingestFacts = 24
+	report.IngestFacts = ingestFacts
+	lines := make([]string, ingestFacts)
+	for j := range lines {
+		lines[j] = fmt.Sprintf("ingest/%03d playsFor club/ingest [1990,1995] 0.8", j)
+	}
+	measureIngest := func(apply func() error) (float64, error) {
+		var samples []float64
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if err := apply(); err != nil {
+				return 0, err
+			}
+			samples = append(samples, float64(time.Since(start).Microseconds())/1000)
+			// Untimed: retract the round's facts and re-solve, restoring
+			// the committed baseline for the next round.
+			if err := client.post("/api/sessions/"+ids[0]+"/batch", server.BatchRequest{
+				Remove: strings.Join(lines, "\n"), Solve: solve,
+			}, nil); err != nil {
+				return 0, err
+			}
+		}
+		sort.Float64s(samples)
+		return samples[len(samples)/2], nil
+	}
+	// Both passes time ingestion and restoration; the difference is the
+	// assertion path — N requests plus a solve vs one combined request.
+	report.PerFactIngestMS, err = measureIngest(func() error {
+		for _, line := range lines {
+			if err := client.post("/api/sessions/"+ids[0]+"/facts",
+				server.FactsRequest{TQuads: line}, nil); err != nil {
+				return err
+			}
+		}
+		return client.post("/api/sessions/"+ids[0]+"/solve", solve, nil)
+	})
+	if err != nil {
+		return err
+	}
+	report.BatchIngestMS, err = measureIngest(func() error {
+		return client.post("/api/sessions/"+ids[0]+"/batch", server.BatchRequest{
+			Add: strings.Join(lines, "\n"), Solve: solve,
+		}, nil)
+	})
+	if err != nil {
+		return err
+	}
+	if report.BatchIngestMS > 0 {
+		report.BatchIngestSpeedup = report.PerFactIngestMS / report.BatchIngestMS
+	}
+
+	if err := writeReport(dir, "BENCH_serve.json", report); err != nil {
+		return err
+	}
+	if assertSpeedup > 0 {
+		if report.ConcurrencySpeedup < assertSpeedup {
+			return fmt.Errorf("concurrent serving speedup %.2fx below required %.2fx (%.0f vs %.0f updates/sec)",
+				report.ConcurrencySpeedup, assertSpeedup,
+				report.Concurrent.UpdatesPerSec, report.Serial.UpdatesPerSec)
+		}
+		fmt.Printf("serve speedup assertion ok: %.2fx ≥ %.2fx (%d sessions)\n",
+			report.ConcurrencySpeedup, assertSpeedup, sessions)
+	}
+	return nil
+}

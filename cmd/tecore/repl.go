@@ -18,6 +18,8 @@ import (
 //
 //	add <tquad>       insert a fact, e.g. add CR coach Napoli [2001,2003] 0.6
 //	remove <tquad>    retract a fact (confidence ignored)
+//	batch <op>; ...   apply several ops as one atomic delta, e.g.
+//	                  batch remove CR coach Napoli [2001,2003] 0.6; add CR coach Leeds [2003,2004] 0.5
 //	solve             re-solve and print statistics
 //	stats             print store statistics without solving
 //	quit              exit (EOF works too)
@@ -26,7 +28,7 @@ import (
 // component summary — count, largest, engine tallies and the cache-hit
 // split that shows how much of the graph the re-solve skipped.
 func runIncrementalREPL(s *tecore.Session, opts tecore.SolveOptions, verbose bool, in io.Reader, out io.Writer) error {
-	fmt.Fprintf(out, "tecore incremental session: %d facts loaded; commands: add/remove/solve/stats/quit\n",
+	fmt.Fprintf(out, "tecore incremental session: %d facts loaded; commands: add/remove/batch/solve/stats/quit\n",
 		s.Store().Len())
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -61,6 +63,19 @@ func runIncrementalREPL(s *tecore.Session, opts tecore.SolveOptions, verbose boo
 				}
 			}
 			fmt.Fprintf(out, "ok: %d fact(s) removed, %d live\n", removed, s.Store().Len())
+		case "batch":
+			add, remove, err := parseBatchOps(rest)
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				continue
+			}
+			br, err := s.ApplyBatch(add, remove)
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(out, "ok: batch applied — %d added, %d removed, %d updated, %d live\n",
+				br.Added, br.Removed, br.Updated, s.Store().Len())
 		case "solve":
 			res, err := s.Solve(opts)
 			if err != nil {
@@ -107,8 +122,33 @@ func runIncrementalREPL(s *tecore.Session, opts tecore.SolveOptions, verbose boo
 		case "quit", "exit":
 			return nil
 		default:
-			fmt.Fprintf(out, "error: unknown command %q (add/remove/solve/stats/quit)\n", cmd)
+			fmt.Fprintf(out, "error: unknown command %q (add/remove/batch/solve/stats/quit)\n", cmd)
 		}
 	}
 	return sc.Err()
+}
+
+// parseBatchOps splits a batch command's ";"-separated operations into
+// the quads to assert and to retract.
+func parseBatchOps(src string) (add, remove []tecore.Quad, err error) {
+	for _, part := range strings.Split(src, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, rest, _ := strings.Cut(part, " ")
+		g, perr := tecore.ParseGraphString(rest)
+		if perr != nil {
+			return nil, nil, fmt.Errorf("batch %s: %w", op, perr)
+		}
+		switch strings.ToLower(op) {
+		case "add":
+			add = append(add, g...)
+		case "remove":
+			remove = append(remove, g...)
+		default:
+			return nil, nil, fmt.Errorf("batch: unknown op %q (add/remove)", op)
+		}
+	}
+	return add, remove, nil
 }

@@ -48,6 +48,46 @@ quit
 	}
 }
 
+// TestIncrementalREPLBatch drives the batch command: several ops apply
+// as one atomic delta (removes first), and an invalid op rejects the
+// whole batch without touching the store.
+func TestIncrementalREPLBatch(t *testing.T) {
+	s := tecore.NewSession()
+	if err := s.LoadGraphText(figure1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadProgramText(program); err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(`
+solve
+batch remove CR coach Napoli [2001,2003] 0.6; add CR coach Leeds [2003,2004] 0.5
+solve
+batch frobnicate CR coach X [2005,2006] 0.5
+batch add CR coach X [2005,2006] 5.0
+stats
+quit
+`)
+	var out strings.Builder
+	err := runIncrementalREPL(s, tecore.SolveOptions{Solver: tecore.SolverMLN}, false, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"ok: batch applied — 1 added, 1 removed, 0 updated, 5 live",
+		"solved (incremental, mln):",
+		`unknown op "frobnicate"`,
+		// The invalid-confidence batch must reject without applying.
+		"error:",
+		"facts: 5 live",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q\noutput:\n%s", want, got)
+		}
+	}
+}
+
 // TestIncrementalREPLComponents drives the REPL with -components -v:
 // every solve prints the component summary, and the re-solve after a
 // mutation reports cache reuse for the untouched components.

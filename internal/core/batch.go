@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// BatchResult reports the net effect of an ApplyBatch call on the
+// store, in the same terms as a store delta: Added counts facts that
+// became live (including revivals), Removed counts facts tombstoned,
+// Updated counts existing live facts whose confidence was raised. A
+// fact both removed and re-added inside one batch nets out according
+// to its final state.
+type BatchResult struct {
+	Added   int
+	Removed int
+	Updated int
+}
+
+// ApplyBatch applies a group of mutations as one logical update:
+// removals first, then additions (so a quad appearing in both ends up
+// live). The next Solve consumes the whole batch through a single
+// store delta — one retraction pass, one grounding delta, one
+// dirty-component set, one outcome patch — instead of paying the
+// incremental machinery once per fact.
+//
+// Additions are validated up front; on a validation error nothing is
+// applied. Remove semantics match RemoveFact: the exact temporal
+// statement is matched, confidence ignored, and absent facts are
+// skipped silently (the net count reports what actually changed).
+func (s *Session) ApplyBatch(add, remove []rdf.Quad) (BatchResult, error) {
+	for i, q := range add {
+		if err := q.Validate(); err != nil {
+			return BatchResult{}, fmt.Errorf("core: batch add %d: %w", i, err)
+		}
+	}
+	before := s.st.Epoch()
+	for _, q := range remove {
+		s.st.Remove(q)
+	}
+	for _, q := range add {
+		if _, err := s.st.Add(q); err != nil {
+			// Unreachable after pre-validation; surface it rather than
+			// silently under-reporting the batch.
+			return BatchResult{}, fmt.Errorf("core: batch add: %w", err)
+		}
+	}
+	d := s.st.DeltaSince(before)
+	return BatchResult{Added: len(d.Added), Removed: len(d.Removed), Updated: len(d.Updated)}, nil
+}

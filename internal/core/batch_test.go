@@ -1,0 +1,63 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/temporal"
+)
+
+func mustQuad(t *testing.T, s, p, o string, start, end int64, conf float64) rdf.Quad {
+	t.Helper()
+	return rdf.NewQuad(s, p, o, temporal.MustNew(start, end), conf)
+}
+
+func TestApplyBatchCounts(t *testing.T) {
+	s := newFigure1Session(t)
+	napoli := mustQuad(t, "CR", "coach", "Napoli", 2001, 2003, 0.6)
+	leeds := mustQuad(t, "CR", "coach", "Leeds", 2005, 2007, 0.5)
+	porto := mustQuad(t, "CR", "coach", "Porto", 2008, 2010, 0.4)
+
+	res, err := s.ApplyBatch([]rdf.Quad{leeds, porto}, []rdf.Quad{napoli})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Added != 2 || res.Removed != 1 || res.Updated != 0 {
+		t.Fatalf("batch result = %+v, want 2 added / 1 removed", res)
+	}
+	if got := s.Store().Len(); got != 6 {
+		t.Fatalf("store len = %d, want 6", got)
+	}
+
+	// A quad in both lists nets out live (removes apply first), and a
+	// re-add with a higher confidence counts as an update.
+	leedsUp := leeds
+	leedsUp.Confidence = 0.8
+	res, err = s.ApplyBatch([]rdf.Quad{porto, leedsUp}, []rdf.Quad{porto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Added != 0 || res.Removed != 0 || res.Updated != 2 {
+		t.Fatalf("batch result = %+v, want 2 updated (revival + confidence raise)", res)
+	}
+	if !s.Store().Contains(porto) {
+		t.Fatal("quad listed in both add and remove should end up live")
+	}
+}
+
+func TestApplyBatchValidatesBeforeApplying(t *testing.T) {
+	s := newFigure1Session(t)
+	before := s.Store().Epoch()
+	good := mustQuad(t, "CR", "coach", "Leeds", 2005, 2007, 0.5)
+	bad := good
+	bad.Confidence = 7 // out of [0,1]
+	_, err := s.ApplyBatch([]rdf.Quad{good, bad}, []rdf.Quad{
+		mustQuad(t, "CR", "coach", "Napoli", 2001, 2003, 0.6)})
+	if err == nil || !strings.Contains(err.Error(), "batch add 1") {
+		t.Fatalf("invalid add not rejected: %v", err)
+	}
+	if s.Store().Epoch() != before {
+		t.Fatal("failed batch mutated the store")
+	}
+}

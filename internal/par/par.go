@@ -61,6 +61,23 @@ func Do(n, workers int, task func(i int)) {
 	wg.Wait()
 }
 
+// Share divides the machine between k cooperating solves: it returns
+// the worker count one of k concurrent pipelines should use so that
+// together they fill — but do not oversubscribe — the n-worker budget
+// (n <= 0 selects GOMAXPROCS, like Workers). Every pipeline gets at
+// least one worker; worker counts never change results, only wall
+// clock, so callers may re-share as concurrency fluctuates.
+func Share(n, k int) int {
+	w := Workers(n)
+	if k <= 1 {
+		return w
+	}
+	if w /= k; w < 1 {
+		return 1
+	}
+	return w
+}
+
 // DoRange splits [0, n) into one contiguous span per worker and runs
 // body(lo, hi) for each concurrently. Use it for element-wise loops too
 // fine-grained for a closure call per index; cross-element reductions

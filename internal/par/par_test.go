@@ -18,6 +18,27 @@ func TestWorkers(t *testing.T) {
 	}
 }
 
+func TestShare(t *testing.T) {
+	if got := Share(8, 2); got != 4 {
+		t.Errorf("Share(8, 2) = %d, want 4", got)
+	}
+	if got := Share(8, 0); got != 8 {
+		t.Errorf("Share(8, 0) = %d, want 8", got)
+	}
+	if got := Share(8, 1); got != 8 {
+		t.Errorf("Share(8, 1) = %d, want 8", got)
+	}
+	if got := Share(4, 100); got != 1 {
+		t.Errorf("Share(4, 100) = %d, want 1 (floor)", got)
+	}
+	if got := Share(0, 1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Share(0, 1) = %d, want GOMAXPROCS", got)
+	}
+	if want := Share(runtime.GOMAXPROCS(0), 3); Share(0, 3) != want {
+		t.Errorf("Share(0, 3) = %d, want %d", Share(0, 3), want)
+	}
+}
+
 func TestDoRunsEveryTaskExactlyOnce(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 16, 100} {
 		const n = 537

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+)
+
+// Admission control for solves: MAP inference is CPU-bound and each
+// solve fans out over a worker pool, so K unbounded concurrent solves
+// would oversubscribe the machine K-fold and collapse every request's
+// latency at once. The admission gate bounds how many solves run at a
+// time (slots) and how many may wait for a slot (queue); a request
+// arriving past both bounds is rejected immediately with 429 and a
+// Retry-After hint instead of piling up — bounded latency under
+// overload beats unbounded queueing.
+
+// DefaultMaxQueuedSolves bounds the solve wait queue unless the Server
+// overrides it.
+const DefaultMaxQueuedSolves = 32
+
+// admission is the server-wide solve gate.
+type admission struct {
+	slots chan struct{} // filled while a solve runs
+	queue chan struct{} // filled while a solve waits for a slot
+}
+
+func newAdmission(maxConcurrent, maxQueued int) *admission {
+	if maxConcurrent <= 0 {
+		maxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if maxQueued <= 0 {
+		maxQueued = DefaultMaxQueuedSolves
+	}
+	return &admission{
+		slots: make(chan struct{}, maxConcurrent),
+		queue: make(chan struct{}, maxQueued),
+	}
+}
+
+// acquire reserves a solve slot, waiting in the bounded queue if none
+// is free. It reports false — without blocking — when both the slots
+// and the queue are full; the caller should reject the request with
+// 429.
+func (a *admission) acquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return false
+	}
+	a.slots <- struct{}{}
+	<-a.queue
+	return true
+}
+
+// release frees the slot taken by acquire.
+func (a *admission) release() { <-a.slots }
+
+// inflight returns the number of solves currently holding a slot.
+func (a *admission) inflight() int { return len(a.slots) }
+
+// admitSolve runs the admission gate for an HTTP solve request,
+// writing the 429 response itself when the request is rejected. The
+// caller must call release() exactly when admitSolve returns true.
+func (s *Server) admitSolve(w http.ResponseWriter) bool {
+	if s.adm.acquire() {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests,
+		"solve queue full (%d running, %d queued); retry later",
+		cap(s.adm.slots), cap(s.adm.queue))
+	return false
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kgen"
 	"repro/internal/logic"
+	"repro/internal/par"
 	"repro/internal/rdf"
 	"repro/internal/repair"
 	"repro/internal/rulelang"
@@ -39,6 +40,13 @@ type Server struct {
 	Parallelism int
 	// sessions holds the stateful incremental solving sessions (LRU).
 	sessions *sessionTable
+	// adm is the server-wide solve admission gate (see admission.go).
+	adm *admission
+	// solveGate, when non-nil, is called inside a session solve's
+	// critical section (lock and admission slot held, solver not yet
+	// run). Test hook: lets the concurrency suite pin a solve
+	// in flight deterministically. Never set in production.
+	solveGate func(sessionID string)
 }
 
 type dataset struct {
@@ -63,6 +71,14 @@ type Config struct {
 	// Parallelism is the default solve parallelism (see
 	// Server.Parallelism).
 	Parallelism int
+	// MaxConcurrentSolves bounds how many solves run at once across
+	// all endpoints and sessions (0 = GOMAXPROCS). Solves past it wait
+	// in a bounded queue.
+	MaxConcurrentSolves int
+	// MaxQueuedSolves bounds the solve wait queue (0 =
+	// DefaultMaxQueuedSolves); a solve arriving past both bounds is
+	// rejected with 429 and a Retry-After header.
+	MaxQueuedSolves int
 }
 
 // NewWithConfig returns a configured server.
@@ -72,11 +88,24 @@ func NewWithConfig(cfg Config) *Server {
 		MaxFactsInResponse: 200,
 		Parallelism:        cfg.Parallelism,
 		sessions:           newSessionTable(cfg.MaxSessions),
+		adm:                newAdmission(cfg.MaxConcurrentSolves, cfg.MaxQueuedSolves),
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	s.seed()
 	return s
+}
+
+// solveParallelism resolves the worker-pool width for an admitted
+// solve: an explicit per-request setting wins; otherwise the server
+// default is shared across the solves currently holding a slot, so K
+// concurrent sessions split the machine instead of oversubscribing it
+// K-fold. Worker counts never change results, only wall clock.
+func (s *Server) solveParallelism(req int) int {
+	if req != 0 {
+		return req
+	}
+	return par.Share(s.Parallelism, s.adm.inflight())
 }
 
 // Handler returns the HTTP handler.
@@ -94,9 +123,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/suggest", s.handleSuggest)
 	s.mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
 	s.mux.HandleFunc("GET /api/sessions/{id}", s.handleSessionInfo)
+	s.mux.HandleFunc("GET /api/sessions/{id}/outcome", s.handleSessionOutcome)
 	s.mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDeleteSession)
 	s.mux.HandleFunc("POST /api/sessions/{id}/facts", s.handleSessionFacts)
 	s.mux.HandleFunc("DELETE /api/sessions/{id}/facts", s.handleSessionFacts)
+	s.mux.HandleFunc("POST /api/sessions/{id}/batch", s.handleSessionBatch)
 	s.mux.HandleFunc("POST /api/sessions/{id}/solve", s.handleSessionSolve)
 }
 
@@ -434,15 +465,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parsing rules: %v", err)
 		return
 	}
-	parallelism := req.Parallelism
-	if parallelism == 0 {
-		parallelism = s.Parallelism
+	if !s.admitSolve(w) {
+		return
 	}
+	defer s.adm.release()
 	res, err := sess.Solve(core.SolveOptions{
 		Solver:              solver,
 		Threshold:           req.Threshold,
 		CuttingPlane:        req.CuttingPlane,
-		Parallelism:         parallelism,
+		Parallelism:         s.solveParallelism(req.Parallelism),
 		ComponentSolve:      req.ComponentSolve,
 		ComponentExactLimit: req.ComponentExactLimit,
 	})
@@ -455,12 +486,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 // solveResponse renders a Resolution with the server's fact cap applied.
 func (s *Server) solveResponse(res *core.Resolution) SolveResponse {
-	resp := SolveResponse{Stats: res.Stats}
+	return s.outcomeResponse(res.Outcome)
+}
+
+// outcomeResponse renders an Outcome with the server's fact cap
+// applied.
+func (s *Server) outcomeResponse(oc *repair.Outcome) SolveResponse {
+	resp := SolveResponse{Stats: oc.Stats}
 	cap := s.MaxFactsInResponse
-	resp.Kept, resp.Truncated = factStrings(res.Kept, cap, resp.Truncated)
-	resp.Removed, resp.Truncated = removedStrings(res.Removed, cap, resp.Truncated)
-	resp.Inferred, resp.Truncated = factStrings(res.Inferred, cap, resp.Truncated)
-	resp.Clusters, resp.Truncated = clusterStrings(res.Clusters, cap, resp.Truncated)
+	resp.Kept, resp.Truncated = factStrings(oc.Kept, cap, resp.Truncated)
+	resp.Removed, resp.Truncated = removedStrings(oc.Removed, cap, resp.Truncated)
+	resp.Inferred, resp.Truncated = factStrings(oc.Inferred, cap, resp.Truncated)
+	resp.Clusters, resp.Truncated = clusterStrings(oc.Clusters, cap, resp.Truncated)
 	return resp
 }
 

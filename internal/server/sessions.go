@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/rdf"
@@ -22,9 +23,12 @@ import (
 // stream fact updates and re-solve, paying only for the delta:
 //
 //	POST   /api/sessions              {dataset?, rules?, tquads?} → {id}
-//	GET    /api/sessions/{id}         → session info
+//	GET    /api/sessions/{id}         → session info (snapshot read)
+//	GET    /api/sessions/{id}/outcome → last committed outcome (snapshot read)
 //	POST   /api/sessions/{id}/facts   {tquads} → adds facts
 //	DELETE /api/sessions/{id}/facts   {tquads} → removes facts
+//	POST   /api/sessions/{id}/batch   {add?, remove?, solve?} → batched
+//	                                   adds+removes (+solve) in one request
 //	POST   /api/sessions/{id}/solve   {solver, threshold, parallelism,
 //	                                   componentSolve, componentExactLimit,
 //	                                   coldStart} → SolveResponse
@@ -32,6 +36,17 @@ import (
 //
 // Sessions live in a bounded LRU table; creating one past the capacity
 // evicts the least recently used.
+//
+// Concurrency: mutations and solves on one session serialize on its
+// mutex, but reads never wait behind them — every commit (create,
+// fact mutation, solve) publishes an immutable snapshot swapped in
+// atomically, and GET handlers serve straight from the latest
+// published snapshot. The guarantee is snapshot isolation at the
+// session level: a reader only ever observes the state of a fully
+// committed epoch, never a torn intermediate, and the epochs it
+// observes never move backwards. Solves across *different* sessions
+// run concurrently, bounded only by the server's admission gate (see
+// admission.go).
 
 // DefaultMaxSessions bounds the LRU session table unless the Server
 // overrides it.
@@ -41,10 +56,46 @@ const DefaultMaxSessions = 64
 type session struct {
 	id string
 	// mu serializes mutations and solves; core.Session is not safe for
-	// concurrent use.
+	// concurrent use. Reads do not take it — they load snap.
 	mu   sync.Mutex
 	sess *core.Session
 	elem *list.Element // position in the LRU list
+	// snap is the session's last committed state, swapped atomically
+	// at every commit while mu is held. Loads need no lock.
+	snap atomic.Pointer[sessionSnapshot]
+}
+
+// sessionSnapshot is an immutable committed view of a session. The
+// outcome's slices are copy-on-write on the live-outcome path and
+// freshly built on every other path, so the snapshot stays valid while
+// later solves patch the session's state.
+type sessionSnapshot struct {
+	info SessionInfo
+	// outcome is the last committed solve's result (nil before the
+	// first solve).
+	outcome *repair.Outcome
+	solver  string
+	// solveEpoch is the store epoch the outcome reflects.
+	solveEpoch uint64
+}
+
+// publish swaps in a new committed snapshot. Callers hold ss.mu (so
+// the info fields are a consistent cut of the session); oc == nil
+// carries the previous solve's outcome forward — fact mutations move
+// the store epoch without recommitting an outcome.
+func (ss *session) publish(oc *repair.Outcome, solver string) {
+	next := &sessionSnapshot{info: SessionInfo{
+		ID:    ss.id,
+		Facts: ss.sess.Store().Len(),
+		Rules: len(ss.sess.Program().Rules),
+		Epoch: uint64(ss.sess.Store().Epoch()),
+	}}
+	if oc != nil {
+		next.outcome, next.solver, next.solveEpoch = oc, solver, next.info.Epoch
+	} else if prev := ss.snap.Load(); prev != nil {
+		next.outcome, next.solver, next.solveEpoch = prev.outcome, prev.solver, prev.solveEpoch
+	}
+	ss.snap.Store(next)
 }
 
 // sessionTable is a mutex-guarded LRU map of live sessions.
@@ -135,15 +186,6 @@ type SessionInfo struct {
 	Epoch uint64 `json:"epoch"`
 }
 
-func (s *Server) sessionInfo(ss *session) SessionInfo {
-	return SessionInfo{
-		ID:    ss.id,
-		Facts: ss.sess.Store().Len(),
-		Rules: len(ss.sess.Program().Rules),
-		Epoch: uint64(ss.sess.Store().Epoch()),
-	}
-}
-
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	var req CreateSessionRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
@@ -179,8 +221,9 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	ss := &session{id: newSessionID(), sess: sess}
+	ss.publish(nil, "")
 	s.sessions.put(ss)
-	writeJSON(w, s.sessionInfo(ss))
+	writeJSON(w, ss.snap.Load().info)
 }
 
 func (s *Server) session(w http.ResponseWriter, r *http.Request) (*session, bool) {
@@ -192,15 +235,44 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (*session, bool
 	return ss, true
 }
 
+// handleSessionInfo serves the session's committed info from the
+// published snapshot — it never waits behind an in-flight solve.
 func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 	ss, ok := s.session(w, r)
 	if !ok {
 		return
 	}
-	ss.mu.Lock()
-	info := s.sessionInfo(ss)
-	ss.mu.Unlock()
-	writeJSON(w, info)
+	writeJSON(w, ss.snap.Load().info)
+}
+
+// SessionOutcomeResponse serves the last committed solve's outcome.
+type SessionOutcomeResponse struct {
+	SolveResponse
+	// Solved reports whether the session has committed a solve yet;
+	// the embedded outcome fields are only meaningful when true.
+	Solved bool   `json:"solved"`
+	Solver string `json:"solver,omitempty"`
+	// Epoch is the store epoch the outcome reflects — its snapshot
+	// version. Readers only ever observe fully committed epochs.
+	Epoch uint64 `json:"epoch"`
+}
+
+// handleSessionOutcome serves the last committed solve from the
+// published snapshot, without blocking behind an in-flight solve: the
+// snapshot's outcome is immutable, so rendering it races with nothing.
+func (s *Server) handleSessionOutcome(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	snap := ss.snap.Load()
+	resp := SessionOutcomeResponse{Epoch: snap.solveEpoch}
+	if snap.outcome != nil {
+		resp.Solved = true
+		resp.Solver = snap.solver
+		resp.SolveResponse = s.outcomeResponse(snap.outcome)
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
@@ -262,8 +334,96 @@ func (s *Server) handleSessionFacts(w http.ResponseWriter, r *http.Request) {
 		resp.Added = len(d.Added)
 		resp.Updated = len(d.Updated)
 	}
+	ss.publish(nil, "")
 	resp.Facts = st.Len()
 	resp.Epoch = uint64(st.Epoch())
+	writeJSON(w, resp)
+}
+
+// BatchRequest carries a combined update: TQuads to retract and to
+// assert, applied as one batch (removals first), plus an optional
+// solve to run in the same request. The whole batch costs one session
+// lock acquisition and — on the next solve — one grounding delta, one
+// dirty-component set and one outcome patch, however many facts it
+// carries.
+type BatchRequest struct {
+	Add    string `json:"add,omitempty"`
+	Remove string `json:"remove,omitempty"`
+	// Solve, when present, re-solves right after the batch applies,
+	// still under the same lock acquisition.
+	Solve *SessionSolveRequest `json:"solve,omitempty"`
+}
+
+// BatchResponse reports the batch's net effect and, when requested,
+// the solve's result.
+type BatchResponse struct {
+	FactsResponse
+	Solve *SessionSolveResponse `json:"solve,omitempty"`
+}
+
+func (s *Server) handleSessionBatch(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	// Parse everything before taking any lock or slot.
+	add, err := rdf.ParseGraphString(req.Add)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parsing add tquads: %v", err)
+		return
+	}
+	remove, err := rdf.ParseGraphString(req.Remove)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parsing remove tquads: %v", err)
+		return
+	}
+	var solver translate.Solver
+	if req.Solve != nil {
+		if solver, err = parseSolveSolver(req.Solve); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// The solve rides the same admission gate as a standalone one.
+		if !s.admitSolve(w) {
+			return
+		}
+		defer s.adm.release()
+	}
+
+	ss.mu.Lock()
+	br, err := ss.sess.ApplyBatch(add, remove)
+	if err != nil {
+		ss.mu.Unlock()
+		httpError(w, http.StatusBadRequest, "applying batch: %v", err)
+		return
+	}
+	ss.publish(nil, "")
+	resp := BatchResponse{FactsResponse: FactsResponse{
+		Added:   br.Added,
+		Removed: br.Removed,
+		Updated: br.Updated,
+		Facts:   ss.sess.Store().Len(),
+		Epoch:   uint64(ss.sess.Store().Epoch()),
+	}}
+	var res *core.Resolution
+	var epoch uint64
+	if req.Solve != nil {
+		res, epoch, err = s.solveLocked(ss, solver, *req.Solve)
+	}
+	ss.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "solving: %v", err)
+		return
+	}
+	if res != nil {
+		sr := s.renderSessionSolve(res, epoch, req.Solve.Delta)
+		resp.Solve = &sr
+	}
 	writeJSON(w, resp)
 }
 
@@ -347,6 +507,51 @@ func (s *Server) deltaResponse(d *repair.OutcomeDelta) *OutcomeDeltaResponse {
 	return resp
 }
 
+// parseSolveSolver resolves the request's solver name, defaulting the
+// empty string to MLN.
+func parseSolveSolver(req *SessionSolveRequest) (translate.Solver, error) {
+	if req.Solver == "" {
+		req.Solver = "mln"
+	}
+	return translate.ParseSolver(req.Solver)
+}
+
+// solveLocked runs one admitted solve on the session and publishes the
+// committed snapshot. The caller holds ss.mu and an admission slot; it
+// returns the resolution and the store epoch the outcome reflects.
+func (s *Server) solveLocked(ss *session, solver translate.Solver, req SessionSolveRequest) (*core.Resolution, uint64, error) {
+	if s.solveGate != nil {
+		s.solveGate(ss.id)
+	}
+	res, err := ss.sess.Solve(core.SolveOptions{
+		Solver:              solver,
+		Threshold:           req.Threshold,
+		Parallelism:         s.solveParallelism(req.Parallelism),
+		ComponentSolve:      req.ComponentSolve,
+		ComponentExactLimit: req.ComponentExactLimit,
+		ColdStart:           req.ColdStart,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	ss.publish(res.Outcome, solver.String())
+	return res, uint64(ss.sess.Store().Epoch()), nil
+}
+
+// renderSessionSolve renders a committed solve. It runs outside the
+// session lock: the resolution's outcome is an immutable snapshot.
+func (s *Server) renderSessionSolve(res *core.Resolution, epoch uint64, delta bool) SessionSolveResponse {
+	resp := SessionSolveResponse{Incremental: res.Incremental, Epoch: epoch}
+	if delta && res.Delta != nil {
+		// Changelog mode: statistics plus the diff, no full lists.
+		resp.SolveResponse = SolveResponse{Stats: res.Stats}
+		resp.Delta = s.deltaResponse(res.Delta)
+	} else {
+		resp.SolveResponse = s.solveResponse(res)
+	}
+	return resp
+}
+
 func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 	ss, ok := s.session(w, r)
 	if !ok {
@@ -357,42 +562,21 @@ func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	if req.Solver == "" {
-		req.Solver = "mln"
-	}
-	solver, err := translate.ParseSolver(req.Solver)
+	solver, err := parseSolveSolver(&req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	parallelism := req.Parallelism
-	if parallelism == 0 {
-		parallelism = s.Parallelism
+	if !s.admitSolve(w) {
+		return
 	}
+	defer s.adm.release()
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	res, err := ss.sess.Solve(core.SolveOptions{
-		Solver:              solver,
-		Threshold:           req.Threshold,
-		Parallelism:         parallelism,
-		ComponentSolve:      req.ComponentSolve,
-		ComponentExactLimit: req.ComponentExactLimit,
-		ColdStart:           req.ColdStart,
-	})
+	res, epoch, err := s.solveLocked(ss, solver, req)
+	ss.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "solving: %v", err)
 		return
 	}
-	resp := SessionSolveResponse{
-		Incremental: res.Incremental,
-		Epoch:       uint64(ss.sess.Store().Epoch()),
-	}
-	if req.Delta && res.Delta != nil {
-		// Changelog mode: statistics plus the diff, no full lists.
-		resp.SolveResponse = SolveResponse{Stats: res.Stats}
-		resp.Delta = s.deltaResponse(res.Delta)
-	} else {
-		resp.SolveResponse = s.solveResponse(res)
-	}
-	writeJSON(w, resp)
+	writeJSON(w, s.renderSessionSolve(res, epoch, req.Delta))
 }

@@ -287,6 +287,98 @@ MX coach Lyon [2003,2005] 0.7
 	}
 }
 
+// TestSessionBatchEndpoint drives the combined update endpoint: one
+// request carries retractions, assertions and a solve, and the
+// response reports the batch's net effect plus the solve result.
+func TestSessionBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var info SessionInfo
+	resp := postJSON(t, ts.URL+"/api/sessions", CreateSessionRequest{
+		TQuads: `
+CR coach Chelsea [2000,2004] 0.9
+CR coach Napoli [2001,2003] 0.6
+`,
+		Rules: "c2: quad(x, coach, y, t) ^ quad(x, coach, z, t') ^ y != z -> disjoint(t, t') w = inf",
+	}, &info)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create session: status %d", resp.StatusCode)
+	}
+	base := ts.URL + "/api/sessions/" + info.ID
+
+	// Swap Napoli for Leeds and solve, all in one request.
+	var batch BatchResponse
+	resp = postJSON(t, base+"/batch", BatchRequest{
+		Add:    "CR coach Leeds [2003,2004] 0.5",
+		Remove: "CR coach Napoli [2001,2003] 0.6",
+		Solve:  &SessionSolveRequest{Solver: "mln", ComponentSolve: true},
+	}, &batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	if batch.Added != 1 || batch.Removed != 1 || batch.Facts != 2 {
+		t.Fatalf("batch counts: %+v", batch.FactsResponse)
+	}
+	if batch.Solve == nil {
+		t.Fatal("batch solve requested but no solve result returned")
+	}
+	// Leeds [2003,2004] 0.5 overlaps Chelsea [2000,2004] 0.9 and loses.
+	if batch.Solve.Stats.RemovedFacts != 1 {
+		t.Fatalf("batch solve stats: %+v", batch.Solve.Stats)
+	}
+	if batch.Solve.Epoch != batch.Epoch {
+		t.Fatalf("solve epoch %d != batch epoch %d", batch.Solve.Epoch, batch.Epoch)
+	}
+
+	// The committed outcome is readable from the snapshot endpoint.
+	var oc SessionOutcomeResponse
+	resp = getJSON(t, base+"/outcome", &oc)
+	if resp.StatusCode != http.StatusOK || !oc.Solved {
+		t.Fatalf("outcome: status %d solved=%v", resp.StatusCode, oc.Solved)
+	}
+	if oc.Epoch != batch.Solve.Epoch || oc.Solver != "mln" {
+		t.Fatalf("outcome snapshot: epoch %d solver %q, want %d/mln", oc.Epoch, oc.Solver, batch.Solve.Epoch)
+	}
+	if len(oc.Removed) != 1 || !strings.Contains(oc.Removed[0], "Leeds") {
+		t.Fatalf("outcome removed: %v", oc.Removed)
+	}
+
+	// A solve-less batch just applies the delta.
+	var counts BatchResponse
+	resp = postJSON(t, base+"/batch", BatchRequest{Remove: "CR coach Leeds [2003,2004] 0.5"}, &counts)
+	if resp.StatusCode != http.StatusOK || counts.Removed != 1 || counts.Solve != nil {
+		t.Fatalf("solve-less batch: status %d %+v", resp.StatusCode, counts)
+	}
+
+	// An invalid quad rejects the whole batch before anything applies.
+	before := counts.Epoch
+	resp = postJSON(t, base+"/batch", BatchRequest{Add: "CR coach X [2005,2006] 7.0"}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid batch: status %d", resp.StatusCode)
+	}
+	resp = getJSON(t, base, &info)
+	if resp.StatusCode != http.StatusOK || info.Epoch != before {
+		t.Fatalf("rejected batch moved the epoch: %d -> %d", before, info.Epoch)
+	}
+}
+
+// TestSessionOutcomeBeforeSolve: the snapshot endpoint reports
+// solved=false until the session commits its first solve.
+func TestSessionOutcomeBeforeSolve(t *testing.T) {
+	ts := newTestServer(t)
+	var info SessionInfo
+	resp := postJSON(t, ts.URL+"/api/sessions", CreateSessionRequest{
+		TQuads: "CR coach Chelsea [2000,2004] 0.9",
+	}, &info)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create session: status %d", resp.StatusCode)
+	}
+	var oc SessionOutcomeResponse
+	resp = getJSON(t, ts.URL+"/api/sessions/"+info.ID+"/outcome", &oc)
+	if resp.StatusCode != http.StatusOK || oc.Solved || oc.Solver != "" || len(oc.Kept) != 0 {
+		t.Fatalf("pre-solve outcome: status %d %+v", resp.StatusCode, oc)
+	}
+}
+
 func TestSessionLRUEviction(t *testing.T) {
 	srv := NewWithConfig(Config{MaxSessions: 2})
 	ts := httptest.NewServer(srv.Handler())

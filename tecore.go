@@ -60,6 +60,10 @@ type SolveOptions = core.SolveOptions
 // inferred facts plus statistics and the raw solver output.
 type Resolution = core.Resolution
 
+// BatchResult reports the net effect of a Session.ApplyBatch call:
+// facts that changed liveness and facts whose confidence was raised.
+type BatchResult = core.BatchResult
+
 // Solver selects the probabilistic backend.
 type Solver = translate.Solver
 
