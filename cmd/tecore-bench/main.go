@@ -20,13 +20,22 @@
 //	                        K sessions streaming batch updates, serial vs
 //	                        concurrent throughput and latency percentiles,
 //	                        plus batched vs per-fact ingest
+//	BENCH_scale.json        memory/latency trajectory over fact count:
+//	                        bytes/fact (heap-quiesced MemStats + the
+//	                        store's own estimate), cold-solve time and
+//	                        single-fact update latency at 10⁵–10⁷ facts
 //
 // Usage:
 //
-//	tecore-bench [-out dir] [-scenario incremental|parallel|components|repair|outcome|serve|all]
+//	tecore-bench [-out dir] [-scenario incremental|parallel|components|repair|outcome|serve|scale|all]
 //	             [-players N] [-clusters N] [-sessions K] [-updates U] [-reps R]
+//	             [-scale-facts N,N,...] [-scale-cluster-size N]
 //	             [-assert-repair-speedup X] [-assert-outcome-speedup X]
-//	             [-assert-serve-speedup X]
+//	             [-assert-serve-speedup X] [-assert-bytes-per-fact B]
+//
+// The scale scenario is not part of -scenario all: its default sweep
+// runs minutes and allocates gigabytes by design; request it explicitly
+// (CI runs it at a small smoke size).
 //
 // Timings are medians of R runs on the local machine; absolute numbers
 // are substrate-dependent, ratios (speedup, scaling) are the tracked
@@ -60,10 +69,16 @@ func main() {
 		"outcome scenario: exit non-zero unless the largest workload's live-outcome speedup reaches this factor (0 = no assertion)")
 	assertServe := flag.Float64("assert-serve-speedup", 0,
 		"serve scenario: exit non-zero unless concurrent throughput beats serial by this factor (0 = no assertion)")
+	scaleFacts := flag.String("scale-facts", "100000,300000,1000000",
+		"scale scenario: comma-separated target fact counts to sweep")
+	scaleClusterSize := flag.Int("scale-cluster-size", 6,
+		"scale scenario: facts per cluster (component size distribution knob)")
+	assertBytesPerFact := flag.Float64("assert-bytes-per-fact", 0,
+		"scale scenario: exit non-zero if the last point's loaded bytes/fact exceeds this budget (0 = no assertion)")
 	flag.Parse()
 
 	switch *scenario {
-	case "incremental", "parallel", "components", "repair", "outcome", "serve", "all":
+	case "incremental", "parallel", "components", "repair", "outcome", "serve", "scale", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "tecore-bench: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -101,6 +116,13 @@ func main() {
 	if *scenario == "serve" || *scenario == "all" {
 		if err := runServe(*out, *sessions, *updates, *reps, *assertServe); err != nil {
 			fmt.Fprintf(os.Stderr, "tecore-bench: serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// Deliberately not under "all": the default sweep is minutes of work.
+	if *scenario == "scale" {
+		if err := runScale(*out, *scaleFacts, *scaleClusterSize, *reps, *assertBytesPerFact); err != nil {
+			fmt.Fprintf(os.Stderr, "tecore-bench: scale: %v\n", err)
 			os.Exit(1)
 		}
 	}

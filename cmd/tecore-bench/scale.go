@@ -1,0 +1,184 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	tecore "repro"
+)
+
+// ScalePoint is one size step of the scale trajectory: the clustered
+// workload at a target fact count, measuring where the bytes and the
+// milliseconds go as N grows.
+type ScalePoint struct {
+	// Facts is the generated fact count (the generator lands close to,
+	// not exactly on, the requested size); Clusters and ClusterSize
+	// describe the component structure of the workload.
+	Facts       int `json:"facts"`
+	Clusters    int `json:"clusters"`
+	ClusterSize int `json:"cluster_size"`
+	// Terms is the interned-dictionary size after load.
+	Terms int `json:"terms"`
+	// Components is the conflict-component count of the cold solve.
+	Components int `json:"components"`
+	// LoadMS is the wall-clock of ingesting the graph into the store;
+	// ColdSolveMS the first (from-scratch, component-decomposed) solve.
+	LoadMS      float64 `json:"load_ms"`
+	ColdSolveMS float64 `json:"cold_solve_ms"`
+	// UpdateP50MS/UpdateP99MS are single-fact update latencies (add or
+	// remove one fact + incremental re-solve) on the warm session.
+	UpdateP50MS float64 `json:"update_p50_ms"`
+	UpdateP99MS float64 `json:"update_p99_ms"`
+	// LoadedBytesPerFact is heap growth per fact after load (store +
+	// program only); SolvedBytesPerFact after the cold solve (store +
+	// grounding + clause set + solver state + outcome). Both measured
+	// from runtime.MemStats.HeapAlloc with the heap quiesced (double GC)
+	// on either side, so transient allocation is excluded.
+	LoadedBytesPerFact float64 `json:"loaded_bytes_per_fact"`
+	SolvedBytesPerFact float64 `json:"solved_bytes_per_fact"`
+	// StoreBytesPerFact is the store's self-reported estimate
+	// (stats.Memory.BytesPerFact): facts, postings, dictionary, log.
+	StoreBytesPerFact float64 `json:"store_bytes_per_fact"`
+}
+
+// ScaleReport is the BENCH_scale.json schema.
+type ScaleReport struct {
+	Benchmark  string       `json:"benchmark"`
+	Workload   string       `json:"workload"`
+	Solver     string       `json:"solver"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Points     []ScalePoint `json:"points"`
+}
+
+func parseSizeList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty size list")
+	}
+	return out, nil
+}
+
+// quiescedHeap settles the heap (two collections: one to free, one to
+// let finalizer-driven frees land) and returns the live heap bytes.
+func quiescedHeap() int64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+func runScale(dir, sizes string, clusterSize, reps int, assertBytesPerFact float64) error {
+	sizeList, err := parseSizeList(sizes)
+	if err != nil {
+		return fmt.Errorf("-scale-facts: %w", err)
+	}
+	report := ScaleReport{
+		Benchmark:  "BenchmarkScaleTrajectory",
+		Workload:   fmt.Sprintf("clustered (size %d, bridge rate 0.1)", clusterSize),
+		Solver:     tecore.SolverMLN.String(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, target := range sizeList {
+		clusters := target / clusterSize
+		if clusters < 1 {
+			clusters = 1
+		}
+		ds := tecore.GenerateClustered(tecore.ClusteredConfig{
+			Clusters: clusters, ClusterSize: clusterSize, BridgeRate: 0.1, Seed: 11})
+		probe := tecore.NewQuad("player/00001", "playsFor", "club/00001/probe",
+			tecore.MustInterval(1991, 1993), 0.55)
+		pt := ScalePoint{Facts: len(ds.Graph), Clusters: clusters, ClusterSize: clusterSize}
+
+		h0 := quiescedHeap()
+		s := tecore.NewSession()
+		start := time.Now()
+		if err := s.LoadGraph(ds.Graph); err != nil {
+			return err
+		}
+		pt.LoadMS = float64(time.Since(start).Microseconds()) / 1000
+		if err := s.LoadProgramText(tecore.ClusteredProgram); err != nil {
+			return err
+		}
+		loaded := quiescedHeap() - h0
+		pt.LoadedBytesPerFact = float64(loaded) / float64(pt.Facts)
+		st := s.Store().Stats()
+		pt.Terms = st.Terms
+		pt.StoreBytesPerFact = st.Memory.BytesPerFact
+
+		opts := tecore.SolveOptions{Solver: tecore.SolverMLN, ComponentSolve: true}
+		start = time.Now()
+		res, err := s.Solve(opts)
+		if err != nil {
+			return err
+		}
+		pt.ColdSolveMS = float64(time.Since(start).Microseconds()) / 1000
+		pt.Components = res.Stats.Components.Count
+		solved := quiescedHeap() - h0
+		pt.SolvedBytesPerFact = float64(solved) / float64(pt.Facts)
+		runtime.KeepAlive(ds)
+
+		// Single-fact update latency on the warm session: toggle the probe
+		// in and out, each toggle followed by an incremental re-solve.
+		toggles := reps * 4
+		if toggles < 8 {
+			toggles = 8
+		}
+		lat := make([]float64, 0, toggles)
+		toggle := false
+		for i := 0; i < toggles; i++ {
+			toggle = !toggle
+			runtime.GC() // keep earlier iterations' garbage out of the timed window
+			start = time.Now()
+			if toggle {
+				if err := s.AddFact(probe); err != nil {
+					return err
+				}
+			} else {
+				s.RemoveFact(probe)
+			}
+			res, err := s.Solve(opts)
+			if err != nil {
+				return err
+			}
+			lat = append(lat, float64(time.Since(start).Microseconds())/1000)
+			if !res.Incremental {
+				return fmt.Errorf("update solve did not take the delta path")
+			}
+		}
+		sort.Float64s(lat)
+		pt.UpdateP50MS = lat[len(lat)/2]
+		pt.UpdateP99MS = lat[(len(lat)*99+99)/100-1]
+		report.Points = append(report.Points, pt)
+		fmt.Printf("scale: %d facts — load %.0fms, cold solve %.0fms, update p50 %.2fms, %.0f B/fact loaded (store est %.0f), %.0f B/fact solved\n",
+			pt.Facts, pt.LoadMS, pt.ColdSolveMS, pt.UpdateP50MS, pt.LoadedBytesPerFact, pt.StoreBytesPerFact, pt.SolvedBytesPerFact)
+	}
+	if err := writeReport(dir, "BENCH_scale.json", report); err != nil {
+		return err
+	}
+	if assertBytesPerFact > 0 {
+		last := report.Points[len(report.Points)-1]
+		if last.LoadedBytesPerFact > assertBytesPerFact {
+			return fmt.Errorf("loaded bytes/fact %.0f at %d facts above the budget of %.0f",
+				last.LoadedBytesPerFact, last.Facts, assertBytesPerFact)
+		}
+		fmt.Printf("bytes/fact assertion ok: %.0f ≤ %.0f at %d facts\n",
+			last.LoadedBytesPerFact, assertBytesPerFact, last.Facts)
+	}
+	return nil
+}

@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	tecore-server [-addr :8080] [-parallel N]
+//	tecore-server [-addr :8080] [-parallel N] [-pprof addr]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/server"
@@ -18,7 +20,20 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	parallel := flag.Int("parallel", 0, "worker pool size per solve (0 = all cores, 1 = sequential)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The pprof handlers register on http.DefaultServeMux; serve
+		// them on their own listener so profiling stays off the API
+		// address and can bind to localhost only.
+		go func() {
+			fmt.Fprintf(os.Stderr, "pprof listening on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "tecore-server: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	srv := server.New()
 	srv.Parallelism = *parallel

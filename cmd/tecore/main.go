@@ -99,7 +99,11 @@ func runStats(args []string) error {
 		return err
 	}
 	preds := s.Predicates()
+	m := s.Store().MemoryStats()
 	fmt.Printf("facts: %d\npredicates: %d\n", s.Store().Len(), len(preds))
+	fmt.Printf("memory: %d terms, %.1f MiB (facts %.1f + postings %.1f + dict %.1f), %.1f B/fact\n",
+		m.Terms, float64(m.TotalBytes)/(1<<20), float64(m.FactBytes)/(1<<20),
+		float64(m.PostingBytes)/(1<<20), float64(m.DictBytes)/(1<<20), m.BytesPerFact)
 	for _, p := range preds {
 		fmt.Printf("  %-24s %8d facts  %6d subjects  span %v  mean conf %.3f\n",
 			p.Predicate, p.Count, p.Subjects, p.Span, p.MeanConfidence)

@@ -119,6 +119,10 @@ func runIncrementalREPL(s *tecore.Session, opts tecore.SolveOptions, verbose boo
 		case "stats":
 			fmt.Fprintf(out, "facts: %d live (epoch %d), rules: %d\n",
 				s.Store().Len(), s.Store().Epoch(), len(s.Program().Rules))
+			m := s.Store().MemoryStats()
+			fmt.Fprintf(out, "memory: %d terms, %.1f MiB (facts %.1f + postings %.1f + dict %.1f), %.1f B/fact\n",
+				m.Terms, float64(m.TotalBytes)/(1<<20), float64(m.FactBytes)/(1<<20),
+				float64(m.PostingBytes)/(1<<20), float64(m.DictBytes)/(1<<20), m.BytesPerFact)
 		case "quit", "exit":
 			return nil
 		default:

@@ -37,15 +37,58 @@ package ground
 import (
 	"repro/internal/rdf"
 	"repro/internal/store"
+	"repro/internal/temporal"
 )
 
 // AtomID identifies a ground atom (a potential temporal fact) in the
 // ground network. IDs are dense from 0.
 type AtomID int32
 
+// atomKey is the interned form of a ground atom's statement: term codes
+// from the table's private dictionary plus the validity interval. At 32
+// bytes it replaces the 184-byte rdf.FactKey as both the map key and the
+// per-atom stored key — at millions of atoms the struct-of-arrays layout
+// below is the difference between fitting in memory and not.
+type atomKey struct {
+	s, p, o store.TermID
+	iv      temporal.Interval
+}
+
+// atomMix is SplitMix64's finalizer, the avalanche stage of atom-key
+// hashing. Deterministic across processes.
+func atomMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (k atomKey) hash() uint64 {
+	h := atomMix(uint64(k.s)<<32 | uint64(k.p))
+	h = atomMix(h ^ uint64(k.o))
+	h = atomMix(h ^ uint64(k.iv.Start))
+	return atomMix(h ^ uint64(k.iv.End))
+}
+
+// Atom flag bits.
+const (
+	atomEvidence uint8 = 1 << iota
+	atomRetracted
+)
+
 // AtomTable interns ground atoms. Every atom corresponds to a temporal
 // statement (subject, predicate, object, interval); atoms backed by an
 // input fact are evidence atoms and carry its confidence.
+//
+// Internally the table is struct-of-arrays over interned keys: terms are
+// encoded once into a private dictionary, per-atom state lives in
+// parallel slices (key codes, flag bits, confidences, backing fact ids),
+// and the key→id map is keyed by a 64-bit hash with a linear-scanned
+// spill list for colliding keys — every hash hit is verified against the
+// stored key, so collisions cost time, never correctness. The public
+// surface still speaks rdf.FactKey; Info materialises it on demand.
 //
 // Concurrency follows the enumerate-then-intern two-phase protocol: the
 // read-side methods (Lookup, Info, Len) are safe for any number of
@@ -56,8 +99,13 @@ type AtomID int32
 // the race-detector suites, is what makes the sharing sound, and the
 // deterministic merge order is what keeps id assignment reproducible.
 type AtomTable struct {
-	ids   map[rdf.FactKey]AtomID
-	infos []AtomInfo
+	dict  *store.Dict
+	ids   map[uint64]AtomID
+	spill []AtomID
+	keys  []atomKey
+	flags []uint8
+	confs []float64
+	fids  []store.FactID
 }
 
 // AtomInfo describes one ground atom.
@@ -78,19 +126,49 @@ type AtomInfo struct {
 
 // NewAtomTable returns an empty atom table.
 func NewAtomTable() *AtomTable {
-	return &AtomTable{ids: make(map[rdf.FactKey]AtomID)}
+	return &AtomTable{dict: store.NewDict(), ids: make(map[uint64]AtomID)}
+}
+
+// lookupKey finds the atom with exactly this encoded key, checking the
+// hash slot first and the collision spill after.
+func (t *AtomTable) lookupKey(k atomKey) (AtomID, bool) {
+	if id, ok := t.ids[k.hash()]; ok {
+		if t.keys[id] == k {
+			return id, true
+		}
+		for _, id := range t.spill {
+			if t.keys[id] == k {
+				return id, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // Intern returns the id for the statement key, creating a non-evidence
 // atom when unseen. Callers must hold no concurrent readers (see the
 // type comment).
 func (t *AtomTable) Intern(key rdf.FactKey) AtomID {
-	if id, ok := t.ids[key]; ok {
+	k := atomKey{
+		s:  t.dict.Encode(key.S),
+		p:  t.dict.Encode(key.P),
+		o:  t.dict.Encode(key.O),
+		iv: key.Interval,
+	}
+	if id, ok := t.lookupKey(k); ok {
 		return id
 	}
-	id := AtomID(len(t.infos))
-	t.ids[key] = id
-	t.infos = append(t.infos, AtomInfo{Key: key, FactID: -1})
+	id := AtomID(len(t.keys))
+	h := k.hash()
+	if _, ok := t.ids[h]; ok {
+		t.spill = append(t.spill, id)
+	} else {
+		t.ids[h] = id
+	}
+	t.keys = append(t.keys, k)
+	t.flags = append(t.flags, 0)
+	t.confs = append(t.confs, 0)
+	t.fids = append(t.fids, -1)
 	return id
 }
 
@@ -99,13 +177,12 @@ func (t *AtomTable) Intern(key rdf.FactKey) AtomID {
 // the type comment.
 func (t *AtomTable) InternEvidence(key rdf.FactKey, conf float64, fid store.FactID) AtomID {
 	id := t.Intern(key)
-	info := &t.infos[id]
-	if !info.Evidence {
-		info.Evidence = true
-		info.Conf = conf
-		info.FactID = fid
-	} else if conf > info.Conf {
-		info.Conf = conf
+	if t.flags[id]&atomEvidence == 0 {
+		t.flags[id] |= atomEvidence
+		t.confs[id] = conf
+		t.fids[id] = fid
+	} else if conf > t.confs[id] {
+		t.confs[id] = conf
 	}
 	return id
 }
@@ -113,11 +190,9 @@ func (t *AtomTable) InternEvidence(key rdf.FactKey, conf float64, fid store.Fact
 // Retract marks the atom as dead: its backing fact was removed and no
 // rule derivation survives. Write-side: see the type comment.
 func (t *AtomTable) Retract(id AtomID) {
-	info := &t.infos[id]
-	info.Retracted = true
-	info.Evidence = false
-	info.Conf = 0
-	info.FactID = -1
+	t.flags[id] = atomRetracted
+	t.confs[id] = 0
+	t.fids[id] = -1
 }
 
 // SetEvidence (re)binds the atom to a live input fact, reviving it if
@@ -125,11 +200,9 @@ func (t *AtomTable) Retract(id AtomID) {
 // the incremental path mirrors the store state rather than merging
 // extraction runs. Write-side: see the type comment.
 func (t *AtomTable) SetEvidence(id AtomID, conf float64, fid store.FactID) {
-	info := &t.infos[id]
-	info.Retracted = false
-	info.Evidence = true
-	info.Conf = conf
-	info.FactID = fid
+	t.flags[id] = atomEvidence
+	t.confs[id] = conf
+	t.fids[id] = fid
 }
 
 // SetDerived demotes the atom to a plain derived atom (no evidence
@@ -137,31 +210,56 @@ func (t *AtomTable) SetEvidence(id AtomID, conf float64, fid store.FactID) {
 // removed but the statement remains derivable, and when forward chaining
 // re-derives a retracted atom. Write-side: see the type comment.
 func (t *AtomTable) SetDerived(id AtomID) {
-	info := &t.infos[id]
-	info.Retracted = false
-	info.Evidence = false
-	info.Conf = 0
-	info.FactID = -1
+	t.flags[id] = 0
+	t.confs[id] = 0
+	t.fids[id] = -1
 }
 
 // Lookup returns the id of a statement without interning. Safe for
 // concurrent readers.
 func (t *AtomTable) Lookup(key rdf.FactKey) (AtomID, bool) {
-	id, ok := t.ids[key]
-	return id, ok
+	s, ok := t.dict.Lookup(key.S)
+	if !ok {
+		return 0, false
+	}
+	p, ok := t.dict.Lookup(key.P)
+	if !ok {
+		return 0, false
+	}
+	o, ok := t.dict.Lookup(key.O)
+	if !ok {
+		return 0, false
+	}
+	return t.lookupKey(atomKey{s: s, p: p, o: o, iv: key.Interval})
 }
 
-// Info returns the atom's description. Safe for concurrent readers.
-func (t *AtomTable) Info(id AtomID) AtomInfo { return t.infos[id] }
+// Info returns the atom's description, materialising the statement key
+// from the interned codes. Safe for concurrent readers.
+func (t *AtomTable) Info(id AtomID) AtomInfo {
+	k := t.keys[id]
+	fl := t.flags[id]
+	return AtomInfo{
+		Key: rdf.FactKey{
+			S:        t.dict.Decode(k.s),
+			P:        t.dict.Decode(k.p),
+			O:        t.dict.Decode(k.o),
+			Interval: k.iv,
+		},
+		Evidence:  fl&atomEvidence != 0,
+		Retracted: fl&atomRetracted != 0,
+		Conf:      t.confs[id],
+		FactID:    t.fids[id],
+	}
+}
 
 // Len returns the number of interned atoms. Safe for concurrent readers.
-func (t *AtomTable) Len() int { return len(t.infos) }
+func (t *AtomTable) Len() int { return len(t.keys) }
 
 // EvidenceAtoms returns the ids of all evidence atoms.
 func (t *AtomTable) EvidenceAtoms() []AtomID {
 	var out []AtomID
-	for i := range t.infos {
-		if t.infos[i].Evidence {
+	for i, fl := range t.flags {
+		if fl&atomEvidence != 0 {
 			out = append(out, AtomID(i))
 		}
 	}
@@ -171,8 +269,8 @@ func (t *AtomTable) EvidenceAtoms() []AtomID {
 // DerivedAtoms returns the ids of all non-evidence (derived) atoms.
 func (t *AtomTable) DerivedAtoms() []AtomID {
 	var out []AtomID
-	for i := range t.infos {
-		if !t.infos[i].Evidence {
+	for i, fl := range t.flags {
+		if fl&atomEvidence == 0 {
 			out = append(out, AtomID(i))
 		}
 	}

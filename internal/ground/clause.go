@@ -90,18 +90,41 @@ func (c *Clause) normalize() (tautology bool) {
 	return false
 }
 
-// key returns a canonical identity for deduplication (after normalize).
-func (c *Clause) key() string {
-	var b strings.Builder
-	for _, l := range c.Lits {
+// keyHash hashes a clause's dedup identity — the normalized literal
+// list plus the rule name — FNV-1a style with an avalanche finish.
+// Deduplication never trusts the hash alone: candidates are verified
+// with sameKey, colliding clauses spill to a linear-scanned list.
+func keyHash(lits []Lit, rule string) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, l := range lits {
+		x := uint64(uint32(l.Atom)) << 1
 		if l.Neg {
-			b.WriteByte('-')
+			x |= 1
 		}
-		fmt.Fprintf(&b, "%d,", l.Atom)
+		h ^= x
+		h *= prime
 	}
-	b.WriteByte('#')
-	b.WriteString(c.Rule)
-	return b.String()
+	h ^= 0xff
+	h *= prime
+	for i := 0; i < len(rule); i++ {
+		h ^= uint64(rule[i])
+		h *= prime
+	}
+	return atomMix(h)
+}
+
+// sameKey reports whether the clause has exactly this dedup identity.
+func (c *Clause) sameKey(lits []Lit, rule string) bool {
+	if c.Rule != rule || len(c.Lits) != len(lits) {
+		return false
+	}
+	for i, l := range c.Lits {
+		if l != lits[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ClauseSet accumulates ground clauses with deduplication. Identical soft
@@ -118,10 +141,19 @@ type ClauseSet struct {
 	clauses []Clause
 	dead    []bool
 	nDead   int
-	index   map[string]int
+	// index maps a clause's 64-bit key hash to its slot; colliding
+	// clauses (different identity, same hash) spill into indexSpill.
+	// Replaces a map keyed by a per-clause canonical string — at
+	// millions of groundings the string builds dominated Add and the
+	// keys dwarfed the clauses they deduplicated.
+	index      map[uint64]int32
+	indexSpill []int32
 	// byAtom maps an atom to the clause positions mentioning it (live or
-	// dead); nil unless EnableAtomIndex was called.
-	byAtom map[AtomID][]int32
+	// dead): a dense slice indexed by AtomID — atom ids are dense, so
+	// the slice replaces a hash map without waste. Maintained only once
+	// EnableAtomIndex set atomIndexed.
+	byAtom      [][]int32
+	atomIndexed bool
 	// comps tracks conflict components incrementally; nil unless
 	// EnableComponentIndex was called (see components.go).
 	comps *componentIndex
@@ -129,28 +161,61 @@ type ClauseSet struct {
 
 // NewClauseSet returns an empty clause set.
 func NewClauseSet() *ClauseSet {
-	return &ClauseSet{index: make(map[string]int)}
+	return &ClauseSet{index: make(map[uint64]int32)}
+}
+
+// findSlot locates the clause with this dedup identity, checking the
+// hash slot first and the collision spill after.
+func (cs *ClauseSet) findSlot(h uint64, lits []Lit, rule string) (int, bool) {
+	if at, ok := cs.index[h]; ok {
+		if cs.clauses[at].sameKey(lits, rule) {
+			return int(at), true
+		}
+		for _, at := range cs.indexSpill {
+			if cs.clauses[at].sameKey(lits, rule) {
+				return int(at), true
+			}
+		}
+	}
+	return 0, false
 }
 
 // EnableAtomIndex switches on the atom → clause index required by
 // RemoveAtoms and SupportScan, indexing already-present clauses.
 func (cs *ClauseSet) EnableAtomIndex() {
-	if cs.byAtom != nil {
+	if cs.atomIndexed {
 		return
 	}
-	cs.byAtom = make(map[AtomID][]int32)
+	cs.atomIndexed = true
 	for at := range cs.clauses {
 		cs.indexAtoms(at)
 	}
 }
 
 func (cs *ClauseSet) indexAtoms(at int) {
-	if cs.byAtom == nil {
+	if !cs.atomIndexed {
 		return
 	}
 	for _, l := range cs.clauses[at].Lits {
+		if n := int(l.Atom) + 1; n > len(cs.byAtom) {
+			if n <= cap(cs.byAtom) {
+				cs.byAtom = cs.byAtom[:n]
+			} else {
+				grown := make([][]int32, n, n+n/2+8)
+				copy(grown, cs.byAtom)
+				cs.byAtom = grown
+			}
+		}
 		cs.byAtom[l.Atom] = append(cs.byAtom[l.Atom], int32(at))
 	}
+}
+
+// clausesOf returns the indexed clause slots mentioning atom a.
+func (cs *ClauseSet) clausesOf(a AtomID) []int32 {
+	if int(a) < len(cs.byAtom) {
+		return cs.byAtom[a]
+	}
+	return nil
 }
 
 // Add normalizes and inserts a clause, merging duplicates and reviving
@@ -165,8 +230,8 @@ func (cs *ClauseSet) Add(c Clause) bool {
 	if len(c.Lits) == 0 {
 		return !c.Hard()
 	}
-	k := c.key()
-	if at, ok := cs.index[k]; ok {
+	h := keyHash(c.Lits, c.Rule)
+	if at, ok := cs.findSlot(h, c.Lits, c.Rule); ok {
 		if cs.dead != nil && cs.dead[at] {
 			// Revive: the grounding returns after its atoms came back;
 			// this emission replaces the dropped aggregate.
@@ -184,7 +249,12 @@ func (cs *ClauseSet) Add(c Clause) bool {
 		cs.noteClause(at)
 		return true
 	}
-	cs.index[k] = len(cs.clauses)
+	at := int32(len(cs.clauses))
+	if _, ok := cs.index[h]; ok {
+		cs.indexSpill = append(cs.indexSpill, at)
+	} else {
+		cs.index[h] = at
+	}
 	cs.clauses = append(cs.clauses, c)
 	if cs.dead != nil {
 		cs.dead = append(cs.dead, false)
@@ -212,7 +282,7 @@ func (cs *ClauseSet) RemoveAtoms(atoms []AtomID) int {
 	}
 	removed := 0
 	for _, a := range atoms {
-		for _, at := range cs.byAtom[a] {
+		for _, at := range cs.clausesOf(a) {
 			if !cs.dead[at] {
 				cs.dead[at] = true
 				cs.nDead++
@@ -273,7 +343,7 @@ func (cs *ClauseSet) Len() int { return len(cs.clauses) - cs.nDead }
 // skipped. Used by the incremental engine's delete/rederive pass, which
 // reads rule groundings as derivation records.
 func (cs *ClauseSet) SupportScan(a AtomID, fn func(head AtomID, c *Clause) bool) {
-	for _, at := range cs.byAtom[a] {
+	for _, at := range cs.clausesOf(a) {
 		if cs.dead != nil && cs.dead[at] {
 			continue
 		}

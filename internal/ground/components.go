@@ -99,14 +99,22 @@ func (s *ComponentStats) Engine(name string) {
 // All mutation happens at sequential points (clause-set merges, the
 // incremental engine's sync), matching the two-phase discipline of the
 // grounder; Components resolves pending splits lazily.
+// Per-node state is 8 bytes — a 4-byte parent link and a 4-byte
+// generation — so the index stays a rounding error next to the clauses
+// it partitions even at millions of atoms. Generations are 32-bit: a
+// wrap needs 2^32 component mutations in one session, and the solution
+// caches keyed by (Key, Gen) also compare full membership, so an
+// aliased generation can at worst reuse a cache entry for a component
+// with identical atoms — which the validation against the assignment
+// catches.
 type componentIndex struct {
 	parent []AtomID
 	// gen is meaningful at root atoms.
-	gen []uint64
+	gen []uint32
 	// dirty marks roots whose component lost a clause since the last
 	// Components call and may therefore have split.
 	dirty   map[AtomID]bool
-	nextGen uint64
+	nextGen uint32
 }
 
 func newComponentIndex() *componentIndex {
@@ -258,7 +266,7 @@ func (cs *ClauseSet) Components(order []AtomID) []Component {
 		if !ok {
 			i = len(comps)
 			byRoot[root] = i
-			comps = append(comps, Component{Key: a, Gen: ci.gen[root]})
+			comps = append(comps, Component{Key: a, Gen: uint64(ci.gen[root])})
 		}
 		c := &comps[i]
 		if a < c.Key {
@@ -271,7 +279,7 @@ func (cs *ClauseSet) Components(order []AtomID) []Component {
 
 // HasAtomIndex reports whether EnableAtomIndex was called — the
 // prerequisite for ComponentClauses' index-driven gathering.
-func (cs *ClauseSet) HasAtomIndex() bool { return cs.byAtom != nil }
+func (cs *ClauseSet) HasAtomIndex() bool { return cs.atomIndexed }
 
 // ComponentClauses returns the live clauses of one conflict component in
 // canonical order, remapped through local into the component's dense
@@ -334,7 +342,7 @@ func (cs *ClauseSet) ComponentSlots(atoms []AtomID) []int32 {
 	var slots []int32
 	seen := make(map[int32]bool)
 	for _, a := range atoms {
-		for _, at := range cs.byAtom[a] {
+		for _, at := range cs.clausesOf(a) {
 			if cs.dead != nil && cs.dead[at] {
 				continue
 			}
@@ -388,7 +396,7 @@ func (cs *ClauseSet) resplit(ci *componentIndex, order []AtomID) {
 		return r
 	}
 	for _, a := range atoms {
-		for _, at := range cs.byAtom[a] {
+		for _, at := range cs.clausesOf(a) {
 			if cs.dead != nil && cs.dead[at] {
 				continue
 			}

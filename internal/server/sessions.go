@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rdf"
 	"repro/internal/repair"
+	"repro/internal/store"
 	"repro/internal/translate"
 )
 
@@ -178,12 +179,15 @@ type CreateSessionRequest struct {
 	Rules   string `json:"rules,omitempty"`
 }
 
-// SessionInfo describes a session's current state.
+// SessionInfo describes a session's current state. Memory is only
+// populated on direct info reads (GET /api/sessions/{id}); commit-time
+// snapshots leave it nil to keep publish O(1).
 type SessionInfo struct {
-	ID    string `json:"id"`
-	Facts int    `json:"facts"`
-	Rules int    `json:"rules"`
-	Epoch uint64 `json:"epoch"`
+	ID     string             `json:"id"`
+	Facts  int                `json:"facts"`
+	Rules  int                `json:"rules"`
+	Epoch  uint64             `json:"epoch"`
+	Memory *store.MemoryStats `json:"memory,omitempty"`
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -236,13 +240,19 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (*session, bool
 }
 
 // handleSessionInfo serves the session's committed info from the
-// published snapshot — it never waits behind an in-flight solve.
+// published snapshot — it never waits behind an in-flight solve. The
+// memory estimate is computed here against the live store (its own
+// read lock, not the session mutex), so it reflects the current epoch
+// even when it is ahead of the snapshot.
 func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 	ss, ok := s.session(w, r)
 	if !ok {
 		return
 	}
-	writeJSON(w, ss.snap.Load().info)
+	info := ss.snap.Load().info
+	m := ss.sess.Store().MemoryStats()
+	info.Memory = &m
+	writeJSON(w, info)
 }
 
 // SessionOutcomeResponse serves the last committed solve's outcome.

@@ -1,0 +1,55 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/temporal"
+)
+
+// Allocation regression gates for the two hot read paths the scale work
+// rebuilt. These are run by CI next to the scale-bench smoke: a change
+// that reintroduces per-call maps or buffers fails here long before it
+// shows up on a memory profile.
+
+// TestMatchAllocsSteadyState pins View.Match to zero steady-state
+// allocations: the match buffer comes from a pool and the quads are
+// decoded into the callback by value.
+func TestMatchAllocsSteadyState(t *testing.T) {
+	st := newFigure1Store(t)
+	v := st.ReadView()
+	pat := Pattern{S: rdf.NewIRI("CR"), P: rdf.NewIRI("coach")}
+	n := 0
+	visit := func(FactID, rdf.Quad) bool { n++; return true }
+	v.Match(pat, visit) // warm the buffer pool
+	avg := testing.AllocsPerRun(200, func() {
+		v.Match(pat, visit)
+	})
+	if n == 0 {
+		t.Fatal("pattern matched no facts; gate is vacuous")
+	}
+	if avg > 0.1 {
+		t.Errorf("View.Match allocates %.2f objects/run in steady state, want 0", avg)
+	}
+}
+
+// TestDeltaSinceAllocsSingleUpdate pins the single-fact update read-out
+// — the DeltaSince call the incremental engine makes after one add — to
+// a constant few allocations (the touched-id slice and the delta
+// bucket), not a per-call dedup map.
+func TestDeltaSinceAllocsSingleUpdate(t *testing.T) {
+	st := newFigure1Store(t)
+	before := st.Epoch()
+	if _, err := st.Add(rdf.NewQuad("CR", "coach", "Parma", temporal.MustNew(2007, 2009), 0.4)); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		d := st.DeltaSince(before)
+		if len(d.Added) != 1 {
+			t.Fatalf("DeltaSince: %d added, want 1", len(d.Added))
+		}
+	})
+	if avg > 4 {
+		t.Errorf("single-fact DeltaSince allocates %.2f objects/run, want <= 4", avg)
+	}
+}

@@ -27,36 +27,89 @@ const NoTerm TermID = 0
 // Dict is a bidirectional dictionary between RDF terms and dense integer
 // codes. Encoding terms once lets the store, the grounder and the solvers
 // work on word-sized values.
+//
+// The forward direction maps a 64-bit term hash to the code and verifies
+// candidates against the code-indexed term slice, instead of keying a map
+// by the 56-byte Term struct — at millions of terms the duplicated
+// structs and their map buckets were the dictionary's dominant cost.
+// Colliding terms (different term, same hash) spill into a short
+// linear-scanned list; a hash hit is never trusted without an equality
+// check, so collisions cost time, never correctness.
 type Dict struct {
-	toID map[rdf.Term]TermID
-	toT  []rdf.Term // index 0 unused
+	byHash map[uint64]TermID
+	spill  []TermID
+	toT    []rdf.Term // index 0 unused
 }
 
 // NewDict returns an empty dictionary.
 func NewDict() *Dict {
 	return &Dict{
-		toID: make(map[rdf.Term]TermID),
-		toT:  make([]rdf.Term, 1),
+		byHash: make(map[uint64]TermID),
+		toT:    make([]rdf.Term, 1),
 	}
+}
+
+// termHash is FNV-1a over the term's fields with an avalanche finish,
+// deterministic across processes. Field boundaries are marked so
+// ("ab","c") and ("a","bc") in adjacent fields hash differently.
+func termHash(t rdf.Term) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xff
+		h *= prime
+	}
+	h ^= uint64(t.Kind)
+	h *= prime
+	mix(t.Value)
+	mix(t.Datatype)
+	mix(t.Lang)
+	return mix64(h)
 }
 
 // Encode interns the term and returns its code, assigning a fresh one on
 // first sight.
 func (d *Dict) Encode(t rdf.Term) TermID {
-	if id, ok := d.toID[t]; ok {
-		return id
+	h := termHash(t)
+	id, ok := d.byHash[h]
+	if ok {
+		if d.toT[id] == t {
+			return id
+		}
+		for _, id := range d.spill {
+			if d.toT[id] == t {
+				return id
+			}
+		}
 	}
-	id := TermID(len(d.toT))
-	d.toID[t] = id
+	fresh := TermID(len(d.toT))
 	d.toT = append(d.toT, t)
-	return id
+	if ok {
+		d.spill = append(d.spill, fresh)
+	} else {
+		d.byHash[h] = fresh
+	}
+	return fresh
 }
 
 // Lookup returns the code of the term without interning it; ok is false
 // when the term has never been seen.
 func (d *Dict) Lookup(t rdf.Term) (TermID, bool) {
-	id, ok := d.toID[t]
-	return id, ok
+	if id, ok := d.byHash[termHash(t)]; ok {
+		if d.toT[id] == t {
+			return id, true
+		}
+		for _, id := range d.spill {
+			if d.toT[id] == t {
+				return id, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // Decode returns the term for a code. It panics on an unknown code, which

@@ -2,7 +2,9 @@ package store
 
 import (
 	"sort"
+	"unsafe"
 
+	"repro/internal/rdf"
 	"repro/internal/temporal"
 )
 
@@ -21,6 +23,30 @@ type PredicateStat struct {
 	Subjects int
 }
 
+// MemoryStats estimates the store's resident footprint from its own
+// bookkeeping: fact table, change log, revive history, posting indexes
+// and the interning dictionary. The numbers are layout-derived
+// estimates (struct sizes plus measured container overheads), not a
+// heap profile — their job is tracking the bytes/fact trajectory as
+// the store scales, cheaply enough to serve from a live session.
+type MemoryStats struct {
+	// Terms is the number of distinct interned terms.
+	Terms int `json:"terms"`
+	// FactBytes covers the fact table, change log and revive history.
+	FactBytes int64 `json:"fact_bytes"`
+	// PostingBytes covers every posting index (term positions and the
+	// duplicate-detection fact key index).
+	PostingBytes int64 `json:"posting_bytes"`
+	// DictBytes covers the interning dictionary, term structs and
+	// string payloads included.
+	DictBytes int64 `json:"dict_bytes"`
+	// TotalBytes sums the components above.
+	TotalBytes int64 `json:"total_bytes"`
+	// BytesPerFact is TotalBytes over the total (live + tombstoned)
+	// fact count; 0 for an empty store.
+	BytesPerFact float64 `json:"bytes_per_fact"`
+}
+
 // Stats summarises a whole store.
 type Stats struct {
 	// Facts is the total number of distinct facts.
@@ -33,6 +59,70 @@ type Stats struct {
 	Span temporal.Interval
 	// MeanConfidence is the global average confidence.
 	MeanConfidence float64
+	// Memory estimates the store's resident footprint.
+	Memory MemoryStats
+}
+
+// mapEntryOverhead approximates Go's per-entry map cost beyond the key
+// and value payload (bucket headers, tophash bytes, load-factor slack).
+const mapEntryOverhead = 16
+
+// sliceHeaderBytes is the cost of a slice header (ptr, len, cap).
+const sliceHeaderBytes = 24
+
+// MemoryStats estimates the store's resident footprint. It is O(terms +
+// predicates), independent of the fact count, so it is cheap enough to
+// serve from a live session's stats endpoint.
+func (st *Store) MemoryStats() MemoryStats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.memoryLocked()
+}
+
+func (st *Store) memoryLocked() MemoryStats {
+	m := MemoryStats{Terms: st.dict.Len()}
+
+	// Fact table, change log, revive history.
+	m.FactBytes = int64(cap(st.facts))*int64(unsafe.Sizeof(fact{})) +
+		int64(cap(st.log))*int64(unsafe.Sizeof(Change{})) +
+		int64(cap(st.history))*int64(unsafe.Sizeof(factSpan{}))
+
+	// Posting indexes.
+	idBytes := int64(unsafe.Sizeof(FactID(0)))
+	postings := func(idx [][]FactID) (b int64) {
+		b = int64(cap(idx)) * sliceHeaderBytes
+		for _, ids := range idx {
+			b += int64(cap(ids)) * idBytes
+		}
+		return b
+	}
+	m.PostingBytes = postings(st.byS) + postings(st.byP) + postings(st.byO)
+	m.PostingBytes += int64(len(st.byFact))*(8+idBytes+mapEntryOverhead) +
+		int64(cap(st.byFactSpill))*idBytes
+	st.tidxMu.Lock()
+	for _, idx := range st.tidx {
+		m.PostingBytes += int64(unsafe.Sizeof(TermID(0))) + mapEntryOverhead + 4*sliceHeaderBytes +
+			int64(cap(idx.ids))*idBytes +
+			int64(cap(idx.starts)+cap(idx.ends)+cap(idx.blkMax))*int64(unsafe.Sizeof(temporal.Chronon(0)))
+	}
+	st.tidxMu.Unlock()
+
+	// Interning dictionary: the hash→id forward map, the code-indexed
+	// term slice, and the string payloads (counted once — the forward
+	// direction holds no term copies).
+	termStruct := int64(unsafe.Sizeof(rdf.Term{}))
+	m.DictBytes = int64(len(st.dict.byHash))*(8+idBytes+mapEntryOverhead) +
+		int64(cap(st.dict.spill))*idBytes +
+		int64(cap(st.dict.toT))*termStruct
+	for _, t := range st.dict.toT[1:] {
+		m.DictBytes += int64(len(t.Value) + len(t.Datatype) + len(t.Lang))
+	}
+
+	m.TotalBytes = m.FactBytes + m.PostingBytes + m.DictBytes
+	if n := len(st.facts); n > 0 {
+		m.BytesPerFact = float64(m.TotalBytes) / float64(n)
+	}
+	return m
 }
 
 // Stats computes summary statistics over the live facts of the store.
@@ -40,7 +130,7 @@ func (st *Store) Stats() Stats {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	live := len(st.facts) - st.dead
-	out := Stats{Facts: live, Terms: st.dict.Len()}
+	out := Stats{Facts: live, Terms: st.dict.Len(), Memory: st.memoryLocked()}
 	if live == 0 {
 		return out
 	}
@@ -61,16 +151,13 @@ func (st *Store) Stats() Stats {
 	out.Span = span
 	out.MeanConfidence = confSum / float64(live)
 
-	preds := make([]TermID, 0, len(st.byP))
+	// The dense index walks predicate ids in ascending order.
 	for p := range st.byP {
-		preds = append(preds, p)
-	}
-	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
-	for _, p := range preds {
 		ids := st.liveOnlyLocked(st.byP[p])
 		if len(ids) == 0 {
 			continue
 		}
+		p := TermID(p)
 		ps := PredicateStat{Predicate: st.dict.Decode(p).Value, Count: len(ids)}
 		subjects := make(map[TermID]struct{})
 		var cs float64

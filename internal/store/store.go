@@ -108,21 +108,32 @@ type Store struct {
 	// compacted is the epoch the change log was truncated up to; delta
 	// queries below it use the full-scan path.
 	compacted Epoch
-	// history holds the prior live spans of revived facts (nil until the
-	// first revival), so liveAt stays answerable for any epoch.
-	history map[FactID][]lifespan
+	// history holds the prior live spans of revived facts (empty until
+	// the first revival), so liveAt stays answerable for any epoch. It is
+	// sorted by fact id, one fact's spans adjacent and oldest-first;
+	// revival is rare enough that the O(n) ordered insert never shows.
+	history []factSpan
 
-	// Hash indexes from bound positions to fact ids. Pair keys pack two
-	// TermIDs into a uint64. Index entries are append-only and include
-	// tombstoned facts; liveness is checked at visit time.
-	byS  map[TermID][]FactID
-	byP  map[TermID][]FactID
-	byO  map[TermID][]FactID
-	bySP map[uint64][]FactID
-	byPO map[uint64][]FactID
+	// Posting indexes from bound positions to fact ids: dense slices
+	// indexed by TermID (the dictionary hands out dense monotonic codes,
+	// so a slice replaces the hash map without waste). Entries are
+	// append-only and include tombstoned facts; liveness is checked at
+	// visit time. Every list is in ascending fact-id order. Patterns
+	// binding two or three positions scan the shortest applicable list
+	// with a residual filter on the remaining positions — at two 4-byte
+	// ids per fact these three indexes cost a fraction of the five maps
+	// (including (s,p)/(p,o) pair maps) they replaced.
+	byS [][]FactID
+	byP [][]FactID
+	byO [][]FactID
 
-	// byFact detects duplicate temporal statements (same s,p,o,interval).
-	byFact map[factKey]FactID
+	// byFact detects duplicate temporal statements (same s,p,o,interval)
+	// by 64-bit key hash; the rare colliding ids (different key, same
+	// hash) spill into byFactSpill and are found by linear scan. Hash
+	// hits are always verified against the fact table, so collisions
+	// cost time, never correctness.
+	byFact      map[uint64]FactID
+	byFactSpill []FactID
 
 	// tidx caches per-predicate interval indexes; invalidated when a new
 	// fact of the predicate is added. tidxMu guards the lazy build; lock
@@ -136,21 +147,94 @@ type factKey struct {
 	iv      temporal.Interval
 }
 
+// factSpan is one prior live span of a revived fact.
+type factSpan struct {
+	id FactID
+	ls lifespan
+}
+
+// mix64 is SplitMix64's finalizer, the avalanche stage hashing fact
+// keys. Deterministic across processes, unlike runtime map hashing.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (k factKey) hash() uint64 {
+	h := mix64(uint64(k.s)<<32 | uint64(k.p))
+	h = mix64(h ^ uint64(k.o))
+	h = mix64(h ^ uint64(k.iv.Start))
+	return mix64(h ^ uint64(k.iv.End))
+}
+
+// keyOfLocked rebuilds the dedup key of an existing fact.
+func (st *Store) keyOfLocked(id FactID) factKey {
+	f := &st.facts[id]
+	return factKey{s: f.s, p: f.p, o: f.o, iv: f.iv}
+}
+
+// lookupFactLocked finds the fact with exactly this key, checking the
+// hash slot first and the collision spill after.
+func (st *Store) lookupFactLocked(k factKey) (FactID, bool) {
+	if id, ok := st.byFact[k.hash()]; ok {
+		if st.keyOfLocked(id) == k {
+			return id, true
+		}
+		for _, id := range st.byFactSpill {
+			if st.keyOfLocked(id) == k {
+				return id, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// insertFactLocked records a new fact's key in the dedup index.
+func (st *Store) insertFactLocked(k factKey, id FactID) {
+	h := k.hash()
+	if _, ok := st.byFact[h]; ok {
+		st.byFactSpill = append(st.byFactSpill, id)
+		return
+	}
+	st.byFact[h] = id
+}
+
+// posting returns the list for term t in a dense index; nil when t is
+// beyond the index (interned but never seen in that position).
+func posting(idx [][]FactID, t TermID) []FactID {
+	if int(t) < len(idx) {
+		return idx[t]
+	}
+	return nil
+}
+
+// addPosting appends id to t's posting list, growing the dense index to
+// cover t.
+func addPosting(idx *[][]FactID, t TermID, id FactID) {
+	if n := int(t) + 1; n > len(*idx) {
+		if n <= cap(*idx) {
+			*idx = (*idx)[:n]
+		} else {
+			grown := make([][]FactID, n, n+n/2+8)
+			copy(grown, *idx)
+			*idx = grown
+		}
+	}
+	(*idx)[t] = append((*idx)[t], id)
+}
+
 // New returns an empty store.
 func New() *Store {
 	return &Store{
 		dict:   NewDict(),
-		byS:    make(map[TermID][]FactID),
-		byP:    make(map[TermID][]FactID),
-		byO:    make(map[TermID][]FactID),
-		bySP:   make(map[uint64][]FactID),
-		byPO:   make(map[uint64][]FactID),
-		byFact: make(map[factKey]FactID),
+		byFact: make(map[uint64]FactID),
 		tidx:   make(map[TermID]*intervalIndex),
 	}
 }
-
-func pair(a, b TermID) uint64 { return uint64(a)<<32 | uint64(b) }
 
 // Add inserts a quad and returns its fact id. Re-adding an existing live
 // temporal statement (same subject, predicate, object and interval)
@@ -172,15 +256,16 @@ func (st *Store) Add(q rdf.Quad) (FactID, error) {
 		conf: q.Confidence,
 	}
 	key := factKey{s: f.s, p: f.p, o: f.o, iv: f.iv}
-	if id, ok := st.byFact[key]; ok {
+	if id, ok := st.lookupFactLocked(key); ok {
 		old := &st.facts[id]
 		if old.removedAt != 0 {
 			// Revive: the tombstoned assertion returns with the new
-			// confidence; the prior live span moves to the history.
-			if st.history == nil {
-				st.history = make(map[FactID][]lifespan)
-			}
-			st.history[id] = append(st.history[id], lifespan{old.addedAt, old.removedAt})
+			// confidence; the prior live span moves to the history,
+			// inserted after any earlier spans of the same fact.
+			i := sort.Search(len(st.history), func(i int) bool { return st.history[i].id > id })
+			st.history = append(st.history, factSpan{})
+			copy(st.history[i+1:], st.history[i:])
+			st.history[i] = factSpan{id: id, ls: lifespan{old.addedAt, old.removedAt}}
 			st.epoch++
 			old.addedAt, old.removedAt = st.epoch, 0
 			old.conf = q.Confidence
@@ -199,12 +284,10 @@ func (st *Store) Add(q rdf.Quad) (FactID, error) {
 	f.addedAt = st.epoch
 	id := FactID(len(st.facts))
 	st.facts = append(st.facts, f)
-	st.byFact[key] = id
-	st.byS[f.s] = append(st.byS[f.s], id)
-	st.byP[f.p] = append(st.byP[f.p], id)
-	st.byO[f.o] = append(st.byO[f.o], id)
-	st.bySP[pair(f.s, f.p)] = append(st.bySP[pair(f.s, f.p)], id)
-	st.byPO[pair(f.p, f.o)] = append(st.byPO[pair(f.p, f.o)], id)
+	st.insertFactLocked(key, id)
+	addPosting(&st.byS, f.s, id)
+	addPosting(&st.byP, f.p, id)
+	addPosting(&st.byO, f.o, id)
 	st.log = append(st.log, Change{Epoch: st.epoch, Op: OpAdd, ID: id})
 	// Invalidate the temporal index for this predicate.
 	st.tidxMu.Lock()
@@ -226,7 +309,7 @@ func (st *Store) Remove(q rdf.Quad) (FactID, bool) {
 	if !ok1 || !ok2 || !ok3 {
 		return 0, false
 	}
-	id, ok := st.byFact[factKey{s: s, p: p, o: o, iv: q.Interval}]
+	id, ok := st.lookupFactLocked(factKey{s: s, p: p, o: o, iv: q.Interval})
 	if !ok || st.facts[id].removedAt != 0 {
 		return 0, false
 	}
@@ -301,17 +384,22 @@ func (st *Store) DeltaSince(e Epoch) Delta {
 	if i == len(st.log) {
 		return d
 	}
-	seen := make(map[FactID]struct{})
+	// Dedup by sorting the touched ids instead of a per-call hash set;
+	// classification then emits every bucket already in ascending id
+	// order, so the single-fact update path costs one small allocation.
+	ids := make([]FactID, 0, len(st.log)-i)
 	for _, ch := range st.log[i:] {
-		if _, ok := seen[ch.ID]; ok {
+		ids = append(ids, ch.ID)
+	}
+	sortIDs(ids)
+	prev := FactID(-1)
+	for _, id := range ids {
+		if id == prev {
 			continue
 		}
-		seen[ch.ID] = struct{}{}
-		classifyDelta(&d, st, ch.ID, e)
+		prev = id
+		classifyDelta(&d, st, id, e)
 	}
-	sortIDs(d.Added)
-	sortIDs(d.Removed)
-	sortIDs(d.Updated)
 	return d
 }
 
@@ -349,19 +437,13 @@ func (st *Store) CompactLog(upTo Epoch) {
 	if i > 0 {
 		st.log = append(st.log[:0:0], st.log[i:]...)
 	}
-	for id, spans := range st.history {
-		kept := spans[:0]
-		for _, ls := range spans {
-			if ls.removedAt > upTo {
-				kept = append(kept, ls)
-			}
-		}
-		if len(kept) == 0 {
-			delete(st.history, id)
-		} else {
-			st.history[id] = kept
+	kept := st.history[:0]
+	for _, sp := range st.history {
+		if sp.ls.removedAt > upTo {
+			kept = append(kept, sp)
 		}
 	}
+	st.history = kept
 	st.compacted = upTo
 }
 
@@ -375,8 +457,10 @@ func (st *Store) liveAtLocked(id FactID, e Epoch) bool {
 	if f.addedAt <= e {
 		return f.removedAt == 0 || f.removedAt > e
 	}
-	for _, ls := range st.history[id] {
-		if ls.addedAt <= e && ls.removedAt > e {
+	for i := sort.Search(len(st.history), func(i int) bool {
+		return st.history[i].id >= id
+	}); i < len(st.history) && st.history[i].id == id; i++ {
+		if ls := st.history[i].ls; ls.addedAt <= e && ls.removedAt > e {
 			return true
 		}
 	}
@@ -463,7 +547,7 @@ func (st *Store) containsAtLocked(q rdf.Quad, e Epoch) bool {
 	if !ok1 || !ok2 || !ok3 {
 		return false
 	}
-	id, ok := st.byFact[factKey{s: s, p: p, o: o, iv: q.Interval}]
+	id, ok := st.lookupFactLocked(factKey{s: s, p: p, o: o, iv: q.Interval})
 	return ok && st.liveAtLocked(id, e)
 }
 
@@ -566,17 +650,31 @@ func (st *Store) Count(pat Pattern) int {
 	return n
 }
 
+// residual is the set of bound positions the chosen candidate index
+// does not cover; NoTerm fields are already satisfied by the index.
+// A plain struct rather than a filter closure keeps the hot Match path
+// allocation-free.
+type residual struct {
+	s, p, o TermID
+}
+
+func (r residual) admits(f fact) bool {
+	return (r.s == NoTerm || f.s == r.s) &&
+		(r.p == NoTerm || f.p == r.p) &&
+		(r.o == NoTerm || f.o == r.o)
+}
+
 // forCandidatesLocked drives fn over the facts matching pat that were
 // live at epoch e, using the most selective index. Callers must hold at
 // least a read lock; fn must not call back into the store.
 func (st *Store) forCandidatesLocked(pat Pattern, e Epoch, fn func(FactID, fact) bool) {
-	ids, filter, scanAll := st.candidates(pat)
+	ids, res, scanAll := st.candidates(pat)
 	visit := func(id FactID) bool {
 		f := st.facts[id]
 		if !st.liveAtLocked(id, e) {
 			return true
 		}
-		if filter != nil && !filter(f) {
+		if !res.admits(f) {
 			return true
 		}
 		if !pat.Time.admits(f.iv) {
@@ -600,58 +698,72 @@ func (st *Store) forCandidatesLocked(pat Pattern, e Epoch, fn func(FactID, fact)
 }
 
 // candidates picks the most selective index for the bound positions and
-// returns the candidate id list plus a residual filter for positions the
-// chosen index does not cover. scanAll signals the unindexed
-// full-store scan so callers can iterate without materialising ids.
-func (st *Store) candidates(pat Pattern) (ids []FactID, filter func(fact) bool, scanAll bool) {
+// returns the candidate id list plus the residual positions the chosen
+// index does not cover. scanAll signals the unindexed full-store scan
+// so callers can iterate without materialising ids.
+func (st *Store) candidates(pat Pattern) (ids []FactID, res residual, scanAll bool) {
 	var (
 		sID, pID, oID TermID
 		sOK, pOK, oOK = true, true, true
 	)
 	if !pat.S.IsZero() {
 		if sID, sOK = st.dict.Lookup(pat.S); !sOK {
-			return nil, nil, false
+			return nil, residual{}, false
 		}
 	} else {
 		sID = NoTerm
 	}
 	if !pat.P.IsZero() {
 		if pID, pOK = st.dict.Lookup(pat.P); !pOK {
-			return nil, nil, false
+			return nil, residual{}, false
 		}
 	} else {
 		pID = NoTerm
 	}
 	if !pat.O.IsZero() {
 		if oID, oOK = st.dict.Lookup(pat.O); !oOK {
-			return nil, nil, false
+			return nil, residual{}, false
 		}
 	} else {
 		oID = NoTerm
 	}
 
+	// Multi-bound patterns scan the shortest applicable posting list and
+	// filter the remaining positions residually. Every posting list is in
+	// ascending fact-id order, so which list serves a pattern never
+	// changes the visit order — the determinism contracts downstream
+	// depend on that.
 	switch {
 	case sID != NoTerm && pID != NoTerm && oID != NoTerm:
-		return st.bySP[pair(sID, pID)], func(f fact) bool { return f.o == oID }, false
+		s, o := posting(st.byS, sID), posting(st.byO, oID)
+		if len(s) <= len(o) {
+			return s, residual{p: pID, o: oID}, false
+		}
+		return o, residual{s: sID, p: pID}, false
 	case sID != NoTerm && pID != NoTerm:
-		return st.bySP[pair(sID, pID)], nil, false
+		return posting(st.byS, sID), residual{p: pID}, false
 	case pID != NoTerm && oID != NoTerm:
-		return st.byPO[pair(pID, oID)], nil, false
+		// Object lists are near-universally shorter than predicate lists.
+		return posting(st.byO, oID), residual{p: pID}, false
 	case sID != NoTerm && oID != NoTerm:
-		return st.byS[sID], func(f fact) bool { return f.o == oID }, false
+		s, o := posting(st.byS, sID), posting(st.byO, oID)
+		if len(s) <= len(o) {
+			return s, residual{o: oID}, false
+		}
+		return o, residual{s: sID}, false
 	case sID != NoTerm:
-		return st.byS[sID], nil, false
+		return posting(st.byS, sID), residual{}, false
 	case oID != NoTerm:
-		return st.byO[oID], nil, false
+		return posting(st.byO, oID), residual{}, false
 	case pID != NoTerm:
 		// Predicate-only scans are the grounder's hot path; use the
 		// interval index when the pattern is temporal.
 		if pat.Time.Kind == TimeIntersects {
-			return st.intervalIndexFor(pID).overlapping(pat.Time.Interval), nil, false
+			return st.intervalIndexFor(pID).overlapping(pat.Time.Interval), residual{}, false
 		}
-		return st.byP[pID], nil, false
+		return posting(st.byP, pID), residual{}, false
 	default:
-		return nil, nil, true
+		return nil, residual{}, true
 	}
 }
 
@@ -660,20 +772,23 @@ func (st *Store) candidates(pat Pattern) (ids []FactID, filter func(fact) bool, 
 func (st *Store) PredicateIDs() []TermID {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	out := make([]TermID, 0, len(st.byP))
+	var out []TermID
+	// The dense index walks term ids in ascending order — already sorted.
 	for p, ids := range st.byP {
+		if len(ids) == 0 {
+			continue
+		}
 		if st.dead == 0 {
-			out = append(out, p)
+			out = append(out, TermID(p))
 			continue
 		}
 		for _, id := range ids {
 			if st.facts[id].removedAt == 0 {
-				out = append(out, p)
+				out = append(out, TermID(p))
 				break
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -682,7 +797,7 @@ func (st *Store) PredicateIDs() []TermID {
 func (st *Store) PredicateFacts(p TermID) []FactID {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return st.liveOnlyLocked(st.byP[p])
+	return st.liveOnlyLocked(posting(st.byP, p))
 }
 
 // SubjectFacts returns the ids of all live facts with the given subject
@@ -690,7 +805,7 @@ func (st *Store) PredicateFacts(p TermID) []FactID {
 func (st *Store) SubjectFacts(s TermID) []FactID {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return st.liveOnlyLocked(st.byS[s])
+	return st.liveOnlyLocked(posting(st.byS, s))
 }
 
 // liveOnlyLocked filters tombstoned ids out of an index slice, returning

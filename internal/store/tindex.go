@@ -32,7 +32,7 @@ func (st *Store) intervalIndexFor(p TermID) *intervalIndex {
 	if idx, ok := st.tidx[p]; ok {
 		return idx
 	}
-	src := st.byP[p]
+	src := posting(st.byP, p)
 	idx := &intervalIndex{
 		ids:    make([]FactID, len(src)),
 		starts: make([]temporal.Chronon, len(src)),

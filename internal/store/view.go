@@ -1,6 +1,10 @@
 package store
 
-import "repro/internal/rdf"
+import (
+	"sync"
+
+	"repro/internal/rdf"
+)
 
 // View is an epoch-pinned, read-only snapshot of a Store, safe for
 // concurrent use by any number of readers while writers proceed. A view
@@ -66,6 +70,18 @@ func (v View) decode(f fact) rdf.Quad {
 // Confidence returns the confidence of a fact without decoding terms.
 func (v View) Confidence(id FactID) float64 { return v.st.Confidence(id) }
 
+type matched struct {
+	id FactID
+	f  fact
+}
+
+// matchBufPool recycles Match's per-call buffers. Grounding issues one
+// Match per join step — millions on a large solve — and the pooled
+// buffer (capacity retained across calls, no pointers inside) makes the
+// steady state allocation-free. Nested Matches from inside fn each draw
+// their own buffer, so re-entrancy stays safe.
+var matchBufPool = sync.Pool{New: func() any { return new([]matched) }}
+
 // Match invokes fn for each fact live at the pinned epoch matching the
 // pattern, in fact-id order for a given index, until fn returns false.
 // The matches are buffered under the read lock and the lock released
@@ -73,11 +89,8 @@ func (v View) Confidence(id FactID) float64 { return v.st.Confidence(id) }
 // nested joins do) without risking a reader/writer deadlock; the
 // per-call buffer is the price of that guarantee.
 func (v View) Match(pat Pattern, fn func(FactID, rdf.Quad) bool) {
-	type matched struct {
-		id FactID
-		f  fact
-	}
-	var ms []matched
+	bufp := matchBufPool.Get().(*[]matched)
+	ms := (*bufp)[:0]
 	v.st.mu.RLock()
 	v.st.forCandidatesLocked(pat, v.epoch, func(id FactID, f fact) bool {
 		ms = append(ms, matched{id: id, f: f})
@@ -86,9 +99,11 @@ func (v View) Match(pat Pattern, fn func(FactID, rdf.Quad) bool) {
 	v.st.mu.RUnlock()
 	for _, m := range ms {
 		if !fn(m.id, v.decode(m.f)) {
-			return
+			break
 		}
 	}
+	*bufp = ms[:0]
+	matchBufPool.Put(bufp)
 }
 
 // MatchIDs returns the ids of all facts live at the pinned epoch that
