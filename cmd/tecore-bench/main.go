@@ -24,18 +24,24 @@
 //	                        bytes/fact (heap-quiesced MemStats + the
 //	                        store's own estimate), cold-solve time and
 //	                        single-fact update latency at 10⁵–10⁷ facts
+//	BENCH_ground.json       cold grounding wall-clock over fact count:
+//	                        the legacy string-keyed grounder vs the
+//	                        selectivity-planned compiled pipeline on the
+//	                        identical network
 //
 // Usage:
 //
-//	tecore-bench [-out dir] [-scenario incremental|parallel|components|repair|outcome|serve|scale|all]
+//	tecore-bench [-out dir] [-scenario incremental|parallel|components|repair|outcome|serve|scale|ground|all]
 //	             [-players N] [-clusters N] [-sessions K] [-updates U] [-reps R]
 //	             [-scale-facts N,N,...] [-scale-cluster-size N]
+//	             [-ground-facts N,N,...]
 //	             [-assert-repair-speedup X] [-assert-outcome-speedup X]
 //	             [-assert-serve-speedup X] [-assert-bytes-per-fact B]
+//	             [-assert-ground-speedup X]
 //
-// The scale scenario is not part of -scenario all: its default sweep
-// runs minutes and allocates gigabytes by design; request it explicitly
-// (CI runs it at a small smoke size).
+// The scale and ground scenarios are not part of -scenario all: their
+// default sweeps run minutes and allocate gigabytes by design; request
+// them explicitly (CI runs them at small smoke sizes).
 //
 // Timings are medians of R runs on the local machine; absolute numbers
 // are substrate-dependent, ratios (speedup, scaling) are the tracked
@@ -75,10 +81,14 @@ func main() {
 		"scale scenario: facts per cluster (component size distribution knob)")
 	assertBytesPerFact := flag.Float64("assert-bytes-per-fact", 0,
 		"scale scenario: exit non-zero if the last point's loaded bytes/fact exceeds this budget (0 = no assertion)")
+	groundFacts := flag.String("ground-facts", "100000,300000,1000000",
+		"ground scenario: comma-separated target fact counts to sweep")
+	assertGround := flag.Float64("assert-ground-speedup", 0,
+		"ground scenario: exit non-zero unless the largest workload's compiled-grounding speedup over the legacy path reaches this factor (0 = no assertion)")
 	flag.Parse()
 
 	switch *scenario {
-	case "incremental", "parallel", "components", "repair", "outcome", "serve", "scale", "all":
+	case "incremental", "parallel", "components", "repair", "outcome", "serve", "scale", "ground", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "tecore-bench: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -119,10 +129,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	// Deliberately not under "all": the default sweep is minutes of work.
+	// Deliberately not under "all": the default sweeps are minutes of work.
 	if *scenario == "scale" {
 		if err := runScale(*out, *scaleFacts, *scaleClusterSize, *reps, *assertBytesPerFact); err != nil {
 			fmt.Fprintf(os.Stderr, "tecore-bench: scale: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *scenario == "ground" {
+		if err := runGround(*out, *groundFacts, *scaleClusterSize, *reps, *assertGround); err != nil {
+			fmt.Fprintf(os.Stderr, "tecore-bench: ground: %v\n", err)
 			os.Exit(1)
 		}
 	}

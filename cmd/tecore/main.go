@@ -8,7 +8,7 @@
 //	tecore validate -rules r.tcr [-solver mln|psl]
 //	tecore infer    -data g.tq -rules r.tcr [-solver mln|psl]
 //	                [-threshold 0.3] [-cpi] [-parallel N] [-components]
-//	                [-component-exact N] [-v] [-incremental]
+//	                [-component-exact N] [-v] [-explain-plan] [-incremental]
 //	                [-out consistent.tq] [-removed removed.tq]
 //
 // With -incremental, infer enters a REPL that accepts add/remove/solve
@@ -64,7 +64,7 @@ func usage() {
   tecore validate -rules <rules file> [-solver mln|psl]
   tecore infer    -data <tquads file> -rules <rules file>
                   [-solver mln|psl] [-threshold t] [-cpi] [-parallel N]
-                  [-components] [-component-exact N] [-v]
+                  [-components] [-component-exact N] [-v] [-explain-plan]
                   [-incremental] [-out consistent.tq] [-removed removed.tq]
 
   infer -incremental reads add/remove/solve commands from stdin and
@@ -162,6 +162,7 @@ func runInfer(args []string) error {
 	componentExact := fs.Int("component-exact", 0, "largest component handed to the exact MaxSAT engine with -components (0 = default 48)")
 	verbose := fs.Bool("v", false, "print the component summary (count, sizes, engines, cache hits)")
 	explain := fs.Bool("explain", false, "print each removed fact with the constraint grounding that removed it")
+	explainPlan := fs.Bool("explain-plan", false, "print the grounding stage's join plans: per rule, the chosen atom order with its selectivity estimates and candidate/emitted counts")
 	incremental := fs.Bool("incremental", false, "REPL mode: read add/remove/solve commands from stdin and re-solve incrementally")
 	outPath := fs.String("out", "", "write the consistent expanded KG here")
 	removedPath := fs.String("removed", "", "write the removed (conflicting) facts here")
@@ -227,6 +228,13 @@ func runInfer(args []string) error {
 	}
 	if *verbose && st.Outcome != nil {
 		printOutcomeSummary(os.Stdout, st.Outcome)
+	}
+	if *explainPlan {
+		if st.Ground != nil {
+			printGroundSummary(os.Stdout, st.Ground)
+		} else {
+			fmt.Println("grounding:         no grounding stage on this path")
+		}
 	}
 	if len(st.RuleViolations) > 0 {
 		fmt.Println("residual violations:")
@@ -304,6 +312,31 @@ func printOutcomeSummary(w io.Writer, ocs *tecore.OutcomeStats) {
 		fmt.Fprintf(w, " (%d patched, %d reused)", ocs.Patched, ocs.Reused)
 	}
 	fmt.Fprintf(w, " in %v (index %v, merge %v)\n", ocs.Total, ocs.Index, ocs.Merge)
+}
+
+// printGroundSummary renders the grounding stage's join plans: per
+// rule, the body-atom evaluation order the selectivity planner chose
+// (indices into the rule body as written), the estimated candidate
+// count that drove each pick, and the actual candidate/emitted counts.
+func printGroundSummary(w io.Writer, gs *tecore.GroundStats) {
+	path := "compiled"
+	if !gs.Compiled {
+		path = "legacy"
+	}
+	fmt.Fprintf(w, "grounding:         %s path in %v (%d rules)\n", path, gs.Total, len(gs.Rules))
+	for i := range gs.Rules {
+		rs := &gs.Rules[i]
+		fmt.Fprintf(w, "  %-20s order %v", rs.Rule, rs.Order)
+		if len(rs.Estimates) > 0 {
+			ests := make([]string, len(rs.Estimates))
+			for j, e := range rs.Estimates {
+				ests[j] = fmt.Sprintf("%.0f", e)
+			}
+			fmt.Fprintf(w, " est [%s]", strings.Join(ests, " "))
+		}
+		fmt.Fprintf(w, " — %d candidates, %d groundings in %v (%d tasks)\n",
+			rs.Candidates, rs.Emitted, rs.Time, rs.Tasks)
+	}
 }
 
 // formatTallies renders a tally map as "k=v, k=v" in sorted key order.

@@ -143,6 +143,12 @@ type SolveOptions struct {
 	// local-search or ADMM instances may settle on equally-valid
 	// near-identical states.
 	ColdStart bool
+	// LegacyGrounding forces the grounder's pre-compilation path
+	// (boundness-ordered join plans, string-keyed joins) instead of the
+	// selectivity-planned compiled pipeline. The solver input is
+	// identical either way; the knob exists to benchmark and
+	// differential-test the compiled path against the one it replaced.
+	LegacyGrounding bool
 	// AssembledOutcome forces the component read-out to rebuild the
 	// Outcome from scratch (the sort/merge assembly of every
 	// component's unit) instead of delta-patching the session's live
@@ -195,6 +201,7 @@ func (s *Session) Solve(opts SolveOptions) (*Resolution, error) {
 	if topts.MLN.ComponentExactLimit == 0 {
 		topts.MLN.ComponentExactLimit = opts.ComponentExactLimit
 	}
+	topts.LegacyGrounding = topts.LegacyGrounding || opts.LegacyGrounding
 	incrementalOK := (opts.Solver == translate.SolverMLN || opts.Solver == translate.SolverPSL) &&
 		!topts.MLN.CuttingPlane
 	if incrementalOK {
@@ -208,6 +215,7 @@ func (s *Session) Solve(opts SolveOptions) (*Resolution, error) {
 	if err != nil {
 		return nil, err
 	}
+	attachGroundStats(oc, out.Grounder)
 	return &Resolution{Outcome: oc, Output: out}, nil
 }
 

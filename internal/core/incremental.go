@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/engine"
@@ -13,6 +15,29 @@ import (
 	"repro/internal/store"
 	"repro/internal/translate"
 )
+
+// withStage runs f under a pprof "stage" label, so CPU profiles
+// collected through the server's -pprof listener attribute samples to
+// the pipeline stage (ground / solve / repair) that burned them.
+func withStage(stage string, f func() error) error {
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("stage", stage), func(context.Context) {
+		err = f()
+	})
+	return err
+}
+
+// attachGroundStats drains the grounder's per-solve statistics into the
+// outcome; a solve that did no grounding work (an empty delta) leaves
+// Stats.Ground nil.
+func attachGroundStats(oc *repair.Outcome, g *ground.Grounder) {
+	if g == nil {
+		return
+	}
+	if gs := g.TakeStats(); gs.Total > 0 || len(gs.Rules) > 0 {
+		oc.Stats.Ground = gs
+	}
+}
 
 // solveEngine is the session's cached incremental solve state: a
 // grounder and clause set kept alive across solves, the store epoch they
@@ -89,6 +114,7 @@ func (s *Session) RemoveFact(q rdf.Quad) bool {
 func (s *Session) syncEngine(eng *solveEngine, topts translate.Options, d store.Delta) error {
 	epoch := s.st.Epoch()
 	eng.g.Parallelism = topts.Parallelism
+	eng.g.Legacy = topts.LegacyGrounding
 	if err := eng.g.RetractFacts(eng.cs, d.Removed); err != nil {
 		return err
 	}
@@ -131,23 +157,31 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 	incremental := eng != nil && eng.progVersion == s.progVersion
 	if !incremental {
 		epoch := s.st.Epoch()
-		g := ground.New(s.st)
-		g.Parallelism = topts.Parallelism
-		if _, err := g.Close(s.prog); err != nil {
-			return nil, err
-		}
-		cs, err := g.GroundProgram(s.prog)
+		err := withStage("ground", func() error {
+			g := ground.New(s.st)
+			g.Parallelism = topts.Parallelism
+			g.Legacy = topts.LegacyGrounding
+			if _, err := g.Close(s.prog); err != nil {
+				return err
+			}
+			cs, err := g.GroundProgram(s.prog)
+			if err != nil {
+				return err
+			}
+			cs.EnableAtomIndex()
+			// Track conflict components from the start so ComponentSolve
+			// can be toggled per solve and generations stay warm either
+			// way.
+			cs.EnableComponentIndex()
+			eng = &solveEngine{g: g, cs: cs, epoch: epoch, progVersion: s.progVersion}
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		cs.EnableAtomIndex()
-		// Track conflict components from the start so ComponentSolve can
-		// be toggled per solve and generations stay warm either way.
-		cs.EnableComponentIndex()
-		eng = &solveEngine{g: g, cs: cs, epoch: epoch, progVersion: s.progVersion}
 		s.engine = eng
 	} else if d := s.st.DeltaSince(eng.epoch); !d.Empty() {
-		if err := s.syncEngine(eng, topts, d); err != nil {
+		if err := withStage("ground", func() error { return s.syncEngine(eng, topts, d) }); err != nil {
 			// The engine may be partially mutated (atoms interned but not
 			// grounded); drop it so the next solve re-grounds from
 			// scratch instead of silently solving an incomplete network.
@@ -189,47 +223,53 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 
 	out := &translate.Output{Solver: solver, Grounder: eng.g, Clauses: eng.cs}
 	var nextPSL *psl.Warm
-	switch solver {
-	case translate.SolverMLN:
-		var res *mln.Result
-		var err error
-		if componentSolve {
-			if opts.ColdStart || eng.compMLN == nil {
-				eng.compMLN = mln.NewComponentCache()
+	solveErr := withStage("solve", func() error {
+		switch solver {
+		case translate.SolverMLN:
+			var res *mln.Result
+			var err error
+			if componentSolve {
+				if opts.ColdStart || eng.compMLN == nil {
+					eng.compMLN = mln.NewComponentCache()
+				}
+				res, err = mln.MAPGroundComponents(eng.g, eng.cs, topts.MLN, warmTruth, eng.compMLN, plan)
+			} else {
+				res, err = mln.MAPGround(eng.g, eng.cs, topts.MLN, warmTruth)
 			}
-			res, err = mln.MAPGroundComponents(eng.g, eng.cs, topts.MLN, warmTruth, eng.compMLN, plan)
-		} else {
-			res, err = mln.MAPGround(eng.g, eng.cs, topts.MLN, warmTruth)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if !res.HardSatisfied {
-			return nil, fmt.Errorf("translate: MLN solver found no assignment satisfying the hard constraints")
-		}
-		out.MLN = res
-		out.Truth = res.Truth
-	case translate.SolverPSL:
-		var res *psl.Result
-		var next *psl.Warm
-		var err error
-		if componentSolve {
-			if opts.ColdStart || eng.compPSL == nil {
-				eng.compPSL = psl.NewComponentCache()
+			if err != nil {
+				return err
 			}
-			res, next, err = psl.MAPGroundComponents(eng.g, eng.cs, topts.PSL, warmPSL, eng.compPSL, plan)
-		} else {
-			res, next, err = psl.MAPGround(eng.g, eng.cs, topts.PSL, warmPSL)
+			if !res.HardSatisfied {
+				return fmt.Errorf("translate: MLN solver found no assignment satisfying the hard constraints")
+			}
+			out.MLN = res
+			out.Truth = res.Truth
+		case translate.SolverPSL:
+			var res *psl.Result
+			var next *psl.Warm
+			var err error
+			if componentSolve {
+				if opts.ColdStart || eng.compPSL == nil {
+					eng.compPSL = psl.NewComponentCache()
+				}
+				res, next, err = psl.MAPGroundComponents(eng.g, eng.cs, topts.PSL, warmPSL, eng.compPSL, plan)
+			} else {
+				res, next, err = psl.MAPGround(eng.g, eng.cs, topts.PSL, warmPSL)
+			}
+			if err != nil {
+				return err
+			}
+			out.PSL = res
+			out.Truth = res.Truth
+			out.SoftValues = res.Values
+			nextPSL = next
+		default:
+			return fmt.Errorf("core: solver %v has no incremental path", solver)
 		}
-		if err != nil {
-			return nil, err
-		}
-		out.PSL = res
-		out.Truth = res.Truth
-		out.SoftValues = res.Values
-		nextPSL = next
-	default:
-		return nil, fmt.Errorf("core: solver %v has no incremental path", solver)
+		return nil
+	})
+	if solveErr != nil {
+		return nil, solveErr
 	}
 	out.Runtime = time.Since(start)
 	eng.warmSolver = solver
@@ -239,43 +279,47 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 	ropts := repair.Options{Threshold: opts.Threshold, Parallelism: topts.Parallelism}
 	var oc *repair.Outcome
 	var delta *repair.OutcomeDelta
-	var err error
-	if componentSolve {
-		// The read-out decomposes along the same plan, with its own
-		// per-component cache: a delta re-repairs only the dirtied
-		// components. The cache is dropped on ColdStart and whenever the
-		// solver, its tuning, or the read-out options change — a cached
-		// unit embeds threshold-filtered facts and solver-specific
-		// confidences (PSL soft values can shift under new engine tuning
-		// without the discrete truth, which the per-entry check covers,
-		// moving at all). The live outcome replays those units into the
-		// global lists, so it is only valid under the same key and
-		// drops with the cache.
-		rkey := fmt.Sprintf("%v|%+v|%s", solver,
-			repair.Options{Threshold: ropts.Threshold, ConfidenceRounds: ropts.ConfidenceRounds},
-			eng.compOptsKey)
-		if opts.ColdStart || eng.compRepair == nil || rkey != eng.repairKey {
-			eng.compRepair = repair.NewComponentCache()
-			eng.liveOutcome = nil
-			eng.repairKey = rkey
-		}
-		if opts.AssembledOutcome {
-			// The assembled path does not sync the live outcome; drop it
-			// so the next live solve rebuilds instead of patching state
-			// the caches moved past.
-			eng.liveOutcome = nil
-			oc, err = repair.ResolveComponents(out, s.prog, ropts, plan, eng.compRepair)
-		} else {
-			if eng.liveOutcome == nil {
-				eng.liveOutcome = repair.NewLiveOutcome()
+	err := withStage("repair", func() error {
+		var err error
+		if componentSolve {
+			// The read-out decomposes along the same plan, with its own
+			// per-component cache: a delta re-repairs only the dirtied
+			// components. The cache is dropped on ColdStart and whenever the
+			// solver, its tuning, or the read-out options change — a cached
+			// unit embeds threshold-filtered facts and solver-specific
+			// confidences (PSL soft values can shift under new engine tuning
+			// without the discrete truth, which the per-entry check covers,
+			// moving at all). The live outcome replays those units into the
+			// global lists, so it is only valid under the same key and
+			// drops with the cache.
+			rkey := fmt.Sprintf("%v|%+v|%s", solver,
+				repair.Options{Threshold: ropts.Threshold, ConfidenceRounds: ropts.ConfidenceRounds},
+				eng.compOptsKey)
+			if opts.ColdStart || eng.compRepair == nil || rkey != eng.repairKey {
+				eng.compRepair = repair.NewComponentCache()
+				eng.liveOutcome = nil
+				eng.repairKey = rkey
 			}
-			oc, delta, err = repair.ResolveComponentsLive(out, s.prog, ropts, plan, eng.compRepair, eng.liveOutcome)
+			if opts.AssembledOutcome {
+				// The assembled path does not sync the live outcome; drop it
+				// so the next live solve rebuilds instead of patching state
+				// the caches moved past.
+				eng.liveOutcome = nil
+				oc, err = repair.ResolveComponents(out, s.prog, ropts, plan, eng.compRepair)
+			} else {
+				if eng.liveOutcome == nil {
+					eng.liveOutcome = repair.NewLiveOutcome()
+				}
+				oc, delta, err = repair.ResolveComponentsLive(out, s.prog, ropts, plan, eng.compRepair, eng.liveOutcome)
+			}
+		} else {
+			oc, err = repair.Resolve(out, s.prog, ropts)
 		}
-	} else {
-		oc, err = repair.Resolve(out, s.prog, ropts)
-	}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
+	attachGroundStats(oc, eng.g)
 	return &Resolution{Outcome: oc, Output: out, Incremental: incremental, Delta: delta}, nil
 }

@@ -3,7 +3,6 @@ package ground
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 )
 
@@ -70,12 +69,20 @@ func (c *Clause) String() string {
 // normalize sorts literals, removes duplicates, and reports whether the
 // clause is a tautology (contains both a and !a) and therefore skippable.
 func (c *Clause) normalize() (tautology bool) {
-	sort.Slice(c.Lits, func(i, j int) bool {
-		if c.Lits[i].Atom != c.Lits[j].Atom {
-			return c.Lits[i].Atom < c.Lits[j].Atom
+	// Insertion sort by (atom, positive-first): clauses hold a handful of
+	// literals and this runs once per emitted grounding — millions of
+	// times per cold ground — where sort.Slice's reflection swapper was
+	// measurable.
+	lits := c.Lits
+	for i := 1; i < len(lits); i++ {
+		l := lits[i]
+		j := i - 1
+		for j >= 0 && (lits[j].Atom > l.Atom || (lits[j].Atom == l.Atom && lits[j].Neg && !l.Neg)) {
+			lits[j+1] = lits[j]
+			j--
 		}
-		return !c.Lits[i].Neg && c.Lits[j].Neg
-	})
+		lits[j+1] = l
+	}
 	out := c.Lits[:0]
 	for i, l := range c.Lits {
 		if i > 0 && l == c.Lits[i-1] {
@@ -164,6 +171,28 @@ func NewClauseSet() *ClauseSet {
 	return &ClauseSet{index: make(map[uint64]int32)}
 }
 
+// NewClauseSetSized returns an empty clause set pre-sized for about hint
+// clauses, so bulk grounding neither rehashes the dedup index nor
+// regrows the clause slab as it fills.
+func NewClauseSetSized(hint int) *ClauseSet {
+	if hint <= 0 {
+		return NewClauseSet()
+	}
+	return &ClauseSet{
+		index:   make(map[uint64]int32, hint),
+		clauses: make([]Clause, 0, hint),
+	}
+}
+
+// ownLits copies a literal slice the set is about to retain — callers
+// (the sequential grounding path in particular) reuse their emission
+// buffers.
+func ownLits(lits []Lit) []Lit {
+	out := make([]Lit, len(lits))
+	copy(out, lits)
+	return out
+}
+
 // findSlot locates the clause with this dedup identity, checking the
 // hash slot first and the collision spill after.
 func (cs *ClauseSet) findSlot(h uint64, lits []Lit, rule string) (int, bool) {
@@ -235,6 +264,7 @@ func (cs *ClauseSet) Add(c Clause) bool {
 		if cs.dead != nil && cs.dead[at] {
 			// Revive: the grounding returns after its atoms came back;
 			// this emission replaces the dropped aggregate.
+			c.Lits = ownLits(c.Lits)
 			cs.clauses[at] = c
 			cs.dead[at] = false
 			cs.nDead--
@@ -254,6 +284,15 @@ func (cs *ClauseSet) Add(c Clause) bool {
 		cs.indexSpill = append(cs.indexSpill, at)
 	} else {
 		cs.index[h] = at
+	}
+	c.Lits = ownLits(c.Lits)
+	if len(cs.clauses) == cap(cs.clauses) && cap(cs.clauses) >= 1024 {
+		// Doubling growth: append's ~1.25× large-slice policy allocates
+		// (and zeroes) several times the final footprint across a bulk
+		// ground; doubling halves that traffic.
+		grown := make([]Clause, len(cs.clauses), 2*cap(cs.clauses))
+		copy(grown, cs.clauses)
+		cs.clauses = grown
 	}
 	cs.clauses = append(cs.clauses, c)
 	if cs.dead != nil {

@@ -1,0 +1,336 @@
+package ground
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/temporal"
+)
+
+// Head resolution states reported by emitEnv.resolveHeadAtom.
+const (
+	headStateMiss     uint8 = iota // empty time expression or unbound head: no obligation
+	headStateResolved              // head atom already interned; id is valid
+	headStatePending               // head not interned; key carries the statement
+)
+
+// emitEnv is the view of the current grounding handed to emit callbacks.
+// It abstracts over the legacy map binding and the compiled frame so
+// Close, CloseDelta and groundTasks each have a single emission path.
+type emitEnv interface {
+	// resolveHeadAtom instantiates the rule's head atom under the current
+	// grounding. Only meaningful for HeadAtom rules.
+	resolveHeadAtom() (uint8, AtomID, rdf.FactKey)
+	// evalHeadCond evaluates the rule's head condition under the current
+	// grounding. Only meaningful for HeadCond rules.
+	evalHeadCond() (bool, error)
+}
+
+// legacyEnv adapts the map-binding join to emitEnv.
+type legacyEnv struct {
+	g       *Grounder
+	rule    *logic.Rule
+	binding *logic.Binding
+}
+
+func (e *legacyEnv) resolveHeadAtom() (uint8, AtomID, rdf.FactKey) {
+	key, ok := e.rule.Head.Atom.Resolve(e.binding)
+	if !ok {
+		return headStateMiss, 0, rdf.FactKey{}
+	}
+	if id, seen := e.g.atoms.Lookup(key); seen {
+		return headStateResolved, id, rdf.FactKey{}
+	}
+	return headStatePending, 0, key
+}
+
+func (e *legacyEnv) evalHeadCond() (bool, error) {
+	return e.rule.Head.Cond.Eval(e.binding)
+}
+
+// compiledEnv adapts the frame join to emitEnv.
+type compiledEnv struct {
+	g  *Grounder
+	cr *compiledRule
+	fr *logic.Frame
+}
+
+// headCode resolves one head position to its atom code (0 when a
+// constant is absent from the network).
+func headCode(ct cterm, fr *logic.Frame) store.TermID {
+	if ct.slot >= 0 {
+		return store.TermID(fr.Objs[ct.slot])
+	}
+	return ct.code
+}
+
+// headTerm materialises one head position as an RDF term for a pending
+// fact key.
+func headTerm(ct cterm, konst rdf.Term, fr *logic.Frame, d *store.Dict) rdf.Term {
+	if ct.slot >= 0 {
+		return d.Decode(store.TermID(fr.Objs[ct.slot]))
+	}
+	return konst
+}
+
+func (e *compiledEnv) resolveHeadAtom() (uint8, AtomID, rdf.FactKey) {
+	h := &e.cr.head
+	if !h.valid {
+		return headStateMiss, 0, rdf.FactKey{}
+	}
+	iv, ok := h.time(e.fr)
+	if !ok {
+		return headStateMiss, 0, rdf.FactKey{}
+	}
+	s, p, o := headCode(h.s, e.fr), headCode(h.p, e.fr), headCode(h.o, e.fr)
+	if s != 0 && p != 0 && o != 0 {
+		if id, ok := e.g.atoms.lookupKey(atomKey{s: s, p: p, o: o, iv: iv}); ok {
+			return headStateResolved, id, rdf.FactKey{}
+		}
+	}
+	d := e.g.atoms.dict
+	return headStatePending, 0, rdf.FactKey{
+		S:        headTerm(h.s, h.sT, e.fr, d),
+		P:        headTerm(h.p, h.pT, e.fr, d),
+		O:        headTerm(h.o, h.oT, e.fr, d),
+		Interval: iv,
+	}
+}
+
+func (e *compiledEnv) evalHeadCond() (bool, error) {
+	return e.cr.headCond(e.fr)
+}
+
+// acodes is one join candidate in atom-code space: the interned atom and
+// its statement codes.
+type acodes struct {
+	s, p, o store.TermID
+	iv      temporal.Interval
+	id      AtomID
+}
+
+// toAtomCodes translates a stored fact's codes into atom-code space via
+// the given store->atom table and resolves the interned atom. ok is
+// false when any term is unpaired or the statement was never interned —
+// the fact is not part of the ground network (legacy: Lookup miss).
+func (g *Grounder) toAtomCodes(fc store.FactCodes, toAtom []store.TermID) (acodes, bool) {
+	if int(fc.S) >= len(toAtom) || int(fc.P) >= len(toAtom) || int(fc.O) >= len(toAtom) {
+		return acodes{}, false
+	}
+	s, p, o := toAtom[fc.S], toAtom[fc.P], toAtom[fc.O]
+	if s == 0 || p == 0 || o == 0 {
+		return acodes{}, false
+	}
+	id, ok := g.atoms.lookupKey(atomKey{s: s, p: p, o: o, iv: fc.Interval})
+	if !ok {
+		return acodes{}, false
+	}
+	return acodes{s: s, p: p, o: o, iv: fc.Interval, id: id}, true
+}
+
+// codePatternAt builds the store-level code pattern for the join depth's
+// body atom under the current frame, translating bound atom codes
+// through toStore. ok=false means no fact in that store can match: a
+// needed term is absent from the store's dictionary (NoTerm must never
+// leak into a pattern as "unknown term" — it would read as a wildcard).
+func codePatternAt(cq *cquad, fr *logic.Frame, toStore []store.TermID) (store.CodePattern, bool) {
+	var cp store.CodePattern
+	fill := func(ct *cterm, dst *store.TermID) bool {
+		ac := ct.code
+		if ct.slot >= 0 {
+			ac = store.TermID(fr.Objs[ct.slot])
+			if ac == 0 {
+				return true // unbound variable: wildcard
+			}
+		}
+		if ac == 0 || int(ac) >= len(toStore) || toStore[ac] == 0 {
+			return false
+		}
+		*dst = toStore[ac]
+		return true
+	}
+	if !fill(&cq.s, &cp.S) || !fill(&cq.p, &cp.P) || !fill(&cq.o, &cp.O) {
+		return cp, false
+	}
+	if cq.tSlot >= 0 {
+		if fr.TimeSet[cq.tSlot] {
+			cp.Time = store.TimeFilter{Kind: store.TimeEquals, Interval: fr.Times[cq.tSlot]}
+		}
+	} else {
+		cp.Time = store.TimeFilter{Kind: store.TimeEquals, Interval: cq.tConst}
+	}
+	return cp, true
+}
+
+// runJoinCompiled is runJoin over a compiled rule: frames and term codes
+// instead of map bindings and terms. Same read-only discipline — store
+// views, atom table and code maps only.
+func (g *Grounder) runJoinCompiled(t *joinTask, truth func(AtomID) bool, emit func(emitEnv, []AtomID) error) error {
+	cr := t.cr
+	fr := logic.NewFrame(cr.sm)
+	env := &compiledEnv{g: g, cr: cr, fr: fr}
+	bodyAtoms := make([]AtomID, len(cr.quads))
+	for _, a := range t.seedAtoms {
+		k := g.atoms.keys[a]
+		m := acodes{s: k.s, p: k.p, o: k.o, iv: k.iv, id: a}
+		if err := g.bindCodes(t, 0, env, &m, truth, bodyAtoms, emit); err != nil {
+			return err
+		}
+	}
+	for _, id := range t.mainIDs {
+		m, ok := g.toAtomCodes(g.mainView.FactCodes(id), g.maps.mainToAtom)
+		if !ok {
+			continue
+		}
+		if err := g.bindCodes(t, 0, env, &m, truth, bodyAtoms, emit); err != nil {
+			return err
+		}
+	}
+	for _, id := range t.derivedIDs {
+		m, ok := g.toAtomCodes(g.derivedView.FactCodes(id), g.maps.derivedToAtom)
+		if !ok {
+			continue
+		}
+		if err := g.bindCodes(t, 0, env, &m, truth, bodyAtoms, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bindPos extends the frame with one matched position: constants compare
+// by code, bound variables check consistency, unbound variables bind and
+// are recorded in slots for the caller's undo. A plain function (not a
+// closure) so the per-quad hot path allocates nothing.
+func bindPos(fr *logic.Frame, ct *cterm, code store.TermID, slots *[3]int32, n *int8) bool {
+	if ct.slot < 0 {
+		return ct.code == code // code 0 (absent constant) matches nothing
+	}
+	if cur := fr.Objs[ct.slot]; cur != 0 {
+		return cur == uint32(code)
+	}
+	fr.Objs[ct.slot] = uint32(code)
+	slots[*n] = ct.slot
+	*n++
+	return true
+}
+
+// unbindObjs undoes the object bindings recorded in slots[:n].
+func unbindObjs(fr *logic.Frame, slots *[3]int32, n int8) {
+	for i := int8(0); i < n; i++ {
+		fr.Objs[slots[i]] = 0
+	}
+}
+
+// unbindAll undoes the object bindings and, when tslot >= 0, the time
+// binding this step made.
+func unbindAll(fr *logic.Frame, slots *[3]int32, n int8, tslot int32) {
+	unbindObjs(fr, slots, n)
+	if tslot >= 0 {
+		fr.TimeSet[tslot] = false
+	}
+}
+
+// bindCodes is bindQuad over codes: extend the frame with candidate m at
+// depth, evaluate the conditions that just became fully bound, recurse,
+// undo exactly what this step bound.
+func (g *Grounder) bindCodes(t *joinTask, depth int, env *compiledEnv, m *acodes,
+	truth func(AtomID) bool, bodyAtoms []AtomID, emit func(emitEnv, []AtomID) error) error {
+
+	cr := t.cr
+	cq := &cr.quads[depth]
+	if !t.mode.admits(cq.bodyPos, m.id) {
+		return nil // outside this seminaive pass's stratum
+	}
+	if truth != nil && !truth(m.id) {
+		return nil
+	}
+	fr := env.fr
+	var slots [3]int32
+	var n int8
+	if !bindPos(fr, &cq.s, m.s, &slots, &n) ||
+		!bindPos(fr, &cq.p, m.p, &slots, &n) ||
+		!bindPos(fr, &cq.o, m.o, &slots, &n) {
+		unbindObjs(fr, &slots, n)
+		return nil
+	}
+	tslot := int32(-1)
+	if cq.tSlot >= 0 {
+		if fr.TimeSet[cq.tSlot] {
+			if fr.Times[cq.tSlot] != m.iv {
+				unbindObjs(fr, &slots, n)
+				return nil
+			}
+		} else {
+			fr.Times[cq.tSlot] = m.iv
+			fr.TimeSet[cq.tSlot] = true
+			tslot = cq.tSlot
+		}
+	} else if cq.tConst != m.iv {
+		unbindObjs(fr, &slots, n)
+		return nil
+	}
+	for _, cond := range cr.conds[depth] {
+		holds, err := cond(fr)
+		if err != nil {
+			unbindAll(fr, &slots, n, tslot)
+			return fmt.Errorf("ground: rule %s: %w", cr.rule.Name, err)
+		}
+		if !holds {
+			unbindAll(fr, &slots, n, tslot)
+			return nil
+		}
+	}
+	bodyAtoms[depth] = m.id
+	err := g.descendCodes(t, depth+1, env, truth, bodyAtoms, emit)
+	unbindAll(fr, &slots, n, tslot)
+	return err
+}
+
+// descendCodes enumerates store matches for the join depth's body atom
+// (emitting when every atom is bound), translating each match into atom
+// codes and binding it in turn.
+func (g *Grounder) descendCodes(t *joinTask, depth int, env *compiledEnv,
+	truth func(AtomID) bool, bodyAtoms []AtomID, emit func(emitEnv, []AtomID) error) error {
+
+	if depth == len(t.cr.quads) {
+		return emit(env, bodyAtoms)
+	}
+	cq := &t.cr.quads[depth]
+	fr := env.fr
+	var innerErr error
+	if cp, ok := codePatternAt(cq, fr, g.maps.atomToMain); ok {
+		g.mainView.MatchCodes(cp, func(_ store.FactID, fc store.FactCodes) bool {
+			m, ok := g.toAtomCodes(fc, g.maps.mainToAtom)
+			if !ok {
+				return true
+			}
+			if err := g.bindCodes(t, depth, env, &m, truth, bodyAtoms, emit); err != nil {
+				innerErr = err
+				return false
+			}
+			return true
+		})
+		if innerErr != nil {
+			return innerErr
+		}
+	}
+	if g.derivedView.Len() > 0 {
+		if cp, ok := codePatternAt(cq, fr, g.maps.atomToDerived); ok {
+			g.derivedView.MatchCodes(cp, func(_ store.FactID, fc store.FactCodes) bool {
+				m, ok := g.toAtomCodes(fc, g.maps.derivedToAtom)
+				if !ok {
+					return true
+				}
+				if err := g.bindCodes(t, depth, env, &m, truth, bodyAtoms, emit); err != nil {
+					innerErr = err
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return innerErr
+}

@@ -2,6 +2,7 @@ package ground
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/logic"
 	"repro/internal/par"
@@ -39,6 +40,20 @@ type Grounder struct {
 	// 1 forces sequential execution. Output is byte-identical at every
 	// setting.
 	Parallelism int
+
+	// Legacy forces the pre-compilation grounding path: boundness-scored
+	// join orders and map-binding joins over decoded terms. Kept as the
+	// benchmark baseline and differential-testing reference; the solver
+	// input is identical either way.
+	Legacy bool
+
+	// maps translate term codes between the store dictionaries and the
+	// atom table's; synced by refreshViews at sequential points.
+	maps codeMaps
+
+	// Grounding statistics accumulated since the last TakeStats.
+	statTotal time.Duration
+	statRules map[string]*RuleGroundStats
 }
 
 // New prepares a grounder over the given evidence store. Live facts are
@@ -81,18 +96,35 @@ func (g *Grounder) DerivedStore() *store.Store { return g.derived }
 // main-store ids first, then derived — and decoded by the worker, so a
 // chunk costs 8 bytes per candidate rather than a materialised quad.
 type joinTask struct {
-	rule       *logic.Rule
-	order      []int
-	condAt     [][]logic.Condition
+	rule *logic.Rule
+	// cr selects the compiled execution path; the legacy fields below
+	// (order, condAt, t0bound, seedQuads) drive the map-binding path and
+	// are unset when cr is non-nil.
+	cr     *compiledRule
+	order  []int
+	condAt [][]logic.Condition
+	// t0bound reports whether the depth-0 candidate source already
+	// enforces the first atom's temporal dimension, so the join need not
+	// re-derive it per task (it is a property of the atom, not the
+	// chunk).
+	t0bound    bool
 	mainIDs    []store.FactID
 	derivedIDs []store.FactID
 	// seedQuads, when set, replaces the store scan as the depth-0
 	// candidate source — the seminaive delta passes seed the join
 	// directly from the (small) delta instead of the full indexes.
 	seedQuads []rdf.Quad
+	// seedAtoms is seedQuads for the compiled path: the delta atoms
+	// themselves, whose interned codes seed the join with no decoding.
+	seedAtoms []AtomID
 	// mode restricts which atoms each body position may bind during the
 	// seminaive delta passes; nil for full grounding.
 	mode *deltaMode
+
+	// Per-task profiling, written by the task's worker and folded into
+	// the grounder's stats at the next sequential point.
+	elapsed time.Duration
+	emitted int64
 }
 
 // Restriction kinds of a seminaive pass, per body-atom position.
@@ -139,6 +171,33 @@ func (g *Grounder) joinTasks(rules []*logic.Rule, workers int) ([]joinTask, erro
 	tasks := make([]joinTask, 0, len(rules)*chunksPer)
 	empty := logic.NewBinding()
 	for _, r := range rules {
+		if !g.Legacy {
+			order, est, err := g.planSelective(r, -1)
+			if err != nil {
+				return nil, err
+			}
+			cr, err := g.compileRule(r, order, est)
+			if err != nil {
+				return nil, err
+			}
+			g.notePlan(r.Name, order, est)
+			t := joinTask{rule: r, cr: cr}
+			// Materialise the depth-0 candidate ids: main-store matches
+			// first, then derived, mirroring the per-depth visit order
+			// of the join. A pattern miss (constant absent from that
+			// store) means no candidates there at all.
+			fr := logic.NewFrame(cr.sm)
+			if cp, ok := codePatternAt(&cr.quads[0], fr, g.maps.atomToMain); ok {
+				t.mainIDs = g.mainView.MatchCodeIDs(cp)
+			}
+			if g.derivedView.Len() > 0 {
+				if cp, ok := codePatternAt(&cr.quads[0], fr, g.maps.atomToDerived); ok {
+					t.derivedIDs = g.derivedView.MatchCodeIDs(cp)
+				}
+			}
+			tasks = splitTask(tasks, t, chunksPer)
+			continue
+		}
 		order, err := planOrder(r)
 		if err != nil {
 			return nil, err
@@ -147,52 +206,58 @@ func (g *Grounder) joinTasks(rules []*logic.Rule, workers int) ([]joinTask, erro
 		if err != nil {
 			return nil, err
 		}
-		pat, _, err := g.patternFor(r.Body[order[0]], empty)
+		g.notePlan(r.Name, order, nil)
+		pat, t0bound, err := g.patternFor(r.Body[order[0]], empty)
 		if err != nil {
 			return nil, err
 		}
-		// Materialise the depth-0 candidate ids: main-store matches
-		// first, then derived, mirroring the per-depth visit order of
-		// the join.
-		mainIDs := g.mainView.MatchIDs(pat)
-		var derivedIDs []store.FactID
+		t := joinTask{rule: r, order: order, condAt: condAt, t0bound: t0bound,
+			mainIDs: g.mainView.MatchIDs(pat)}
 		if g.derivedView.Len() > 0 {
-			derivedIDs = g.derivedView.MatchIDs(pat)
+			t.derivedIDs = g.derivedView.MatchIDs(pat)
 		}
-		total := len(mainIDs) + len(derivedIDs)
-		chunks := chunksPer
-		if chunks > total {
-			chunks = total
-		}
-		if chunks <= 1 {
-			tasks = append(tasks, joinTask{rule: r, order: order, condAt: condAt,
-				mainIDs: mainIDs, derivedIDs: derivedIDs})
-			continue
-		}
-		for c := 0; c < chunks; c++ {
-			lo := c * total / chunks
-			hi := (c + 1) * total / chunks
-			t := joinTask{rule: r, order: order, condAt: condAt}
-			// Cut the [lo, hi) window out of the main++derived
-			// concatenation.
-			if lo < len(mainIDs) {
-				mhi := hi
-				if mhi > len(mainIDs) {
-					mhi = len(mainIDs)
-				}
-				t.mainIDs = mainIDs[lo:mhi]
-			}
-			if hi > len(mainIDs) {
-				dlo := lo - len(mainIDs)
-				if dlo < 0 {
-					dlo = 0
-				}
-				t.derivedIDs = derivedIDs[dlo : hi-len(mainIDs)]
-			}
-			tasks = append(tasks, t)
-		}
+		tasks = splitTask(tasks, t, chunksPer)
 	}
 	return tasks, nil
+}
+
+// splitTask appends t to tasks, cut into up to chunksPer contiguous
+// windows over its main++derived depth-0 candidates. Because chunks are
+// contiguous and merged in order, chunk boundaries never affect output.
+func splitTask(tasks []joinTask, t joinTask, chunksPer int) []joinTask {
+	mainIDs, derivedIDs := t.mainIDs, t.derivedIDs
+	total := len(mainIDs) + len(derivedIDs)
+	chunks := chunksPer
+	if chunks > total {
+		chunks = total
+	}
+	if chunks <= 1 {
+		return append(tasks, t)
+	}
+	for c := 0; c < chunks; c++ {
+		lo := c * total / chunks
+		hi := (c + 1) * total / chunks
+		ct := t
+		ct.mainIDs, ct.derivedIDs = nil, nil
+		// Cut the [lo, hi) window out of the main++derived
+		// concatenation.
+		if lo < len(mainIDs) {
+			mhi := hi
+			if mhi > len(mainIDs) {
+				mhi = len(mainIDs)
+			}
+			ct.mainIDs = mainIDs[lo:mhi]
+		}
+		if hi > len(mainIDs) {
+			dlo := lo - len(mainIDs)
+			if dlo < 0 {
+				dlo = 0
+			}
+			ct.derivedIDs = derivedIDs[dlo : hi-len(mainIDs)]
+		}
+		tasks = append(tasks, ct)
+	}
+	return tasks
 }
 
 // Close forward-chains the program's inference rules until fixpoint,
@@ -210,6 +275,8 @@ func (g *Grounder) Close(prog *logic.Program) (int, error) {
 	if len(rules) == 0 {
 		return 0, nil
 	}
+	start := time.Now()
+	defer func() { g.statTotal += time.Since(start) }()
 	workers := par.Workers(g.Parallelism)
 	total := 0
 	for round := 0; ; round++ {
@@ -220,25 +287,57 @@ func (g *Grounder) Close(prog *logic.Program) (int, error) {
 		if err != nil {
 			return total, err
 		}
+		if workers == 1 || len(tasks) <= 1 {
+			// Single worker: intern heads at first emission instead of
+			// buffering candidate keys. The views were pinned by joinTasks,
+			// so a head interned mid-round stays unmatchable until the next
+			// round — the Jacobi semantics the parallel merge provides — and
+			// first-emission order is exactly the merge's intern order.
+			added := 0
+			for i := range tasks {
+				err := g.runJoin(&tasks[i], nil, func(env emitEnv, _ []AtomID) error {
+					state, _, key := env.resolveHeadAtom()
+					if state != headStatePending {
+						return nil
+					}
+					g.atoms.Intern(key)
+					if _, err := g.derived.Add(rdf.Quad{
+						Subject: key.S, Predicate: key.P, Object: key.O,
+						Interval: key.Interval, Confidence: 1,
+					}); err != nil {
+						return fmt.Errorf("ground: derived fact %v: %w", key, err)
+					}
+					added++
+					return nil
+				})
+				if err != nil {
+					return total, err
+				}
+			}
+			g.noteTaskStats(tasks)
+			total += added
+			if added == 0 {
+				return total, nil
+			}
+			continue
+		}
 		// Enumerate phase: collect candidate head keys per task. Workers
-		// only read — Lookup filters keys already interned before this
-		// round; the merge re-checks for keys produced by several tasks.
+		// only read — resolveHeadAtom reports pending only for keys not
+		// interned before this round; the merge re-checks for keys
+		// produced by several tasks.
 		newKeys := make([][]rdf.FactKey, len(tasks))
 		errs := make([]error, len(tasks))
 		par.Do(len(tasks), workers, func(i int) {
 			t := &tasks[i]
-			errs[i] = g.runJoin(t, nil, func(binding *logic.Binding, _ []AtomID) error {
-				key, ok := t.rule.Head.Atom.Resolve(binding)
-				if !ok {
-					return nil // empty time expression: no derivation
-				}
-				if _, seen := g.atoms.Lookup(key); !seen {
+			errs[i] = g.runJoin(t, nil, func(env emitEnv, _ []AtomID) error {
+				if state, _, key := env.resolveHeadAtom(); state == headStatePending {
 					newKeys[i] = append(newKeys[i], key)
 				}
 				return nil
 			})
 		})
 		// Merge phase: intern fresh heads in task order.
+		g.noteTaskStats(tasks)
 		added := 0
 		for i := range tasks {
 			if errs[i] != nil {
@@ -289,23 +388,54 @@ const (
 // pendingClause is one grounding enumerated during the parallel phase:
 // body literals are fully resolved, a head atom that is not yet interned
 // is carried as its fact key so the sequential merge can intern it in
-// deterministic order.
+// deterministic order. The key is behind a pointer — it is rare (Close
+// interns every derivable head first) and inlining it tripled the size
+// of every buffered grounding.
 type pendingClause struct {
 	lits     []Lit
 	headKind uint8
-	headKey  rdf.FactKey
+	headKey  *rdf.FactKey
+}
+
+// shardBlockSize bounds one contiguous shard allocation. Appending
+// millions of groundings to a single ever-regrown slice re-zeroes
+// gigabytes of fresh large spans — that zeroing, not the joins,
+// dominated cold-grounding profiles at 10⁶ facts. Fixed blocks are each
+// allocated once at full size and never copied.
+const shardBlockSize = 8192
+
+// clauseShard buffers one task's groundings as a list of fixed-size
+// blocks.
+type clauseShard struct{ blocks [][]pendingClause }
+
+func (s *clauseShard) add(pc pendingClause) {
+	n := len(s.blocks)
+	if n == 0 || len(s.blocks[n-1]) == cap(s.blocks[n-1]) {
+		s.blocks = append(s.blocks, make([]pendingClause, 0, shardBlockSize))
+		n++
+	}
+	s.blocks[n-1] = append(s.blocks[n-1], pc)
 }
 
 // ground joins every rule across the worker pool, emitting clause shards
 // that the merge phase combines in rule order. With onlyViolated,
 // satisfied groundings are skipped (and truth filters body matches).
 func (g *Grounder) ground(rules []*logic.Rule, truth func(AtomID) bool, onlyViolated bool) (*ClauseSet, error) {
+	start := time.Now()
+	defer func() { g.statTotal += time.Since(start) }()
 	workers := par.Workers(g.Parallelism)
 	tasks, err := g.joinTasks(rules, workers)
 	if err != nil {
 		return nil, err
 	}
-	cs := NewClauseSet()
+	hint := 0
+	if !onlyViolated {
+		// Full grounding yields on the order of one-to-two clauses per
+		// atom; cutting-plane calls (onlyViolated) yield far fewer and
+		// should not pay for a network-sized index.
+		hint = g.atoms.Len() + g.atoms.Len()/2
+	}
+	cs := NewClauseSetSized(hint)
 	if err := g.groundTasks(tasks, truth, onlyViolated, cs); err != nil {
 		return nil, err
 	}
@@ -317,37 +447,41 @@ func (g *Grounder) ground(rules []*logic.Rule, truth func(AtomID) bool, onlyViol
 // earlier solves on the incremental path).
 func (g *Grounder) groundTasks(tasks []joinTask, truth func(AtomID) bool, onlyViolated bool, cs *ClauseSet) error {
 	workers := par.Workers(g.Parallelism)
+	if workers == 1 || len(tasks) <= 1 {
+		return g.groundTasksSeq(tasks, truth, onlyViolated, cs)
+	}
 	// Enumerate phase: private shard per task, Lookup-only atom access.
-	shards := make([][]pendingClause, len(tasks))
+	shards := make([]clauseShard, len(tasks))
 	errs := make([]error, len(tasks))
 	par.Do(len(tasks), workers, func(i int) {
 		t := &tasks[i]
-		errs[i] = g.runJoin(t, truth, func(binding *logic.Binding, bodyAtoms []AtomID) error {
+		errs[i] = g.runJoin(t, truth, func(env emitEnv, bodyAtoms []AtomID) error {
 			pc := pendingClause{lits: make([]Lit, 0, len(bodyAtoms)+1)}
 			for _, a := range bodyAtoms {
 				pc.lits = append(pc.lits, Lit{Atom: a, Neg: true})
 			}
 			switch t.rule.Head.Kind {
 			case logic.HeadAtom:
-				key, ok := t.rule.Head.Atom.Resolve(binding)
-				if !ok {
+				state, id, key := env.resolveHeadAtom()
+				switch state {
+				case headStateMiss:
 					return nil // empty head time expression: no obligation
-				}
-				if id, seen := g.atoms.Lookup(key); seen {
+				case headStateResolved:
 					if onlyViolated && truth != nil && truth(id) {
 						return nil
 					}
 					pc.headKind = headResolved
 					pc.lits = append(pc.lits, Lit{Atom: id})
-				} else {
+				case headStatePending:
 					// Close was not run (or truth-filtered matching found
 					// a grounding whose head was never materialised);
 					// intern deterministically at merge time.
 					pc.headKind = headPending
-					pc.headKey = key
+					k := key
+					pc.headKey = &k
 				}
 			case logic.HeadCond:
-				holds, err := t.rule.Head.Cond.Eval(binding)
+				holds, err := env.evalHeadCond()
 				if err != nil {
 					return fmt.Errorf("ground: rule %s head: %w", t.rule.Name, err)
 				}
@@ -357,72 +491,149 @@ func (g *Grounder) groundTasks(tasks []joinTask, truth func(AtomID) bool, onlyVi
 			case logic.HeadFalse:
 				// Always a violation clause over the body.
 			}
-			shards[i] = append(shards[i], pc)
+			shards[i].add(pc)
 			return nil
 		})
 	})
 	// Merge phase: drain shards in task order, interning pending heads
 	// and deduplicating into the clause set exactly as sequential
 	// grounding would.
+	g.noteTaskStats(tasks)
 	for i := range tasks {
 		if errs[i] != nil {
 			return errs[i]
 		}
 		r := tasks[i].rule
-		for _, pc := range shards[i] {
-			c := Clause{Lits: pc.lits, Weight: r.Weight, Rule: r.Name}
-			if pc.headKind == headPending {
-				id := g.atoms.Intern(pc.headKey)
-				if onlyViolated && truth != nil && truth(id) {
-					continue
+		for _, blk := range shards[i].blocks {
+			for _, pc := range blk {
+				c := Clause{Lits: pc.lits, Weight: r.Weight, Rule: r.Name}
+				if pc.headKind == headPending {
+					id := g.atoms.Intern(*pc.headKey)
+					if onlyViolated && truth != nil && truth(id) {
+						continue
+					}
+					c.Lits = append(c.Lits, Lit{Atom: id})
 				}
-				c.Lits = append(c.Lits, Lit{Atom: id})
-			}
-			if !cs.Add(c) {
-				return fmt.Errorf("ground: rule %s grounds to an unconditionally violated hard constraint", r.Name)
+				if !cs.Add(c) {
+					return fmt.Errorf("ground: rule %s grounds to an unconditionally violated hard constraint", r.Name)
+				}
 			}
 		}
 	}
 	return nil
 }
 
+// groundTasksSeq is groundTasks for a single worker: tasks run inline in
+// order, so clauses go straight into the clause set with no
+// pendingClause buffering at all. A pending head is interned at its
+// first emission — exactly the (task, emission-order) position where the
+// parallel merge would intern it — so atom ids, clause order and the
+// dedup aggregation are byte-identical to the buffered path. One shared
+// literal scratch serves every emission; ClauseSet.Add copies literals
+// it retains.
+func (g *Grounder) groundTasksSeq(tasks []joinTask, truth func(AtomID) bool, onlyViolated bool, cs *ClauseSet) error {
+	var scratch []Lit
+	for i := range tasks {
+		t := &tasks[i]
+		err := g.runJoin(t, truth, func(env emitEnv, bodyAtoms []AtomID) error {
+			if cap(scratch) < len(bodyAtoms)+1 {
+				scratch = make([]Lit, 0, len(bodyAtoms)+16)
+			}
+			lits := scratch[:0]
+			for _, a := range bodyAtoms {
+				lits = append(lits, Lit{Atom: a, Neg: true})
+			}
+			switch t.rule.Head.Kind {
+			case logic.HeadAtom:
+				state, id, key := env.resolveHeadAtom()
+				switch state {
+				case headStateMiss:
+					return nil // empty head time expression: no obligation
+				case headStatePending:
+					id = g.atoms.Intern(key)
+				}
+				if onlyViolated && truth != nil && truth(id) {
+					return nil
+				}
+				lits = append(lits, Lit{Atom: id})
+			case logic.HeadCond:
+				holds, err := env.evalHeadCond()
+				if err != nil {
+					return fmt.Errorf("ground: rule %s head: %w", t.rule.Name, err)
+				}
+				if holds {
+					return nil // grounding satisfied; no clause
+				}
+			case logic.HeadFalse:
+				// Always a violation clause over the body.
+			}
+			if !cs.Add(Clause{Lits: lits, Weight: t.rule.Weight, Rule: t.rule.Name}) {
+				return fmt.Errorf("ground: rule %s grounds to an unconditionally violated hard constraint", t.rule.Name)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	g.noteTaskStats(tasks)
+	return nil
+}
+
 // refreshViews re-pins the grounder's store views at the current
 // epochs; a sequential point between mutation and the next join phase.
+// The compiled path also brings the code translation tables up to date
+// here, so workers read them lock-free for the rest of the phase.
 func (g *Grounder) refreshViews() {
 	g.mainView = g.main.ReadView()
 	g.derivedView = g.derived.ReadView()
+	if !g.Legacy {
+		g.syncCodeMaps()
+	}
 }
 
 // runJoin enumerates all bindings of the task's rule body over its
-// depth-0 chunk, invoking emit with the binding and the atom ids of the
-// matched body facts. With truth set, only currently-true atoms
-// participate in matches. Safe to run concurrently with other tasks: it
-// reads the store views and the atom table only.
-func (g *Grounder) runJoin(t *joinTask, truth func(AtomID) bool, emit func(*logic.Binding, []AtomID) error) error {
-	binding := logic.NewBinding()
+// depth-0 chunk, invoking emit with the grounding environment and the
+// atom ids of the matched body facts. With truth set, only
+// currently-true atoms participate in matches. Safe to run concurrently
+// with other tasks: it reads the store views, the code maps and the atom
+// table only. It also records the task's wall time and emission count
+// for the grounder's stats.
+func (g *Grounder) runJoin(t *joinTask, truth func(AtomID) bool, emit func(emitEnv, []AtomID) error) error {
+	start := time.Now()
+	defer func() { t.elapsed += time.Since(start) }()
+	counted := func(env emitEnv, bodyAtoms []AtomID) error {
+		t.emitted++
+		return emit(env, bodyAtoms)
+	}
+	if t.cr != nil {
+		return g.runJoinCompiled(t, truth, counted)
+	}
+	return g.runJoinLegacy(t, truth, counted)
+}
+
+// runJoinLegacy is the map-binding join over decoded terms.
+func (g *Grounder) runJoinLegacy(t *joinTask, truth func(AtomID) bool, emit func(emitEnv, []AtomID) error) error {
+	env := &legacyEnv{g: g, rule: t.rule, binding: logic.NewBinding()}
 	bodyAtoms := make([]AtomID, len(t.order))
 	atom := t.rule.Body[t.order[0]]
-	_, timeBound, err := g.patternFor(atom, binding)
-	if err != nil {
-		return err
-	}
 	for i := range t.seedQuads {
-		if err := g.bindQuad(t, 0, atom, timeBound, &t.seedQuads[i],
-			binding, bodyAtoms, truth, emit); err != nil {
+		if err := g.bindQuad(t, 0, atom, t.t0bound, &t.seedQuads[i],
+			env, bodyAtoms, truth, emit); err != nil {
 			return err
 		}
 	}
 	for _, id := range t.mainIDs {
 		q := g.mainView.Fact(id)
-		if err := g.bindQuad(t, 0, atom, timeBound, &q,
-			binding, bodyAtoms, truth, emit); err != nil {
+		if err := g.bindQuad(t, 0, atom, t.t0bound, &q,
+			env, bodyAtoms, truth, emit); err != nil {
 			return err
 		}
 	}
 	for _, id := range t.derivedIDs {
 		q := g.derivedView.Fact(id)
-		if err := g.bindQuad(t, 0, atom, timeBound, &q,
-			binding, bodyAtoms, truth, emit); err != nil {
+		if err := g.bindQuad(t, 0, atom, t.t0bound, &q,
+			env, bodyAtoms, truth, emit); err != nil {
 			return err
 		}
 	}
@@ -434,9 +645,10 @@ func (g *Grounder) runJoin(t *joinTask, truth func(AtomID) bool, emit func(*logi
 // level, and undoes exactly the variables this step bound.
 func (g *Grounder) bindQuad(t *joinTask, depth int,
 	atom logic.QuadAtom, timeBound bool, q *rdf.Quad,
-	binding *logic.Binding, bodyAtoms []AtomID, truth func(AtomID) bool,
-	emit func(*logic.Binding, []AtomID) error) error {
+	env *legacyEnv, bodyAtoms []AtomID, truth func(AtomID) bool,
+	emit func(emitEnv, []AtomID) error) error {
 
+	binding := env.binding
 	r, order, condAt := t.rule, t.order, t.condAt
 	id, ok := g.atoms.Lookup(q.Fact())
 	if !ok {
@@ -494,7 +706,7 @@ func (g *Grounder) bindQuad(t *joinTask, depth int,
 		}
 	}
 	bodyAtoms[depth] = id
-	err := g.descend(t, depth+1, binding, bodyAtoms, truth, emit)
+	err := g.descend(t, depth+1, env, bodyAtoms, truth, emit)
 	undo()
 	return err
 }
@@ -502,21 +714,21 @@ func (g *Grounder) bindQuad(t *joinTask, depth int,
 // descend enumerates store matches for the body atom at depth (emitting
 // when every atom is bound), binding each matched quad in turn.
 func (g *Grounder) descend(t *joinTask, depth int,
-	binding *logic.Binding, bodyAtoms []AtomID, truth func(AtomID) bool,
-	emit func(*logic.Binding, []AtomID) error) error {
+	env *legacyEnv, bodyAtoms []AtomID, truth func(AtomID) bool,
+	emit func(emitEnv, []AtomID) error) error {
 
 	if depth == len(t.order) {
-		return emit(binding, bodyAtoms)
+		return emit(env, bodyAtoms)
 	}
 	atom := t.rule.Body[t.order[depth]]
-	pat, timeBound, err := g.patternFor(atom, binding)
+	pat, timeBound, err := g.patternFor(atom, env.binding)
 	if err != nil {
 		return err
 	}
 	var innerErr error
 	visit := func(_ store.FactID, q rdf.Quad) bool {
 		if err := g.bindQuad(t, depth, atom, timeBound, &q,
-			binding, bodyAtoms, truth, emit); err != nil {
+			env, bodyAtoms, truth, emit); err != nil {
 			innerErr = err
 			return false
 		}
@@ -611,32 +823,34 @@ func boundScore(a logic.QuadAtom, bound map[string]bool) int {
 }
 
 // scheduleConds assigns each condition to the earliest join depth at
-// which all its variables are bound.
+// which all its variables are bound: one cumulative coverage pass over
+// the order, then each condition's depth is the max first-bound depth of
+// its variables.
 func scheduleConds(r *logic.Rule, order []int) ([][]logic.Condition, error) {
 	out := make([][]logic.Condition, len(order))
-	depthOf := func(vars []string) (int, bool) {
-		// Returns the first depth whose cumulative binding covers vars.
-		covered := make(map[string]bool)
-		for d, idx := range order {
-			for _, v := range r.Body[idx].Vars(nil) {
-				covered[v] = true
-			}
-			all := true
-			for _, v := range vars {
-				if !covered[v] {
-					all = false
-					break
-				}
-			}
-			if all {
-				return d, true
+	firstDepth := make(map[string]int)
+	var scratch []string
+	for d, idx := range order {
+		scratch = r.Body[idx].Vars(scratch[:0])
+		for _, v := range scratch {
+			if _, seen := firstDepth[v]; !seen {
+				firstDepth[v] = d
 			}
 		}
-		return 0, false
 	}
 	for _, c := range r.Conds {
-		vars := c.CondVars(nil)
-		d, ok := depthOf(vars)
+		d := 0
+		ok := true
+		for _, v := range c.CondVars(nil) {
+			fd, bound := firstDepth[v]
+			if !bound {
+				ok = false
+				break
+			}
+			if fd > d {
+				d = fd
+			}
+		}
 		if !ok {
 			return nil, fmt.Errorf("ground: rule %s: condition %s has variables not bound by the body", r.Name, c)
 		}

@@ -3,6 +3,7 @@ package ground
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/logic"
 	"repro/internal/par"
@@ -90,6 +91,8 @@ func (g *Grounder) CloseDelta(prog *logic.Program, delta []AtomID) ([]AtomID, er
 	if len(rules) == 0 || len(delta) == 0 {
 		return nil, nil
 	}
+	start := time.Now()
+	defer func() { g.statTotal += time.Since(start) }()
 	workers := par.Workers(g.Parallelism)
 	var allNew []AtomID
 	cur := append([]AtomID(nil), delta...)
@@ -105,17 +108,19 @@ func (g *Grounder) CloseDelta(prog *logic.Program, delta []AtomID) ([]AtomID, er
 		errs := make([]error, len(tasks))
 		par.Do(len(tasks), workers, func(i int) {
 			t := &tasks[i]
-			errs[i] = g.runJoin(t, nil, func(binding *logic.Binding, _ []AtomID) error {
-				key, ok := t.rule.Head.Atom.Resolve(binding)
-				if !ok {
-					return nil // empty time expression: no derivation
-				}
-				if id, seen := g.atoms.Lookup(key); !seen || g.atoms.Info(id).Retracted {
+			errs[i] = g.runJoin(t, nil, func(env emitEnv, _ []AtomID) error {
+				switch state, id, key := env.resolveHeadAtom(); {
+				case state == headStatePending:
 					newKeys[i] = append(newKeys[i], key)
+				case state == headStateResolved && g.atoms.Info(id).Retracted:
+					// A retracted head becomes derivable again; carry its
+					// key so the merge revives it.
+					newKeys[i] = append(newKeys[i], g.atoms.Info(id).Key)
 				}
 				return nil
 			})
 		})
+		g.noteTaskStats(tasks)
 		var next []AtomID
 		for i := range tasks {
 			if errs[i] != nil {
@@ -152,6 +157,8 @@ func (g *Grounder) GroundDelta(prog *logic.Program, cs *ClauseSet, delta []AtomI
 	if len(delta) == 0 {
 		return nil
 	}
+	start := time.Now()
+	defer func() { g.statTotal += time.Since(start) }()
 	tasks, err := g.deltaJoinTasks(prog.Rules, delta)
 	if err != nil {
 		return err
@@ -169,6 +176,8 @@ func (g *Grounder) RetractFacts(cs *ClauseSet, removed []store.FactID) error {
 	if len(removed) == 0 {
 		return nil
 	}
+	start := time.Now()
+	defer func() { g.statTotal += time.Since(start) }()
 	lost := make(map[AtomID]bool, len(removed))
 	lostList := make([]AtomID, 0, len(removed))
 	for _, fid := range removed {
@@ -291,20 +300,14 @@ func (g *Grounder) deltaJoinTasks(rules []*logic.Rule, delta []AtomID) ([]joinTa
 	var tasks []joinTask
 	for _, r := range rules {
 		for i := range r.Body {
-			var seeds []rdf.Quad
+			var seedAtoms []AtomID
 			for _, a := range ids {
-				info := g.atoms.Info(a)
-				if bodyMatchesKey(r.Body[i], info.Key) {
-					seeds = append(seeds, keyQuad(info.Key))
+				if bodyMatchesKey(r.Body[i], g.atoms.Info(a).Key) {
+					seedAtoms = append(seedAtoms, a)
 				}
 			}
-			if len(seeds) == 0 {
+			if len(seedAtoms) == 0 {
 				continue
-			}
-			order := planOrderFrom(r, i)
-			condAt, err := scheduleConds(r, order)
-			if err != nil {
-				return nil, err
 			}
 			kind := make([]int8, len(r.Body))
 			for j := range kind {
@@ -317,10 +320,39 @@ func (g *Grounder) deltaJoinTasks(rules []*logic.Rule, delta []AtomID) ([]joinTa
 					kind[j] = bindAny
 				}
 			}
+			mode := &deltaMode{set: set, kind: kind}
+			if !g.Legacy {
+				order, est, err := g.planSelective(r, i)
+				if err != nil {
+					return nil, err
+				}
+				cr, err := g.compileRule(r, order, est)
+				if err != nil {
+					return nil, err
+				}
+				g.notePlan(r.Name, order, est)
+				tasks = append(tasks, joinTask{
+					rule: r, cr: cr, seedAtoms: seedAtoms, mode: mode,
+				})
+				continue
+			}
+			seeds := make([]rdf.Quad, len(seedAtoms))
+			for j, a := range seedAtoms {
+				seeds[j] = keyQuad(g.atoms.Info(a).Key)
+			}
+			order := planOrderFrom(r, i)
+			condAt, err := scheduleConds(r, order)
+			if err != nil {
+				return nil, err
+			}
+			_, t0bound, err := g.patternFor(r.Body[i], logic.NewBinding())
+			if err != nil {
+				return nil, err
+			}
 			tasks = append(tasks, joinTask{
-				rule: r, order: order, condAt: condAt,
+				rule: r, order: order, condAt: condAt, t0bound: t0bound,
 				seedQuads: seeds,
-				mode:      &deltaMode{set: set, kind: kind},
+				mode:      mode,
 			})
 		}
 	}

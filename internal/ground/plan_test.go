@@ -1,0 +1,133 @@
+package ground
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/rulelang"
+	"repro/internal/store"
+	"repro/internal/temporal"
+)
+
+// skewedStore loads nBig facts of predicate big and nSmall facts of
+// predicate small, sharing subjects so the planner sees a join.
+func skewedStore(t testing.TB, nBig, nSmall int) *store.Store {
+	t.Helper()
+	st := store.New()
+	iv := temporal.MustNew(2000, 2001)
+	for i := 0; i < nBig; i++ {
+		q := rdf.NewQuad(fmt.Sprintf("s%04d", i), "big", fmt.Sprintf("o%04d", i), iv, 0.9)
+		if _, err := st.Add(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nSmall; i++ {
+		q := rdf.NewQuad(fmt.Sprintf("s%04d", i), "small", fmt.Sprintf("v%04d", i), iv, 0.9)
+		if _, err := st.Add(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestPlanSelectiveSkewed: with a 1000-fact predicate written first and
+// a 2-fact predicate second, the planner must start from the small one —
+// the whole point of selectivity-driven ordering.
+func TestPlanSelectiveSkewed(t *testing.T) {
+	g := New(skewedStore(t, 1000, 2))
+	g.refreshViews()
+	r, err := rulelang.ParseRule(
+		"r: quad(x, big, y, t) ^ quad(x, small, z, t') -> overlap(t, t') w = inf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, est, err := g.planSelective(r, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 0}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v (est %v), want %v", order, est, want)
+	}
+	if est[0] != 2 {
+		t.Errorf("first estimate = %v, want the small posting length 2", est[0])
+	}
+	// Once x is bound, the big atom's estimate must drop from the full
+	// posting (1000) to the per-subject average (1).
+	if est[1] >= 1000 {
+		t.Errorf("bound estimate = %v, did not use the join variable", est[1])
+	}
+}
+
+// TestPlanSelectiveTie: equal cardinalities everywhere — the planner
+// must fall back to body position, keeping the written order (the
+// determinism tie-break).
+func TestPlanSelectiveTie(t *testing.T) {
+	st := store.New()
+	iv := temporal.MustNew(2000, 2001)
+	for i := 0; i < 5; i++ {
+		for _, p := range []string{"p", "q"} {
+			q := rdf.NewQuad(fmt.Sprintf("s%d", i), p, fmt.Sprintf("o%d", i), iv, 0.9)
+			if _, err := st.Add(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := New(st)
+	g.refreshViews()
+	r, err := rulelang.ParseRule(
+		"r: quad(x, p, y, t) ^ quad(x, q, z, t') -> overlap(t, t') w = inf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, _, err := g.planSelective(r, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want written order %v on a tie", order, want)
+	}
+}
+
+// TestPlanSelectivePinned: delta tasks pin the seed atom first; the
+// planner must keep it there and order the rest by selectivity.
+func TestPlanSelectivePinned(t *testing.T) {
+	g := New(skewedStore(t, 1000, 2))
+	g.refreshViews()
+	r, err := rulelang.ParseRule(
+		"r: quad(x, big, y, t) ^ quad(x, small, z, t') -> overlap(t, t') w = inf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, _, err := g.planSelective(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want pinned %v", order, want)
+	}
+}
+
+// TestPlanSelectiveAbsentPredicate: a constant absent from every
+// dictionary matches nothing; its atom estimates 0 and leads the plan,
+// short-circuiting the whole join.
+func TestPlanSelectiveAbsentPredicate(t *testing.T) {
+	g := New(skewedStore(t, 100, 100))
+	g.refreshViews()
+	r, err := rulelang.ParseRule(
+		"r: quad(x, big, y, t) ^ quad(x, nosuch, z, t') -> overlap(t, t') w = inf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, est, err := g.planSelective(r, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 0}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v (est %v), want the absent predicate first", order, est)
+	}
+	if est[0] != 0 {
+		t.Errorf("absent predicate estimate = %v, want 0", est[0])
+	}
+}

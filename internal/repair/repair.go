@@ -146,6 +146,10 @@ type Stats struct {
 	Solver string
 	// Runtime is the solver's inference time.
 	Runtime time.Duration
+	// Ground summarises the grounding stage: join wall time plus
+	// per-rule plans, candidate counts and emission counts. Nil when the
+	// solve path kept no grounder (the greedy baseline).
+	Ground *ground.GroundStats
 	// Components summarises the component-decomposed solve — component
 	// count, size histogram, solved/reused split and per-engine tallies.
 	// Nil when the monolithic path ran.

@@ -127,6 +127,13 @@ type Store struct {
 	byP [][]FactID
 	byO [][]FactID
 
+	// nzS/nzP/nzO count the distinct term codes with a non-empty posting
+	// list per position — free cardinality statistics for the grounder's
+	// selectivity planner. Tombstoned facts keep their postings, so these
+	// are upper bounds; the planner only compares estimates, never trusts
+	// them absolutely.
+	nzS, nzP, nzO int
+
 	// byFact detects duplicate temporal statements (same s,p,o,interval)
 	// by 64-bit key hash; the rare colliding ids (different key, same
 	// hash) spill into byFactSpill and are found by linear scan. Hash
@@ -285,6 +292,15 @@ func (st *Store) Add(q rdf.Quad) (FactID, error) {
 	id := FactID(len(st.facts))
 	st.facts = append(st.facts, f)
 	st.insertFactLocked(key, id)
+	if len(posting(st.byS, f.s)) == 0 {
+		st.nzS++
+	}
+	if len(posting(st.byP, f.p)) == 0 {
+		st.nzP++
+	}
+	if len(posting(st.byO, f.o)) == 0 {
+		st.nzO++
+	}
 	addPosting(&st.byS, f.s, id)
 	addPosting(&st.byP, f.p, id)
 	addPosting(&st.byO, f.o, id)
@@ -612,6 +628,18 @@ type Pattern struct {
 	Time    TimeFilter
 }
 
+// CodePattern is Pattern's dictionary-code twin: bound positions carry
+// TermIDs (NoTerm = wildcard) plus a temporal filter. The compiled
+// grounder builds these from pre-resolved codes, so matching skips the
+// per-call dictionary lookups entirely. Bound codes must come from this
+// store's dictionary; a term known to be absent has no matches and is
+// the caller's job to short-circuit (NoTerm always means wildcard,
+// never "unknown term").
+type CodePattern struct {
+	S, P, O TermID
+	Time    TimeFilter
+}
+
 // Match invokes fn for each live fact matching the pattern, in fact-id
 // order for a given index, until fn returns false. The quad passed to fn
 // is decoded on demand. Match pins the current epoch: mutations racing
@@ -664,11 +692,44 @@ func (r residual) admits(f fact) bool {
 		(r.o == NoTerm || f.o == r.o)
 }
 
+// resolvePatternLocked translates a term-level pattern into code space;
+// ok is false when a bound term is not in the dictionary (no matches).
+func (st *Store) resolvePatternLocked(pat Pattern) (CodePattern, bool) {
+	cp := CodePattern{Time: pat.Time}
+	var ok bool
+	if !pat.S.IsZero() {
+		if cp.S, ok = st.dict.Lookup(pat.S); !ok {
+			return cp, false
+		}
+	}
+	if !pat.P.IsZero() {
+		if cp.P, ok = st.dict.Lookup(pat.P); !ok {
+			return cp, false
+		}
+	}
+	if !pat.O.IsZero() {
+		if cp.O, ok = st.dict.Lookup(pat.O); !ok {
+			return cp, false
+		}
+	}
+	return cp, true
+}
+
 // forCandidatesLocked drives fn over the facts matching pat that were
 // live at epoch e, using the most selective index. Callers must hold at
 // least a read lock; fn must not call back into the store.
 func (st *Store) forCandidatesLocked(pat Pattern, e Epoch, fn func(FactID, fact) bool) {
-	ids, res, scanAll := st.candidates(pat)
+	cp, ok := st.resolvePatternLocked(pat)
+	if !ok {
+		return
+	}
+	st.forCandidatesCodesLocked(cp, e, fn)
+}
+
+// forCandidatesCodesLocked is forCandidatesLocked over a pre-resolved
+// code pattern — the compiled grounder's entry, with no dictionary work.
+func (st *Store) forCandidatesCodesLocked(cp CodePattern, e Epoch, fn func(FactID, fact) bool) {
+	ids, res, scanAll := st.candidatesCodes(cp)
 	visit := func(id FactID) bool {
 		f := st.facts[id]
 		if !st.liveAtLocked(id, e) {
@@ -677,7 +738,7 @@ func (st *Store) forCandidatesLocked(pat Pattern, e Epoch, fn func(FactID, fact)
 		if !res.admits(f) {
 			return true
 		}
-		if !pat.Time.admits(f.iv) {
+		if !cp.Time.admits(f.iv) {
 			return true
 		}
 		return fn(id, f)
@@ -697,36 +758,12 @@ func (st *Store) forCandidatesLocked(pat Pattern, e Epoch, fn func(FactID, fact)
 	}
 }
 
-// candidates picks the most selective index for the bound positions and
-// returns the candidate id list plus the residual positions the chosen
-// index does not cover. scanAll signals the unindexed full-store scan
-// so callers can iterate without materialising ids.
-func (st *Store) candidates(pat Pattern) (ids []FactID, res residual, scanAll bool) {
-	var (
-		sID, pID, oID TermID
-		sOK, pOK, oOK = true, true, true
-	)
-	if !pat.S.IsZero() {
-		if sID, sOK = st.dict.Lookup(pat.S); !sOK {
-			return nil, residual{}, false
-		}
-	} else {
-		sID = NoTerm
-	}
-	if !pat.P.IsZero() {
-		if pID, pOK = st.dict.Lookup(pat.P); !pOK {
-			return nil, residual{}, false
-		}
-	} else {
-		pID = NoTerm
-	}
-	if !pat.O.IsZero() {
-		if oID, oOK = st.dict.Lookup(pat.O); !oOK {
-			return nil, residual{}, false
-		}
-	} else {
-		oID = NoTerm
-	}
+// candidatesCodes picks the most selective index for the bound positions
+// and returns the candidate id list plus the residual positions the
+// chosen index does not cover. scanAll signals the unindexed full-store
+// scan so callers can iterate without materialising ids.
+func (st *Store) candidatesCodes(cp CodePattern) (ids []FactID, res residual, scanAll bool) {
+	sID, pID, oID := cp.S, cp.P, cp.O
 
 	// Multi-bound patterns scan the shortest applicable posting list and
 	// filter the remaining positions residually. Every posting list is in
@@ -758,8 +795,8 @@ func (st *Store) candidates(pat Pattern) (ids []FactID, res residual, scanAll bo
 	case pID != NoTerm:
 		// Predicate-only scans are the grounder's hot path; use the
 		// interval index when the pattern is temporal.
-		if pat.Time.Kind == TimeIntersects {
-			return st.intervalIndexFor(pID).overlapping(pat.Time.Interval), residual{}, false
+		if cp.Time.Kind == TimeIntersects {
+			return st.intervalIndexFor(pID).overlapping(cp.Time.Interval), residual{}, false
 		}
 		return posting(st.byP, pID), residual{}, false
 	default:

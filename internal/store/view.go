@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/rdf"
+	"repro/internal/temporal"
 )
 
 // View is an epoch-pinned, read-only snapshot of a Store, safe for
@@ -120,4 +121,149 @@ func (v View) Contains(q rdf.Quad) bool {
 	v.st.mu.RLock()
 	defer v.st.mu.RUnlock()
 	return v.st.containsAtLocked(q, v.epoch)
+}
+
+// FactCodes is the dictionary-encoded form of a stored fact as handed to
+// MatchCodes: term codes plus interval and confidence, no term decoding.
+type FactCodes struct {
+	S, P, O  TermID
+	Interval temporal.Interval
+	Conf     float64
+}
+
+// FactCodes returns the encoded form of the fact with the given id. The
+// id must have been assigned no later than the pinned epoch.
+func (v View) FactCodes(id FactID) FactCodes {
+	v.st.mu.RLock()
+	f := v.st.facts[id]
+	v.st.mu.RUnlock()
+	return FactCodes{S: f.s, P: f.p, O: f.o, Interval: f.iv, Conf: f.conf}
+}
+
+// MatchCodes invokes fn for each fact live at the pinned epoch matching
+// the code pattern, in fact-id order for a given index, until fn returns
+// false. It is Match without the dictionary round-trips: the pattern
+// arrives pre-resolved and the matches are emitted as raw codes — the
+// compiled grounder's join path, which never needs the terms themselves.
+// Like Match, candidates are buffered under the read lock and fn runs
+// lock-free, so fn may re-enter the store.
+func (v View) MatchCodes(cp CodePattern, fn func(FactID, FactCodes) bool) {
+	bufp := matchBufPool.Get().(*[]matched)
+	ms := (*bufp)[:0]
+	v.st.mu.RLock()
+	v.st.forCandidatesCodesLocked(cp, v.epoch, func(id FactID, f fact) bool {
+		ms = append(ms, matched{id: id, f: f})
+		return true
+	})
+	v.st.mu.RUnlock()
+	for _, m := range ms {
+		if !fn(m.id, FactCodes{S: m.f.s, P: m.f.p, O: m.f.o, Interval: m.f.iv, Conf: m.f.conf}) {
+			break
+		}
+	}
+	*bufp = ms[:0]
+	matchBufPool.Put(bufp)
+}
+
+// MatchCodeIDs returns the ids of all facts live at the pinned epoch
+// matching the code pattern.
+func (v View) MatchCodeIDs(cp CodePattern) []FactID {
+	v.st.mu.RLock()
+	defer v.st.mu.RUnlock()
+	var out []FactID
+	v.st.forCandidatesCodesLocked(cp, v.epoch, func(id FactID, f fact) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// Terms returns the code-indexed term snapshot the view was pinned with
+// (index 0 unused). Entries are immutable and cover every code assigned
+// up to the pinned epoch; safe to read without the store lock.
+func (v View) Terms() []rdf.Term { return v.terms }
+
+// LookupTerm returns the store's current dictionary code for a term; ok
+// is false when the term has never been interned. Unlike Terms this
+// consults the live dictionary under the store lock, so it also sees
+// codes assigned after the view was pinned.
+func (v View) LookupTerm(t rdf.Term) (TermID, bool) {
+	v.st.mu.RLock()
+	defer v.st.mu.RUnlock()
+	return v.st.dict.Lookup(t)
+}
+
+// PostingLenS returns the length of the subject posting list for a term
+// code in O(1): an upper bound on matching facts (tombstoned entries
+// stay in their lists). The selectivity planner's per-constant estimate.
+func (v View) PostingLenS(t TermID) int {
+	v.st.mu.RLock()
+	defer v.st.mu.RUnlock()
+	return len(posting(v.st.byS, t))
+}
+
+// PostingLenP is PostingLenS for the predicate position.
+func (v View) PostingLenP(t TermID) int {
+	v.st.mu.RLock()
+	defer v.st.mu.RUnlock()
+	return len(posting(v.st.byP, t))
+}
+
+// PostingLenO is PostingLenS for the object position.
+func (v View) PostingLenO(t TermID) int {
+	v.st.mu.RLock()
+	defer v.st.mu.RUnlock()
+	return len(posting(v.st.byO, t))
+}
+
+// IndexCardinalities are O(1) whole-store statistics for selectivity
+// estimation: total stored facts (including tombstones, matching what
+// posting lengths count) and the number of distinct term codes occupying
+// each position index. Facts/Distinct* is the average posting length —
+// the planner's estimate for a position bound by a join variable.
+type IndexCardinalities struct {
+	Facts     int
+	DistinctS int
+	DistinctP int
+	DistinctO int
+}
+
+// Cardinalities returns the store's index cardinalities in O(1).
+func (v View) Cardinalities() IndexCardinalities {
+	v.st.mu.RLock()
+	defer v.st.mu.RUnlock()
+	return IndexCardinalities{
+		Facts:     len(v.st.facts),
+		DistinctS: v.st.nzS,
+		DistinctP: v.st.nzP,
+		DistinctO: v.st.nzO,
+	}
+}
+
+// EstimateCodes returns an O(1) upper-bound estimate of the facts
+// matching the code pattern: the shortest posting list over the bound
+// positions, or the total fact count for the all-wildcard pattern. The
+// temporal filter is ignored.
+func (v View) EstimateCodes(cp CodePattern) int {
+	v.st.mu.RLock()
+	defer v.st.mu.RUnlock()
+	n := -1
+	min := func(k int) {
+		if n < 0 || k < n {
+			n = k
+		}
+	}
+	if cp.S != NoTerm {
+		min(len(posting(v.st.byS, cp.S)))
+	}
+	if cp.P != NoTerm {
+		min(len(posting(v.st.byP, cp.P)))
+	}
+	if cp.O != NoTerm {
+		min(len(posting(v.st.byO, cp.O)))
+	}
+	if n < 0 {
+		return len(v.st.facts)
+	}
+	return n
 }

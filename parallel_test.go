@@ -33,6 +33,7 @@ func solveAt(t *testing.T, ds *tecore.Dataset, program string, solver tecore.Sol
 	oc.Stats.Runtime = 0
 	oc.Stats.Repair = nil
 	oc.Stats.Outcome = nil
+	oc.Stats.Ground = nil
 	return &oc
 }
 

@@ -148,6 +148,26 @@ type Stats = repair.Stats
 // SolveOptions.ComponentSolve); available as Stats.Components.
 type ComponentStats = ground.ComponentStats
 
+// GroundStats summarises the grounding stage of a solve — total wall
+// time and, per rule, the chosen join order with its selectivity
+// estimates, candidate and emitted-grounding counts; available as
+// Stats.Ground (nil when the solve did no grounding work).
+type GroundStats = ground.GroundStats
+
+// RuleGroundStats is one rule's entry in GroundStats.
+type RuleGroundStats = ground.RuleGroundStats
+
+// GroundProfile runs one cold grounding pass over the session's store
+// and program on a throwaway grounder — without touching the cached
+// incremental engine — and returns the grounding statistics plus the
+// atom and clause counts of the resulting network. With legacy set it
+// uses the pre-compilation string-keyed path; the grounding benchmark
+// calls it both ways to compare the compiled pipeline against the
+// baseline on identical input.
+func GroundProfile(s *Session, legacy bool, parallelism int) (*GroundStats, int, int, error) {
+	return core.GroundProfile(s, legacy, parallelism)
+}
+
 // RepairStats summarises the conflict-resolution read-out stage — mode
 // (whole-graph or per-component), the repaired/reused component split,
 // and stage timings; available as Stats.Repair.
