@@ -24,6 +24,10 @@
 //	                        bytes/fact (heap-quiesced MemStats + the
 //	                        store's own estimate), cold-solve time and
 //	                        single-fact update latency at 10⁵–10⁷ facts
+//	BENCH_update.json       single-fact update latency over fact count
+//	                        with the delta-maintained solve plan vs the
+//	                        from-scratch rebuilt plan (RebuildPlan),
+//	                        p50/p99 plus per-stage breakdown
 //	BENCH_ground.json       cold grounding wall-clock over fact count:
 //	                        the legacy string-keyed grounder vs the
 //	                        selectivity-planned compiled pipeline on the
@@ -31,17 +35,17 @@
 //
 // Usage:
 //
-//	tecore-bench [-out dir] [-scenario incremental|parallel|components|repair|outcome|serve|scale|ground|all]
+//	tecore-bench [-out dir] [-scenario incremental|parallel|components|repair|outcome|serve|scale|ground|update|all]
 //	             [-players N] [-clusters N] [-sessions K] [-updates U] [-reps R]
 //	             [-scale-facts N,N,...] [-scale-cluster-size N]
-//	             [-ground-facts N,N,...]
+//	             [-ground-facts N,N,...] [-update-facts N,N,...]
 //	             [-assert-repair-speedup X] [-assert-outcome-speedup X]
 //	             [-assert-serve-speedup X] [-assert-bytes-per-fact B]
-//	             [-assert-ground-speedup X]
+//	             [-assert-ground-speedup X] [-assert-plan-speedup X]
 //
-// The scale and ground scenarios are not part of -scenario all: their
-// default sweeps run minutes and allocate gigabytes by design; request
-// them explicitly (CI runs them at small smoke sizes).
+// The scale, ground and update scenarios are not part of -scenario all:
+// their default sweeps run minutes and allocate gigabytes by design;
+// request them explicitly (CI runs them at small smoke sizes).
 //
 // Timings are medians of R runs on the local machine; absolute numbers
 // are substrate-dependent, ratios (speedup, scaling) are the tracked
@@ -85,10 +89,14 @@ func main() {
 		"ground scenario: comma-separated target fact counts to sweep")
 	assertGround := flag.Float64("assert-ground-speedup", 0,
 		"ground scenario: exit non-zero unless the largest workload's compiled-grounding speedup over the legacy path reaches this factor (0 = no assertion)")
+	updateFacts := flag.String("update-facts", "100000,300000,1000000",
+		"update scenario: comma-separated target fact counts to sweep")
+	assertPlan := flag.Float64("assert-plan-speedup", 0,
+		"update scenario: exit non-zero unless the largest workload's maintained-plan stage speedup over the rebuilt plan reaches this factor (0 = no assertion)")
 	flag.Parse()
 
 	switch *scenario {
-	case "incremental", "parallel", "components", "repair", "outcome", "serve", "scale", "ground", "all":
+	case "incremental", "parallel", "components", "repair", "outcome", "serve", "scale", "ground", "update", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "tecore-bench: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -142,6 +150,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *scenario == "update" {
+		if err := runUpdate(*out, *updateFacts, *scaleClusterSize, *reps, *assertPlan); err != nil {
+			fmt.Fprintf(os.Stderr, "tecore-bench: update: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func medianMS(reps int, f func() error) (float64, error) {
@@ -160,6 +174,9 @@ func medianMS(reps int, f func() error) (float64, error) {
 func writeReport(dir, name string, v any) error {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	path := filepath.Join(dir, name)

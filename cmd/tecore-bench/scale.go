@@ -30,9 +30,14 @@ type ScalePoint struct {
 	LoadMS      float64 `json:"load_ms"`
 	ColdSolveMS float64 `json:"cold_solve_ms"`
 	// UpdateP50MS/UpdateP99MS are single-fact update latencies (add or
-	// remove one fact + incremental re-solve) on the warm session.
-	UpdateP50MS float64 `json:"update_p50_ms"`
-	UpdateP99MS float64 `json:"update_p99_ms"`
+	// remove one fact + incremental re-solve) on the warm session, in
+	// the delta-serving configuration (SolveOptions.DeltaOnly — exact
+	// counts + changelog, no global list materialization).
+	// SnapshotP50MS is the same update with the full Outcome lists
+	// materialized every solve.
+	UpdateP50MS   float64 `json:"update_p50_ms"`
+	UpdateP99MS   float64 `json:"update_p99_ms"`
+	SnapshotP50MS float64 `json:"snapshot_p50_ms"`
 	// LoadedBytesPerFact is heap growth per fact after load (store +
 	// program only); SolvedBytesPerFact after the cold solve (store +
 	// grounding + clause set + solver state + outcome). Both measured
@@ -134,39 +139,54 @@ func runScale(dir, sizes string, clusterSize, reps int, assertBytesPerFact float
 		runtime.KeepAlive(ds)
 
 		// Single-fact update latency on the warm session: toggle the probe
-		// in and out, each toggle followed by an incremental re-solve.
+		// in and out, each toggle followed by an incremental re-solve —
+		// first in the delta-serving configuration (DeltaOnly), then
+		// with full list materialization for the snapshot column.
 		toggles := reps * 4
 		if toggles < 8 {
 			toggles = 8
 		}
-		lat := make([]float64, 0, toggles)
-		toggle := false
-		for i := 0; i < toggles; i++ {
-			toggle = !toggle
-			runtime.GC() // keep earlier iterations' garbage out of the timed window
-			start = time.Now()
-			if toggle {
-				if err := s.AddFact(probe); err != nil {
-					return err
+		measure := func(deltaOnly bool) ([]float64, error) {
+			mopts := opts
+			mopts.DeltaOnly = deltaOnly
+			lat := make([]float64, 0, toggles)
+			toggle := false
+			for i := 0; i < toggles; i++ {
+				toggle = !toggle
+				runtime.GC() // keep earlier iterations' garbage out of the timed window
+				start = time.Now()
+				if toggle {
+					if err := s.AddFact(probe); err != nil {
+						return nil, err
+					}
+				} else {
+					s.RemoveFact(probe)
 				}
-			} else {
-				s.RemoveFact(probe)
+				res, err := s.Solve(mopts)
+				if err != nil {
+					return nil, err
+				}
+				lat = append(lat, float64(time.Since(start).Microseconds())/1000)
+				if !res.Incremental {
+					return nil, fmt.Errorf("update solve did not take the delta path")
+				}
 			}
-			res, err := s.Solve(opts)
-			if err != nil {
-				return err
-			}
-			lat = append(lat, float64(time.Since(start).Microseconds())/1000)
-			if !res.Incremental {
-				return fmt.Errorf("update solve did not take the delta path")
-			}
+			sort.Float64s(lat)
+			return lat, nil
 		}
-		sort.Float64s(lat)
+		lat, err := measure(true)
+		if err != nil {
+			return err
+		}
 		pt.UpdateP50MS = lat[len(lat)/2]
 		pt.UpdateP99MS = lat[(len(lat)*99+99)/100-1]
+		if lat, err = measure(false); err != nil {
+			return err
+		}
+		pt.SnapshotP50MS = lat[len(lat)/2]
 		report.Points = append(report.Points, pt)
-		fmt.Printf("scale: %d facts — load %.0fms, cold solve %.0fms, update p50 %.2fms, %.0f B/fact loaded (store est %.0f), %.0f B/fact solved\n",
-			pt.Facts, pt.LoadMS, pt.ColdSolveMS, pt.UpdateP50MS, pt.LoadedBytesPerFact, pt.StoreBytesPerFact, pt.SolvedBytesPerFact)
+		fmt.Printf("scale: %d facts — load %.0fms, cold solve %.0fms, update p50 %.2fms (snapshot %.2fms), %.0f B/fact loaded (store est %.0f), %.0f B/fact solved\n",
+			pt.Facts, pt.LoadMS, pt.ColdSolveMS, pt.UpdateP50MS, pt.SnapshotP50MS, pt.LoadedBytesPerFact, pt.StoreBytesPerFact, pt.SolvedBytesPerFact)
 	}
 	if err := writeReport(dir, "BENCH_scale.json", report); err != nil {
 		return err

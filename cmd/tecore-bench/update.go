@@ -1,0 +1,254 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	tecore "repro"
+)
+
+// UpdatePoint is one size step of the update scenario: single-fact
+// update latency on a warm session with the delta-maintained solve plan
+// vs the from-scratch rebuilt plan (SolveOptions.RebuildPlan), plus the
+// per-stage breakdown of the maintained path. The headline maintained
+// and rebuilt latencies run with SolveOptions.DeltaOnly — the
+// update-serving configuration, consuming Resolution.Delta without
+// materializing the global lists; Snapshot* reports the maintained
+// path with full list materialization for consumers that read the
+// whole Outcome every solve.
+type UpdatePoint struct {
+	Facts       int `json:"facts"`
+	Clusters    int `json:"clusters"`
+	ClusterSize int `json:"cluster_size"`
+	// Components is the conflict-component count of the cold solve.
+	Components int `json:"components"`
+	// Maintained*: end-to-end single-fact update latency (toggle one
+	// fact + incremental re-solve) with the plan patched in place and
+	// DeltaOnly read-out.
+	MaintainedP50MS float64 `json:"maintained_p50_ms"`
+	MaintainedP99MS float64 `json:"maintained_p99_ms"`
+	// Rebuilt*: the same updates with RebuildPlan forcing a from-scratch
+	// NewPlan every solve — the pre-maintenance baseline (same DeltaOnly
+	// read-out).
+	RebuiltP50MS float64 `json:"rebuilt_p50_ms"`
+	RebuiltP99MS float64 `json:"rebuilt_p99_ms"`
+	// Snapshot*: maintained plan with full list materialization
+	// (DeltaOnly off) — the cost of reading the whole Outcome per solve.
+	SnapshotP50MS float64 `json:"snapshot_p50_ms"`
+	SnapshotP99MS float64 `json:"snapshot_p99_ms"`
+	// PlanSpeedup compares the plan stage alone: rebuilt NewPlan wall
+	// time vs the maintained sync (both medians). TotalSpeedup compares
+	// the end-to-end update latencies.
+	PlanSpeedup  float64 `json:"plan_speedup"`
+	TotalSpeedup float64 `json:"total_speedup"`
+	// Per-stage medians of the maintained path (the rebuilt path differs
+	// only in the plan stage, reported alongside).
+	GroundP50MS       float64 `json:"ground_p50_ms"`
+	PlanSyncP50MS     float64 `json:"plan_sync_p50_ms"`
+	RebuiltPlanP50MS  float64 `json:"rebuilt_plan_p50_ms"`
+	SolverP50MS       float64 `json:"solver_p50_ms"`
+	RepairP50MS       float64 `json:"repair_p50_ms"`
+	OutcomeP50MS      float64 `json:"outcome_p50_ms"`
+	PatchedComponents int     `json:"patched_components"`
+}
+
+// UpdateReport is the BENCH_update.json schema.
+type UpdateReport struct {
+	Benchmark  string        `json:"benchmark"`
+	Workload   string        `json:"workload"`
+	Solver     string        `json:"solver"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Points     []UpdatePoint `json:"points"`
+	// MaintainedP50Ratio is the last/first maintained update-p50 ratio
+	// over the sweep — the update-latency scaling signal (1.0 = flat,
+	// facts-ratio = linear in store size).
+	MaintainedP50Ratio float64 `json:"maintained_p50_ratio"`
+}
+
+// percentile returns the p-th percentile of the sorted sample.
+func percentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + p - 1) / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func median(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)/2]
+}
+
+func runUpdate(dir, sizes string, clusterSize, reps int, assertPlanSpeedup float64) error {
+	sizeList, err := parseSizeList(sizes)
+	if err != nil {
+		return fmt.Errorf("-update-facts: %w", err)
+	}
+	report := UpdateReport{
+		Benchmark:  "BenchmarkUpdatePlanMaintenance",
+		Workload:   fmt.Sprintf("clustered (size %d, bridge rate 0.1)", clusterSize),
+		Solver:     tecore.SolverMLN.String(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, target := range sizeList {
+		clusters := target / clusterSize
+		if clusters < 1 {
+			clusters = 1
+		}
+		ds := tecore.GenerateClustered(tecore.ClusteredConfig{
+			Clusters: clusters, ClusterSize: clusterSize, BridgeRate: 0.1, Seed: 11})
+		probe := tecore.NewQuad("player/00001", "playsFor", "club/00001/probe",
+			tecore.MustInterval(1991, 1993), 0.55)
+		pt := UpdatePoint{Facts: len(ds.Graph), Clusters: clusters, ClusterSize: clusterSize}
+
+		s := tecore.NewSession()
+		if err := s.LoadGraph(ds.Graph); err != nil {
+			return err
+		}
+		if err := s.LoadProgramText(tecore.ClusteredProgram); err != nil {
+			return err
+		}
+		opts := func(rebuild, deltaOnly bool) tecore.SolveOptions {
+			return tecore.SolveOptions{
+				Solver: tecore.SolverMLN, ComponentSolve: true,
+				RebuildPlan: rebuild, DeltaOnly: deltaOnly}
+		}
+		res, err := s.Solve(opts(false, false))
+		if err != nil {
+			return err
+		}
+		pt.Components = res.Stats.Components.Count
+		runtime.KeepAlive(ds)
+
+		toggles := reps * 4
+		if toggles < 8 {
+			toggles = 8
+		}
+		// Both modes run on the same warm session: the rebuilt pass leaves
+		// the journal and change log accumulating, and the next maintained
+		// sync drains them — exactly the mixed-mode contract the
+		// differential suite pins.
+		var lat, planMS, groundMS, solverMS, repairMS, outcomeMS []float64
+		measure := func(rebuild, deltaOnly bool, warmup int) error {
+			lat = lat[:0]
+			planMS, groundMS = planMS[:0], groundMS[:0]
+			solverMS, repairMS, outcomeMS = solverMS[:0], repairMS[:0], outcomeMS[:0]
+			toggle := false
+			wantMode := "maintained"
+			if rebuild {
+				wantMode = "rebuilt"
+			}
+			for i := 0; i < warmup+toggles; i++ {
+				toggle = !toggle
+				runtime.GC() // keep earlier iterations' garbage out of the timed window
+				start := time.Now()
+				if toggle {
+					if err := s.AddFact(probe); err != nil {
+						return err
+					}
+				} else {
+					s.RemoveFact(probe)
+				}
+				res, err := s.Solve(opts(rebuild, deltaOnly))
+				if err != nil {
+					return err
+				}
+				total := float64(time.Since(start).Microseconds()) / 1000
+				if !res.Incremental {
+					return fmt.Errorf("update solve did not take the delta path")
+				}
+				st := res.Stats
+				if st.Plan == nil || st.Plan.Mode != wantMode {
+					return fmt.Errorf("plan stats = %+v, want mode %q", st.Plan, wantMode)
+				}
+				wantOutcome := tecore.OutcomeLive
+				if deltaOnly {
+					wantOutcome = tecore.OutcomeDeltaOnly
+				}
+				if st.Outcome == nil || st.Outcome.Mode != wantOutcome {
+					return fmt.Errorf("outcome stats = %+v, want mode %q", st.Outcome, wantOutcome)
+				}
+				if i < warmup {
+					continue
+				}
+				lat = append(lat, total)
+				planMS = append(planMS, float64(st.Plan.Sync.Nanoseconds())/1e6)
+				if st.Ground != nil {
+					groundMS = append(groundMS, float64(st.Ground.Total.Nanoseconds())/1e6)
+				}
+				solverMS = append(solverMS, float64(st.Runtime.Nanoseconds())/1e6)
+				if st.Repair != nil {
+					repairMS = append(repairMS, float64(st.Repair.Total.Nanoseconds())/1e6)
+				}
+				if st.Outcome != nil {
+					outcomeMS = append(outcomeMS, float64(st.Outcome.Total.Nanoseconds())/1e6)
+				}
+				if !rebuild {
+					pt.PatchedComponents = st.Plan.PatchedComponents
+				}
+			}
+			sort.Float64s(lat)
+			return nil
+		}
+
+		// Maintained first (a couple of unmeasured toggles warm the splice
+		// scratch and the probe's atom slots), then the materializing
+		// snapshot column, then the rebuilt baseline.
+		if err := measure(false, true, 2); err != nil {
+			return err
+		}
+		pt.MaintainedP50MS = percentile(lat, 50)
+		pt.MaintainedP99MS = percentile(lat, 99)
+		pt.PlanSyncP50MS = median(planMS)
+		pt.GroundP50MS = median(groundMS)
+		pt.SolverP50MS = median(solverMS)
+		pt.RepairP50MS = median(repairMS)
+		pt.OutcomeP50MS = median(outcomeMS)
+		if err := measure(false, false, 1); err != nil {
+			return err
+		}
+		pt.SnapshotP50MS = percentile(lat, 50)
+		pt.SnapshotP99MS = percentile(lat, 99)
+		if err := measure(true, true, 1); err != nil {
+			return err
+		}
+		pt.RebuiltP50MS = percentile(lat, 50)
+		pt.RebuiltP99MS = percentile(lat, 99)
+		pt.RebuiltPlanP50MS = median(planMS)
+		if pt.PlanSyncP50MS > 0 {
+			pt.PlanSpeedup = pt.RebuiltPlanP50MS / pt.PlanSyncP50MS
+		}
+		if pt.MaintainedP50MS > 0 {
+			pt.TotalSpeedup = pt.RebuiltP50MS / pt.MaintainedP50MS
+		}
+		report.Points = append(report.Points, pt)
+		fmt.Printf("update: %d facts — maintained p50 %.2fms (p99 %.2fms), snapshot p50 %.2fms, rebuilt p50 %.2fms, plan stage %.3fms vs %.3fms (%.1fx)\n",
+			pt.Facts, pt.MaintainedP50MS, pt.MaintainedP99MS, pt.SnapshotP50MS,
+			pt.RebuiltP50MS, pt.PlanSyncP50MS, pt.RebuiltPlanP50MS, pt.PlanSpeedup)
+	}
+	first, last := report.Points[0], report.Points[len(report.Points)-1]
+	if first.MaintainedP50MS > 0 {
+		report.MaintainedP50Ratio = last.MaintainedP50MS / first.MaintainedP50MS
+	}
+	if err := writeReport(dir, "BENCH_update.json", report); err != nil {
+		return err
+	}
+	if assertPlanSpeedup > 0 {
+		if last.PlanSpeedup < assertPlanSpeedup {
+			return fmt.Errorf("maintained plan stage speedup %.2fx at %d facts below required %.2fx",
+				last.PlanSpeedup, last.Facts, assertPlanSpeedup)
+		}
+		fmt.Printf("plan speedup assertion ok: %.2fx ≥ %.2fx at %d facts\n",
+			last.PlanSpeedup, assertPlanSpeedup, last.Facts)
+	}
+	return nil
+}

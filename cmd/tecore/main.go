@@ -220,6 +220,9 @@ func runInfer(args []string) error {
 	fmt.Printf("inferred facts:    %d (threshold filtered %d)\n", st.InferredFacts, st.ThresholdFiltered)
 	fmt.Printf("conflict clusters: %d\n", st.ConflictClusters)
 	fmt.Printf("runtime:           %v\n", st.Runtime)
+	if *verbose && st.Plan != nil {
+		printPlanSummary(os.Stdout, st.Plan)
+	}
 	if *verbose && st.Components != nil {
 		printComponentSummary(os.Stdout, st.Components)
 	}
@@ -278,6 +281,19 @@ func runInfer(args []string) error {
 // printComponentSummary renders the component-decomposed solve
 // statistics: component count and sizes, the engine each component ran
 // on, and the solved/reused (cache hit) split of incremental re-solves.
+// printPlanSummary renders the solve-plan stage: whether the canonical
+// order and component partition were patched in place from the delta or
+// rebuilt from scratch, the splice sizes, and the sync time.
+func printPlanSummary(w io.Writer, ps *tecore.PlanStats) {
+	fmt.Fprintf(w, "plan:              %s (%d atoms, %d components)", ps.Mode, ps.Atoms, ps.Components)
+	if ps.Mode == "maintained" {
+		fmt.Fprintf(w, " — %d inserted, %d removed, %d shifted; %d patched, %d dropped",
+			ps.InsertedAtoms, ps.RemovedAtoms, ps.ShiftedVars,
+			ps.PatchedComponents, ps.DroppedComponents)
+	}
+	fmt.Fprintf(w, " in %v\n", ps.Sync)
+}
+
 func printComponentSummary(w io.Writer, cs *tecore.ComponentStats) {
 	fmt.Fprintf(w, "components:        %d (largest %d atoms; %d solved, %d reused",
 		cs.Count, cs.Largest, cs.Solved, cs.Reused)

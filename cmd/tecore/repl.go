@@ -90,6 +90,11 @@ func runIncrementalREPL(s *tecore.Session, opts tecore.SolveOptions, verbose boo
 			fmt.Fprintf(out, "solved (%s, %s): kept %d / removed %d / inferred %d, %d conflict cluster(s), %v\n",
 				mode, st.Solver, st.KeptFacts, st.RemovedFacts, st.InferredFacts,
 				st.ConflictClusters, st.Runtime)
+			if st.Plan != nil {
+				fmt.Fprintf(out, "plan: %s (+%d/-%d atoms, %d patched, %d dropped, %v)\n",
+					st.Plan.Mode, st.Plan.InsertedAtoms, st.Plan.RemovedAtoms,
+					st.Plan.PatchedComponents, st.Plan.DroppedComponents, st.Plan.Sync)
+			}
 			if st.Components != nil {
 				fmt.Fprintf(out, "components: %d (%d solved, %d reused from cache)\n",
 					st.Components.Count, st.Components.Solved, st.Components.Reused)

@@ -38,6 +38,7 @@ func canonResolution(r *tecore.Resolution, confDigits int) string {
 	st.Repair = nil
 	st.Outcome = nil
 	st.Ground = nil
+	st.Plan = nil
 	fmt.Fprintf(&b, "stats: %+v\n", st)
 	section := func(label string, fs []tecore.Fact) {
 		lines := make([]string, 0, len(fs))

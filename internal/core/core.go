@@ -149,6 +149,14 @@ type SolveOptions struct {
 	// identical either way; the knob exists to benchmark and
 	// differential-test the compiled path against the one it replaced.
 	LegacyGrounding bool
+	// RebuildPlan forces the component solve plan (canonical order +
+	// component partition) to be rebuilt from scratch for this solve
+	// instead of delta-maintained on the session engine. The maintained
+	// plan is byte-identical to the rebuilt one; the knob exists to
+	// benchmark and differential-test the incremental plan maintenance
+	// against the full rebuild it replaced (like LegacyGrounding for the
+	// grounder).
+	RebuildPlan bool
 	// AssembledOutcome forces the component read-out to rebuild the
 	// Outcome from scratch (the sort/merge assembly of every
 	// component's unit) instead of delta-patching the session's live
@@ -159,6 +167,17 @@ type SolveOptions struct {
 	// resets the live outcome, so the next live solve re-patches from
 	// scratch.
 	AssembledOutcome bool
+	// DeltaOnly skips materializing the Outcome's global fact and
+	// cluster lists on the live read-out path: the Resolution carries
+	// exact counts, violation totals and the Delta changelog, but nil
+	// Kept/Removed/Inferred/Clusters. The pending list splices stay on
+	// the session's live outcome and the next materializing solve
+	// flushes them, so alternating DeltaOnly and full solves stays
+	// byte-identical to running them all full. For update-heavy serving
+	// that consumes only Delta, this removes the O(n) list copy from
+	// every solve. Ignored off the live outcome path (whole-graph
+	// repair, AssembledOutcome).
+	DeltaOnly bool
 	// Advanced exposes full backend tuning.
 	Advanced translate.Options
 }

@@ -77,6 +77,13 @@ type solveEngine struct {
 	compRepair *repair.ComponentCache
 	repairKey  string
 
+	// planner maintains the component solve plan (canonical order +
+	// partition) across solves, patching it from the grounder's atom
+	// journal and the union-find's change log instead of rebuilding it
+	// per solve. Solves with SolveOptions.RebuildPlan bypass it; the
+	// deltas they leave behind are drained by the next maintained sync.
+	planner *engine.Planner
+
 	// liveOutcome is the session's delta-maintained Outcome: component
 	// solves patch only the components the delta dirtied instead of
 	// re-assembling the full fact and cluster lists. It shares
@@ -215,10 +222,28 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 	// One shared decomposition per component-decomposed solve: the
 	// solver stage and the repair read-out both consume it, so every
 	// stage sees the identical partition (and the partition cost is paid
-	// once).
+	// once). The plan is delta-maintained on the engine — the sync cost
+	// is proportional to the delta and the components it dirtied —
+	// unless RebuildPlan demands the from-scratch baseline.
 	var plan *engine.Plan
+	var planStats *engine.PlanStats
 	if componentSolve {
-		plan = engine.NewPlan(eng.g.Atoms(), eng.cs)
+		if opts.RebuildPlan || !eng.cs.HasAtomIndex() {
+			planStart := time.Now()
+			plan = engine.NewPlan(eng.g.Atoms(), eng.cs)
+			planStats = &engine.PlanStats{
+				Mode:       "rebuilt",
+				Atoms:      len(plan.Order),
+				Components: len(plan.Comps),
+				Sync:       time.Since(planStart),
+			}
+		} else {
+			if eng.planner == nil {
+				eng.planner = engine.NewPlanner()
+			}
+			p, ps := eng.planner.Sync(eng.g.Atoms(), eng.cs)
+			plan, planStats = p, &ps
+		}
 	}
 
 	out := &translate.Output{Solver: solver, Grounder: eng.g, Clauses: eng.cs}
@@ -276,9 +301,10 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 	eng.warmTruth = out.Truth
 	eng.warmPSL = nextPSL
 
-	ropts := repair.Options{Threshold: opts.Threshold, Parallelism: topts.Parallelism}
+	ropts := repair.Options{Threshold: opts.Threshold, Parallelism: topts.Parallelism, DeltaOnly: opts.DeltaOnly}
 	var oc *repair.Outcome
 	var delta *repair.OutcomeDelta
+	var run *repair.ComponentRun
 	err := withStage("repair", func() error {
 		var err error
 		if componentSolve {
@@ -305,12 +331,12 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 				// so the next live solve rebuilds instead of patching state
 				// the caches moved past.
 				eng.liveOutcome = nil
-				oc, err = repair.ResolveComponents(out, s.prog, ropts, plan, eng.compRepair)
+				run, err = repair.BeginComponents(out, s.prog, ropts, plan, eng.compRepair, nil)
 			} else {
 				if eng.liveOutcome == nil {
 					eng.liveOutcome = repair.NewLiveOutcome()
 				}
-				oc, delta, err = repair.ResolveComponentsLive(out, s.prog, ropts, plan, eng.compRepair, eng.liveOutcome)
+				run, err = repair.BeginComponents(out, s.prog, ropts, plan, eng.compRepair, eng.liveOutcome)
 			}
 		} else {
 			oc, err = repair.Resolve(out, s.prog, ropts)
@@ -320,6 +346,20 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 	if err != nil {
 		return nil, err
 	}
+	if run != nil {
+		// The outcome read-out (live sync or sort/merge assembly) is its
+		// own pipeline stage, profiled apart from the per-component
+		// repair analysis.
+		err := withStage("outcome", func() error {
+			var err error
+			oc, delta, err = run.Finish()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	oc.Stats.Plan = planStats
 	attachGroundStats(oc, eng.g)
 	return &Resolution{Outcome: oc, Output: out, Incremental: incremental, Delta: delta}, nil
 }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/temporal"
+	"repro/internal/translate"
+)
+
+// Allocation regression gate for the maintained solve plan, joining the
+// store gates from the scale work. The planner's whole point is that a
+// steady-state single-fact update patches the canonical order and the
+// component partition in place: the order, varOf and local maps, the
+// scratch buffers for splicing, and the component list are all owned by
+// the planner and reused across syncs. A change that reintroduces
+// per-sync rebuilds (the old CanonicalAtoms/CanonicalVarMap/Components
+// triple, or fresh splice scratch) fails here long before it shows up
+// on the update-latency bench.
+func TestPlannerSyncAllocsSingleFact(t *testing.T) {
+	s := NewSession()
+	for _, q := range equivPool(40, 3) {
+		if err := s.AddFact(q); err != nil {
+			t.Fatalf("AddFact: %v", err)
+		}
+	}
+	if err := s.LoadProgramText(equivProgram); err != nil {
+		t.Fatalf("LoadProgramText: %v", err)
+	}
+	opts := SolveOptions{Solver: translate.SolverMLN, ComponentSolve: true, Parallelism: 1}
+	if _, err := s.Solve(opts); err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	eng := s.engine
+	if eng == nil || eng.planner == nil {
+		t.Fatal("cold solve did not leave a maintained planner behind")
+	}
+
+	topts := translate.Options{Parallelism: 1}
+	topts.MLN.ComponentSolve = true
+	probe := rdf.NewQuad("P1", "coach", "Club_probe", temporal.MustNew(2000, 2002), 0.5)
+
+	// One steady-state single-fact update up to (and including) the plan
+	// sync: toggle the probe, reconcile the grounder, patch the plan. The
+	// solver/repair stages are not part of the gated path.
+	toggle := false
+	var planMallocs, planSyncs uint64
+	var ms0, ms1 runtime.MemStats
+	step := func() {
+		toggle = !toggle
+		if toggle {
+			if err := s.AddFact(probe); err != nil {
+				t.Fatalf("AddFact: %v", err)
+			}
+		} else if !s.RemoveFact(probe) {
+			t.Fatal("RemoveFact: probe was not live")
+		}
+		d := s.st.DeltaSince(eng.epoch)
+		if err := s.syncEngine(eng, topts, d); err != nil {
+			t.Fatalf("syncEngine: %v", err)
+		}
+		runtime.ReadMemStats(&ms0)
+		_, ps := eng.planner.Sync(eng.g.Atoms(), eng.cs)
+		runtime.ReadMemStats(&ms1)
+		planMallocs += ms1.Mallocs - ms0.Mallocs
+		planSyncs++
+		if ps.Mode != "maintained" {
+			t.Fatalf("steady-state sync fell back to mode %q", ps.Mode)
+		}
+	}
+	// Warm both toggle directions so every scratch buffer and the probe's
+	// atom/var slots reach steady-state capacity before measuring.
+	for i := 0; i < 6; i++ {
+		step()
+	}
+
+	planMallocs, planSyncs = 0, 0
+	avg := testing.AllocsPerRun(100, step)
+	// ReadMemStats pairs don't allocate between themselves, so planMallocs
+	// is the planner's own count. The budget tolerates the per-sync
+	// constants — one fresh membership slice per dirtied component — but
+	// not a rebuilt order/varOf/partition (3 big slices + one slice per
+	// component) or fresh splice scratch (~10 buffers).
+	avgPlan := float64(planMallocs) / float64(planSyncs)
+	t.Logf("plan sync: %.2f allocs; full pre-solve update path: %.1f allocs", avgPlan, avg)
+	if avgPlan > 4 {
+		t.Errorf("planner.Sync allocates %.2f objects per single-fact sync in steady state, want <= 4", avgPlan)
+	}
+	// The full pre-solve update path (store toggle + delta read-out +
+	// retract/rederive/reground + plan sync) is gated loosely: it guards
+	// against a per-update pass over the whole network sneaking back in
+	// anywhere before the solver stage.
+	if avg > 300 {
+		t.Errorf("single-fact update path allocates %.1f objects/run, want <= 300", avg)
+	}
+}

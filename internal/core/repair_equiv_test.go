@@ -100,6 +100,7 @@ func testComponentRepairByteIdentical(t *testing.T, solver translate.Solver, thr
 		a.Stats.Repair, b.Stats.Repair = nil, nil // stage stats differ by design
 		a.Stats.Outcome, b.Stats.Outcome = nil, nil
 		a.Stats.Ground, b.Stats.Ground = nil, nil
+		a.Stats.Plan, b.Stats.Plan = nil, nil
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("step %d: component repair diverged from whole-graph repair\ncomponent: %+v\nwhole:     %+v",
 				step, a.Stats, b.Stats)
@@ -162,6 +163,7 @@ func TestComponentRepairUnconvergedPSL(t *testing.T) {
 		a.Stats.Repair, b.Stats.Repair = nil, nil
 		a.Stats.Outcome, b.Stats.Outcome = nil, nil
 		a.Stats.Ground, b.Stats.Ground = nil, nil
+		a.Stats.Plan, b.Stats.Plan = nil, nil
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("step %d: repair replayed units computed from stale ADMM iterates", step)
 		}

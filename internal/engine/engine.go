@@ -50,6 +50,23 @@ type Plan struct {
 	// gathering instead.
 	gathered [][]ground.Clause
 	slots    [][]int32
+
+	// localOfAtom is the Planner's atom-indexed local map — unlike
+	// localOfVar it does not shift when the canonical order is spliced,
+	// so the planner patches only touched components' entries. When set
+	// it drives Local.
+	localOfAtom []int32
+	// maintained marks a plan delta-patched by a Planner sync (as
+	// opposed to built from scratch); retired then lists the component
+	// keys that sync removed from the partition, so consumers can drop
+	// exactly those cache entries instead of rebuilding their caches.
+	maintained bool
+	retired    []ground.AtomID
+	// gen is the planner's sync generation; dirty and dead describe the
+	// last sync's change set (see Gen, DirtyComps, RetractedAtoms).
+	gen   uint64
+	dirty []int32
+	dead  []ground.AtomID
 }
 
 // NewPlan partitions the clause set's ground network into conflict
@@ -87,7 +104,47 @@ func NewPlan(atoms *ground.AtomTable, cs *ground.ClauseSet) *Plan {
 }
 
 // Local maps a global atom id to its component-local variable.
-func (p *Plan) Local(a ground.AtomID) int32 { return p.localOfVar[p.VarOf[a]] }
+func (p *Plan) Local(a ground.AtomID) int32 {
+	if p.localOfAtom != nil {
+		return p.localOfAtom[a]
+	}
+	return p.localOfVar[p.VarOf[a]]
+}
+
+// Maintained reports whether this plan was delta-patched by a Planner
+// sync; Retired then lists the component keys that sync removed from
+// the partition. Consumers use the pair to maintain their caches
+// entry-wise (Put the dirty, Drop the retired) instead of rebuilding
+// them with Replace.
+func (p *Plan) Maintained() bool { return p.maintained }
+
+// Retired returns the component keys the last Planner sync removed
+// from the partition. Only meaningful when Maintained reports true.
+func (p *Plan) Retired() []ground.AtomID { return p.retired }
+
+// Gen returns the plan's sync generation: bumped on every Planner.Sync
+// — including empty-delta and rebuild syncs — and 0 for a from-scratch
+// NewPlan. A consumer holding state derived from generation g may apply
+// only this sync's change set (DirtyComps, Retired, RetractedAtoms) iff
+// the plan is maintained and Gen() == g+1; any gap means intervening
+// syncs whose change sets were never observed, and the state must be
+// reseeded from a full pass.
+func (p *Plan) Gen() uint64 { return p.gen }
+
+// DirtyComps returns the indexes into Comps (ascending) of every
+// component the last Planner sync re-listed or generation-bumped.
+// Together with Retired and RetractedAtoms this is a superset of every
+// change since the previous generation: a component absent from all
+// three has the same key, generation, membership, atom truth domain and
+// clause subproblem it had under the previous plan. Only meaningful
+// when Maintained reports true.
+func (p *Plan) DirtyComps() []int32 { return p.dirty }
+
+// RetractedAtoms returns the atoms the last Planner sync removed from
+// the canonical order without reinserting them — their truth is pinned
+// false from this generation on. Only meaningful when Maintained
+// reports true.
+func (p *Plan) RetractedAtoms() []ground.AtomID { return p.dead }
 
 // Clauses returns component i's live clauses in canonical order,
 // remapped into the component's dense local variable space, plus their
@@ -172,6 +229,12 @@ func (c *Cache[V]) Lookup(comp *ground.Component) (V, bool) {
 	e, ok := c.entries[comp.Key]
 	if !ok || e.gen != comp.Gen || len(e.atoms) != len(comp.Atoms) {
 		return zero, false
+	}
+	// The planner reuses a component's Atoms slice across syncs when its
+	// membership is unchanged, so slice identity proves membership
+	// without walking it.
+	if len(e.atoms) > 0 && &e.atoms[0] == &comp.Atoms[0] {
+		return e.value, true
 	}
 	for i, a := range comp.Atoms {
 		if e.atoms[i] != a {

@@ -106,6 +106,17 @@ type AtomTable struct {
 	flags []uint8
 	confs []float64
 	fids  []store.FactID
+
+	// Mutation journal for the maintained solve plan: when enabled,
+	// every write that can change an atom's canonical position or
+	// subproblem (intern, evidence rebind, retraction, revival) records
+	// the atom id, deduplicated per drain window by a generation stamp.
+	// The planner drains it at each sync, so per-update planning walks
+	// the touched atoms instead of the table.
+	journalOn bool
+	jgen      uint32
+	jmark     []uint32
+	jatoms    []AtomID
 }
 
 // AtomInfo describes one ground atom.
@@ -169,6 +180,7 @@ func (t *AtomTable) Intern(key rdf.FactKey) AtomID {
 	t.flags = append(t.flags, 0)
 	t.confs = append(t.confs, 0)
 	t.fids = append(t.fids, -1)
+	t.note(id)
 	return id
 }
 
@@ -181,8 +193,10 @@ func (t *AtomTable) InternEvidence(key rdf.FactKey, conf float64, fid store.Fact
 		t.flags[id] |= atomEvidence
 		t.confs[id] = conf
 		t.fids[id] = fid
+		t.note(id)
 	} else if conf > t.confs[id] {
 		t.confs[id] = conf
+		t.note(id)
 	}
 	return id
 }
@@ -193,6 +207,7 @@ func (t *AtomTable) Retract(id AtomID) {
 	t.flags[id] = atomRetracted
 	t.confs[id] = 0
 	t.fids[id] = -1
+	t.note(id)
 }
 
 // SetEvidence (re)binds the atom to a live input fact, reviving it if
@@ -203,6 +218,7 @@ func (t *AtomTable) SetEvidence(id AtomID, conf float64, fid store.FactID) {
 	t.flags[id] = atomEvidence
 	t.confs[id] = conf
 	t.fids[id] = fid
+	t.note(id)
 }
 
 // SetDerived demotes the atom to a plain derived atom (no evidence
@@ -213,6 +229,7 @@ func (t *AtomTable) SetDerived(id AtomID) {
 	t.flags[id] = 0
 	t.confs[id] = 0
 	t.fids[id] = -1
+	t.note(id)
 }
 
 // Lookup returns the id of a statement without interning. Safe for
@@ -254,6 +271,107 @@ func (t *AtomTable) Info(id AtomID) AtomInfo {
 
 // Len returns the number of interned atoms. Safe for concurrent readers.
 func (t *AtomTable) Len() int { return len(t.keys) }
+
+// IsEvidence reports whether the atom is backed by an input fact,
+// without materialising the statement key. Safe for concurrent readers.
+func (t *AtomTable) IsEvidence(id AtomID) bool { return t.flags[id]&atomEvidence != 0 }
+
+// IsRetracted reports whether the atom is retracted, without
+// materialising the statement key. Safe for concurrent readers.
+func (t *AtomTable) IsRetracted(id AtomID) bool { return t.flags[id]&atomRetracted != 0 }
+
+// Confidence returns the backing fact's confidence (0 for derived
+// atoms), without materialising the statement key. Safe for concurrent
+// readers.
+func (t *AtomTable) Confidence(id AtomID) float64 { return t.confs[id] }
+
+// BackingFact returns the backing fact id (-1 for derived atoms),
+// without materialising the statement key. Safe for concurrent readers.
+func (t *AtomTable) BackingFact(id AtomID) store.FactID { return t.fids[id] }
+
+// CompareKeys orders two atoms by their statement keys, exactly as
+// rdf.FactKey.Compare orders the keys Info would materialise — the
+// derived-segment comparator of the canonical solve order, without the
+// per-call FactKey construction. Safe for concurrent readers.
+func (t *AtomTable) CompareKeys(a, b AtomID) int {
+	ka, kb := &t.keys[a], &t.keys[b]
+	if ka.s != kb.s {
+		if c := t.dict.Decode(ka.s).Compare(t.dict.Decode(kb.s)); c != 0 {
+			return c
+		}
+	}
+	if ka.p != kb.p {
+		if c := t.dict.Decode(ka.p).Compare(t.dict.Decode(kb.p)); c != 0 {
+			return c
+		}
+	}
+	if ka.o != kb.o {
+		if c := t.dict.Decode(ka.o).Compare(t.dict.Decode(kb.o)); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case ka.iv.Start != kb.iv.Start:
+		if ka.iv.Start < kb.iv.Start {
+			return -1
+		}
+		return 1
+	case ka.iv.End != kb.iv.End:
+		if ka.iv.End < kb.iv.End {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// EnableJournal switches on the mutation journal. Atoms interned or
+// mutated from this point on are reported by DrainJournal; state
+// present before enablement is not (the planner's first build scans the
+// table instead).
+func (t *AtomTable) EnableJournal() {
+	if t.journalOn {
+		return
+	}
+	t.journalOn = true
+	t.jgen = 1
+	t.jmark = make([]uint32, len(t.keys))
+}
+
+// DrainJournal invokes fn for every atom touched since the previous
+// drain (each once, in touch order) and resets the journal window.
+// Write-side: see the type comment.
+func (t *AtomTable) DrainJournal(fn func(AtomID)) {
+	for _, a := range t.jatoms {
+		fn(a)
+	}
+	t.jatoms = t.jatoms[:0]
+	t.jgen++
+	if t.jgen == 0 { // stamp wrap: stale marks would alias the new window
+		for i := range t.jmark {
+			t.jmark[i] = 0
+		}
+		t.jgen = 1
+	}
+}
+
+// JournalLen reports the number of atoms touched since the last drain.
+func (t *AtomTable) JournalLen() int { return len(t.jatoms) }
+
+// note records a state change of atom id in the journal.
+func (t *AtomTable) note(id AtomID) {
+	if !t.journalOn {
+		return
+	}
+	for len(t.jmark) <= int(id) {
+		t.jmark = append(t.jmark, 0)
+	}
+	if t.jmark[id] == t.jgen {
+		return
+	}
+	t.jmark[id] = t.jgen
+	t.jatoms = append(t.jatoms, id)
+}
 
 // EvidenceAtoms returns the ids of all evidence atoms.
 func (t *AtomTable) EvidenceAtoms() []AtomID {

@@ -1,6 +1,9 @@
 package ground
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Conflict components.
 //
@@ -115,10 +118,31 @@ type componentIndex struct {
 	// Components call and may therefore have split.
 	dirty   map[AtomID]bool
 	nextGen uint32
+
+	// changed, when tracking is on, accumulates every root whose
+	// component was touched since the last drain — generation bumps,
+	// merged-away roots, resplit pieces. The maintained solve plan
+	// drains it to re-list only the components that moved.
+	tracking bool
+	changed  map[AtomID]bool
+
+	// resplit scratch, reused across calls so the steady-state
+	// single-fact plan path stays allocation-free.
+	rsAtoms  []AtomID
+	rsSorted []AtomID
+	rsLocal  map[AtomID]AtomID
+	rsSeen   map[AtomID]bool
 }
 
 func newComponentIndex() *componentIndex {
 	return &componentIndex{dirty: make(map[AtomID]bool)}
+}
+
+// note records a changed root for the maintained plan's drain.
+func (ci *componentIndex) note(root AtomID) {
+	if ci.tracking {
+		ci.changed[root] = true
+	}
 }
 
 // ensure grows the index to cover atom a.
@@ -145,6 +169,7 @@ func (ci *componentIndex) find(a AtomID) AtomID {
 func (ci *componentIndex) bump(root AtomID) {
 	ci.nextGen++
 	ci.gen[root] = ci.nextGen
+	ci.note(root)
 }
 
 // noteClause records that the literal atoms now co-occur in a live
@@ -169,6 +194,9 @@ func (ci *componentIndex) noteClause(lits []Lit) {
 			ci.dirty[root] = true
 			delete(ci.dirty, r)
 		}
+		// The losing root's component is absorbed; log it so the
+		// maintained plan retires (or re-lists) what it keyed.
+		ci.note(r)
 		ci.parent[r] = root
 	}
 	ci.bump(root)
@@ -221,6 +249,68 @@ func (cs *ClauseSet) TouchAtom(a AtomID) {
 		cs.comps.touch(a)
 	}
 }
+
+// EnableChangeLog switches on changed-root tracking for the maintained
+// solve plan: from now on every component mutation (merge, removal,
+// touch, resplit) records the affected roots, and DrainChangedRoots
+// hands them to the planner. Requires EnableComponentIndex.
+func (cs *ClauseSet) EnableChangeLog() {
+	if cs.comps == nil || cs.comps.tracking {
+		return
+	}
+	cs.comps.tracking = true
+	cs.comps.changed = make(map[AtomID]bool)
+}
+
+// DrainChangedRoots invokes fn for every root logged since the last
+// drain (in no particular order — callers re-sort by canonical
+// position) and clears the log. Returns the number of roots drained.
+func (cs *ClauseSet) DrainChangedRoots(fn func(AtomID)) int {
+	ci := cs.comps
+	if ci == nil || !ci.tracking {
+		return 0
+	}
+	n := len(ci.changed)
+	for r := range ci.changed {
+		fn(r)
+		delete(ci.changed, r)
+	}
+	return n
+}
+
+// ResolveSplits resolves pending component splits against the given
+// candidate atoms — which must include every live atom of every dirty
+// component (the maintained planner's candidate set, or the full
+// canonical order). The resulting union-find state, generations and
+// change log are identical to what a full Components call would leave.
+// A no-op when nothing is dirty.
+func (cs *ClauseSet) ResolveSplits(candidates []AtomID) {
+	ci := cs.comps
+	if ci == nil || len(ci.dirty) == 0 {
+		return
+	}
+	cs.resplit(ci, candidates)
+}
+
+// HasPendingSplits reports whether component removals since the last
+// resolve left roots awaiting lazy re-derivation.
+func (cs *ClauseSet) HasPendingSplits() bool {
+	return cs.comps != nil && len(cs.comps.dirty) > 0
+}
+
+// Find returns the current component root of atom a (atoms in no clause
+// are their own root). Requires EnableComponentIndex; pending splits
+// must be resolved first for the answer to be final.
+func (cs *ClauseSet) Find(a AtomID) AtomID { return cs.comps.find(a) }
+
+// RootGen returns the generation of the component rooted at root.
+func (cs *ClauseSet) RootGen(root AtomID) uint64 {
+	cs.comps.ensure(root)
+	return uint64(cs.comps.gen[root])
+}
+
+// HasComponentIndex reports whether EnableComponentIndex was called.
+func (cs *ClauseSet) HasComponentIndex() bool { return cs.comps != nil }
 
 // Components partitions the given live atoms (in canonical solve order)
 // into conflict components: atoms are connected when they co-occur in a
@@ -370,11 +460,15 @@ func (cs *ClauseSet) ForEachSlots(slots []int32, fn func(slot int32, c *Clause) 
 
 // resplit re-derives the dirty components: their live atoms are
 // re-grouped through the atom→clause index, detached pieces become new
-// components with fresh generations. Runs in time proportional to the
-// dirty components' atoms and clauses, not the whole network.
-func (cs *ClauseSet) resplit(ci *componentIndex, order []AtomID) {
-	var atoms []AtomID
-	for _, a := range order {
+// components with fresh generations. live must contain every live atom
+// of every dirty component (the full canonical order always qualifies;
+// the maintained plan passes the far smaller candidate set it tracked).
+// Runs in time proportional to the candidates and their clauses, not
+// the whole network, and reuses the index's scratch buffers so the
+// steady-state single-fact path allocates nothing.
+func (cs *ClauseSet) resplit(ci *componentIndex, live []AtomID) {
+	atoms := ci.rsAtoms[:0]
+	for _, a := range live {
 		if ci.dirty[ci.find(a)] {
 			atoms = append(atoms, a)
 		}
@@ -382,17 +476,25 @@ func (cs *ClauseSet) resplit(ci *componentIndex, order []AtomID) {
 	// Local union-find over the dirty atoms only, rebuilt from the live
 	// clauses that mention them (every clause of a dirty component only
 	// mentions atoms of that component, so the local view is complete).
-	local := make(map[AtomID]AtomID, len(atoms))
+	if ci.rsLocal == nil {
+		ci.rsLocal = make(map[AtomID]AtomID, len(atoms))
+	} else {
+		for k := range ci.rsLocal {
+			delete(ci.rsLocal, k)
+		}
+	}
+	local := ci.rsLocal
 	for _, a := range atoms {
 		local[a] = a
 	}
-	var lfind func(a AtomID) AtomID
-	lfind = func(a AtomID) AtomID {
-		if local[a] == a {
-			return a
+	lfind := func(a AtomID) AtomID {
+		r := a
+		for local[r] != r {
+			r = local[r]
 		}
-		r := lfind(local[a])
-		local[a] = r
+		for local[a] != r {
+			local[a], a = r, local[a]
+		}
 		return r
 	}
 	for _, a := range atoms {
@@ -420,17 +522,27 @@ func (cs *ClauseSet) resplit(ci *componentIndex, order []AtomID) {
 	// Re-point the global structure at the new roots and assign fresh
 	// generations, one per piece, in ascending atom order so the values
 	// are deterministic.
-	sorted := append([]AtomID(nil), atoms...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	seen := make(map[AtomID]bool)
+	sorted := append(ci.rsSorted[:0], atoms...)
+	slices.Sort(sorted)
+	ci.rsSorted = sorted
+	ci.rsAtoms = atoms
+	if ci.rsSeen == nil {
+		ci.rsSeen = make(map[AtomID]bool)
+	} else {
+		for k := range ci.rsSeen {
+			delete(ci.rsSeen, k)
+		}
+	}
 	for _, a := range sorted {
 		r := lfind(a)
 		ci.parent[a] = r
-		if !seen[r] {
-			seen[r] = true
+		if !ci.rsSeen[r] {
+			ci.rsSeen[r] = true
 			ci.parent[r] = r
 			ci.bump(r)
 		}
 	}
-	ci.dirty = make(map[AtomID]bool)
+	for k := range ci.dirty {
+		delete(ci.dirty, k)
+	}
 }

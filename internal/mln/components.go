@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ground"
 	"repro/internal/maxsat"
+	"repro/internal/par"
 )
 
 // Component-decomposed MAP inference.
@@ -29,18 +30,52 @@ import (
 //     the monolithic path (solveGround) restricted to the component, so
 //     when both sides solve exactly — where the optimum is unique — the
 //     component-decomposed MAP state is identical to the monolithic one.
+//
+// The solve-level read-out (violated soft weight, hard feasibility,
+// per-rule violation counts, component-size statistics) is likewise a
+// sum of per-component contributions, so the cache carries each
+// component's contribution alongside its assignment and maintains the
+// running totals — a delta solve over a maintained plan touches only
+// the components the planner dirtied instead of re-folding every atom
+// and clause.
 
 // ComponentCache carries per-component MAP solutions across the
-// incremental engine's solves. Construct with NewComponentCache. Not
-// safe for concurrent use.
-type ComponentCache = engine.Cache[compEntry]
+// incremental engine's solves, plus the running solve-level aggregate
+// of their read-out contributions (see stateAgg). Construct with
+// NewComponentCache. Not safe for concurrent use.
+type ComponentCache struct {
+	comps *engine.Cache[compEntry]
+	agg   stateAgg
+}
 
 // NewComponentCache returns an empty cache.
-func NewComponentCache() *ComponentCache { return engine.NewCache[compEntry]() }
+func NewComponentCache() *ComponentCache {
+	return &ComponentCache{comps: engine.NewCache[compEntry]()}
+}
+
+// store returns the underlying per-component solution cache; nil-safe.
+func (c *ComponentCache) store() *engine.Cache[compEntry] {
+	if c == nil {
+		return nil
+	}
+	return c.comps
+}
+
+// compEval is one component's contribution to the solve-level read-out:
+// its violated soft weight, hard feasibility and violation counts (viol
+// is nil when the component violates nothing), folded with the same
+// per-term arithmetic the monolithic evaluation uses — priors in the
+// component's canonical atom order, clauses in stable slot order.
+type compEval struct {
+	cost   float64
+	hardOK bool
+	viol   map[string]int
+}
 
 type compEntry struct {
 	truth   []bool // aligned with the component's atoms
 	optimal bool
+	eval    compEval
 }
 
 // compResult is one component's outcome in a solve.
@@ -49,6 +84,104 @@ type compResult struct {
 	engine   string
 	optimal  bool
 	fallback bool
+	eval     compEval
+}
+
+// stateAgg is the running sum of every cached component's read-out
+// contribution, valid when it covers exactly the cache's entries for
+// the plan generation gen. Integer fields (hard violations, optimality,
+// violation counts, the size multiset) are maintained exactly; cost is
+// maintained by subtract-and-add and may drift from a fresh fold in the
+// last floating-point bits — the cost is never compared bitwise across
+// solve paths, and every full solve reseeds it from scratch.
+type stateAgg struct {
+	valid      bool
+	gen        uint64
+	cost       float64
+	hardBad    int
+	nonOptimal int
+	viol       map[string]int
+	sizeCount  map[int]int
+	largest    int
+	count      int
+}
+
+func (g *stateAgg) add(truth []bool, optimal bool, ev *compEval) {
+	g.cost += ev.cost
+	if !ev.hardOK {
+		g.hardBad++
+	}
+	if !optimal {
+		g.nonOptimal++
+	}
+	for r, c := range ev.viol {
+		g.viol[r] += c
+	}
+	size := len(truth)
+	g.sizeCount[size]++
+	if size > g.largest {
+		g.largest = size
+	}
+	g.count++
+}
+
+func (g *stateAgg) remove(e *compEntry) {
+	g.cost -= e.eval.cost
+	if !e.eval.hardOK {
+		g.hardBad--
+	}
+	if !e.optimal {
+		g.nonOptimal--
+	}
+	for r, c := range e.eval.viol {
+		if g.viol[r] -= c; g.viol[r] == 0 {
+			delete(g.viol, r)
+		}
+	}
+	size := len(e.truth)
+	if g.sizeCount[size]--; g.sizeCount[size] == 0 {
+		delete(g.sizeCount, size)
+		for g.largest > 0 && g.sizeCount[g.largest] == 0 {
+			g.largest--
+		}
+	}
+	g.count--
+}
+
+// reseed rebuilds the aggregate from this solve's per-component results
+// (in component order) and marks it valid for plan generation gen.
+func (g *stateAgg) reseed(results []compResult, gen uint64) {
+	*g = stateAgg{
+		valid: true,
+		gen:   gen,
+		viol:  make(map[string]int),
+		// Sizes cluster on few distinct values; the multiset stays tiny.
+		sizeCount: make(map[int]int),
+	}
+	for i := range results {
+		g.add(results[i].truth, results[i].optimal, &results[i].eval)
+	}
+}
+
+// histogram converts the exact size multiset into the bucketed
+// ComponentStats form.
+func (g *stateAgg) histogram() map[string]int {
+	if g.count == 0 {
+		return nil
+	}
+	h := make(map[string]int, len(g.sizeCount))
+	for size, c := range g.sizeCount {
+		h[ground.SizeBucket(size)] += c
+	}
+	return h
+}
+
+// deltaReady reports whether the cache can drive a dirty-only solve
+// over plan: the aggregate (and therefore the entry set it covers) is
+// exactly one sync behind, so this sync's change set (DirtyComps,
+// Retired, RetractedAtoms) is the complete difference.
+func (c *ComponentCache) deltaReady(plan *engine.Plan) bool {
+	return c != nil && plan.Maintained() && c.agg.valid && c.agg.gen+1 == plan.Gen()
 }
 
 // MAPGroundComponents computes the MAP state over an already-closed
@@ -69,7 +202,9 @@ func MAPGroundComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options,
 		return nil, err
 	}
 	res.Runtime = time.Since(start)
-	res.RuleViolations = violationsFromClauses(cs, res.Truth)
+	if res.RuleViolations == nil {
+		res.RuleViolations = violationsFromClauses(cs, res.Truth)
+	}
 	return res, nil
 }
 
@@ -78,17 +213,22 @@ func MAPGroundComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options,
 // deterministic component order. The MAP state is identical to the
 // monolithic path's whenever both solve exactly; the reported cost can
 // differ from the monolithic number only in floating-point summation
-// order (clauses are folded in stable slot order rather than the
-// monolithic problem order).
+// order (contributions are folded per component rather than in the
+// monolithic problem order). When the plan is maintained and the cache
+// aggregate is current, the dirty-only path handles just the components
+// the planner re-listed.
 func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, warm []bool, cache *ComponentCache, plan *engine.Plan) (*Result, error) {
 	atoms := g.Atoms()
 	if plan == nil {
 		plan = engine.NewPlan(atoms, cs)
 	}
+	if warm != nil && cache.deltaReady(plan) {
+		return solveComponentsDelta(atoms, cs, opts, warm, cache, plan)
+	}
 
-	results, cached, err := engine.Run(plan, opts.Parallelism, cache,
+	results, cached, err := engine.Run(plan, opts.Parallelism, cache.store(),
 		func(i int, e compEntry) (compResult, bool) {
-			return compResult{truth: e.truth, engine: "cached", optimal: e.optimal}, true
+			return compResult{truth: e.truth, engine: "cached", optimal: e.optimal, eval: e.eval}, true
 		},
 		func(i int) (compResult, error) {
 			clauses, _ := plan.Clauses(i)
@@ -101,36 +241,172 @@ func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, war
 	// Deterministic merge in component order + statistics.
 	truth := make([]bool, atoms.Len())
 	stats := &ground.ComponentStats{}
-	optimal := true
 	for i := range plan.Comps {
 		r := &results[i]
 		for li, a := range plan.Comps[i].Atoms {
 			truth[a] = r.truth[li]
 		}
 		plan.Observe(stats, i, cached[i], r.engine, r.fallback)
-		optimal = optimal && r.optimal
 	}
-	cache.Replace(plan.Comps, func(i int) compEntry {
-		return compEntry{truth: results[i].truth, optimal: results[i].optimal}
-	})
+	// A maintained plan names the retired component keys, so the cache
+	// churns one entry per dirty component instead of rebuilding.
+	if store := cache.store(); store != nil {
+		if plan.Maintained() {
+			for _, key := range plan.Retired() {
+				store.Drop(key)
+			}
+			for i := range plan.Comps {
+				if !cached[i] {
+					store.Put(&plan.Comps[i], compEntry{truth: results[i].truth, optimal: results[i].optimal, eval: results[i].eval})
+				}
+			}
+		} else {
+			store.Replace(plan.Comps, func(i int) compEntry {
+				return compEntry{truth: results[i].truth, optimal: results[i].optimal, eval: results[i].eval}
+			})
+		}
+		// The full fold anchors the aggregate; subsequent consecutive
+		// syncs maintain it dirty-only.
+		cache.agg.reseed(results, plan.Gen())
+	}
 
-	cost, hardOK := evaluateState(atoms, plan.Order, cs, truth, opts)
+	agg := &cache.agg
+	if cache.store() == nil {
+		// No cache to carry the aggregate: fold the totals locally.
+		var local stateAgg
+		local.reseed(results, plan.Gen())
+		agg = &local
+	}
+	return resultFromAgg(agg, cs, stats, truth), nil
+}
+
+// solveComponentsDelta is the dirty-only counterpart of the full merge.
+// With the plan maintained and the cache aggregate exactly one sync
+// behind, the planner's change set bounds everything that can differ
+// from the previous solve: components outside DirtyComps have the same
+// generation, membership and clause subproblem, so their cached truth
+// and read-out contribution are reused without being re-verified (the
+// full solves anchoring the aggregate prove the base case; consecutive
+// generations chain it). The previous MAP state is carried forward,
+// retracted atoms are pinned false, and only dirty components are
+// re-solved and merged.
+func solveComponentsDelta(atoms *ground.AtomTable, cs *ground.ClauseSet, opts Options, warm []bool, cache *ComponentCache, plan *engine.Plan) (*Result, error) {
+	dirty := plan.DirtyComps()
+	store := cache.comps
+	agg := &cache.agg
+
+	// Forward the previous MAP state into this solve's truth domain.
+	truth := make([]bool, atoms.Len())
+	copy(truth, warm)
+	for _, a := range plan.RetractedAtoms() {
+		if int(a) < len(truth) {
+			truth[a] = false
+		}
+	}
+
+	// Retired components: subtract their contributions and drop them.
+	for _, key := range plan.Retired() {
+		if e, ok := store.Peek(key); ok {
+			agg.remove(&e)
+		}
+		store.Drop(key)
+	}
+
+	// Dirty components: reuse entries the generation proves unchanged,
+	// solve the rest concurrently — the same reusable/dirty split and
+	// kernel as the full path, restricted to the planner's change set.
+	results := make([]compResult, len(dirty))
+	cached := make([]bool, len(dirty))
+	var solve []int
+	for k, ci := range dirty {
+		if e, ok := store.Lookup(&plan.Comps[ci]); ok {
+			results[k] = compResult{truth: e.truth, engine: "cached", optimal: e.optimal, eval: e.eval}
+			cached[k] = true
+			continue
+		}
+		solve = append(solve, k)
+	}
+	workers := par.Workers(opts.Parallelism)
+	errs := make([]error, len(solve))
+	par.Do(len(solve), workers, func(j int) {
+		k := solve[j]
+		ci := int(dirty[k])
+		clauses, _ := plan.Clauses(ci)
+		results[k], errs[j] = solveComponent(atoms, &plan.Comps[ci], clauses, opts, warm)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mln: %w", err)
+		}
+	}
+
+	// Merge and maintain cache + aggregate, in component order.
+	stats := &ground.ComponentStats{}
+	for k, ci := range dirty {
+		comp := &plan.Comps[ci]
+		r := &results[k]
+		for li, a := range comp.Atoms {
+			truth[a] = r.truth[li]
+		}
+		if cached[k] {
+			continue // entry and its aggregate contribution stand
+		}
+		if old, ok := store.Peek(comp.Key); ok {
+			agg.remove(&old)
+		}
+		e := compEntry{truth: r.truth, optimal: r.optimal, eval: r.eval}
+		agg.add(e.truth, e.optimal, &e.eval)
+		store.Put(comp, e)
+		stats.Solved++
+		stats.Engine(r.engine)
+		if r.fallback {
+			stats.Fallbacks++
+		}
+	}
+	agg.gen = plan.Gen()
+
+	// Every component outside the dirty set is an implicit cache reuse.
+	stats.Count = agg.count
+	stats.Largest = agg.largest
+	stats.SizeHistogram = agg.histogram()
+	if reused := agg.count - stats.Solved; reused > 0 {
+		stats.Reused = reused
+		if stats.Engines == nil {
+			stats.Engines = make(map[string]int)
+		}
+		stats.Engines["cached"] += reused
+	}
+	res := resultFromAgg(agg, cs, stats, truth)
+	res.TruthDelta = true
+	return res, nil
+}
+
+// resultFromAgg assembles the solve Result from the aggregate totals.
+// The violation map is copied: callers hold Results across solves while
+// the aggregate keeps mutating.
+func resultFromAgg(agg *stateAgg, cs *ground.ClauseSet, stats *ground.ComponentStats, truth []bool) *Result {
+	viol := make(map[string]int, len(agg.viol))
+	for r, c := range agg.viol {
+		viol[r] = c
+	}
 	return &Result{
-		Truth:         truth,
-		Cost:          cost,
-		HardSatisfied: hardOK,
-		Optimal:       optimal,
-		Rounds:        1,
-		GroundClauses: cs.Len(),
-		Components:    stats,
-	}, nil
+		Truth:          truth,
+		Cost:           agg.cost,
+		HardSatisfied:  agg.hardBad == 0,
+		Optimal:        agg.nonOptimal == 0,
+		Rounds:         1,
+		GroundClauses:  cs.Len(),
+		RuleViolations: viol,
+		Components:     stats,
+	}
 }
 
 // solveComponent builds the component's weighted MaxSAT subproblem from
 // its clauses (already in dense local variable numbering) and solves it:
 // exact branch-and-bound for components within ComponentExactLimit
 // (falling back to local search when the node limit is exhausted), local
-// search otherwise.
+// search otherwise. The returned result carries the component's
+// read-out contribution evaluated on the final assignment.
 func solveComponent(atoms *ground.AtomTable, comp *ground.Component, clauses []ground.Clause, opts Options, warm []bool) (compResult, error) {
 	n := len(comp.Atoms)
 	problem := &maxsat.Problem{NumVars: n}
@@ -170,61 +446,70 @@ func solveComponent(atoms *ground.AtomTable, comp *ground.Component, clauses []g
 		mopts.Warm = w
 	}
 
+	var r compResult
 	if n <= opts.ComponentExactLimit {
 		sol, complete, err := maxsat.Exact(problem, mopts)
 		if err != nil {
 			return compResult{}, err
 		}
 		if complete {
-			return compResult{truth: sol.Assignment, engine: maxsat.EngineExact, optimal: true}, nil
+			r = compResult{truth: sol.Assignment, engine: maxsat.EngineExact, optimal: true}
+		} else {
+			// Node limit exhausted: the partial branch-and-bound result is
+			// untrustworthy — fall back to local search for this component
+			// and record the fallback.
+			sol, err = maxsat.Local(problem, mopts)
+			if err != nil {
+				return compResult{}, err
+			}
+			r = compResult{truth: sol.Assignment, engine: maxsat.EngineFallback, fallback: true}
 		}
-		// Node limit exhausted: the partial branch-and-bound result is
-		// untrustworthy — fall back to local search for this component
-		// and record the fallback.
-		sol, err = maxsat.Local(problem, mopts)
+	} else {
+		sol, err := maxsat.Local(problem, mopts)
 		if err != nil {
 			return compResult{}, err
 		}
-		return compResult{truth: sol.Assignment, engine: maxsat.EngineFallback, fallback: true}, nil
+		r = compResult{truth: sol.Assignment, engine: maxsat.EngineLocal}
 	}
-	sol, err := maxsat.Local(problem, mopts)
-	if err != nil {
-		return compResult{}, err
-	}
-	return compResult{truth: sol.Assignment, engine: maxsat.EngineLocal}, nil
+	r.eval = evalComponent(atoms, comp, clauses, r.truth, opts)
+	return r, nil
 }
 
-// evaluateState computes the violated soft weight and hard feasibility
-// of the merged assignment in a fixed order — priors in canonical atom
-// order, then live clauses in stable slot order — so the numbers are
-// identical at every parallelism setting (and equal to the monolithic
-// path's up to floating-point summation order).
-func evaluateState(atoms *ground.AtomTable, order []ground.AtomID, cs *ground.ClauseSet, truth []bool, opts Options) (cost float64, hardOK bool) {
-	hardOK = true
-	for _, a := range order {
-		info := atoms.Info(a)
-		if info.Evidence {
-			w := Logit(info.Conf, opts.EvidenceClamp) + opts.KeepBias
-			if w > 0 && !truth[a] {
-				cost += w
-			} else if w < 0 && truth[a] {
-				cost += -w
+// evalComponent computes the component's read-out contribution on the
+// local assignment: priors in the component's canonical atom order,
+// then the component's clauses in stable slot order — the same per-term
+// arithmetic the monolithic evaluation folds globally, so summing the
+// contributions in component order reproduces its numbers up to
+// floating-point summation order (and the integer counts exactly).
+func evalComponent(atoms *ground.AtomTable, comp *ground.Component, clauses []ground.Clause, truth []bool, opts Options) compEval {
+	ev := compEval{hardOK: true}
+	for li, a := range comp.Atoms {
+		if atoms.IsEvidence(a) {
+			w := Logit(atoms.Confidence(a), opts.EvidenceClamp) + opts.KeepBias
+			if w > 0 && !truth[li] {
+				ev.cost += w
+			} else if w < 0 && truth[li] {
+				ev.cost += -w
 			}
 			continue
 		}
-		if opts.DerivedPrior > 0 && truth[a] {
-			cost += opts.DerivedPrior
+		if opts.DerivedPrior > 0 && truth[li] {
+			ev.cost += opts.DerivedPrior
 		}
 	}
-	cs.ForEach(func(c *ground.Clause) bool {
+	for i := range clauses {
+		c := &clauses[i]
 		if !c.Satisfied(func(a ground.AtomID) bool { return truth[a] }) {
 			if c.Hard() {
-				hardOK = false
+				ev.hardOK = false
 			} else {
-				cost += c.Weight
+				ev.cost += c.Weight
 			}
+			if ev.viol == nil {
+				ev.viol = make(map[string]int)
+			}
+			ev.viol[c.Rule]++
 		}
-		return true
-	})
-	return cost, hardOK
+	}
+	return ev
 }

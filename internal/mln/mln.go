@@ -115,6 +115,12 @@ type Result struct {
 	// Components summarises the component-decomposed solve; nil when the
 	// monolithic path ran.
 	Components *ground.ComponentStats
+	// TruthDelta reports that Truth was produced by the dirty-only merge
+	// over a maintained plan: atoms outside the plan's DirtyComps carry
+	// the previous solve's truth bit-for-bit, so downstream consumers
+	// with state keyed to the same plan generation may restrict their
+	// own passes to the planner's change set.
+	TruthDelta bool
 }
 
 // TrueAtom reports the truth of atom id in the MAP state.
@@ -161,7 +167,9 @@ func MAP(g *ground.Grounder, prog *logic.Program, opts Options) (*Result, error)
 		return nil, err
 	}
 	res.Runtime = time.Since(start)
-	res.RuleViolations = violationsFromClauses(cs, res.Truth)
+	if res.RuleViolations == nil {
+		res.RuleViolations = violationsFromClauses(cs, res.Truth)
+	}
 	return res, nil
 }
 

@@ -30,10 +30,22 @@ import (
 // ComponentCache carries per-component converged ADMM iterates across
 // the incremental engine's solves. Construct with NewComponentCache.
 // Not safe for concurrent use.
-type ComponentCache = engine.Cache[compEntry]
+type ComponentCache struct {
+	comps *engine.Cache[compEntry]
+}
 
 // NewComponentCache returns an empty cache.
-func NewComponentCache() *ComponentCache { return engine.NewCache[compEntry]() }
+func NewComponentCache() *ComponentCache {
+	return &ComponentCache{comps: engine.NewCache[compEntry]()}
+}
+
+// store returns the underlying per-component iterate cache; nil-safe.
+func (c *ComponentCache) store() *engine.Cache[compEntry] {
+	if c == nil {
+		return nil
+	}
+	return c.comps
+}
 
 type compEntry struct {
 	// values and truth are aligned with the component's atoms; z and u
@@ -86,7 +98,7 @@ func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, war
 		plan = engine.NewPlan(atoms, cs)
 	}
 
-	results, cached, err := engine.Run(plan, opts.Parallelism, cache,
+	results, cached, err := engine.Run(plan, opts.Parallelism, cache.store(),
 		func(i int, e compEntry) (compState, bool) {
 			if !e.converged {
 				// An unconverged solve is not a solution to reuse: treat
@@ -140,13 +152,29 @@ func solveComponents(g *ground.Grounder, cs *ground.ClauseSet, opts Options, war
 		res.Converged = res.Converged && r.converged
 		res.RepairFlips += r.repairFlips
 	}
-	cache.Replace(plan.Comps, func(i int) compEntry {
-		return compEntry{
-			values: results[i].values, truth: results[i].truth,
-			z: results[i].z, u: results[i].u,
-			converged: results[i].converged,
+	// A maintained plan names the retired component keys, so the cache
+	// churns one entry per dirty component instead of rebuilding.
+	if store := cache.store(); store != nil {
+		entry := func(i int) compEntry {
+			return compEntry{
+				values: results[i].values, truth: results[i].truth,
+				z: results[i].z, u: results[i].u,
+				converged: results[i].converged,
+			}
 		}
-	})
+		if plan.Maintained() {
+			for _, key := range plan.Retired() {
+				store.Drop(key)
+			}
+			for i := range plan.Comps {
+				if !cached[i] {
+					store.Put(&plan.Comps[i], entry(i))
+				}
+			}
+		} else {
+			store.Replace(plan.Comps, entry)
+		}
+	}
 	res.Values = values
 	res.Truth = truth
 	res.Components = stats

@@ -1,0 +1,125 @@
+package repair
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/ground"
+)
+
+// TestComposeChurnProperty checks the deferred-splice algebra: folding
+// each step's churn into the pending pair with composeChurn and
+// splicing once must produce the exact list (content, not just ids)
+// that eager per-step splices produce — across removals of flushed
+// elements, cancellation of never-flushed pending additions,
+// replacements (same id, new content) and interleaved flushes.
+func TestComposeChurnProperty(t *testing.T) {
+	factID := func(f Fact) ground.AtomID { return f.AtomID }
+	rng := rand.New(rand.NewSource(7))
+
+	// flushed + (pendRm, pendAd) is the deferred view; eager is the
+	// ground truth maintained by per-step splices.
+	var flushed, pendRm, pendAd []Fact
+	var eager []Fact
+	version := map[ground.AtomID]uint64{}
+	for id := ground.AtomID(0); id < 40; id += 2 {
+		f := synthFact(id, classKept, uint64(id))
+		flushed = append(flushed, f)
+		eager = append(eager, f)
+		version[id] = uint64(id)
+	}
+
+	present := func() []ground.AtomID {
+		ids := make([]ground.AtomID, 0, len(eager))
+		for _, f := range eager {
+			ids = append(ids, f.AtomID)
+		}
+		return ids
+	}
+	for step := 0; step < 200; step++ {
+		// Build one step's churn: remove some present ids, then add a
+		// mix of absent ids and replacements of just-removed ids (the
+		// same shape apply() produces after cancelCommon).
+		var rm, ad []Fact
+		for _, id := range present() {
+			if rng.Intn(4) == 0 {
+				rm = append(rm, synthFact(id, classKept, version[id]))
+				if rng.Intn(2) == 0 { // replacement: same id, new content
+					version[id]++
+					ad = append(ad, synthFact(id, classKept, version[id]))
+				}
+			}
+		}
+		for id := ground.AtomID(1); id < 60; id += 2 {
+			inEager := false
+			for _, f := range eager {
+				if f.AtomID == id {
+					inEager = true
+					break
+				}
+			}
+			if !inEager && rng.Intn(10) == 0 {
+				version[id]++
+				ad = append(ad, synthFact(id, classKept, version[id]))
+			}
+		}
+		// Churn lists are id-sorted by contract (apply() emits them that
+		// way); the generator interleaves replacements and fresh ids.
+		sort.Slice(ad, func(i, j int) bool { return ad[i].AtomID < ad[j].AtomID })
+
+		eager = splice(eager, rm, ad, factID)
+		pendRm, pendAd = composeChurn(pendRm, pendAd, rm, ad, factID)
+		deferred := splice(flushed, pendRm, pendAd, factID)
+		if !reflect.DeepEqual(deferred, eager) {
+			t.Fatalf("step %d: deferred splice diverged from eager\nrm=%d ad=%d pendRm=%d pendAd=%d",
+				step, len(rm), len(ad), len(pendRm), len(pendAd))
+		}
+		if rng.Intn(5) == 0 { // flush, as a materializing solve would
+			flushed = deferred
+			pendRm, pendAd = nil, nil
+		}
+	}
+}
+
+// TestComposeChurnEdges pins the hand-reasoned cases: a removal
+// cancelling a pending addition outright, a removal of a flushed
+// element passing through, and churn landing on an empty pending pair.
+func TestComposeChurnEdges(t *testing.T) {
+	factID := func(f Fact) ground.AtomID { return f.AtomID }
+	mk := func(ids ...ground.AtomID) []Fact {
+		fs := make([]Fact, 0, len(ids))
+		for _, id := range ids {
+			fs = append(fs, synthFact(id, classKept, uint64(id)))
+		}
+		return fs
+	}
+	ids := func(fs []Fact) []ground.AtomID {
+		out := []ground.AtomID{}
+		for _, f := range fs {
+			out = append(out, f.AtomID)
+		}
+		return out
+	}
+
+	// Empty churn: pending pair unchanged (identity, same slices).
+	r, a := composeChurn(mk(1), mk(2), nil, nil, factID)
+	if !reflect.DeepEqual(ids(r), []ground.AtomID{1}) || !reflect.DeepEqual(ids(a), []ground.AtomID{2}) {
+		t.Fatalf("identity compose changed pending: rm=%v ad=%v", ids(r), ids(a))
+	}
+	// Removing a pending addition cancels it without touching R; the
+	// flushed element's removal joins R.
+	r, a = composeChurn(mk(1), mk(4, 8), mk(4, 10), nil, factID)
+	if !reflect.DeepEqual(ids(r), []ground.AtomID{1, 10}) {
+		t.Fatalf("compose rm = %v, want [1 10]", ids(r))
+	}
+	if !reflect.DeepEqual(ids(a), []ground.AtomID{8}) {
+		t.Fatalf("compose ad = %v, want [8]", ids(a))
+	}
+	// Churn onto an empty pending pair adopts the churn as-is.
+	r, a = composeChurn(nil, nil, mk(3), mk(5), factID)
+	if !reflect.DeepEqual(ids(r), []ground.AtomID{3}) || !reflect.DeepEqual(ids(a), []ground.AtomID{5}) {
+		t.Fatalf("empty-pending compose: rm=%v ad=%v", ids(r), ids(a))
+	}
+}

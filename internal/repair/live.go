@@ -35,6 +35,10 @@ const (
 	// OutcomeLive is the delta-patched read-out: per-component patches
 	// applied to the session's live outcome.
 	OutcomeLive = "live"
+	// OutcomeDeltaOnly is the live path with materialization skipped
+	// (Options.DeltaOnly): the Outcome carries exact counts and the
+	// changelog but nil fact/cluster lists.
+	OutcomeDeltaOnly = "live-delta"
 )
 
 // OutcomeStats summarises how the final Outcome was produced — the
@@ -158,6 +162,30 @@ type LiveOutcome struct {
 	delta   OutcomeDelta
 	patched int
 	reused  int
+
+	// gen/complete gate the dirty-only sync: complete means the held
+	// patches cover every component of plan generation gen (set by the
+	// full sync, preserved by dirty-only ones). See CurrentFor.
+	gen      uint64
+	complete bool
+
+	// deferSplices, when set, makes apply accumulate each sync's churn
+	// into the pending lists below instead of splicing the global
+	// fact/cluster lists immediately — the delta-only serving mode,
+	// where per-update cost stays proportional to the churn while the
+	// index, violation counts and changelog remain exact and eager. The
+	// next flush (any materializing solve) applies the composed pending
+	// splice; the resulting lists are element-identical to what
+	// step-by-step splicing would have produced.
+	deferSplices     bool
+	pendRmK, pendAdK []Fact
+	pendRmR, pendAdR []Fact
+	pendRmI, pendAdI []Fact
+	pendRmC, pendAdC []Cluster
+	// removedWeight tracks Stats.RemovedWeight across deferred syncs by
+	// subtract-and-add; float drift is re-anchored to the exactly summed
+	// value on every materialization.
+	removedWeight float64
 }
 
 // NewLiveOutcome returns an empty live outcome.
@@ -179,6 +207,20 @@ func (lo *LiveOutcome) Reset() {
 	lo.thresholdFiltered = 0
 	lo.delta = OutcomeDelta{}
 	lo.patched, lo.reused = 0, 0
+	lo.gen, lo.complete = 0, false
+	lo.pendRmK, lo.pendAdK = nil, nil
+	lo.pendRmR, lo.pendAdR = nil, nil
+	lo.pendRmI, lo.pendAdI = nil, nil
+	lo.pendRmC, lo.pendAdC = nil, nil
+	lo.removedWeight = 0
+}
+
+// CurrentFor reports whether the live outcome's held state covers every
+// change up to the previous planner sync of plan — the gate under which
+// a dirty-only sync (only the plan's DirtyComps re-offered, everything
+// else kept without re-proving) is sound.
+func (lo *LiveOutcome) CurrentFor(plan *engine.Plan) bool {
+	return lo.complete && lo.gen+1 == plan.Gen()
 }
 
 // Delta returns the changelog of the most recent sync. The returned
@@ -193,8 +235,11 @@ func (lo *LiveOutcome) Delta() *OutcomeDelta {
 // by the caller's criteria AND held under an unchanged (key,
 // generation, membership)) keep their contribution; every other
 // component is re-patched from fresh, and components that vanished from
-// the partition are retired. fresh must be callable for every index.
-func (lo *LiveOutcome) sync(comps []ground.Component, reusable func(i int) bool, fresh func(i int) *Patch) {
+// the partition are retired. retired, when non-nil, names the vanished
+// components' keys exactly (a maintained plan knows them); nil falls
+// back to detecting surplus held entries by enumeration. fresh must be
+// callable for every index.
+func (lo *LiveOutcome) sync(comps []ground.Component, retired []ground.AtomID, reusable func(i int) bool, fresh func(i int) *Patch) {
 	lo.patched, lo.reused = 0, 0
 	var subtract, add []*Patch
 	for i := range comps {
@@ -213,23 +258,33 @@ func (lo *LiveOutcome) sync(comps []ground.Component, reusable func(i int) bool,
 		lo.held.Put(&comps[i], p)
 	}
 
-	// After the loop every live component's key is held; surplus
-	// entries belong to components that vanished from the partition
-	// (merged away or fully retracted) — the rare structural case, paid
-	// for with one enumeration only when it happens.
-	if lo.held.Len() > len(comps) {
+	if retired != nil {
+		// The plan sync already named what left the partition; a key the
+		// live outcome never held (dropped by an earlier sync, or a fresh
+		// live outcome) is a no-op.
+		for _, k := range retired {
+			if p, ok := lo.held.Peek(k); ok {
+				subtract = append(subtract, p)
+				lo.held.Drop(k)
+			}
+		}
+	} else if lo.held.Len() > len(comps) {
+		// After the loop every live component's key is held; surplus
+		// entries belong to components that vanished from the partition
+		// (merged away or fully retracted) — the rare structural case,
+		// paid for with one enumeration only when it happens.
 		current := make(map[ground.AtomID]bool, len(comps))
 		for i := range comps {
 			current[comps[i].Key] = true
 		}
-		var retired []ground.AtomID
+		var stale []ground.AtomID
 		lo.held.Each(func(k ground.AtomID, p *Patch) {
 			if !current[k] {
-				retired = append(retired, k)
+				stale = append(stale, k)
 				subtract = append(subtract, p)
 			}
 		})
-		for _, k := range retired {
+		for _, k := range stale {
 			lo.held.Drop(k)
 		}
 	}
@@ -237,9 +292,52 @@ func (lo *LiveOutcome) sync(comps []ground.Component, reusable func(i int) bool,
 	lo.apply(subtract, add)
 }
 
+// syncDirty is sync restricted to the planner's change set: only the
+// plan's dirty components are re-offered (reusable/fresh are indexed by
+// position in DirtyComps), retired keys are dropped, and every other
+// held patch stands without being re-proven. The caller must have
+// established CurrentFor(plan) and that the solver's truth outside the
+// dirty components is bit-identical to the previous solve (the full
+// syncs anchoring the cursor prove the base case; consecutive plan
+// generations chain it).
+func (lo *LiveOutcome) syncDirty(plan *engine.Plan, reusable func(k int) bool, fresh func(k int) *Patch) {
+	dirty := plan.DirtyComps()
+	comps := plan.Comps
+	lo.patched, lo.reused = 0, 0
+	var subtract, add []*Patch
+	for k, ci := range dirty {
+		comp := &comps[ci]
+		if reusable(k) {
+			if _, ok := lo.held.Lookup(comp); ok {
+				lo.reused++
+				continue
+			}
+		}
+		p := fresh(k)
+		lo.patched++
+		if op, ok := lo.held.Peek(comp.Key); ok {
+			subtract = append(subtract, op)
+		}
+		add = append(add, p)
+		lo.held.Put(comp, p)
+	}
+	for _, k := range plan.Retired() {
+		if p, ok := lo.held.Peek(k); ok {
+			subtract = append(subtract, p)
+			lo.held.Drop(k)
+		}
+	}
+	lo.apply(subtract, add)
+	// Components outside the dirty set are implicit reuses.
+	lo.reused += len(comps) - len(dirty)
+	lo.gen = plan.Gen()
+}
+
 // apply removes the subtracted patches' contributions and splices in
 // the added ones, maintaining the sorted global lists, the fact index,
-// the violation counts and the changelog.
+// the violation counts and the changelog. With deferSplices set the
+// list splices are composed into the pending churn instead (flush
+// applies them); everything else stays eager.
 func (lo *LiveOutcome) apply(subtract, add []*Patch) {
 	lo.delta = OutcomeDelta{}
 	if len(subtract) == 0 && len(add) == 0 {
@@ -302,9 +400,14 @@ func (lo *LiveOutcome) apply(subtract, add []*Patch) {
 		}
 	}
 
-	lo.kept = splice(lo.kept, rmK, adK, factID)
-	lo.removed = splice(lo.removed, rmR, adR, factID)
-	lo.inferred = splice(lo.inferred, rmI, adI, factID)
+	// RemovedWeight churn is ∝ delta; the exact sum re-anchors it on
+	// every materialization.
+	for i := range rmR {
+		lo.removedWeight -= rmR[i].Quad.Confidence
+	}
+	for i := range adR {
+		lo.removedWeight += adR[i].Quad.Confidence
+	}
 
 	var rmC, adC []Cluster
 	for _, p := range subtract {
@@ -316,13 +419,17 @@ func (lo *LiveOutcome) apply(subtract, add []*Patch) {
 	sort.Slice(rmC, func(i, j int) bool { return rmC[i].Root < rmC[j].Root })
 	sort.Slice(adC, func(i, j int) bool { return adC[i].Root < adC[j].Root })
 	rmC, adC = cancelCommon(rmC, adC, func(c Cluster) ground.AtomID { return c.Root })
-	if len(rmC) > 0 || len(adC) > 0 {
-		lo.clusters = splice(lo.clusters, rmC, adC, func(c Cluster) ground.AtomID { return c.Root })
-		keys := make([][]rdf.FactKey, 0, len(lo.clusters))
-		for _, c := range lo.clusters {
-			keys = append(keys, c.Keys)
-		}
-		lo.clusterKeys = keys
+
+	// Compose this sync's churn into the pending splice; flush applies
+	// it to the global lists — immediately on a materializing solve,
+	// deferred across delta-only ones.
+	clusterID := func(c Cluster) ground.AtomID { return c.Root }
+	lo.pendRmK, lo.pendAdK = composeChurn(lo.pendRmK, lo.pendAdK, rmK, adK, factID)
+	lo.pendRmR, lo.pendAdR = composeChurn(lo.pendRmR, lo.pendAdR, rmR, adR, factID)
+	lo.pendRmI, lo.pendAdI = composeChurn(lo.pendRmI, lo.pendAdI, rmI, adI, factID)
+	lo.pendRmC, lo.pendAdC = composeChurn(lo.pendRmC, lo.pendAdC, rmC, adC, clusterID)
+	if !lo.deferSplices {
+		lo.flush()
 	}
 
 	// Changelog: after cancellation the remaining lists ARE the true
@@ -334,6 +441,105 @@ func (lo *LiveOutcome) apply(subtract, add []*Patch) {
 	lo.delta.RemovedInferred, lo.delta.AddedInferred = rmI, adI
 	lo.delta.RemovedClusters = clusterKeyLists(rmC)
 	lo.delta.AddedClusters = clusterKeyLists(adC)
+}
+
+// flush applies the composed pending churn to the global sorted lists
+// (one copy-on-write splice per touched list) and clears it. Because
+// composeChurn keeps, per id, only the latest content and cancels
+// additions that were later removed, the flushed lists are element-
+// identical to what splicing each sync individually would produce.
+func (lo *LiveOutcome) flush() {
+	factID := func(f Fact) ground.AtomID { return f.AtomID }
+	if len(lo.pendRmK) > 0 || len(lo.pendAdK) > 0 {
+		lo.kept = splice(lo.kept, lo.pendRmK, lo.pendAdK, factID)
+		lo.pendRmK, lo.pendAdK = nil, nil
+	}
+	if len(lo.pendRmR) > 0 || len(lo.pendAdR) > 0 {
+		lo.removed = splice(lo.removed, lo.pendRmR, lo.pendAdR, factID)
+		lo.pendRmR, lo.pendAdR = nil, nil
+	}
+	if len(lo.pendRmI) > 0 || len(lo.pendAdI) > 0 {
+		lo.inferred = splice(lo.inferred, lo.pendRmI, lo.pendAdI, factID)
+		lo.pendRmI, lo.pendAdI = nil, nil
+	}
+	if len(lo.pendRmC) > 0 || len(lo.pendAdC) > 0 {
+		lo.clusters = splice(lo.clusters, lo.pendRmC, lo.pendAdC, func(c Cluster) ground.AtomID { return c.Root })
+		lo.pendRmC, lo.pendAdC = nil, nil
+		keys := make([][]rdf.FactKey, 0, len(lo.clusters))
+		for _, c := range lo.clusters {
+			keys = append(keys, c.Keys)
+		}
+		lo.clusterKeys = keys
+	}
+}
+
+// composeChurn folds one sync's churn (rm, ad — each sorted by id, the
+// true churn after cancellation) into the pending churn (R, A) held
+// against the last flushed lists, preserving visible-state equivalence:
+// splice(flushed, R', A') == splice(splice(flushed, R, A), rm, ad). An
+// id removed now either cancels a pending addition that never reached
+// the flushed lists, or marks a flushed element for removal; an id
+// added now joins the pending additions (possibly paired with a pending
+// removal of the same id — content replacement, which splice applies as
+// remove-then-insert). Both returned sides stay sorted and id-unique.
+func composeChurn[T any](R, A, rm, ad []T, id func(T) ground.AtomID) ([]T, []T) {
+	if len(rm) == 0 && len(ad) == 0 {
+		return R, A
+	}
+	// Split rm: ids present in A cancel those pending additions; the
+	// rest are removals of flushed elements.
+	keptA := A
+	var rmBase []T
+	if len(A) == 0 {
+		rmBase = rm
+	} else {
+		keptA = make([]T, 0, len(A))
+		i, j := 0, 0
+		for i < len(A) || j < len(rm) {
+			switch {
+			case i == len(A):
+				rmBase = append(rmBase, rm[j])
+				j++
+			case j == len(rm):
+				keptA = append(keptA, A[i])
+				i++
+			case id(A[i]) == id(rm[j]):
+				i++
+				j++
+			case id(A[i]) < id(rm[j]):
+				keptA = append(keptA, A[i])
+				i++
+			default:
+				rmBase = append(rmBase, rm[j])
+				j++
+			}
+		}
+	}
+	return mergeByID(R, rmBase, id), mergeByID(keptA, ad, id)
+}
+
+// mergeByID merges two id-sorted, id-disjoint lists.
+func mergeByID[T any](a, b []T, id func(T) ground.AtomID) []T {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]T, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if id(a[i]) < id(b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // clusterKeyLists projects clusters onto their member statements, the
@@ -437,6 +643,7 @@ func splice[T any](global, rm, ad []T, id func(T) ground.AtomID) []T {
 // float accumulation of RemovedWeight is order-sensitive, so it is
 // summed rather than maintained).
 func (lo *LiveOutcome) materialize(oc *Outcome) {
+	lo.flush()
 	oc.Kept, oc.Removed, oc.Inferred = lo.kept, lo.removed, lo.inferred
 	oc.Stats.KeptFacts = len(oc.Kept)
 	oc.Stats.RemovedFacts = len(oc.Removed)
@@ -446,6 +653,7 @@ func (lo *LiveOutcome) materialize(oc *Outcome) {
 	for _, f := range oc.Removed {
 		oc.Stats.RemovedWeight += f.Quad.Confidence
 	}
+	lo.removedWeight = oc.Stats.RemovedWeight
 	oc.Stats.RuleViolations = make(map[string]int, len(lo.violations))
 	for rule, n := range lo.violations {
 		oc.Stats.RuleViolations[rule] = n
@@ -454,12 +662,38 @@ func (lo *LiveOutcome) materialize(oc *Outcome) {
 	oc.Stats.ConflictClusters = len(oc.Clusters)
 }
 
+// materializeCounts fills oc.Stats from the maintained aggregates
+// without flushing the pending splices or attaching the global lists —
+// the delta-only read-out: Kept/Removed/Inferred/Clusters stay nil, the
+// integer counts and violation map are exact, and RemovedWeight is the
+// incrementally tracked value (it may differ from the exactly summed
+// one in the last floating-point bits until the next materialization).
+func (lo *LiveOutcome) materializeCounts(oc *Outcome) {
+	kept := len(lo.kept) - len(lo.pendRmK) + len(lo.pendAdK)
+	removed := len(lo.removed) - len(lo.pendRmR) + len(lo.pendAdR)
+	inferred := len(lo.inferred) - len(lo.pendRmI) + len(lo.pendAdI)
+	oc.Stats.KeptFacts = kept
+	oc.Stats.RemovedFacts = removed
+	oc.Stats.TotalFacts = kept + removed
+	oc.Stats.InferredFacts = inferred
+	oc.Stats.ThresholdFiltered = lo.thresholdFiltered
+	oc.Stats.RemovedWeight = lo.removedWeight
+	oc.Stats.RuleViolations = make(map[string]int, len(lo.violations))
+	for rule, n := range lo.violations {
+		oc.Stats.RuleViolations[rule] = n
+	}
+	oc.Stats.ConflictClusters = len(lo.clusters) - len(lo.pendRmC) + len(lo.pendAdC)
+}
+
 // checkInvariants validates the live outcome's global-index and
 // deterministic-order invariants: each list strictly ascending in its
 // id, the fact index in exact agreement with the lists, and the held
 // per-component patches summing to the global state. Used by the tests
 // and FuzzOutcomePatch; not on the hot path.
 func (lo *LiveOutcome) checkInvariants() error {
+	// Pending deferred churn is not an invariant violation — land it
+	// first (a visible-state no-op) so lists and index agree.
+	lo.flush()
 	total := 0
 	for _, l := range []struct {
 		name  string

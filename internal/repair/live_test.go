@@ -196,7 +196,7 @@ func syncRef(lo *LiveOutcome, ref map[ground.AtomID]*refHeld, touched ground.Ato
 	for i, k := range keys {
 		comps[i] = ground.Component{Key: k, Gen: ref[k].gen, Atoms: patchAtoms(ref[k].p)}
 	}
-	lo.sync(comps,
+	lo.sync(comps, nil,
 		func(i int) bool { return comps[i].Key != touched },
 		func(i int) *Patch { return ref[comps[i].Key].p })
 }

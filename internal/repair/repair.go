@@ -23,6 +23,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/ground"
 	"repro/internal/logic"
 	"repro/internal/rdf"
@@ -43,6 +44,12 @@ type Options struct {
 	// read-out (ResolveComponents): 0 uses GOMAXPROCS, 1 forces the
 	// sequential path. The Outcome is identical at every setting.
 	Parallelism int
+	// DeltaOnly skips materializing the global fact and cluster lists on
+	// the live outcome path: the Outcome carries exact counts, violation
+	// totals and the changelog, but nil Kept/Removed/Inferred/Clusters;
+	// the list splices stay pending on the LiveOutcome until the next
+	// materializing solve flushes them. Ignored off the live path.
+	DeltaOnly bool
 }
 
 func (o Options) withDefaults() Options {
@@ -163,6 +170,11 @@ type Stats struct {
 	// on the session's live outcome, with the patched/reused component
 	// split and the index/merge timings.
 	Outcome *OutcomeStats
+	// Plan summarises how the solve obtained its component decomposition
+	// plan: delta-maintained on the session engine or rebuilt from
+	// scratch, with splice/patch counts and the sync timing. Nil when no
+	// component plan was built (monolithic path).
+	Plan *engine.PlanStats
 }
 
 // Outcome is the full result of temporal conflict resolution.

@@ -32,7 +32,7 @@ import (
 //	                                   adds+removes (+solve) in one request
 //	POST   /api/sessions/{id}/solve   {solver, threshold, parallelism,
 //	                                   componentSolve, componentExactLimit,
-//	                                   coldStart} → SolveResponse
+//	                                   coldStart, rebuildPlan} → SolveResponse
 //	DELETE /api/sessions/{id}         → drops the session
 //
 // Sessions live in a bounded LRU table; creating one past the capacity
@@ -454,6 +454,11 @@ type SessionSolveRequest struct {
 	// ColdStart disables warm-starting from the previous solution (and
 	// drops the per-component solution cache for this solve).
 	ColdStart bool `json:"coldStart,omitempty"`
+	// RebuildPlan forces this solve to build its component decomposition
+	// plan from scratch instead of patching the session's delta-maintained
+	// plan — the from-scratch baseline (stats.Plan reports which path
+	// ran and its timing).
+	RebuildPlan bool `json:"rebuildPlan,omitempty"`
 	// Delta requests changelog mode: the response carries only the
 	// facts and clusters that entered or left each Outcome list since
 	// the session's previous solve (plus statistics), not the full
@@ -540,6 +545,7 @@ func (s *Server) solveLocked(ss *session, solver translate.Solver, req SessionSo
 		ComponentSolve:      req.ComponentSolve,
 		ComponentExactLimit: req.ComponentExactLimit,
 		ColdStart:           req.ColdStart,
+		RebuildPlan:         req.RebuildPlan,
 	})
 	if err != nil {
 		return nil, 0, err

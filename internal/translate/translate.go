@@ -153,6 +153,14 @@ type Output struct {
 	Runtime time.Duration
 }
 
+// TruthDelta reports whether the solver produced Truth by a dirty-only
+// merge over a maintained plan: every atom outside the plan's
+// DirtyComps carries the previous solve's truth bit-for-bit. Always
+// false for PSL and the baselines, which recompute the full state.
+func (o *Output) TruthDelta() bool {
+	return o.MLN != nil && o.MLN.TruthDelta
+}
+
 // Run validates the program for the solver and computes the MAP state
 // over the store's evidence.
 func Run(st *store.Store, prog *logic.Program, solver Solver, opts Options) (*Output, error) {

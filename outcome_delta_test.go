@@ -148,6 +148,7 @@ func assertLiveByteIdentical(t *testing.T, step int, res *tecore.Resolution, pro
 	a.Stats.Repair, b.Stats.Repair = nil, nil // stage stats differ by design
 	a.Stats.Outcome, b.Stats.Outcome = nil, nil
 	a.Stats.Ground, b.Stats.Ground = nil, nil
+	a.Stats.Plan, b.Stats.Plan = nil, nil
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("step %d: live outcome diverged from whole-graph assembly\nlive:  %+v\nwhole: %+v",
 			step, a.Stats, b.Stats)
@@ -475,6 +476,7 @@ func TestOutcomeAssembledKnob(t *testing.T) {
 	a.Stats.Repair, b.Stats.Repair = nil, nil
 	a.Stats.Outcome, b.Stats.Outcome = nil, nil
 	a.Stats.Ground, b.Stats.Ground = nil, nil
+	a.Stats.Plan, b.Stats.Plan = nil, nil
 	a.Stats.Runtime, b.Stats.Runtime = 0, 0
 	a.Stats.Components, b.Stats.Components = nil, nil
 	if !reflect.DeepEqual(a, b) {

@@ -34,6 +34,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/ground"
 	"repro/internal/kgen"
 	"repro/internal/logic"
@@ -148,6 +149,13 @@ type Stats = repair.Stats
 // SolveOptions.ComponentSolve); available as Stats.Components.
 type ComponentStats = ground.ComponentStats
 
+// PlanStats summarises the solve-plan stage of a component-decomposed
+// solve: whether the plan was patched in place ("maintained") or built
+// from scratch ("rebuilt"), the splice and partition-patch counts, and
+// the sync wall time; available as Stats.Plan (nil on monolithic
+// solves). SolveOptions.RebuildPlan forces the from-scratch baseline.
+type PlanStats = engine.PlanStats
+
 // GroundStats summarises the grounding stage of a solve — total wall
 // time and, per rule, the chosen join order with its selectivity
 // estimates, candidate and emitted-grounding counts; available as
@@ -189,6 +197,7 @@ type OutcomeStats = repair.OutcomeStats
 const (
 	OutcomeAssembled = repair.OutcomeAssembled
 	OutcomeLive      = repair.OutcomeLive
+	OutcomeDeltaOnly = repair.OutcomeDeltaOnly
 )
 
 // OutcomeDelta is the changelog of an incremental component solve: the
