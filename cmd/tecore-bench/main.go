@@ -32,20 +32,28 @@
 //	                        the legacy string-keyed grounder vs the
 //	                        selectivity-planned compiled pipeline on the
 //	                        identical network
+//	BENCH_restart.json      process restart with and without the durable
+//	                        session directory: cold (re-parse + reload +
+//	                        cold solve) vs warm (snapshot load + WAL
+//	                        replay + warm-started solve), plus journal
+//	                        replay bandwidth
 //
 // Usage:
 //
-//	tecore-bench [-out dir] [-scenario incremental|parallel|components|repair|outcome|serve|scale|ground|update|all]
+//	tecore-bench [-out dir] [-scenario incremental|parallel|components|repair|outcome|serve|scale|ground|update|restart|all]
 //	             [-players N] [-clusters N] [-sessions K] [-updates U] [-reps R]
 //	             [-scale-facts N,N,...] [-scale-cluster-size N]
 //	             [-ground-facts N,N,...] [-update-facts N,N,...]
+//	             [-restart-facts N] [-restart-cluster-size N]
 //	             [-assert-repair-speedup X] [-assert-outcome-speedup X]
 //	             [-assert-serve-speedup X] [-assert-bytes-per-fact B]
 //	             [-assert-ground-speedup X] [-assert-plan-speedup X]
+//	             [-assert-restart-speedup X]
 //
-// The scale, ground and update scenarios are not part of -scenario all:
-// their default sweeps run minutes and allocate gigabytes by design;
-// request them explicitly (CI runs them at small smoke sizes).
+// The scale, ground, update and restart scenarios are not part of
+// -scenario all: their default sweeps run minutes and allocate
+// gigabytes by design; request them explicitly (CI runs them at small
+// smoke sizes).
 //
 // Timings are medians of R runs on the local machine; absolute numbers
 // are substrate-dependent, ratios (speedup, scaling) are the tracked
@@ -93,10 +101,16 @@ func main() {
 		"update scenario: comma-separated target fact counts to sweep")
 	assertPlan := flag.Float64("assert-plan-speedup", 0,
 		"update scenario: exit non-zero unless the largest workload's maintained-plan stage speedup over the rebuilt plan reaches this factor (0 = no assertion)")
+	restartFacts := flag.Int("restart-facts", 100000,
+		"restart scenario: target fact count for the cold/warm restart comparison")
+	restartClusterSize := flag.Int("restart-cluster-size", 60,
+		"restart scenario: facts per cluster (above the exact-solve component limit, so the first solve is optimiser-dominant)")
+	assertRestart := flag.Float64("assert-restart-speedup", 0,
+		"restart scenario: exit non-zero unless the warm restart beats the cold restart by this factor (0 = no assertion)")
 	flag.Parse()
 
 	switch *scenario {
-	case "incremental", "parallel", "components", "repair", "outcome", "serve", "scale", "ground", "update", "all":
+	case "incremental", "parallel", "components", "repair", "outcome", "serve", "scale", "ground", "update", "restart", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "tecore-bench: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -153,6 +167,12 @@ func main() {
 	if *scenario == "update" {
 		if err := runUpdate(*out, *updateFacts, *scaleClusterSize, *reps, *assertPlan); err != nil {
 			fmt.Fprintf(os.Stderr, "tecore-bench: update: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *scenario == "restart" {
+		if err := runRestart(*out, *restartFacts, *restartClusterSize, *reps, *assertRestart); err != nil {
+			fmt.Fprintf(os.Stderr, "tecore-bench: restart: %v\n", err)
 			os.Exit(1)
 		}
 	}

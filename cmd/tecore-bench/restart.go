@@ -1,0 +1,247 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	tecore "repro"
+)
+
+// RestartReport is the BENCH_restart.json schema: what a process
+// restart costs with and without the durable session directory. The
+// cold path is the only option without durability — re-parse the TQuads
+// text, rebuild the store, solve from nothing. The warm path reopens
+// the data directory: binary snapshot load, WAL suffix replay, and a
+// first solve seeded with the persisted MAP state.
+type RestartReport struct {
+	Benchmark   string `json:"benchmark"`
+	Workload    string `json:"workload"`
+	Solver      string `json:"solver"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Facts       int    `json:"facts"`
+	Clusters    int    `json:"clusters"`
+	ClusterSize int    `json:"cluster_size"`
+
+	// Cold restart: parse the TQuads text, load the graph and program,
+	// solve from scratch. ColdMS is the time-to-first-solve.
+	ColdParseMS float64 `json:"cold_parse_ms"`
+	ColdLoadMS  float64 `json:"cold_load_ms"`
+	ColdSolveMS float64 `json:"cold_solve_ms"`
+	ColdMS      float64 `json:"cold_ms"`
+
+	// Crash recovery: reopening a directory whose store lives entirely
+	// in the WAL (the process died before any checkpoint). ReplayMBps
+	// is the journal replay bandwidth.
+	ReplayRecords int     `json:"replay_records"`
+	ReplayBytes   int64   `json:"replay_bytes"`
+	ReplayOpenMS  float64 `json:"replay_open_ms"`
+	ReplayMBps    float64 `json:"replay_mb_per_s"`
+
+	// Warm restart: reopening after a checkpointed shutdown — snapshot
+	// load, empty WAL suffix, first solve warm-started from the
+	// persisted truth vector. WarmMS is the time-to-first-solve.
+	WarmOpenMS  float64 `json:"warm_open_ms"`
+	WarmSolveMS float64 `json:"warm_solve_ms"`
+	WarmMS      float64 `json:"warm_ms"`
+
+	// Speedup is cold vs warm time-to-first-solve.
+	Speedup float64 `json:"speedup"`
+}
+
+// checkEquivalent compares a restarted session's first solve against
+// the pre-restart baseline. Conflict structure must match exactly; the
+// resolution quality (removed confidence mass) may differ by the local
+// search's last-mile slack — above the exact-solve component limit the
+// optimiser is a heuristic, and a warm incumbent legitimately lands on
+// a different, equally good local optimum.
+func checkEquivalent(what string, res, baseline *tecore.Resolution) error {
+	if res.Stats.ConflictClusters != baseline.Stats.ConflictClusters {
+		return fmt.Errorf("%s restart found %d conflict clusters, pre-restart session found %d",
+			what, res.Stats.ConflictClusters, baseline.Stats.ConflictClusters)
+	}
+	base := baseline.Stats.RemovedWeight
+	if diff := res.Stats.RemovedWeight - base; diff > 0.01*base+1e-9 {
+		return fmt.Errorf("%s restart removed weight %.3f, more than 1%% above the baseline %.3f",
+			what, res.Stats.RemovedWeight, base)
+	}
+	return nil
+}
+
+func runRestart(dir string, target, clusterSize, reps int, assertSpeedup float64) error {
+	clusters := target / clusterSize
+	if clusters < 1 {
+		clusters = 1
+	}
+	ds := tecore.GenerateClustered(tecore.ClusteredConfig{
+		Clusters: clusters, ClusterSize: clusterSize, BridgeRate: 0.1, Seed: 11})
+	var text strings.Builder
+	if err := tecore.WriteGraph(&text, ds.Graph); err != nil {
+		return err
+	}
+	report := RestartReport{
+		Benchmark:   "BenchmarkRestartRecovery",
+		Workload:    fmt.Sprintf("clustered (size %d, bridge rate 0.1)", clusterSize),
+		Solver:      tecore.SolverMLN.String(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Facts:       len(ds.Graph),
+		Clusters:    clusters,
+		ClusterSize: clusterSize,
+	}
+	opts := tecore.SolveOptions{Solver: tecore.SolverMLN, ComponentSolve: true}
+
+	tmp, err := os.MkdirTemp("", "tecore-restart-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	dataDir := filepath.Join(tmp, "session")
+
+	// Build the durable session, then "crash": every fact is flushed to
+	// the WAL but no checkpoint ever ran, so the reopen replays the
+	// whole journal.
+	build, err := tecore.OpenSession(dataDir)
+	if err != nil {
+		return err
+	}
+	if err := build.LoadGraph(ds.Graph); err != nil {
+		return err
+	}
+	if err := build.Sync(); err != nil {
+		return err
+	}
+	if err := build.Close(); err != nil {
+		return err
+	}
+
+	// Crash recovery: measure the journal replay.
+	start := time.Now()
+	crashed, err := tecore.OpenSession(dataDir)
+	if err != nil {
+		return err
+	}
+	report.ReplayOpenMS = float64(time.Since(start).Microseconds()) / 1000
+	rs := crashed.RecoveryStats()
+	if rs.SnapshotLoaded || rs.ReplayedRecords == 0 {
+		return fmt.Errorf("crash reopen expected pure WAL replay, got %+v", rs)
+	}
+	report.ReplayRecords = rs.ReplayedRecords
+	report.ReplayBytes = rs.ReplayedBytes
+	report.ReplayMBps = float64(rs.ReplayedBytes) / (1 << 20) / (report.ReplayOpenMS / 1000)
+
+	// Solve once and shut down gracefully: checkpoint (snapshot + warm
+	// sidecar at the final epoch) + close. This is the state a warm
+	// restart finds.
+	if err := crashed.LoadProgramText(tecore.ClusteredProgram); err != nil {
+		return err
+	}
+	baseline, err := crashed.Solve(opts)
+	if err != nil {
+		return err
+	}
+	if err := crashed.Checkpoint(); err != nil {
+		return err
+	}
+	if err := crashed.Close(); err != nil {
+		return err
+	}
+
+	// Warm restarts: snapshot load + warm-started first solve.
+	warmOpen := make([]float64, 0, reps)
+	warmSolve := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start = time.Now()
+		s, err := tecore.OpenSession(dataDir)
+		if err != nil {
+			return err
+		}
+		if err := s.LoadProgramText(tecore.ClusteredProgram); err != nil {
+			return err
+		}
+		open := float64(time.Since(start).Microseconds()) / 1000
+		rs := s.RecoveryStats()
+		if !rs.SnapshotLoaded || rs.ReplayedRecords != 0 {
+			return fmt.Errorf("warm reopen expected a checkpointed snapshot, got %+v", rs)
+		}
+		start = time.Now()
+		res, err := s.Solve(opts)
+		if err != nil {
+			return err
+		}
+		warmOpen = append(warmOpen, open)
+		warmSolve = append(warmSolve, float64(time.Since(start).Microseconds())/1000)
+		if err := checkEquivalent("warm", res, baseline); err != nil {
+			return err
+		}
+		if err := s.Close(); err != nil {
+			return err
+		}
+	}
+	sort.Float64s(warmOpen)
+	sort.Float64s(warmSolve)
+	report.WarmOpenMS = warmOpen[len(warmOpen)/2]
+	report.WarmSolveMS = warmSolve[len(warmSolve)/2]
+	report.WarmMS = report.WarmOpenMS + report.WarmSolveMS
+
+	// Cold restarts: the no-durability baseline from the TQuads text.
+	coldParse := make([]float64, 0, reps)
+	coldLoad := make([]float64, 0, reps)
+	coldSolve := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start = time.Now()
+		g, err := tecore.ParseGraphString(text.String())
+		if err != nil {
+			return err
+		}
+		coldParse = append(coldParse, float64(time.Since(start).Microseconds())/1000)
+		s := tecore.NewSession()
+		start = time.Now()
+		if err := s.LoadGraph(g); err != nil {
+			return err
+		}
+		if err := s.LoadProgramText(tecore.ClusteredProgram); err != nil {
+			return err
+		}
+		coldLoad = append(coldLoad, float64(time.Since(start).Microseconds())/1000)
+		start = time.Now()
+		res, err := s.Solve(opts)
+		if err != nil {
+			return err
+		}
+		coldSolve = append(coldSolve, float64(time.Since(start).Microseconds())/1000)
+		if err := checkEquivalent("cold", res, baseline); err != nil {
+			return err
+		}
+	}
+	sort.Float64s(coldParse)
+	sort.Float64s(coldLoad)
+	sort.Float64s(coldSolve)
+	report.ColdParseMS = coldParse[len(coldParse)/2]
+	report.ColdLoadMS = coldLoad[len(coldLoad)/2]
+	report.ColdSolveMS = coldSolve[len(coldSolve)/2]
+	report.ColdMS = report.ColdParseMS + report.ColdLoadMS + report.ColdSolveMS
+	if report.WarmMS > 0 {
+		report.Speedup = report.ColdMS / report.WarmMS
+	}
+
+	fmt.Printf("restart: %d facts — cold %.0fms (parse %.0f + load %.0f + solve %.0f), warm %.0fms (open %.0f + solve %.0f), %.2fx; replay %d records, %.0f MB/s\n",
+		report.Facts, report.ColdMS, report.ColdParseMS, report.ColdLoadMS, report.ColdSolveMS,
+		report.WarmMS, report.WarmOpenMS, report.WarmSolveMS, report.Speedup,
+		report.ReplayRecords, report.ReplayMBps)
+	if err := writeReport(dir, "BENCH_restart.json", report); err != nil {
+		return err
+	}
+	if assertSpeedup > 0 {
+		if report.Speedup < assertSpeedup {
+			return fmt.Errorf("warm restart speedup %.2fx at %d facts below required %.2fx",
+				report.Speedup, report.Facts, assertSpeedup)
+		}
+		fmt.Printf("restart speedup assertion ok: %.2fx ≥ %.2fx at %d facts\n",
+			report.Speedup, assertSpeedup, report.Facts)
+	}
+	return nil
+}

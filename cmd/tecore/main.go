@@ -65,11 +65,16 @@ func usage() {
   tecore infer    -data <tquads file> -rules <rules file>
                   [-solver mln|psl] [-threshold t] [-cpi] [-parallel N]
                   [-components] [-component-exact N] [-v] [-explain-plan]
-                  [-incremental] [-out consistent.tq] [-removed removed.tq]
+                  [-incremental] [-data-dir DIR]
+                  [-out consistent.tq] [-removed removed.tq]
 
   infer -incremental reads add/remove/solve commands from stdin and
   re-solves only the delta after each update; with -components only the
-  conflict components the delta dirtied are re-solved.`)
+  conflict components the delta dirtied are re-solved. With -data-dir
+  the session is durable: updates are journaled, the checkpoint command
+  compacts the journal, and a later run with the same -data-dir
+  restores the session (snapshot + WAL replay) instead of loading
+  -data.`)
 }
 
 func loadGraph(path string) (tecore.Graph, error) {
@@ -164,19 +169,16 @@ func runInfer(args []string) error {
 	explain := fs.Bool("explain", false, "print each removed fact with the constraint grounding that removed it")
 	explainPlan := fs.Bool("explain-plan", false, "print the grounding stage's join plans: per rule, the chosen atom order with its selectivity estimates and candidate/emitted counts")
 	incremental := fs.Bool("incremental", false, "REPL mode: read add/remove/solve commands from stdin and re-solve incrementally")
+	dataDir := fs.String("data-dir", "", "durable session directory: updates are journaled there and a later run restores the session (snapshot + WAL replay)")
 	outPath := fs.String("out", "", "write the consistent expanded KG here")
 	removedPath := fs.String("removed", "", "write the removed (conflicting) facts here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *data == "" || *rules == "" {
-		return fmt.Errorf("infer: -data and -rules are required")
+	if *rules == "" || (*data == "" && *dataDir == "") {
+		return fmt.Errorf("infer: -rules and one of -data/-data-dir are required")
 	}
 	solver, err := tecore.ParseSolver(*solverName)
-	if err != nil {
-		return err
-	}
-	g, err := loadGraph(*data)
 	if err != nil {
 		return err
 	}
@@ -184,9 +186,36 @@ func runInfer(args []string) error {
 	if err != nil {
 		return err
 	}
-	s := tecore.NewSession()
-	if err := s.LoadGraph(g); err != nil {
-		return err
+	var s *tecore.Session
+	if *dataDir != "" {
+		// Durable session: restore whatever the directory holds; the
+		// -data file only seeds a fresh (empty) session, so re-running
+		// the same command line resumes instead of double-loading.
+		if s, err = tecore.OpenSession(*dataDir); err != nil {
+			return err
+		}
+		defer s.Close()
+		if rs := s.RecoveryStats(); rs != nil && (rs.SnapshotLoaded || rs.ReplayedRecords > 0) {
+			fmt.Fprintf(os.Stderr, "restored %d facts at epoch %d from %s (snapshot epoch %d + %d replayed records)\n",
+				s.Store().Len(), rs.Epoch, *dataDir, rs.Watermark, rs.ReplayedRecords)
+		} else if *data != "" {
+			g, err := loadGraph(*data)
+			if err != nil {
+				return err
+			}
+			if err := s.LoadGraph(g); err != nil {
+				return err
+			}
+		}
+	} else {
+		s = tecore.NewSession()
+		g, err := loadGraph(*data)
+		if err != nil {
+			return err
+		}
+		if err := s.LoadGraph(g); err != nil {
+			return err
+		}
 	}
 	if err := s.LoadProgramText(string(src)); err != nil {
 		return err

@@ -22,14 +22,20 @@ import (
 //	                  batch remove CR coach Napoli [2001,2003] 0.6; add CR coach Leeds [2003,2004] 0.5
 //	solve             re-solve and print statistics
 //	stats             print store statistics without solving
+//	checkpoint        durable sessions: snapshot the store and truncate
+//	                  the journal, so the next restore skips the replay
 //	quit              exit (EOF works too)
 //
 // With verbose set (tecore infer -v), each solve also prints the
 // component summary — count, largest, engine tallies and the cache-hit
 // split that shows how much of the graph the re-solve skipped.
 func runIncrementalREPL(s *tecore.Session, opts tecore.SolveOptions, verbose bool, in io.Reader, out io.Writer) error {
-	fmt.Fprintf(out, "tecore incremental session: %d facts loaded; commands: add/remove/batch/solve/stats/quit\n",
-		s.Store().Len())
+	commands := "add/remove/batch/solve/stats/quit"
+	if s.Durable() {
+		commands = "add/remove/batch/solve/stats/checkpoint/quit"
+	}
+	fmt.Fprintf(out, "tecore incremental session: %d facts loaded; commands: %s\n",
+		s.Store().Len(), commands)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
@@ -128,10 +134,17 @@ func runIncrementalREPL(s *tecore.Session, opts tecore.SolveOptions, verbose boo
 			fmt.Fprintf(out, "memory: %d terms, %.1f MiB (facts %.1f + postings %.1f + dict %.1f), %.1f B/fact\n",
 				m.Terms, float64(m.TotalBytes)/(1<<20), float64(m.FactBytes)/(1<<20),
 				float64(m.PostingBytes)/(1<<20), float64(m.DictBytes)/(1<<20), m.BytesPerFact)
+		case "checkpoint":
+			if err := s.Checkpoint(); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(out, "ok: checkpointed %d fact(s) at epoch %d in %s\n",
+				s.Store().Len(), s.Store().Epoch(), s.DataDir())
 		case "quit", "exit":
 			return nil
 		default:
-			fmt.Fprintf(out, "error: unknown command %q (add/remove/batch/solve/stats/quit)\n", cmd)
+			fmt.Fprintf(out, "error: unknown command %q (%s)\n", cmd, commands)
 		}
 	}
 	return sc.Err()

@@ -22,6 +22,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/temporal"
 	"repro/internal/translate"
+	"repro/internal/wal"
 )
 
 // Session accumulates data and program state for conflict resolution.
@@ -37,6 +38,16 @@ type Session struct {
 	// progVersion invalidates the cached engine on program changes.
 	progVersion int
 	engine      *solveEngine
+
+	// wal and dataDir are set for durable sessions (OpenSession /
+	// EnableDurability): every store mutation is journaled, and
+	// Checkpoint/Sync/Close control when it reaches stable storage.
+	wal     *wal.Log
+	dataDir string
+	// recoveredWarm is the warm-start candidate read back from the data
+	// directory, adopted by the first engine build if its epoch and
+	// program fingerprint still match (see durable.go).
+	recoveredWarm *warmState
 }
 
 // NewSession returns an empty session.

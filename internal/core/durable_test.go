@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/repair"
+	"repro/internal/translate"
+)
+
+// canonDurable strips everything a restart is allowed to change: stage
+// statistics, the raw solver output, the outcome delta (a reopened
+// session's first solve reports the full outcome as added), the
+// Incremental flag (a reopened session's first solve grounds fresh),
+// the engine-internal AtomIDs, and every ordering derived from atom
+// ids — fact-list order, a removal's explanation order, and cluster
+// order all follow the order atoms entered the incremental grounding,
+// which a fresh post-restart grounding is allowed to renumber. The
+// facts themselves, their explanations, confidences, cluster
+// memberships and statistics are compared exactly.
+func canonDurable(r *Resolution) Resolution {
+	c := canonOutcome(r)
+	c.Incremental = false
+	oc := *c.Outcome
+	canon := func(fs []repair.Fact) []repair.Fact {
+		out := append([]repair.Fact(nil), fs...)
+		for i := range out {
+			out[i].AtomID = 0
+			if len(out[i].Explanations) > 1 {
+				ex := append([]repair.Explanation(nil), out[i].Explanations...)
+				sort.Slice(ex, func(a, b int) bool { return ex[a].String() < ex[b].String() })
+				out[i].Explanations = ex
+			}
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a].Quad.String() < out[b].Quad.String() })
+		return out
+	}
+	oc.Kept = canon(oc.Kept)
+	oc.Removed = canon(oc.Removed)
+	oc.Inferred = canon(oc.Inferred)
+	cl := append([][]rdf.FactKey(nil), oc.Clusters...)
+	sort.Slice(cl, func(a, b int) bool { return fmt.Sprint(cl[a]) < fmt.Sprint(cl[b]) })
+	oc.Clusters = cl
+	// Summed in atom order, so associativity noise in the last ulps is
+	// expected across a restart.
+	oc.Stats.RemovedWeight = math.Round(oc.Stats.RemovedWeight*1e9) / 1e9
+	c.Outcome = &oc
+	return c
+}
+
+// TestDurableRecoveryByteIdentical is the recovery property suite: a
+// durable session and a volatile witness are driven through the same
+// randomized add/remove/solve schedule, with the durable session
+// periodically checkpointed and crash-reopened (fsync then abandon, or
+// graceful close). Every solve after every recovery must be
+// byte-identical to the never-restarted witness.
+func TestDurableRecoveryByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	durable, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness := NewSession()
+	for _, s := range []*Session{durable, witness} {
+		if err := s.LoadProgramText(equivProgram); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pool := equivPool(6, 3)
+	rng := rand.New(rand.NewSource(42))
+	live := make([]bool, len(pool))
+	opts := SolveOptions{Solver: translate.SolverMLN, ComponentSolve: true}
+
+	reopen := func(graceful bool) {
+		if graceful {
+			if err := durable.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+		} else {
+			// Crash after fsync: the durable tail covers every change,
+			// but no checkpoint or clean shutdown happens.
+			if err := durable.Sync(); err != nil {
+				t.Fatalf("sync: %v", err)
+			}
+			durable = nil
+		}
+		back, err := OpenSession(dir)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if err := back.LoadProgramText(equivProgram); err != nil {
+			t.Fatal(err)
+		}
+		durable = back
+	}
+
+	for step := 0; step < 30; step++ {
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			idx := rng.Intn(len(pool))
+			if live[idx] {
+				durable.RemoveFact(pool[idx])
+				witness.RemoveFact(pool[idx])
+				live[idx] = false
+			} else {
+				for _, s := range []*Session{durable, witness} {
+					if err := s.AddFact(pool[idx]); err != nil {
+						t.Fatalf("step %d: add %d: %v", step, idx, err)
+					}
+				}
+				live[idx] = true
+			}
+		}
+
+		switch step % 5 {
+		case 1:
+			if err := durable.Checkpoint(); err != nil {
+				t.Fatalf("step %d: checkpoint: %v", step, err)
+			}
+		case 2:
+			reopen(false)
+		case 4:
+			if step%2 == 0 {
+				if err := durable.Checkpoint(); err != nil {
+					t.Fatalf("step %d: checkpoint: %v", step, err)
+				}
+			}
+			reopen(true)
+		}
+
+		if got, want := durable.Store().Epoch(), witness.Store().Epoch(); got != want {
+			t.Fatalf("step %d: recovered epoch %d, witness %d", step, got, want)
+		}
+		a, err := durable.Solve(opts)
+		if err != nil {
+			t.Fatalf("step %d: durable solve: %v", step, err)
+		}
+		b, err := witness.Solve(opts)
+		if err != nil {
+			t.Fatalf("step %d: witness solve: %v", step, err)
+		}
+		if !reflect.DeepEqual(canonDurable(a), canonDurable(b)) {
+			t.Fatalf("step %d: recovered solve diverged from witness\nrecovered: %+v\nwitness:   %+v",
+				step, a.Outcome, b.Outcome)
+		}
+	}
+	if err := durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableWarmAdoption checks the warm sidecar round trip: a
+// checkpoint taken after a solve persists the MLN truth vector, a
+// reopened session at the same epoch and program adopts it for its
+// first solve, and the warm-started result is byte-identical to the
+// pre-restart one.
+func TestDurableWarmAdoption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadProgramText(equivProgram); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range equivPool(4, 3) {
+		if err := s.AddFact(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := SolveOptions{Solver: translate.SolverMLN, ComponentSolve: true}
+	before, err := s.Solve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, WarmFile)); err != nil {
+		t.Fatalf("checkpoint after solve left no warm sidecar: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if err := back.LoadProgramText(equivProgram); err != nil {
+		t.Fatal(err)
+	}
+	w := back.recoveredWarm
+	if w == nil {
+		t.Fatal("reopened session recovered no warm state")
+	}
+	if w.epoch != back.Store().Epoch() {
+		t.Fatalf("warm state epoch %d, store epoch %d", w.epoch, back.Store().Epoch())
+	}
+	if w.progHash != progFingerprint(back.Program()) {
+		t.Fatal("warm state program fingerprint does not match the reloaded program")
+	}
+	after, err := back.Solve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.recoveredWarm != nil {
+		t.Fatal("first solve did not consume the recovered warm state")
+	}
+	if back.engine == nil || back.engine.warmSolver != translate.SolverMLN {
+		t.Fatal("adopted warm state did not seed the engine")
+	}
+	if !reflect.DeepEqual(canonDurable(after), canonDurable(before)) {
+		t.Fatal("warm-started solve diverged from the pre-restart solve")
+	}
+}
+
+// TestDurableWarmRejectedOnMismatch checks the adoption gate: warm
+// state stamped at an older epoch (mutations happened after the
+// checkpoint) must not seed the engine, and a corrupt sidecar must be
+// ignored rather than fail the open.
+func TestDurableWarmRejectedOnMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadProgramText(equivProgram); err != nil {
+		t.Fatal(err)
+	}
+	pool := equivPool(3, 3)
+	for _, q := range pool[:len(pool)-1] {
+		if err := s.AddFact(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := SolveOptions{Solver: translate.SolverMLN, ComponentSolve: true}
+	if _, err := s.Solve(opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Advance the store past the warm stamp, then crash.
+	if err := s.AddFact(pool[len(pool)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.LoadProgramText(equivProgram); err != nil {
+		t.Fatal(err)
+	}
+	if back.recoveredWarm == nil {
+		t.Fatal("stale sidecar should still load; adoption decides validity")
+	}
+	if _, err := back.Solve(opts); err != nil {
+		t.Fatal(err)
+	}
+	if back.recoveredWarm != nil {
+		t.Fatal("stale warm state was not discarded")
+	}
+	if err := back.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the sidecar: open must succeed with no warm state.
+	path := filepath.Join(dir, WarmFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again, err := OpenSession(dir)
+	if err != nil {
+		t.Fatalf("corrupt warm sidecar must not fail the open: %v", err)
+	}
+	if again.recoveredWarm != nil {
+		t.Fatal("corrupt warm sidecar passed validation")
+	}
+	if err := again.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnableDurability checks the volatile-to-durable upgrade: the
+// current store is checkpointed into the fresh directory and later
+// mutations flow through the WAL, so a reopen recovers everything.
+func TestEnableDurability(t *testing.T) {
+	s := NewSession()
+	if err := s.LoadProgramText(equivProgram); err != nil {
+		t.Fatal(err)
+	}
+	pool := equivPool(3, 2)
+	for _, q := range pool[:4] {
+		if err := s.AddFact(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	if err := s.EnableDurability(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableDurability(dir); err == nil {
+		t.Fatal("double EnableDurability should fail")
+	}
+	for _, q := range pool[4:] {
+		if err := s.AddFact(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RemoveFact(pool[0])
+	wantEpoch := s.Store().Epoch()
+	wantGraph := s.Store().Graph()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Durable() || s.DataDir() != "" {
+		t.Fatal("closed session still reports durable")
+	}
+
+	back, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if !back.Durable() || back.DataDir() != dir {
+		t.Fatal("reopened session not durable")
+	}
+	st := back.RecoveryStats()
+	if st == nil || !st.SnapshotLoaded || st.Epoch != wantEpoch {
+		t.Fatalf("unexpected recovery stats: %+v", st)
+	}
+	if got := back.Store().Epoch(); got != wantEpoch {
+		t.Fatalf("recovered epoch %d, want %d", got, wantEpoch)
+	}
+	if !reflect.DeepEqual(back.Store().Graph(), wantGraph) {
+		t.Fatal("recovered graph differs")
+	}
+}

@@ -186,6 +186,9 @@ func (s *Session) solveIncremental(solver translate.Solver, topts translate.Opti
 		if err != nil {
 			return nil, err
 		}
+		// A recovered session seeds the fresh engine with the persisted
+		// warm solution when the epoch and program still match exactly.
+		s.adoptRecoveredWarm(eng)
 		s.engine = eng
 	} else if d := s.st.DeltaSince(eng.epoch); !d.Empty() {
 		if err := withStage("ground", func() error { return s.syncEngine(eng, topts, d) }); err != nil {

@@ -361,7 +361,23 @@ func (pl *Planner) spliceOrder() {
 		})
 		events = append(events, orderEvent{pos: int32(pos), atom: a})
 	}
-	slices.SortStableFunc(events, func(a, b orderEvent) int { return int(a.pos) - int(b.pos) })
+	// At equal positions insertions must run before the removal: a fact
+	// retracted and re-asserted within one delta window produces both an
+	// insertion and a removal whose binary-searched position is the slot
+	// of the removed atom itself, and consuming the removal first would
+	// advance the copy cursor past the insertion point.
+	slices.SortStableFunc(events, func(a, b orderEvent) int {
+		if a.pos != b.pos {
+			return int(a.pos) - int(b.pos)
+		}
+		switch {
+		case a.atom >= 0 && b.atom < 0:
+			return -1
+		case a.atom < 0 && b.atom >= 0:
+			return 1
+		}
+		return 0
+	})
 	pl.events = events
 
 	dst := pl.spareOrder[:0]

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Durability suite for the session API: sessions created against a
+// -data-dir server survive a server restart — store, epoch and rules
+// recovered — whether the shutdown checkpointed (snapshot load) or not
+// (WAL replay), and DELETE destroys the on-disk state for good.
+
+// newDurableServer starts a server persisting under dir and recovers
+// whatever a previous instance left there.
+func newDurableServer(t *testing.T, dir string) (*Server, *httptest.Server, int) {
+	t.Helper()
+	srv := NewWithConfig(Config{DataDir: dir, Parallelism: 1})
+	n, err := srv.RecoverSessions()
+	if err != nil {
+		t.Fatalf("RecoverSessions: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ts, n
+}
+
+func TestServerSessionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, n := newDurableServer(t, dir)
+	if n != 0 {
+		t.Fatalf("recovered %d sessions from an empty data dir", n)
+	}
+
+	id := createSession(t, ts.URL, "A")
+	var facts FactsResponse
+	if resp := postJSON(t, ts.URL+"/api/sessions/"+id+"/facts",
+		FactsRequest{TQuads: "A coach Leeds [2005,2006] 0.7"}, &facts); resp.StatusCode != http.StatusOK {
+		t.Fatalf("add facts: status %d", resp.StatusCode)
+	}
+	var before SessionInfo
+	getJSON(t, ts.URL+"/api/sessions/"+id, &before)
+	if before.Facts != 3 || before.Rules != 1 {
+		t.Fatalf("pre-restart info: %+v", before)
+	}
+
+	// Graceful shutdown path: checkpoint, close, restart, recover.
+	if err := srv.CheckpointAll(); err != nil {
+		t.Fatalf("CheckpointAll: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ts.Close()
+
+	_, ts2, n := newDurableServer(t, dir)
+	if n != 1 {
+		t.Fatalf("recovered %d sessions, want 1", n)
+	}
+	var after SessionInfo
+	if resp := getJSON(t, ts2.URL+"/api/sessions/"+id, &after); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered session unreachable: status %d", resp.StatusCode)
+	}
+	if after.Facts != before.Facts || after.Epoch != before.Epoch || after.Rules != before.Rules {
+		t.Fatalf("recovered info %+v, want %+v", after, before)
+	}
+
+	// The recovered session is live: it solves and detects the seeded
+	// coach conflict.
+	var solve SessionSolveResponse
+	if resp := postJSON(t, ts2.URL+"/api/sessions/"+id+"/solve",
+		SessionSolveRequest{Solver: "mln"}, &solve); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve on recovered session: status %d", resp.StatusCode)
+	}
+	if solve.Stats.RemovedFacts != 1 {
+		t.Fatalf("recovered solve stats: %+v", solve.Stats)
+	}
+}
+
+func TestServerRecoversUncheckpointedMutations(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, _ := newDurableServer(t, dir)
+	id := createSession(t, ts.URL, "B")
+
+	// Mutate without ever checkpointing: the facts live only in the
+	// WAL. Closing flushes the journal but writes no snapshot.
+	for i := 0; i < 3; i++ {
+		quad := fmt.Sprintf("B%d worksFor Club%d [2000,2001] 0.5", i, i)
+		if resp := postJSON(t, ts.URL+"/api/sessions/"+id+"/facts",
+			FactsRequest{TQuads: quad}, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("add facts %d: status %d", i, resp.StatusCode)
+		}
+	}
+	var before SessionInfo
+	getJSON(t, ts.URL+"/api/sessions/"+id, &before)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ts.Close()
+
+	_, ts2, n := newDurableServer(t, dir)
+	if n != 1 {
+		t.Fatalf("recovered %d sessions, want 1", n)
+	}
+	var after SessionInfo
+	getJSON(t, ts2.URL+"/api/sessions/"+id, &after)
+	if after.Facts != before.Facts || after.Epoch != before.Epoch {
+		t.Fatalf("WAL replay recovered %+v, want %+v", after, before)
+	}
+}
+
+func TestServerDeleteDestroysSessionData(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, _ := newDurableServer(t, dir)
+	id := createSession(t, ts.URL, "C")
+
+	sessDir := filepath.Join(dir, "sessions", id)
+	if _, err := os.Stat(sessDir); err != nil {
+		t.Fatalf("session dir not created: %v", err)
+	}
+	if resp := doJSON(t, http.MethodDelete, ts.URL+"/api/sessions/"+id, "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(sessDir); !os.IsNotExist(err) {
+		t.Fatalf("session dir survives delete: %v", err)
+	}
+
+	// A restart recovers nothing.
+	_, _, n := newDurableServer(t, dir)
+	if n != 0 {
+		t.Fatalf("recovered %d sessions after delete, want 0", n)
+	}
+}

@@ -7,12 +7,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kgen"
@@ -40,6 +42,9 @@ type Server struct {
 	Parallelism int
 	// sessions holds the stateful incremental solving sessions (LRU).
 	sessions *sessionTable
+	// dataDir, when non-empty, roots the durable session directories
+	// (see durable.go); empty means sessions are in-memory only.
+	dataDir string
 	// adm is the server-wide solve admission gate (see admission.go).
 	adm *admission
 	// solveGate, when non-nil, is called inside a session solve's
@@ -79,6 +84,11 @@ type Config struct {
 	// DefaultMaxQueuedSolves); a solve arriving past both bounds is
 	// rejected with 429 and a Retry-After header.
 	MaxQueuedSolves int
+	// DataDir, when non-empty, makes sessions durable: each one is
+	// backed by a WAL + snapshot directory under <DataDir>/sessions/
+	// and survives a server restart. Call RecoverSessions once before
+	// serving to reopen them.
+	DataDir string
 }
 
 // NewWithConfig returns a configured server.
@@ -89,6 +99,7 @@ func NewWithConfig(cfg Config) *Server {
 		Parallelism:        cfg.Parallelism,
 		sessions:           newSessionTable(cfg.MaxSessions),
 		adm:                newAdmission(cfg.MaxConcurrentSolves, cfg.MaxQueuedSolves),
+		dataDir:            cfg.DataDir,
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -546,7 +557,42 @@ func removedStrings(fs []repair.Fact, max int, truncated bool) ([]string, bool) 
 	return out, truncated
 }
 
-// ListenAndServe runs the UI on addr.
+// ListenAndServe runs the UI on addr until the process dies. Prefer
+// Run, which shuts down gracefully and persists durable sessions.
 func (s *Server) ListenAndServe(addr string) error {
-	return http.ListenAndServe(addr, s.Handler())
+	return s.Run(context.Background(), addr, 0)
+}
+
+// Run serves the UI on addr until ctx is cancelled, then shuts down
+// gracefully: in-flight requests get drainTimeout (or as long as they
+// need, when 0) to finish, every durable session takes a final
+// checkpoint, and every WAL is flushed and closed. Run returns nil on
+// a clean shutdown.
+func (s *Server) Run(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx := context.Background()
+	if drainTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, drainTimeout)
+		defer cancel()
+	}
+	err := hs.Shutdown(sctx)
+	// Requests are drained (or abandoned at the deadline): persist the
+	// final state before releasing the WALs.
+	if s.Durable() {
+		if cerr := s.CheckpointAll(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -126,8 +126,9 @@ func (t *sessionTable) get(id string) (*session, bool) {
 }
 
 // put inserts a new session, evicting the least recently used past
-// capacity. It returns the evicted session's id, if any.
-func (t *sessionTable) put(s *session) (evicted string) {
+// capacity. It returns the evicted session, if any, so the caller can
+// release its durable state.
+func (t *sessionTable) put(s *session) (evicted *session) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s.elem = t.lru.PushFront(s)
@@ -135,24 +136,35 @@ func (t *sessionTable) put(s *session) (evicted string) {
 	if t.lru.Len() > t.max {
 		oldest := t.lru.Back()
 		t.lru.Remove(oldest)
-		old := oldest.Value.(*session)
-		delete(t.byID, old.id)
-		evicted = old.id
+		evicted = oldest.Value.(*session)
+		delete(t.byID, evicted.id)
 	}
 	return evicted
 }
 
-// drop removes the session, reporting whether it existed.
-func (t *sessionTable) drop(id string) bool {
+// drop removes the session, returning it if it existed.
+func (t *sessionTable) drop(id string) (*session, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s, ok := t.byID[id]
 	if !ok {
-		return false
+		return nil, false
 	}
 	t.lru.Remove(s.elem)
 	delete(t.byID, id)
-	return true
+	return s, true
+}
+
+// all returns the live sessions in no particular order, without
+// touching LRU positions.
+func (t *sessionTable) all() []*session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*session, 0, len(t.byID))
+	for _, s := range t.byID {
+		out = append(out, s)
+	}
+	return out
 }
 
 func (t *sessionTable) len() int {
@@ -225,8 +237,16 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	ss := &session{id: newSessionID(), sess: sess}
+	if s.Durable() {
+		if err := s.enableSessionDurability(ss, rules); err != nil {
+			httpError(w, http.StatusInternalServerError, "persisting session: %v", err)
+			return
+		}
+	}
 	ss.publish(nil, "")
-	s.sessions.put(ss)
+	if evicted := s.sessions.put(ss); evicted != nil {
+		s.closeEvicted(evicted)
+	}
 	writeJSON(w, ss.snap.Load().info)
 }
 
@@ -286,10 +306,21 @@ func (s *Server) handleSessionOutcome(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
-	if !s.sessions.drop(r.PathValue("id")) {
+	ss, ok := s.sessions.drop(r.PathValue("id"))
+	if !ok {
 		httpError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 		return
 	}
+	// An in-flight solve may hold ss.mu for seconds; deletion must not
+	// wait behind it. Unlink the data directory now — open WAL file
+	// descriptors keep working until closed — and close the journal in
+	// the background once the lock frees up.
+	s.removeSessionData(ss.id)
+	go func() {
+		ss.mu.Lock()
+		defer ss.mu.Unlock()
+		ss.sess.Close()
+	}()
 	writeJSON(w, map[string]bool{"deleted": true})
 }
 
@@ -345,6 +376,10 @@ func (s *Server) handleSessionFacts(w http.ResponseWriter, r *http.Request) {
 		resp.Updated = len(d.Updated)
 	}
 	ss.publish(nil, "")
+	if err := ss.sess.Sync(); err != nil {
+		httpError(w, http.StatusInternalServerError, "persisting facts: %v", err)
+		return
+	}
 	resp.Facts = st.Len()
 	resp.Epoch = uint64(st.Epoch())
 	writeJSON(w, resp)
@@ -410,6 +445,11 @@ func (s *Server) handleSessionBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		ss.mu.Unlock()
 		httpError(w, http.StatusBadRequest, "applying batch: %v", err)
+		return
+	}
+	if err := ss.sess.Sync(); err != nil {
+		ss.mu.Unlock()
+		httpError(w, http.StatusInternalServerError, "persisting batch: %v", err)
 		return
 	}
 	ss.publish(nil, "")

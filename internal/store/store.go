@@ -147,6 +147,12 @@ type Store struct {
 	// order is always mu before tidxMu.
 	tidxMu sync.Mutex
 	tidx   map[TermID]*intervalIndex
+
+	// journal, when set, receives every change-log append under the write
+	// lock; compactFloor, when set, clamps CompactLog so truncation never
+	// outruns the journal's durable tail. See journal.go.
+	journal      Journal
+	compactFloor func() Epoch
 }
 
 type factKey struct {
@@ -277,13 +283,17 @@ func (st *Store) Add(q rdf.Quad) (FactID, error) {
 			old.addedAt, old.removedAt = st.epoch, 0
 			old.conf = q.Confidence
 			st.dead--
-			st.log = append(st.log, Change{Epoch: st.epoch, Op: OpAdd, ID: id})
+			ch := Change{Epoch: st.epoch, Op: OpAdd, ID: id}
+			st.log = append(st.log, ch)
+			st.journalLocked(ch, q)
 			return id, nil
 		}
 		if q.Confidence > old.conf {
 			old.conf = q.Confidence
 			st.epoch++
-			st.log = append(st.log, Change{Epoch: st.epoch, Op: OpAdd, ID: id})
+			ch := Change{Epoch: st.epoch, Op: OpAdd, ID: id}
+			st.log = append(st.log, ch)
+			st.journalLocked(ch, q)
 		}
 		return id, nil
 	}
@@ -304,7 +314,9 @@ func (st *Store) Add(q rdf.Quad) (FactID, error) {
 	addPosting(&st.byS, f.s, id)
 	addPosting(&st.byP, f.p, id)
 	addPosting(&st.byO, f.o, id)
-	st.log = append(st.log, Change{Epoch: st.epoch, Op: OpAdd, ID: id})
+	ch := Change{Epoch: st.epoch, Op: OpAdd, ID: id}
+	st.log = append(st.log, ch)
+	st.journalLocked(ch, q)
 	// Invalidate the temporal index for this predicate.
 	st.tidxMu.Lock()
 	delete(st.tidx, f.p)
@@ -349,7 +361,9 @@ func (st *Store) tombstoneLocked(id FactID) {
 	st.epoch++
 	st.facts[id].removedAt = st.epoch
 	st.dead++
-	st.log = append(st.log, Change{Epoch: st.epoch, Op: OpRemove, ID: id})
+	ch := Change{Epoch: st.epoch, Op: OpRemove, ID: id}
+	st.log = append(st.log, ch)
+	st.journalLocked(ch, rdf.Quad{})
 }
 
 // AddGraph inserts every quad of the graph, reporting the first error.
@@ -367,6 +381,14 @@ func (st *Store) Epoch() Epoch {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return st.epoch
+}
+
+// CompactedEpoch returns the change-log compaction floor: the epoch
+// CompactLog last truncated up to (after any registered clamp).
+func (st *Store) CompactedEpoch() Epoch {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.compacted
 }
 
 // DeltaSince reports the net change between epoch e and the current
@@ -443,9 +465,18 @@ func classifyDelta(d *Delta, st *Store, id FactID, e Epoch) {
 // below upTo fall back to the full scan and become approximate — facts
 // whose only presence at the queried epoch was a pruned lifespan are
 // misclassified — so compact only past epochs no consumer will revisit.
+//
+// When a compaction floor is registered (SetCompactFloor), upTo is
+// additionally clamped to it, so a durable journal's un-synced tail is
+// always still covered by the in-memory log.
 func (st *Store) CompactLog(upTo Epoch) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.compactFloor != nil {
+		if fl := st.compactFloor(); upTo > fl {
+			upTo = fl
+		}
+	}
 	if upTo <= st.compacted {
 		return
 	}

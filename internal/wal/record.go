@@ -1,0 +1,225 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Record framing. Each journal record is appended as
+//
+//	uvarint payloadLen | payload | crc32c(payload) 4B LE
+//
+// with the payload
+//
+//	op 1B | uvarint epoch | uvarint factID |
+//	[OpAdd only: subject, predicate, object terms |
+//	 zig-zag varint start, end | confidence 8B LE]
+//
+// and each term encoded as kind(1B) + 3 length-prefixed strings (value,
+// datatype, lang). Add records carry the full quad — a fresh insert, a
+// revival and a confidence raise all replay through store.Add with that
+// payload — so the log is self-contained: no dictionary state is needed
+// to read it. Remove records carry only the fact id.
+//
+// The length prefix makes the log seekable record-to-record; the
+// per-record CRC turns any torn or bit-flipped tail into a clean
+// "longest valid prefix" cut at recovery.
+
+var recordCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecordPayload bounds a single record; anything larger is corrupt
+// framing, not data.
+const maxRecordPayload = 1 << 28
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendTerm(b []byte, t rdf.Term) []byte {
+	b = append(b, byte(t.Kind))
+	b = appendString(b, t.Value)
+	b = appendString(b, t.Datatype)
+	return appendString(b, t.Lang)
+}
+
+// appendRecordPayload appends the unframed payload encoding of rec.
+func appendRecordPayload(b []byte, rec store.JournalRecord) []byte {
+	b = append(b, byte(rec.Change.Op))
+	b = appendUvarint(b, uint64(rec.Change.Epoch))
+	b = appendUvarint(b, uint64(rec.Change.ID))
+	if rec.Change.Op == store.OpAdd {
+		q := rec.Quad
+		b = appendTerm(b, q.Subject)
+		b = appendTerm(b, q.Predicate)
+		b = appendTerm(b, q.Object)
+		b = binary.AppendVarint(b, q.Interval.Start)
+		b = binary.AppendVarint(b, q.Interval.End)
+		var cb [8]byte
+		binary.LittleEndian.PutUint64(cb[:], math.Float64bits(q.Confidence))
+		b = append(b, cb[:]...)
+	}
+	return b
+}
+
+// appendFrame appends the length prefix, payload and CRC trailer to b.
+func appendFrame(b, payload []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	b = append(b, payload...)
+	var tb [4]byte
+	binary.LittleEndian.PutUint32(tb[:], crc32.Checksum(payload, recordCRC))
+	return append(b, tb[:]...)
+}
+
+// appendRecord appends the framed encoding of rec to b.
+func appendRecord(b []byte, rec store.JournalRecord) []byte {
+	return appendFrame(b, appendRecordPayload(nil, rec))
+}
+
+// errTorn marks an incomplete, checksum-failing or unparseable record:
+// the durable log ends just before it.
+var errTorn = fmt.Errorf("wal: torn record")
+
+type payloadReader struct {
+	b   []byte
+	off int
+}
+
+func (r *payloadReader) ReadByte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, errTorn
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *payloadReader) take(n int) ([]byte, error) {
+	if n < 0 || len(r.b)-r.off < n {
+		return nil, errTorn
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *payloadReader) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, errTorn
+	}
+	return v, nil
+}
+
+func (r *payloadReader) varint() (int64, error) {
+	v, err := binary.ReadVarint(r)
+	if err != nil {
+		return 0, errTorn
+	}
+	return v, nil
+}
+
+func (r *payloadReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.b)-r.off) {
+		return "", errTorn
+	}
+	b, err := r.take(int(n))
+	return string(b), err
+}
+
+func (r *payloadReader) term() (rdf.Term, error) {
+	var t rdf.Term
+	kindB, err := r.ReadByte()
+	if err != nil {
+		return t, err
+	}
+	if kindB > byte(rdf.Blank) {
+		return t, errTorn
+	}
+	t.Kind = rdf.TermKind(kindB)
+	if t.Value, err = r.str(); err != nil {
+		return t, err
+	}
+	if t.Datatype, err = r.str(); err != nil {
+		return t, err
+	}
+	t.Lang, err = r.str()
+	return t, err
+}
+
+// decodeRecord parses the first framed record in data, returning the
+// record and the number of bytes consumed. errTorn means the data ends
+// in (or is corrupted at) this record: everything before it is the
+// longest valid prefix.
+func decodeRecord(data []byte) (store.JournalRecord, int, error) {
+	var rec store.JournalRecord
+	plen, n := binary.Uvarint(data)
+	if n <= 0 || plen > maxRecordPayload {
+		return rec, 0, errTorn
+	}
+	total := n + int(plen) + 4
+	if total > len(data) {
+		return rec, 0, errTorn
+	}
+	payload := data[n : n+int(plen)]
+	want := binary.LittleEndian.Uint32(data[n+int(plen) : total])
+	if crc32.Checksum(payload, recordCRC) != want {
+		return rec, 0, errTorn
+	}
+	r := &payloadReader{b: payload}
+	opB, err := r.ReadByte()
+	if err != nil || opB > byte(store.OpRemove) {
+		return rec, 0, errTorn
+	}
+	rec.Change.Op = store.Op(opB)
+	epoch, err := r.uvarint()
+	if err != nil {
+		return rec, 0, errTorn
+	}
+	rec.Change.Epoch = store.Epoch(epoch)
+	id, err := r.uvarint()
+	if err != nil || id > math.MaxInt32 {
+		return rec, 0, errTorn
+	}
+	rec.Change.ID = store.FactID(id)
+	if rec.Change.Op == store.OpAdd {
+		q := &rec.Quad
+		if q.Subject, err = r.term(); err != nil {
+			return rec, 0, errTorn
+		}
+		if q.Predicate, err = r.term(); err != nil {
+			return rec, 0, errTorn
+		}
+		if q.Object, err = r.term(); err != nil {
+			return rec, 0, errTorn
+		}
+		if q.Interval.Start, err = r.varint(); err != nil {
+			return rec, 0, errTorn
+		}
+		if q.Interval.End, err = r.varint(); err != nil {
+			return rec, 0, errTorn
+		}
+		cb, err := r.take(8)
+		if err != nil {
+			return rec, 0, errTorn
+		}
+		q.Confidence = math.Float64frombits(binary.LittleEndian.Uint64(cb))
+	}
+	if r.off != len(payload) {
+		return rec, 0, errTorn // trailing garbage inside a "valid" frame
+	}
+	return rec, total, nil
+}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/suggest"
 	"repro/internal/temporal"
 	"repro/internal/translate"
+	"repro/internal/wal"
 )
 
 // Session accumulates a knowledge graph and a program of rules and
@@ -52,6 +53,18 @@ type Session = core.Session
 
 // NewSession returns an empty session.
 func NewSession() *Session { return core.NewSession() }
+
+// OpenSession opens a durable session rooted at dir, recovering the
+// persisted store (snapshot + WAL replay) if the directory holds one
+// and creating an empty durable session otherwise. Rules are not
+// persisted — load the program after opening. Use Session.Checkpoint
+// to compact the journal and Session.Close before discarding.
+func OpenSession(dir string) (*Session, error) { return core.OpenSession(dir) }
+
+// RecoveryStats reports what opening a durable session found: whether
+// a snapshot was loaded, the watermark epoch, and the replayed WAL
+// suffix.
+type RecoveryStats = wal.RecoveryStats
 
 // SolveOptions tunes a Solve call: backend, derived-fact threshold,
 // cutting-plane inference.
